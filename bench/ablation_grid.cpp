@@ -1,0 +1,76 @@
+// Ablation: correlation-grid granularity (the paper follows Chang &
+// Sapatnekar's "< 100 cells per grid" rule). Sweeps the cell bound and
+// reports the coefficient dimension, full-circuit SSTA moments against a
+// physical Monte Carlo reference drawn at matching granularity, and
+// runtimes. Coarser grids are cheaper but smear local correlation;
+// extremely fine grids add dimensions without accuracy gain.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "hssta/core/ssta.hpp"
+#include "hssta/mc/flat_mc.hpp"
+#include "hssta/stats/rng.hpp"
+#include "hssta/util/csv.hpp"
+#include "hssta/util/strings.hpp"
+#include "hssta/util/table.hpp"
+#include "hssta/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hssta;
+  bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  if (args.samples == 4000) args.samples = 2500;  // lighter default here
+
+  std::printf(
+      "Ablation: grid granularity (cells-per-grid bound) on c1908\n"
+      "MC reference: %zu samples at each granularity\n\n",
+      args.samples);
+
+  Table t({"max cells/grid", "grids", "dim", "ssta mean", "mc mean",
+           "ssta sigma", "mc sigma", "sigma err", "ssta(s)", "mc(s)"});
+  CsvWriter csv(bench::out_path("ablation_grid.csv"));
+  csv.write_row(std::vector<std::string>{"bound", "grids", "dim", "ssta_mean",
+                                         "mc_mean", "ssta_sigma", "mc_sigma",
+                                         "ssta_seconds", "mc_seconds"});
+
+  for (size_t bound : {25, 50, 100, 200, 400, 1000}) {
+    netlist::Netlist nl = netlist::make_iscas85("c1908", bench::lib());
+    const bench::ModulePipeline pipeline(std::move(nl), bound);
+
+    WallTimer ssta_timer;
+    const core::SstaResult ssta = core::run_ssta(pipeline.built.graph);
+    const double t_ssta = ssta_timer.seconds();
+
+    WallTimer mc_timer;
+    const mc::FlatCircuit fc = mc::FlatCircuit::from_module(
+        pipeline.built, pipeline.netlist, pipeline.variation);
+    stats::Rng rng(args.seed);
+    const auto mc = fc.sample_delay(args.samples, rng);
+    const double t_mc = mc_timer.seconds();
+
+    const double serr =
+        std::abs(ssta.delay.sigma() - mc.stddev()) / mc.stddev();
+    t.add_row({std::to_string(bound),
+               std::to_string(pipeline.variation.partition.num_grids()),
+               std::to_string(pipeline.variation.space->dim()),
+               fmt_double(ssta.delay.nominal(), 5), fmt_double(mc.mean(), 5),
+               fmt_double(ssta.delay.sigma(), 4), fmt_double(mc.stddev(), 4),
+               fmt_percent(serr, 1), fmt_double(t_ssta, 4),
+               fmt_double(t_mc, 3)});
+    csv.write_row(std::vector<double>{
+        static_cast<double>(bound),
+        static_cast<double>(pipeline.variation.partition.num_grids()),
+        static_cast<double>(pipeline.variation.space->dim()),
+        ssta.delay.nominal(), mc.mean(), ssta.delay.sigma(), mc.stddev(),
+        t_ssta, t_mc});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nReading: each row samples its own granularity, so MC truth moves\n"
+      "with the model; SSTA tracks it at every granularity. The paper's\n"
+      "<100 bound balances dimension count against within-grid smearing.\n"
+      "CSV: %s\n",
+      bench::out_path("ablation_grid.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Shared infrastructure for the bench harnesses: the module pipeline
+// (synthesize -> place -> variation -> timing graph), the paper's Fig. 7
+// design topology, simple flag parsing and output-file handling.
+
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "hssta/hier/design.hpp"
+#include "hssta/library/cell_library.hpp"
+#include "hssta/model/extract.hpp"
+#include "hssta/netlist/iscas.hpp"
+#include "hssta/placement/placement.hpp"
+#include "hssta/timing/builder.hpp"
+#include "hssta/variation/space.hpp"
+
+namespace hssta::bench {
+
+inline const library::CellLibrary& lib() {
+  static const library::CellLibrary l = library::default_90nm();
+  return l;
+}
+
+/// Everything one module needs through the analysis pipeline, with the
+/// lifetimes tied together.
+struct ModulePipeline {
+  netlist::Netlist netlist;
+  placement::Placement placement;
+  variation::ModuleVariation variation;
+  timing::BuiltGraph built;
+
+  ModulePipeline(netlist::Netlist nl, size_t max_cells_per_grid)
+      : netlist(std::move(nl)),
+        placement(placement::place_rows(netlist)),
+        variation(variation::make_module_variation(
+            placement, netlist.num_gates(),
+            variation::default_90nm_parameters(),
+            variation::SpatialCorrelationConfig{}, max_cells_per_grid)),
+        built(timing::build_timing_graph(netlist, placement, variation)) {}
+
+  static std::unique_ptr<ModulePipeline> for_iscas(
+      const std::string& name, size_t max_cells_per_grid = 100) {
+    return std::make_unique<ModulePipeline>(
+        netlist::make_iscas85(name, lib()), max_cells_per_grid);
+  }
+
+  [[nodiscard]] model::Extraction extract(double delta = 0.05) const {
+    return model::extract_timing_model(built, variation, netlist.name(),
+                                       model::compute_boundary(netlist),
+                                       model::ExtractOptions{delta, true});
+  }
+};
+
+/// The paper's Fig. 7 experimental circuit: four instances of one module in
+/// two columns, placed in abutment; the outputs of the first-column modules
+/// are cross-connected to the inputs of the second-column modules.
+inline hier::HierDesign make_fig7_design(const ModulePipeline& m,
+                                         const model::TimingModel& model) {
+  using hier::PortRef;
+  const placement::Die mdie = model.die();
+  hier::HierDesign d("fig7", placement::Die{2 * mdie.width, 2 * mdie.height});
+  const size_t a =
+      d.add_instance({"A", &model, {0, 0}, &m.netlist, &m.placement});
+  const size_t b = d.add_instance(
+      {"B", &model, {0, mdie.height}, &m.netlist, &m.placement});
+  const size_t c = d.add_instance(
+      {"C", &model, {mdie.width, 0}, &m.netlist, &m.placement});
+  const size_t e = d.add_instance(
+      {"D", &model, {mdie.width, mdie.height}, &m.netlist, &m.placement});
+
+  const size_t ni = model.graph().inputs().size();
+  const size_t no = model.graph().outputs().size();
+  const size_t half = ni / 2;
+  for (size_t k = 0; k < ni; ++k) {
+    // C consumes the low halves of A and B; D consumes the high halves, so
+    // every first-column output drives exactly one second-column input.
+    const size_t c_src = (k < half) ? a : b;
+    const size_t c_port = (k < half) ? k : k - half;
+    const size_t d_src = (k < half) ? b : a;
+    const size_t d_port = (k < half) ? k + half : k;
+    d.add_connection({PortRef{c_src, c_port % no}, PortRef{c, k}});
+    d.add_connection({PortRef{d_src, d_port % no}, PortRef{e, k}});
+  }
+  for (size_t k = 0; k < ni; ++k) {
+    d.add_primary_input({"pa" + std::to_string(k), {PortRef{a, k}}});
+    d.add_primary_input({"pb" + std::to_string(k), {PortRef{b, k}}});
+  }
+  for (size_t k = 0; k < no; ++k) {
+    d.add_primary_output({"qc" + std::to_string(k), PortRef{c, k}});
+    d.add_primary_output({"qd" + std::to_string(k), PortRef{e, k}});
+  }
+  d.validate();
+  return d;
+}
+
+/// Minimal flag parsing: --samples N, --quick, --delta X, --seed N.
+struct BenchArgs {
+  size_t samples = 4000;
+  double delta = 0.05;
+  uint64_t seed = 2009;
+  bool quick = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> std::string {
+        return (i + 1 < argc) ? argv[++i] : "";
+      };
+      if (flag == "--samples") a.samples = std::strtoull(next().c_str(),
+                                                         nullptr, 10);
+      else if (flag == "--delta") a.delta = std::strtod(next().c_str(),
+                                                        nullptr);
+      else if (flag == "--seed") a.seed = std::strtoull(next().c_str(),
+                                                        nullptr, 10);
+      else if (flag == "--quick") a.quick = true;
+    }
+    if (a.quick) a.samples = std::min<size_t>(a.samples, 1500);
+    return a;
+  }
+};
+
+/// Output directory for CSV artifacts.
+inline std::string out_path(const std::string& file) {
+  const std::filesystem::path dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return (dir / file).string();
+}
+
+}  // namespace hssta::bench

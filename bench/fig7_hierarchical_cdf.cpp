@@ -1,0 +1,147 @@
+// Reproduction of the paper's Fig. 7: design-level delay CDF of the
+// experimental hierarchical circuit — four c6288 multipliers placed in
+// abutment in two columns, the outputs of the first column cross-connected
+// to the inputs of the second column. Three curves:
+//   * Monte Carlo simulation of the flattened original netlists (truth),
+//   * the proposed method (timing models + independent-variable
+//     replacement at design level),
+//   * the baseline sharing only the global variation across modules.
+// The paper's qualitative findings: the proposed curve lies on the MC
+// curve; the global-only curve is visibly too steep (underestimated
+// sigma); the analysis is ~3 orders of magnitude faster than MC.
+//
+// Flags: --samples N (default 4000; paper used 10000), --quick.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "hssta/hier/hier_ssta.hpp"
+#include "hssta/mc/hier_mc.hpp"
+#include "hssta/util/ascii_plot.hpp"
+#include "hssta/util/csv.hpp"
+#include "hssta/util/table.hpp"
+#include "hssta/util/strings.hpp"
+#include "hssta/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hssta;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+
+  std::printf(
+      "Fig. 7 reproduction: hierarchical SSTA of 4 x c6288 (16x16 array "
+      "multipliers)\n\n");
+
+  // Characterize the multiplier module once.
+  const auto pipeline = bench::ModulePipeline::for_iscas("c6288");
+  WallTimer extraction_timer;
+  const model::Extraction ex = pipeline->extract(args.delta);
+  const double t_extract = extraction_timer.seconds();
+  std::printf(
+      "module model: %zu -> %zu edges (%.0f%%), %zu -> %zu vertices, "
+      "extraction %.2f s\n",
+      ex.stats.original_edges, ex.stats.model_edges,
+      100.0 * ex.stats.edge_ratio(), ex.stats.original_vertices,
+      ex.stats.model_vertices, t_extract);
+
+  const hier::HierDesign design = bench::make_fig7_design(*pipeline, ex.model);
+
+  // Ground truth: flat Monte Carlo of the four original netlists.
+  WallTimer mc_timer;
+  const auto mc = mc::hier_flat_mc(design, args.samples, args.seed);
+  const double t_mc = mc_timer.seconds();
+
+  // Proposed: variable replacement at design level.
+  hier::HierOptions proposed_opts;
+  const hier::HierResult proposed =
+      hier::analyze_hierarchical(design, proposed_opts);
+
+  // Baseline: only global correlation between modules.
+  hier::HierOptions global_opts;
+  global_opts.mode = hier::CorrelationMode::kGlobalOnly;
+  const hier::HierResult global_only =
+      hier::analyze_hierarchical(design, global_opts);
+
+  // Normalized-delay CDF curves like the paper's figure.
+  const double lo = mc.quantile(0.0005);
+  const double hi = mc.quantile(0.9995);
+  auto normalize = [&](double d) { return (d - lo) / (hi - lo); };
+
+  PlotSeries s_mc{"Monte Carlo simulation", {}, {}, '#'};
+  PlotSeries s_prop{"proposed method", {}, {}, '*'};
+  PlotSeries s_glob{"only correlation from global variation", {}, {}, 'o'};
+  CsvWriter csv(bench::out_path("fig7_cdf.csv"));
+  csv.write_row(std::vector<std::string>{"normalized_delay", "delay_ns",
+                                         "cdf_mc", "cdf_proposed",
+                                         "cdf_global_only"});
+  const int kPoints = 61;
+  for (int k = 0; k < kPoints; ++k) {
+    const double d = lo + (hi - lo) * k / (kPoints - 1);
+    const double x = normalize(d);
+    s_mc.x.push_back(x);
+    s_mc.y.push_back(mc.cdf(d));
+    s_prop.x.push_back(x);
+    s_prop.y.push_back(proposed.delay().cdf(d));
+    s_glob.x.push_back(x);
+    s_glob.y.push_back(global_only.delay().cdf(d));
+    csv.write_row(std::vector<double>{x, d, mc.cdf(d),
+                                      proposed.delay().cdf(d),
+                                      global_only.delay().cdf(d)});
+  }
+  std::printf("\n");
+  plot_xy(std::cout, {s_mc, s_prop, s_glob}, 72, 24,
+          "Design delay CDF (x: normalized delay, y: probability)");
+
+  const double ks_prop =
+      mc.ks_distance([&](double x) { return proposed.delay().cdf(x); });
+  const double ks_glob =
+      mc.ks_distance([&](double x) { return global_only.delay().cdf(x); });
+
+  Table t({"method", "mean(ns)", "sigma(ns)", "q99(ns)", "KS vs MC",
+           "runtime(s)"});
+  t.add_row({"Monte Carlo (flat, " + std::to_string(args.samples) + ")",
+             fmt_double(mc.mean(), 5), fmt_double(mc.stddev(), 4),
+             fmt_double(mc.quantile(0.99), 5), "-", fmt_double(t_mc, 3)});
+  t.add_row({"proposed (replacement)",
+             fmt_double(proposed.delay().nominal(), 5),
+             fmt_double(proposed.delay().sigma(), 4),
+             fmt_double(proposed.delay().quantile(0.99), 5),
+             fmt_double(ks_prop, 3),
+             fmt_double(proposed.build_seconds + proposed.analysis_seconds,
+                        5)});
+  t.add_row({"global correlation only",
+             fmt_double(global_only.delay().nominal(), 5),
+             fmt_double(global_only.delay().sigma(), 4),
+             fmt_double(global_only.delay().quantile(0.99), 5),
+             fmt_double(ks_glob, 3),
+             fmt_double(global_only.build_seconds +
+                            global_only.analysis_seconds, 5)});
+  std::printf("\n");
+  t.print(std::cout);
+
+  // Shape-only agreement: align the analytic mean to the MC mean and
+  // compare spreads. This separates the iterated-max mean bias (a known
+  // property of canonical re-linearization on the multiplier's massive
+  // path-tie structure, shared with the paper's method) from the
+  // correlation modelling that Fig. 7 is actually about.
+  auto shape_ks = [&](const timing::CanonicalForm& d) {
+    const double shift = mc.mean() - d.nominal();
+    return mc.ks_distance([&](double x) { return d.cdf(x - shift); });
+  };
+  std::printf(
+      "\nmean-aligned (shape-only) KS vs MC: proposed %.3f, global-only "
+      "%.3f\n",
+      shape_ks(proposed.delay()), shape_ks(global_only.delay()));
+
+  const double speedup =
+      t_mc / (proposed.build_seconds + proposed.analysis_seconds);
+  std::printf(
+      "\nspeedup of the proposed analysis vs flat MC (%zu samples): %.0fx\n"
+      "(the paper reports three orders of magnitude at 10000 samples)\n"
+      "sigma ratio global-only/MC: %.2f (the correlation the baseline "
+      "misses)\nCSV: %s\n",
+      args.samples, speedup,
+      global_only.delay().sigma() / mc.stddev(),
+      bench::out_path("fig7_cdf.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "hssta/core/criticality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hssta/timing/propagate.hpp"
+#include "hssta/timing/statops.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::core {
+
+using timing::CanonicalForm;
+using timing::EdgeId;
+using timing::MaxDiagnostics;
+using timing::PropagationResult;
+using timing::TimingGraph;
+using timing::VertexId;
+
+namespace {
+
+/// Fanin tightness probabilities for one arrival propagation:
+/// tp[e] = Prob{edge e carries the maximal fanin arrival of its sink},
+/// renormalized per vertex so they partition exactly.
+std::vector<double> fanin_tightness(const TimingGraph& g,
+                                    const PropagationResult& arrival,
+                                    MaxDiagnostics* diag) {
+  std::vector<double> tp(g.num_edge_slots(), 0.0);
+  std::vector<CanonicalForm> cand;  // valid fanin arrival candidates
+  std::vector<EdgeId> cand_edge;
+
+  for (VertexId v : g.topo_order()) {
+    const auto& fanin = g.vertex(v).fanin;
+    if (fanin.empty()) continue;
+    cand.clear();
+    cand_edge.clear();
+    for (EdgeId e : fanin) {
+      const timing::TimingEdge& te = g.edge(e);
+      if (!arrival.valid[te.from]) continue;
+      CanonicalForm c = arrival.time[te.from];
+      c += te.delay;
+      cand.push_back(std::move(c));
+      cand_edge.push_back(e);
+    }
+    if (cand.empty()) continue;
+    const std::vector<double> split = timing::tightness_split(cand, diag);
+    for (size_t t = 0; t < split.size(); ++t) tp[cand_edge[t]] = split[t];
+  }
+  return tp;
+}
+
+/// Scalar backward pass for one (input, output) pair: distribute vertex
+/// criticality over fanin edges by tp and fold the result into `fold`
+/// via `combine(fold[e], c_ij(e))`.
+template <typename Combine>
+void backward_pass(const TimingGraph& g,
+                   const std::vector<VertexId>& reverse_order,
+                   const std::vector<double>& tp,
+                   const PropagationResult& arrival, VertexId output,
+                   double prune_epsilon, Combine&& combine) {
+  if (!arrival.valid[output]) return;
+  std::vector<double> vc(g.num_vertex_slots(), 0.0);
+  vc[output] = 1.0;
+  for (VertexId v : reverse_order) {
+    const double mass = vc[v];
+    if (mass <= prune_epsilon) continue;
+    for (EdgeId e : g.vertex(v).fanin) {
+      const double c = mass * tp[e];
+      if (c <= 0.0) continue;
+      combine(e, c);
+      vc[g.edge(e).from] += c;
+    }
+  }
+}
+
+}  // namespace
+
+CriticalityResult compute_criticality(const TimingGraph& g,
+                                      const CriticalityOptions& opts) {
+  const auto& ins = g.inputs();
+  const auto& outs = g.outputs();
+  HSSTA_REQUIRE(!ins.empty() && !outs.empty(),
+                "criticality needs input and output ports");
+
+  CriticalityResult res;
+  res.max_criticality.assign(g.num_edge_slots(), 0.0);
+
+  std::vector<VertexId> order = g.topo_order();
+  std::vector<VertexId> reverse_order(order.rbegin(), order.rend());
+
+  for (size_t i = 0; i < ins.size(); ++i) {
+    const std::vector<VertexId> sources{ins[i]};
+    const PropagationResult arrival = timing::propagate_arrivals(g, sources);
+    res.diagnostics += arrival.diagnostics;
+    const std::vector<double> tp =
+        fanin_tightness(g, arrival, &res.diagnostics);
+
+    for (size_t j = 0; j < outs.size(); ++j) {
+      backward_pass(g, reverse_order, tp, arrival, outs[j],
+                    opts.prune_epsilon, [&](EdgeId e, double c) {
+                      if (c > res.max_criticality[e])
+                        res.max_criticality[e] = c;
+                    });
+    }
+
+    if (opts.with_io_delays) {
+      if (res.io_delays.num_inputs() == 0)
+        res.io_delays = DelayMatrix(ins.size(), outs.size(), g.dim());
+      for (size_t j = 0; j < outs.size(); ++j)
+        if (arrival.valid[outs[j]])
+          res.io_delays.set(i, j, arrival.time[outs[j]]);
+    }
+  }
+  // Reconvergence can push the tp partition marginally above 1; clamp.
+  for (double& c : res.max_criticality) c = std::min(c, 1.0);
+  return res;
+}
+
+std::vector<double> pair_criticalities(const TimingGraph& g, size_t input,
+                                       size_t output) {
+  HSSTA_REQUIRE(input < g.inputs().size() && output < g.outputs().size(),
+                "IO index out of range");
+  std::vector<VertexId> order = g.topo_order();
+  std::vector<VertexId> reverse_order(order.rbegin(), order.rend());
+  const std::vector<VertexId> sources{g.inputs()[input]};
+  const PropagationResult arrival = timing::propagate_arrivals(g, sources);
+  const std::vector<double> tp = fanin_tightness(g, arrival, nullptr);
+  std::vector<double> c(g.num_edge_slots(), 0.0);
+  backward_pass(g, reverse_order, tp, arrival, g.outputs()[output], 0.0,
+                [&](EdgeId e, double value) { c[e] += value; });
+  return c;
+}
+
+double edge_pair_criticality(const TimingGraph& g, EdgeId e, size_t input,
+                             size_t output) {
+  HSSTA_REQUIRE(g.edge_alive(e), "criticality of a dead edge");
+  return pair_criticalities(g, input, output)[e];
+}
+
+// Declared in paths.hpp; lives here to share fanin_tightness.
+std::vector<double> arrival_tightness(const TimingGraph& g,
+                                      const PropagationResult& arrivals) {
+  return fanin_tightness(g, arrivals, nullptr);
+}
+
+}  // namespace hssta::core

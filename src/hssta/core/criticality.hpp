@@ -1,0 +1,72 @@
+/// \file criticality.hpp
+/// Edge criticality (paper Section IV.B, Definitions 1-2): for an edge e
+/// and IO pair (i, j), c_ij(e) is the probability that e lies on the
+/// statistically longest i->j path; cm(e) = max over all pairs is the
+/// pruning key of the gray-box model extraction.
+///
+/// Implementation follows the tightness-probability factorization of the
+/// paper's reference [18] (Xiong et al., DATE'08) rather than a literal
+/// Prob{d_e >= M_ij} evaluation: the latter requires the covariance between
+/// a path delay and the IO maximum, which the canonical form cannot
+/// represent once path randoms have been aggregated (a sole path would come
+/// out at criticality 0.5 instead of 1). Instead:
+///
+///   * Forward, per input i: arrival A_i plus, for every edge e into a
+///     vertex v, the tightness probability tp_i(e) that e carries the
+///     maximal fanin arrival of v. The common remaining delay to any output
+///     cancels in that comparison, so tp is independent of j.
+///   * Backward, per output j: vertex criticality vc_ij(v) seeded at 1 for
+///     j, distributed over fanin edges as c_ij(e) = vc_ij(v) * tp_i(e) and
+///     accumulated into the edge sources — plain scalar work.
+///
+/// By construction the criticalities of any input-output cut sum to 1
+/// (leave-one-out tightness probabilities are renormalized per vertex), a
+/// chain edge gets exactly 1, and a dominated branch tends to 0.
+///
+/// Cost: one canonical propagation + tp pass per input, one scalar backward
+/// pass per (input, output) pair — the #inputs * #outputs scaling the paper
+/// reports, with the heavy canonical work amortized per input.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hssta/core/io_delays.hpp"
+#include "hssta/timing/graph.hpp"
+
+namespace hssta::core {
+
+struct CriticalityOptions {
+  /// Backward vertex-criticality mass below this threshold is not
+  /// propagated further (it can only shrink). 0 disables the cutoff.
+  double prune_epsilon = 1e-12;
+  /// Also compute the all-pairs IO delay matrix and return it (the
+  /// extraction pipeline wants both; switch off when only cm is needed).
+  bool with_io_delays = true;
+};
+
+struct CriticalityResult {
+  /// cm per edge slot (dead edges report 0).
+  std::vector<double> max_criticality;
+  /// All-pairs IO delays (empty unless with_io_delays).
+  DelayMatrix io_delays;
+  timing::MaxDiagnostics diagnostics;
+};
+
+/// Compute cm for every live edge of `g`.
+[[nodiscard]] CriticalityResult compute_criticality(
+    const timing::TimingGraph& g, const CriticalityOptions& opts = {});
+
+/// Criticality of one edge for one IO pair (single-pair run of the same
+/// algorithm; used by tests and incremental queries).
+[[nodiscard]] double edge_pair_criticality(const timing::TimingGraph& g,
+                                           timing::EdgeId e, size_t input,
+                                           size_t output);
+
+/// All per-edge criticalities for one IO pair (one forward + one backward
+/// pass). Entries of dead edges are 0.
+[[nodiscard]] std::vector<double> pair_criticalities(
+    const timing::TimingGraph& g, size_t input, size_t output);
+
+}  // namespace hssta::core

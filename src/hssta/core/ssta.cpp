@@ -1,0 +1,74 @@
+#include "hssta/core/ssta.hpp"
+
+#include <algorithm>
+
+#include "hssta/timing/statops.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::core {
+
+using timing::CanonicalForm;
+using timing::EdgeId;
+using timing::PropagationResult;
+using timing::TimingGraph;
+using timing::VertexId;
+
+SstaResult run_ssta(const TimingGraph& g) {
+  SstaResult r{timing::propagate_arrivals(g), CanonicalForm(g.dim())};
+  r.delay = timing::circuit_delay(g, r.arrivals, &r.arrivals.diagnostics);
+  return r;
+}
+
+SlackResult compute_slack(const TimingGraph& g, double required_at_outputs) {
+  const PropagationResult arrivals = timing::propagate_arrivals(g);
+
+  // Backward sweep from all output ports at remaining time 0: remaining[v]
+  // is the statistical max delay from v to any output.
+  PropagationResult remaining;
+  remaining.time.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
+  remaining.valid.assign(g.num_vertex_slots(), 0);
+  for (VertexId v : g.outputs()) remaining.valid[v] = 1;
+
+  std::vector<VertexId> order = g.topo_order();
+  std::reverse(order.begin(), order.end());
+  CanonicalForm candidate(g.dim());
+  for (VertexId v : order) {
+    bool has = remaining.valid[v] != 0;
+    for (EdgeId e : g.vertex(v).fanout) {
+      const timing::TimingEdge& te = g.edge(e);
+      if (!remaining.valid[te.to]) continue;
+      candidate = remaining.time[te.to];
+      candidate += te.delay;
+      if (!has) {
+        remaining.time[v] = std::move(candidate);
+        candidate = CanonicalForm(g.dim());
+        has = true;
+      } else {
+        remaining.time[v] = timing::statistical_max(
+            remaining.time[v], candidate, &remaining.diagnostics);
+      }
+    }
+    remaining.valid[v] = has ? 1 : 0;
+  }
+
+  // slack(v) = required - (arrival(v) + remaining(v)); the variability
+  // coefficients flip sign, the private random magnitude is unchanged.
+  SlackResult out;
+  out.slack.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
+  out.valid.assign(g.num_vertex_slots(), 0);
+  for (VertexId v = 0; v < g.num_vertex_slots(); ++v) {
+    if (!g.vertex_alive(v) || !arrivals.valid[v] || !remaining.valid[v])
+      continue;
+    CanonicalForm through = arrivals.time[v];
+    through += remaining.time[v];
+    CanonicalForm& s = out.slack[v];
+    s = CanonicalForm(g.dim());
+    s.set_nominal(required_at_outputs - through.nominal());
+    for (size_t k = 0; k < g.dim(); ++k) s.corr()[k] = -through.corr()[k];
+    s.set_random(through.random());
+    out.valid[v] = 1;
+  }
+  return out;
+}
+
+}  // namespace hssta::core

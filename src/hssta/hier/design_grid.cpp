@@ -1,0 +1,132 @@
+#include "hssta/hier/design_grid.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::hier {
+
+using placement::Point;
+using variation::GridGeometry;
+using variation::GridPartition;
+
+namespace {
+
+bool inside(const Point& p, const Point& origin, const placement::Die& die) {
+  return p.x >= origin.x && p.x <= origin.x + die.width && p.y >= origin.y &&
+         p.y <= origin.y + die.height;
+}
+
+}  // namespace
+
+size_t DesignGrid::grid_of(const Point& p, const HierDesign& design) const {
+  const auto& instances = design.instances();
+  for (size_t t = 0; t < instances.size(); ++t) {
+    const ModuleInstance& inst = instances[t];
+    if (!inside(p, inst.origin, inst.model->die())) continue;
+    const Point local{p.x - inst.origin.x, p.y - inst.origin.y};
+    return instance_grids[t][inst.model->variation().partition.grid_of(local)];
+  }
+  // Not inside any module: nearest center, preferring filler grids.
+  HSSTA_REQUIRE(!geometry.centers.empty(), "design grid is empty");
+  const size_t begin_filler = geometry.size() - filler_count;
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  const size_t start = filler_count > 0 ? begin_filler : 0;
+  const size_t stop = filler_count > 0 ? geometry.size() : geometry.size();
+  for (size_t g = start; g < stop; ++g) {
+    const double dx = geometry.centers[g].x - p.x;
+    const double dy = geometry.centers[g].y - p.y;
+    const double d = dx * dx + dy * dy;
+    if (d < best_d) {
+      best_d = d;
+      best = g;
+    }
+  }
+  return best;
+}
+
+DesignGrid build_design_grid(const HierDesign& design) {
+  design.validate();
+  const auto& instances = design.instances();
+
+  // All modules must share the default grid pitch.
+  const GridPartition& first = instances.front().model->variation().partition;
+  const double unit =
+      std::sqrt(first.pitch_x() * first.pitch_y());
+  for (const ModuleInstance& inst : instances) {
+    const GridPartition& part = inst.model->variation().partition;
+    const double u = std::sqrt(part.pitch_x() * part.pitch_y());
+    HSSTA_REQUIRE(std::abs(u - unit) <= 1e-6 * unit,
+                  "instances must share one grid pitch (got a mismatch on " +
+                      inst.name + ")");
+  }
+
+  DesignGrid out;
+  out.geometry.unit = unit;
+
+  // Module grids, translated to their instance origins.
+  for (const ModuleInstance& inst : instances) {
+    const GridPartition& part = inst.model->variation().partition;
+    std::vector<size_t> map;
+    map.reserve(part.num_grids());
+    for (size_t gidx = 0; gidx < part.num_grids(); ++gidx) {
+      const Point c = part.center(gidx);
+      map.push_back(out.geometry.centers.size());
+      out.geometry.centers.push_back(
+          Point{c.x + inst.origin.x, c.y + inst.origin.y});
+    }
+    out.instance_grids.push_back(std::move(map));
+  }
+
+  // Filler: default-pitch regular grid over the die, keeping cells whose
+  // center lies outside every module outline.
+  const placement::Die& die = design.die();
+  const size_t fx = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(die.width / first.pitch_x())));
+  const size_t fy = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(die.height / first.pitch_y())));
+  const GridPartition filler(die, fx, fy);
+  for (size_t gidx = 0; gidx < filler.num_grids(); ++gidx) {
+    const Point c = filler.center(gidx);
+    bool covered = false;
+    for (const ModuleInstance& inst : instances)
+      covered = covered || inside(c, inst.origin, inst.model->die());
+    if (!covered) {
+      out.geometry.centers.push_back(c);
+      ++out.filler_count;
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const variation::VariationSpace> build_design_space(
+    const HierDesign& design, const DesignGrid& grid,
+    linalg::PcaOptions pca_opts) {
+  const variation::VariationSpace& ref =
+      *design.instances().front().model->variation().space;
+  // All instances must analyze the same parameters under the same profile.
+  for (const ModuleInstance& inst : design.instances()) {
+    const variation::VariationSpace& s = *inst.model->variation().space;
+    HSSTA_REQUIRE(s.num_params() == ref.num_params(),
+                  "instances disagree on the parameter set");
+    for (size_t p = 0; p < ref.num_params(); ++p)
+      HSSTA_REQUIRE(s.parameters().at(p).name == ref.parameters().at(p).name &&
+                        std::abs(s.parameters().at(p).sigma_rel -
+                                 ref.parameters().at(p).sigma_rel) < 1e-12,
+                    "instances disagree on parameter " +
+                        ref.parameters().at(p).name);
+    const auto& ca = s.correlation_model().config();
+    const auto& cb = ref.correlation_model().config();
+    HSSTA_REQUIRE(std::abs(ca.rho_neighbor - cb.rho_neighbor) < 1e-12 &&
+                      std::abs(ca.rho_global - cb.rho_global) < 1e-12 &&
+                      std::abs(ca.cutoff - cb.cutoff) < 1e-12,
+                  "instances disagree on the correlation profile");
+  }
+  return std::make_shared<const variation::VariationSpace>(
+      ref.parameters(), grid.geometry, ref.correlation_model().config(),
+      pca_opts);
+}
+
+}  // namespace hssta::hier

@@ -1,0 +1,47 @@
+/// \file design_grid.hpp
+/// The heterogeneous design-level grid partition of paper Section V
+/// (Fig. 4): the die area covered by each module instance re-uses that
+/// module's characterization grids (translated to the instance origin, so
+/// the design-level correlation sub-matrix of a module equals its
+/// characterization matrix exactly); the remaining area is covered by
+/// default-pitch filler grids.
+///
+/// All modules must share one grid pitch (the paper's "default grid size")
+/// — with differing pitches the sub-matrix identity behind the variable
+/// replacement (eq. 18) would no longer hold.
+
+#pragma once
+
+#include <vector>
+
+#include "hssta/hier/design.hpp"
+#include "hssta/variation/grid.hpp"
+#include "hssta/variation/space.hpp"
+
+namespace hssta::hier {
+
+struct DesignGrid {
+  /// All design-level grid centers; modules first (instance order, module
+  /// grid order within), then filler grids.
+  variation::GridGeometry geometry;
+  /// Per instance: module grid index -> design grid index.
+  std::vector<std::vector<size_t>> instance_grids;
+  size_t filler_count = 0;
+
+  /// Design grid holding a die location: module grids win inside module
+  /// outlines, otherwise the nearest filler (or overall nearest) center.
+  [[nodiscard]] size_t grid_of(const placement::Point& p,
+                               const HierDesign& design) const;
+};
+
+/// Build the heterogeneous partition for a design.
+[[nodiscard]] DesignGrid build_design_grid(const HierDesign& design);
+
+/// Build the design-level variation space over the heterogeneous grids
+/// (the PCA of paper eq. 16). Parameter set and correlation profile are
+/// taken from the instances' module spaces, which must agree.
+[[nodiscard]] std::shared_ptr<const variation::VariationSpace>
+build_design_space(const HierDesign& design, const DesignGrid& grid,
+                   linalg::PcaOptions pca_opts = {});
+
+}  // namespace hssta::hier

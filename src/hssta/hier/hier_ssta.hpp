@@ -1,0 +1,60 @@
+/// \file hier_ssta.hpp
+/// Hierarchical statistical timing analysis at design level (paper
+/// Section V, Fig. 5):
+///   1. partition the design die with heterogeneous grids,
+///   2. PCA-decompose the design-level correlated variables,
+///   3. replace each instance's independent variables via eq. 19,
+///   4. stitch the model graphs and propagate arrival times.
+///
+/// Two correlation treatments are provided, matching the paper's Fig. 7
+/// comparison: the proposed replacement (module locals become design-level
+/// shared variables) and the global-only baseline (each instance keeps
+/// private spatial variables; only the per-parameter global variables are
+/// shared).
+
+#pragma once
+
+#include <memory>
+
+#include "hssta/core/ssta.hpp"
+#include "hssta/hier/design.hpp"
+#include "hssta/hier/design_grid.hpp"
+
+namespace hssta::hier {
+
+enum class CorrelationMode {
+  kReplacement,  ///< the paper's proposed method
+  kGlobalOnly,   ///< baseline: only global variation shared across modules
+};
+
+struct HierOptions {
+  CorrelationMode mode = CorrelationMode::kReplacement;
+  /// Extension (the paper's future work): charge each top-level connection
+  /// with drive_res(out) * input_cap(in) plus its load-sigma random part.
+  bool load_aware_boundary = false;
+  /// Fixed extra interconnect delay per top-level connection, ns.
+  double interconnect_delay = 0.0;
+  /// PCA truncation for the design space (ablations).
+  linalg::PcaOptions pca;
+};
+
+struct HierResult {
+  timing::TimingGraph design_graph;
+  core::SstaResult ssta;
+  /// Design space (null in global-only mode, which has no joint PCA).
+  std::shared_ptr<const variation::VariationSpace> design_space;
+  DesignGrid grid;
+  double build_seconds = 0.0;
+  double analysis_seconds = 0.0;
+
+  /// The design delay distribution.
+  [[nodiscard]] const timing::CanonicalForm& delay() const {
+    return ssta.delay;
+  }
+};
+
+/// Run the full design-level analysis.
+[[nodiscard]] HierResult analyze_hierarchical(const HierDesign& design,
+                                              const HierOptions& opts = {});
+
+}  // namespace hssta::hier

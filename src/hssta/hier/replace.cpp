@@ -1,0 +1,61 @@
+#include "hssta/hier/replace.hpp"
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::hier {
+
+using linalg::Matrix;
+using timing::CanonicalForm;
+using variation::VariationSpace;
+
+Matrix replacement_matrix(const VariationSpace& module_space,
+                          const VariationSpace& design_space,
+                          std::span<const size_t> design_grid_indices) {
+  HSSTA_REQUIRE(design_grid_indices.size() == module_space.num_grids(),
+                "need one design grid per module grid");
+  // B_n: the design loading rows of the module's grids.
+  const Matrix bn =
+      design_space.pca().loadings.gather_rows(design_grid_indices);
+  // R = whitening_module * B_n = Λ^{-1/2} U^T B_n.
+  return module_space.pca().whitening * bn;
+}
+
+CanonicalForm remap_canonical(const CanonicalForm& form,
+                              const VariationSpace& module_space,
+                              const VariationSpace& design_space,
+                              const Matrix& r) {
+  HSSTA_REQUIRE(form.dim() == module_space.dim(),
+                "form does not live in the module space");
+  HSSTA_REQUIRE(module_space.num_params() == design_space.num_params(),
+                "parameter sets differ between spaces");
+  HSSTA_REQUIRE(r.rows() == module_space.num_components() &&
+                    r.cols() == design_space.num_components(),
+                "replacement matrix has wrong shape");
+
+  const size_t num_params = module_space.num_params();
+  CanonicalForm out(design_space.dim());
+  out.set_nominal(form.nominal());
+  out.set_random(form.random());
+
+  const std::span<const double> src = form.corr();
+  const std::span<double> dst = out.corr();
+  for (size_t p = 0; p < num_params; ++p) {
+    // Global variables are shared verbatim across the hierarchy.
+    dst[design_space.global_index(p)] = src[module_space.global_index(p)];
+    // Spatial block: a_design = R^T * a_module.
+    const std::span<const double> a =
+        src.subspan(module_space.spatial_offset(p),
+                    module_space.num_components());
+    const std::span<double> b = dst.subspan(
+        design_space.spatial_offset(p), design_space.num_components());
+    for (size_t i = 0; i < r.rows(); ++i) {
+      const double ai = a[i];
+      if (ai == 0.0) continue;
+      const std::span<const double> row = r.row(i);
+      for (size_t j = 0; j < row.size(); ++j) b[j] += ai * row[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace hssta::hier

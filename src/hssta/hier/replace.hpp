@@ -1,0 +1,40 @@
+/// \file replace.hpp
+/// Independent-variable replacement (paper Section V, eq. 19): expresses a
+/// module's spatial PCA variables x through the design-level variables xt,
+///   x = A^{-1} * B_n * xt = Λ_m^{-1/2} U_m^T * B_n * xt =: R * xt
+/// with A = U_m Λ_m^{1/2} the module loading transform and B_n the rows of
+/// the design loading transform belonging to the module's grids.
+///
+/// Because the design correlation sub-matrix over the module's grids equals
+/// the module correlation matrix (same pitch, translated centers, distance-
+/// only profile), R * R^T = Λ^{-1/2} U^T C U Λ^{-1/2} = I: the replacement
+/// preserves every module-internal covariance exactly while adding the
+/// correct cross-module covariance (both asserted in tests).
+
+#pragma once
+
+#include <span>
+
+#include "hssta/linalg/matrix.hpp"
+#include "hssta/timing/canonical.hpp"
+#include "hssta/variation/space.hpp"
+
+namespace hssta::hier {
+
+/// R (k_module x k_design) for one instance whose module grids map to
+/// `design_grid_indices` (module grid order).
+[[nodiscard]] linalg::Matrix replacement_matrix(
+    const variation::VariationSpace& module_space,
+    const variation::VariationSpace& design_space,
+    std::span<const size_t> design_grid_indices);
+
+/// Remap a canonical form from the module space into the design space:
+/// per-parameter spatial blocks transform through R^T, global coefficients
+/// and the private random part carry over unchanged. The parameter sets
+/// must match (checked).
+[[nodiscard]] timing::CanonicalForm remap_canonical(
+    const timing::CanonicalForm& form,
+    const variation::VariationSpace& module_space,
+    const variation::VariationSpace& design_space, const linalg::Matrix& r);
+
+}  // namespace hssta::hier

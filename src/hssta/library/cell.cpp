@@ -1,0 +1,63 @@
+#include "hssta/library/cell.hpp"
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::library {
+
+bool eval_gate(GateFunc func, std::span<const bool> inputs) {
+  HSSTA_REQUIRE(!inputs.empty(), "gate evaluation needs at least one input");
+  switch (func) {
+    case GateFunc::kBuf:
+      HSSTA_REQUIRE(inputs.size() == 1, "BUF takes exactly one input");
+      return inputs[0];
+    case GateFunc::kNot:
+      HSSTA_REQUIRE(inputs.size() == 1, "NOT takes exactly one input");
+      return !inputs[0];
+    case GateFunc::kAnd:
+    case GateFunc::kNand: {
+      bool all = true;
+      for (bool b : inputs) all = all && b;
+      return func == GateFunc::kAnd ? all : !all;
+    }
+    case GateFunc::kOr:
+    case GateFunc::kNor: {
+      bool any = false;
+      for (bool b : inputs) any = any || b;
+      return func == GateFunc::kOr ? any : !any;
+    }
+    case GateFunc::kXor:
+    case GateFunc::kXnor: {
+      bool parity = false;
+      for (bool b : inputs) parity = parity != b;
+      return func == GateFunc::kXor ? parity : !parity;
+    }
+  }
+  throw Error("unknown gate function");
+}
+
+const char* gate_func_name(GateFunc func) {
+  switch (func) {
+    case GateFunc::kBuf: return "BUF";
+    case GateFunc::kNot: return "NOT";
+    case GateFunc::kAnd: return "AND";
+    case GateFunc::kNand: return "NAND";
+    case GateFunc::kOr: return "OR";
+    case GateFunc::kNor: return "NOR";
+    case GateFunc::kXor: return "XOR";
+    case GateFunc::kXnor: return "XNOR";
+  }
+  return "?";
+}
+
+double CellType::pin_delay(size_t pin, double c_load) const {
+  HSSTA_REQUIRE(pin < intrinsic.size(), "pin index out of range");
+  return intrinsic[pin] + drive_res * c_load;
+}
+
+double CellType::sensitivity(const std::string& parameter) const {
+  for (const auto& s : sensitivities)
+    if (s.parameter == parameter) return s.value;
+  return 0.0;
+}
+
+}  // namespace hssta::library

@@ -1,0 +1,56 @@
+/// \file cell.hpp
+/// Cell types of the standard-cell library: logic function (for functional
+/// verification of generated circuits), pin-to-pin nominal timing, electrical
+/// data (drive resistance, pin capacitance) and relative delay sensitivities
+/// to the process parameters of Section VI of the paper.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hssta::library {
+
+/// Boolean function computed by a cell (n-ary where applicable).
+enum class GateFunc { kBuf, kNot, kAnd, kNand, kOr, kNor, kXor, kXnor };
+
+/// Evaluate `func` on `inputs` (XOR/XNOR are parity functions for n > 2).
+/// Throws hssta::Error if `inputs` is empty or arity is invalid for the
+/// function (kBuf/kNot need exactly one input).
+[[nodiscard]] bool eval_gate(GateFunc func, std::span<const bool> inputs);
+
+/// Printable name of a gate function ("NAND", "NOT", ...).
+[[nodiscard]] const char* gate_func_name(GateFunc func);
+
+/// Relative delay sensitivity to one process parameter:
+///   Δd/d0 = value * (Δp/p0).
+/// The parameter is referenced by name so the library stays decoupled from
+/// the variation model; the timing-graph builder joins them by name.
+struct Sensitivity {
+  std::string parameter;
+  double value = 0.0;
+};
+
+/// One library cell. The pin-to-output delay through input pin i is
+///   d_i = intrinsic[i] + drive_res * C_load
+/// with C_load the sum of the fanout pin capacitances.
+struct CellType {
+  std::string name;                  ///< e.g. "NAND2"
+  GateFunc func = GateFunc::kBuf;
+  size_t num_inputs = 1;
+  std::vector<double> intrinsic;     ///< ns, one entry per input pin
+  double drive_res = 0.0;            ///< ns per fF
+  double input_cap = 0.0;            ///< fF, per input pin
+  double width = 1.0;                ///< um, for row placement
+  std::vector<Sensitivity> sensitivities;
+
+  /// Nominal pin-to-output delay for input pin `pin` at load `c_load` fF.
+  [[nodiscard]] double pin_delay(size_t pin, double c_load) const;
+
+  /// Sensitivity value for a parameter name; 0 if the cell has none.
+  [[nodiscard]] double sensitivity(const std::string& parameter) const;
+};
+
+}  // namespace hssta::library

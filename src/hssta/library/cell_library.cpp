@@ -1,0 +1,100 @@
+#include "hssta/library/cell_library.hpp"
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::library {
+
+const CellType& CellLibrary::add(CellType cell) {
+  HSSTA_REQUIRE(!cell.name.empty(), "cell needs a name");
+  HSSTA_REQUIRE(index_.find(cell.name) == index_.end(),
+                "duplicate cell name: " + cell.name);
+  HSSTA_REQUIRE(cell.intrinsic.size() == cell.num_inputs,
+                "cell needs one intrinsic delay per input pin");
+  index_[cell.name] = cells_.size();
+  cells_.push_back(std::make_unique<CellType>(std::move(cell)));
+  return *cells_.back();
+}
+
+const CellType& CellLibrary::get(const std::string& name) const {
+  const CellType* c = find(name);
+  if (!c) throw Error("cell not in library: " + name);
+  return *c;
+}
+
+const CellType* CellLibrary::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : cells_[it->second].get();
+}
+
+const CellType* CellLibrary::find_widest(GateFunc func,
+                                         size_t max_inputs) const {
+  const CellType* best = nullptr;
+  for (const auto& c : cells_) {
+    if (c->func != func || c->num_inputs > max_inputs) continue;
+    if (!best || c->num_inputs > best->num_inputs) best = c.get();
+  }
+  return best;
+}
+
+std::vector<const CellType*> CellLibrary::all() const {
+  std::vector<const CellType*> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(c.get());
+  return out;
+}
+
+namespace {
+
+/// Later pins of a stack are marginally slower; mirrors real libraries and
+/// gives per-pin delay diversity so parallel merges are non-trivial.
+std::vector<double> per_pin(double base, size_t pins) {
+  std::vector<double> d(pins);
+  for (size_t i = 0; i < pins; ++i)
+    d[i] = base * (1.0 + 0.06 * static_cast<double>(i));
+  return d;
+}
+
+CellType make(const char* name, GateFunc func, size_t pins, double intrinsic,
+              double drive_res, double cap, double width, double s_leff,
+              double s_tox, double s_vth) {
+  CellType c;
+  c.name = name;
+  c.func = func;
+  c.num_inputs = pins;
+  c.intrinsic = per_pin(intrinsic, pins);
+  c.drive_res = drive_res;
+  c.input_cap = cap;
+  c.width = width;
+  c.sensitivities = {{"Leff", s_leff}, {"Tox", s_tox}, {"Vth", s_vth}};
+  return c;
+}
+
+}  // namespace
+
+CellLibrary default_90nm() {
+  // Units: ns, fF, um. Values are representative of a 90nm standard-cell
+  // library (see DESIGN.md): FO4-ish delays in the tens of picoseconds,
+  // input caps of a couple of fF. Sensitivities are relative:
+  // Δd/d0 per Δp/p0, strongest for channel length, weaker for Tox/Vth.
+  CellLibrary lib;
+  using GF = GateFunc;
+  lib.add(make("INV", GF::kNot, 1, 0.012, 0.0035, 1.8, 0.8, 0.90, 0.35, 0.45));
+  lib.add(make("BUF", GF::kBuf, 1, 0.026, 0.0032, 1.8, 1.2, 0.85, 0.33, 0.42));
+  lib.add(make("NAND2", GF::kNand, 2, 0.017, 0.0040, 2.0, 1.2, 0.95, 0.36, 0.50));
+  lib.add(make("NAND3", GF::kNand, 3, 0.024, 0.0046, 2.2, 1.6, 0.97, 0.37, 0.52));
+  lib.add(make("NAND4", GF::kNand, 4, 0.031, 0.0053, 2.4, 2.0, 0.99, 0.38, 0.54));
+  lib.add(make("NOR2", GF::kNor, 2, 0.020, 0.0045, 2.1, 1.2, 1.00, 0.38, 0.55));
+  lib.add(make("NOR3", GF::kNor, 3, 0.029, 0.0054, 2.3, 1.6, 1.02, 0.39, 0.57));
+  lib.add(make("NOR4", GF::kNor, 4, 0.038, 0.0064, 2.5, 2.0, 1.04, 0.40, 0.59));
+  lib.add(make("AND2", GF::kAnd, 2, 0.029, 0.0037, 2.0, 1.6, 0.92, 0.35, 0.48));
+  lib.add(make("AND3", GF::kAnd, 3, 0.036, 0.0042, 2.2, 2.0, 0.94, 0.36, 0.50));
+  lib.add(make("AND4", GF::kAnd, 4, 0.043, 0.0048, 2.4, 2.4, 0.96, 0.37, 0.52));
+  lib.add(make("OR2", GF::kOr, 2, 0.032, 0.0039, 2.1, 1.6, 0.93, 0.36, 0.49));
+  lib.add(make("OR3", GF::kOr, 3, 0.040, 0.0045, 2.3, 2.0, 0.95, 0.37, 0.51));
+  lib.add(make("OR4", GF::kOr, 4, 0.048, 0.0051, 2.5, 2.4, 0.97, 0.38, 0.53));
+  lib.add(make("XOR2", GF::kXor, 2, 0.045, 0.0042, 2.6, 2.4, 0.98, 0.40, 0.58));
+  lib.add(make("XNOR2", GF::kXnor, 2, 0.047, 0.0042, 2.6, 2.4, 0.98, 0.40, 0.58));
+  return lib;
+}
+
+}  // namespace hssta::library

@@ -1,0 +1,56 @@
+/// \file cell_library.hpp
+/// Container of cell types with stable addresses (netlists hold CellType
+/// pointers), plus the synthetic 90nm library used throughout the
+/// reproduction (see DESIGN.md "Substitutions").
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hssta/library/cell.hpp"
+
+namespace hssta::library {
+
+class CellLibrary {
+ public:
+  CellLibrary() = default;
+  CellLibrary(CellLibrary&&) = default;
+  CellLibrary& operator=(CellLibrary&&) = default;
+  // Netlists alias CellType addresses; copying a library would silently
+  // detach them, so copies are disabled.
+  CellLibrary(const CellLibrary&) = delete;
+  CellLibrary& operator=(const CellLibrary&) = delete;
+
+  /// Add a cell; throws on duplicate name. Returns the stored cell.
+  const CellType& add(CellType cell);
+
+  /// Lookup by name; throws hssta::Error if absent.
+  [[nodiscard]] const CellType& get(const std::string& name) const;
+
+  /// Lookup by name; nullptr if absent.
+  [[nodiscard]] const CellType* find(const std::string& name) const;
+
+  /// Find the widest cell of a function with num_inputs <= max_inputs;
+  /// nullptr if none exists. Used by the .bench reader to decompose
+  /// wide gates into library-sized trees.
+  [[nodiscard]] const CellType* find_widest(GateFunc func,
+                                            size_t max_inputs) const;
+
+  [[nodiscard]] size_t size() const { return cells_.size(); }
+
+  [[nodiscard]] std::vector<const CellType*> all() const;
+
+ private:
+  std::vector<std::unique_ptr<CellType>> cells_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// The synthetic 90nm-flavoured library: INV/BUF, NAND/NOR/AND/OR in widths
+/// 2-4, XOR2/XNOR2. Delay sensitivities reference the parameter names of
+/// variation::default_90nm_parameters(): "Leff", "Tox", "Vth".
+[[nodiscard]] CellLibrary default_90nm();
+
+}  // namespace hssta::library

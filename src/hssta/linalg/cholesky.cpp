@@ -1,0 +1,52 @@
+#include "hssta/linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::linalg {
+
+namespace {
+
+/// Attempt a plain Cholesky; returns false if a non-positive pivot appears.
+bool try_factor(const Matrix& c, double jitter, Matrix& l) {
+  const size_t n = c.rows();
+  l = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = c(i, j) + (i == j ? jitter : 0.0);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Matrix cholesky(const Matrix& c, double jitter_max) {
+  HSSTA_REQUIRE(c.rows() == c.cols(), "cholesky needs a square matrix");
+  HSSTA_REQUIRE(c.is_symmetric(1e-9), "cholesky needs a symmetric matrix");
+  const size_t n = c.rows();
+
+  double mean_diag = 0.0;
+  for (size_t i = 0; i < n; ++i) mean_diag += c(i, i);
+  mean_diag = n ? mean_diag / static_cast<double>(n) : 0.0;
+
+  Matrix l;
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (try_factor(c, jitter, l)) return l;
+    jitter = (jitter == 0.0) ? 1e-12 * std::max(mean_diag, 1e-300)
+                             : jitter * 10.0;
+    if (jitter > jitter_max * std::max(mean_diag, 1e-300)) break;
+  }
+  throw Error("cholesky: matrix is not positive definite within jitter budget");
+}
+
+}  // namespace hssta::linalg

@@ -1,0 +1,21 @@
+/// \file cholesky.hpp
+/// Cholesky factorization for sampling correlated Gaussians in the Monte
+/// Carlo reference flows: if C = L L^T, then L z (z iid standard normal)
+/// has covariance C.
+
+#pragma once
+
+#include "hssta/linalg/matrix.hpp"
+
+namespace hssta::linalg {
+
+/// Lower-triangular factor L with C = L * L^T.
+///
+/// The spatial correlation model clamps correlations to zero beyond a cutoff
+/// distance, which can make C very slightly indefinite; `jitter_max` bounds
+/// the diagonal regularization that may be added (relative to the mean
+/// diagonal) before giving up. Throws hssta::Error if C is not square,
+/// not symmetric, or not factorizable even with jitter.
+[[nodiscard]] Matrix cholesky(const Matrix& c, double jitter_max = 1e-6);
+
+}  // namespace hssta::linalg

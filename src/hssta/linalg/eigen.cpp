@@ -1,0 +1,97 @@
+#include "hssta/linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::linalg {
+
+namespace {
+
+/// Sum of squared off-diagonal entries (convergence measure).
+double off_diagonal_norm(const Matrix& a) {
+  double acc = 0.0;
+  for (size_t r = 0; r < a.rows(); ++r)
+    for (size_t c = 0; c < a.cols(); ++c)
+      if (r != c) acc += a(r, c) * a(r, c);
+  return acc;
+}
+
+}  // namespace
+
+EigenDecomposition eigen_symmetric(const Matrix& input, double sym_tol,
+                                   int max_sweeps) {
+  HSSTA_REQUIRE(input.rows() == input.cols(), "eigen needs a square matrix");
+  HSSTA_REQUIRE(input.is_symmetric(sym_tol), "eigen needs a symmetric matrix");
+  const size_t n = input.rows();
+
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  // Scale-aware convergence threshold.
+  double frob = 0.0;
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) frob += a(r, c) * a(r, c);
+  const double stop = 1e-24 * std::max(frob, 1e-300);
+
+  bool converged = (n <= 1) || off_diagonal_norm(a) <= stop;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        // Rotation t = tan(theta) chosen as the smaller root for stability.
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Apply rotation on rows/columns p and q of a.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = off_diagonal_norm(a) <= stop;
+  }
+  HSSTA_ASSERT(converged, "Jacobi eigensolver did not converge");
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return a(i, i) > a(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    out.values[k] = a(order[k], order[k]);
+    for (size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+  }
+  return out;
+}
+
+}  // namespace hssta::linalg

@@ -1,0 +1,29 @@
+/// \file eigen.hpp
+/// Symmetric eigendecomposition via cyclic Jacobi rotations.
+///
+/// Grid covariance matrices in this library are symmetric and at most a few
+/// hundred square; Jacobi is simple, numerically robust on symmetric input,
+/// and fast enough (O(n^3) per sweep, a handful of sweeps).
+
+#pragma once
+
+#include <vector>
+
+#include "hssta/linalg/matrix.hpp"
+
+namespace hssta::linalg {
+
+/// Result of eigendecomposition: A = V * diag(values) * V^T with
+/// orthonormal columns of V. Eigenpairs are sorted by descending eigenvalue.
+struct EigenDecomposition {
+  std::vector<double> values;  ///< descending
+  Matrix vectors;              ///< column k is the eigenvector of values[k]
+};
+
+/// Decompose a symmetric matrix. Throws hssta::Error if `a` is not square
+/// or not symmetric within `sym_tol`, or if Jacobi fails to converge.
+[[nodiscard]] EigenDecomposition eigen_symmetric(const Matrix& a,
+                                                 double sym_tol = 1e-9,
+                                                 int max_sweeps = 64);
+
+}  // namespace hssta::linalg

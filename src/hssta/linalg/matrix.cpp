@@ -1,0 +1,117 @@
+#include "hssta/linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::linalg {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    HSSTA_REQUIRE(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  HSSTA_REQUIRE(cols_ == rhs.rows_, "matrix product shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* rrow = rhs.data_.data() + k * rhs.cols_;
+      double* orow = out.data_.data() + i * out.cols_;
+      for (size_t j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> v) const {
+  HSSTA_REQUIRE(v.size() == cols_, "matrix-vector shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) out[r] = dot(row(r), v);
+  return out;
+}
+
+std::vector<double> Matrix::transposed_times(std::span<const double> v) const {
+  HSSTA_REQUIRE(v.size() == rows_, "transposed matrix-vector shape mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double a = v[r];
+    if (a == 0.0) continue;
+    const double* rrow = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) out[c] += a * rrow[c];
+  }
+  return out;
+}
+
+Matrix Matrix::gather_rows(std::span<const size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    HSSTA_REQUIRE(indices[i] < rows_, "row gather index out of range");
+    auto src = row(indices[i]);
+    auto dst = out.row(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+double Matrix::distance(const Matrix& rhs) const {
+  HSSTA_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "distance shape mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - rhs.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs_diff(const Matrix& rhs) const {
+  HSSTA_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "max_abs_diff shape mismatch");
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - rhs.data_[i]));
+  return m;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = r + 1; c < cols_; ++c)
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  HSSTA_REQUIRE(a.size() == b.size(), "dot length mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace hssta::linalg

@@ -1,0 +1,84 @@
+/// \file matrix.hpp
+/// Dense row-major matrix used by the variation model (covariance matrices,
+/// PCA loadings, variable-replacement transforms). Sizes in this library are
+/// modest (grid counts: tens to a few hundred), so a straightforward dense
+/// implementation is the right tool; no sparse machinery is needed.
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace hssta::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols);
+
+  /// Build from nested initializer list (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(size_t n);
+
+  [[nodiscard]] size_t rows() const { return rows_; }
+  [[nodiscard]] size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(size_t r, size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(size_t r, size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row r.
+  [[nodiscard]] std::span<double> row(size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix product this * rhs.
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix-vector product (vector length must equal cols()).
+  [[nodiscard]] std::vector<double> operator*(std::span<const double> v) const;
+
+  /// y = A^T * v without materializing the transpose.
+  [[nodiscard]] std::vector<double> transposed_times(
+      std::span<const double> v) const;
+
+  /// Copy of the rows listed in `indices` (gather), preserving order.
+  [[nodiscard]] Matrix gather_rows(std::span<const size_t> indices) const;
+
+  /// Frobenius norm of (this - rhs); shapes must match.
+  [[nodiscard]] double distance(const Matrix& rhs) const;
+
+  /// Largest |a_ij - b_ij|; shapes must match.
+  [[nodiscard]] double max_abs_diff(const Matrix& rhs) const;
+
+  /// True if |a_ij - a_ji| <= tol for all i, j (square matrices only).
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product of two equal-length spans.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> a);
+
+}  // namespace hssta::linalg

@@ -1,0 +1,61 @@
+#include "hssta/linalg/pca.hpp"
+
+#include <cmath>
+
+#include "hssta/linalg/eigen.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::linalg {
+
+Matrix PcaResult::reconstructed_covariance() const {
+  return loadings * loadings.transposed();
+}
+
+PcaResult pca(const Matrix& c, const PcaOptions& opts, double clip_tol) {
+  HSSTA_REQUIRE(c.rows() == c.cols(), "pca needs a square covariance matrix");
+  const size_t n = c.rows();
+  EigenDecomposition eig = eigen_symmetric(c);
+
+  PcaResult out;
+  out.eigenvalues = eig.values;
+  const double lmax = n ? std::max(eig.values.front(), 0.0) : 0.0;
+
+  // Clip slightly negative eigenvalues (cutoff-clamped correlation functions
+  // are not guaranteed PSD); reject covariances that are badly indefinite.
+  double total = 0.0;
+  for (double& l : out.eigenvalues) {
+    if (l < 0.0) {
+      HSSTA_REQUIRE(l >= -clip_tol * std::max(lmax, 1e-300),
+                    "covariance matrix has a significantly negative eigenvalue");
+      l = 0.0;
+      ++out.clipped_negative;
+    }
+    total += l;
+  }
+
+  // Retention: cumulative explained variance plus a numeric floor.
+  const double floor = opts.rel_tol * std::max(lmax, 1e-300);
+  size_t k = 0;
+  double cum = 0.0;
+  for (size_t i = 0; i < n && k < opts.max_components; ++i) {
+    if (out.eigenvalues[i] <= floor) break;
+    ++k;
+    cum += out.eigenvalues[i];
+    if (total > 0.0 && cum >= opts.min_explained * total) break;
+  }
+  out.retained = k;
+  out.explained = (total > 0.0) ? cum / total : 1.0;
+
+  out.loadings = Matrix(n, k);
+  out.whitening = Matrix(k, n);
+  for (size_t j = 0; j < k; ++j) {
+    const double s = std::sqrt(out.eigenvalues[j]);
+    for (size_t r = 0; r < n; ++r) {
+      out.loadings(r, j) = eig.vectors(r, j) * s;
+      out.whitening(j, r) = eig.vectors(r, j) / s;
+    }
+  }
+  return out;
+}
+
+}  // namespace hssta::linalg

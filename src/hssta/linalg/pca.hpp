@@ -1,0 +1,54 @@
+/// \file pca.hpp
+/// Principal component analysis of covariance matrices (paper Section II,
+/// eq. 2). Produces the loading matrix that expresses correlated grid
+/// variables as combinations of independent standard normals, plus the
+/// whitening transform used by the hierarchical variable replacement
+/// (paper eq. 19).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hssta/linalg/matrix.hpp"
+
+namespace hssta::linalg {
+
+/// Decomposition of a covariance matrix C (n x n):
+///   correlated = loadings * x,   x iid standard normal (k components)
+///   x = whitening * correlated
+/// with loadings = U_k * Λ_k^{1/2} and whitening = Λ_k^{-1/2} * U_k^T over
+/// the retained components, so whitening * loadings = I_k.
+struct PcaResult {
+  Matrix loadings;                 ///< n x k
+  Matrix whitening;                ///< k x n
+  std::vector<double> eigenvalues; ///< all n, descending, clipped at 0
+  size_t retained = 0;             ///< k
+  size_t clipped_negative = 0;     ///< eigenvalues below -tol forced to 0
+  double explained = 1.0;          ///< retained variance fraction
+
+  /// Reconstruct loadings * loadings^T (= C restricted to retained comps).
+  [[nodiscard]] Matrix reconstructed_covariance() const;
+};
+
+/// Options controlling component retention.
+struct PcaOptions {
+  /// Keep the smallest component count whose cumulative eigenvalue mass
+  /// reaches this fraction (1.0 = keep everything numerically nonzero).
+  double min_explained = 1.0;
+  /// Components with eigenvalue below rel_tol * max eigenvalue are dropped
+  /// regardless (they carry no variance and would break whitening).
+  double rel_tol = 1e-12;
+  /// Hard cap on retained components (serialization round-trips use this
+  /// to reproduce a stored space exactly).
+  size_t max_components = SIZE_MAX;
+};
+
+/// Decompose covariance matrix `c`. Throws on non-square/non-symmetric
+/// input or if eigenvalues are significantly negative (beyond clip_tol
+/// relative to the largest), which indicates a malformed covariance.
+[[nodiscard]] PcaResult pca(const Matrix& c, const PcaOptions& opts = {},
+                            double clip_tol = 1e-6);
+
+}  // namespace hssta::linalg

@@ -1,0 +1,26 @@
+#include "hssta/mc/sampler.hpp"
+
+#include "hssta/timing/sta.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::mc {
+
+stats::EmpiricalDistribution sample_canonical_delay(
+    const timing::TimingGraph& g, size_t samples, stats::Rng& rng) {
+  HSSTA_REQUIRE(samples > 0, "need at least one sample");
+  stats::EmpiricalDistribution out;
+  out.reserve(samples);
+  std::vector<double> y(g.dim());
+  std::vector<double> edge_delay(g.num_edge_slots(), 0.0);
+  for (size_t s = 0; s < samples; ++s) {
+    for (double& v : y) v = rng.normal();
+    for (timing::EdgeId e = 0; e < g.num_edge_slots(); ++e) {
+      if (!g.edge_alive(e)) continue;
+      edge_delay[e] = g.edge(e).delay.evaluate(y, rng.normal());
+    }
+    out.add(timing::longest_path(g, edge_delay).max_over_outputs(g));
+  }
+  return out;
+}
+
+}  // namespace hssta::mc

@@ -1,0 +1,20 @@
+/// \file sampler.hpp
+/// Monte Carlo over canonical timing graphs: samples the correlated
+/// variables and every edge's private random, evaluates scalar edge delays
+/// and runs deterministic longest path. This isolates the propagation
+/// (Clark max) approximation — the sampled model is exactly the canonical
+/// one the SSTA engine sees.
+
+#pragma once
+
+#include "hssta/stats/empirical.hpp"
+#include "hssta/stats/rng.hpp"
+#include "hssta/timing/graph.hpp"
+
+namespace hssta::mc {
+
+/// Circuit-delay samples of a canonical graph (max over output ports).
+[[nodiscard]] stats::EmpiricalDistribution sample_canonical_delay(
+    const timing::TimingGraph& g, size_t samples, stats::Rng& rng);
+
+}  // namespace hssta::mc

@@ -1,0 +1,134 @@
+#include "hssta/model/reduce.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::model {
+
+using timing::CanonicalForm;
+using timing::EdgeId;
+using timing::TimingGraph;
+using timing::VertexId;
+
+size_t parallel_merge_pass(TimingGraph& g, timing::MaxDiagnostics* diag) {
+  size_t merged_groups = 0;
+  const size_t vertex_count = g.num_vertex_slots();
+  std::unordered_map<VertexId, std::vector<EdgeId>> by_sink;
+  for (VertexId v = 0; v < vertex_count; ++v) {
+    if (!g.vertex_alive(v)) continue;
+    by_sink.clear();
+    for (EdgeId e : g.vertex(v).fanout) by_sink[g.edge(e).to].push_back(e);
+    for (auto& [sink, edges] : by_sink) {
+      if (edges.size() < 2) continue;
+      CanonicalForm folded = g.edge(edges[0]).delay;
+      for (size_t k = 1; k < edges.size(); ++k)
+        folded = timing::statistical_max(folded, g.edge(edges[k]).delay, diag);
+      for (EdgeId e : edges) g.remove_edge(e);
+      g.add_edge(v, sink, std::move(folded));
+      ++merged_groups;
+    }
+  }
+  return merged_groups;
+}
+
+size_t serial_merge_pass(TimingGraph& g) {
+  size_t merges = 0;
+  const size_t vertex_count = g.num_vertex_slots();
+  for (VertexId v = 0; v < vertex_count; ++v) {
+    if (!g.vertex_alive(v)) continue;
+    const timing::TimingVertex& tv = g.vertex(v);
+    if (tv.is_input || tv.is_output) continue;
+
+    if (tv.fanin.size() == 1 && !tv.fanout.empty()) {
+      // Forward merge (paper Fig. 1a): route every fanout through the
+      // single fanin source.
+      const EdgeId in_edge = tv.fanin[0];
+      const VertexId src = g.edge(in_edge).from;
+      const CanonicalForm in_delay = g.edge(in_edge).delay;
+      const std::vector<EdgeId> outs = tv.fanout;  // copy: we mutate
+      for (EdgeId e : outs) {
+        CanonicalForm d = in_delay;
+        d += g.edge(e).delay;
+        const VertexId dst = g.edge(e).to;
+        g.remove_edge(e);
+        g.add_edge(src, dst, std::move(d));
+      }
+      g.remove_edge(in_edge);
+      g.remove_vertex(v);
+      ++merges;
+    } else if (tv.fanout.size() == 1 && tv.fanin.size() > 1) {
+      // Reverse merge (paper Fig. 1b): route every fanin into the single
+      // fanout sink.
+      const EdgeId out_edge = tv.fanout[0];
+      const VertexId dst = g.edge(out_edge).to;
+      const CanonicalForm out_delay = g.edge(out_edge).delay;
+      const std::vector<EdgeId> ins = tv.fanin;
+      for (EdgeId e : ins) {
+        CanonicalForm d = g.edge(e).delay;
+        d += out_delay;
+        const VertexId src = g.edge(e).from;
+        g.remove_edge(e);
+        g.add_edge(src, dst, std::move(d));
+      }
+      g.remove_edge(out_edge);
+      g.remove_vertex(v);
+      ++merges;
+    }
+  }
+  return merges;
+}
+
+size_t remove_dangling(TimingGraph& g) {
+  size_t removed = 0;
+  std::vector<VertexId> worklist;
+  for (VertexId v = 0; v < g.num_vertex_slots(); ++v) {
+    if (!g.vertex_alive(v)) continue;
+    const timing::TimingVertex& tv = g.vertex(v);
+    if (tv.is_input || tv.is_output) continue;
+    if (tv.fanin.empty() || tv.fanout.empty()) worklist.push_back(v);
+  }
+  while (!worklist.empty()) {
+    const VertexId v = worklist.back();
+    worklist.pop_back();
+    if (!g.vertex_alive(v)) continue;
+    const timing::TimingVertex& tv = g.vertex(v);
+    if (tv.is_input || tv.is_output) continue;
+    if (!tv.fanin.empty() && !tv.fanout.empty()) continue;
+    // Detach remaining edges; neighbours may become dangling in turn.
+    const std::vector<EdgeId> edges_in = tv.fanin;
+    const std::vector<EdgeId> edges_out = tv.fanout;
+    for (EdgeId e : edges_in) {
+      const VertexId nb = g.edge(e).from;
+      g.remove_edge(e);
+      worklist.push_back(nb);
+    }
+    for (EdgeId e : edges_out) {
+      const VertexId nb = g.edge(e).to;
+      g.remove_edge(e);
+      worklist.push_back(nb);
+    }
+    g.remove_vertex(v);
+    ++removed;
+  }
+  return removed;
+}
+
+ReduceStats reduce_graph(TimingGraph& g) {
+  ReduceStats stats;
+  bool changed = true;
+  while (changed) {
+    ++stats.passes;
+    const size_t dangling = remove_dangling(g);
+    const size_t serial = serial_merge_pass(g);
+    const size_t parallel = parallel_merge_pass(g, &stats.diagnostics);
+    stats.dangling_removed += dangling;
+    stats.serial_merges += serial;
+    stats.parallel_merges += parallel;
+    changed = dangling + serial + parallel > 0;
+  }
+  return stats;
+}
+
+}  // namespace hssta::model

@@ -1,0 +1,45 @@
+/// \file reduce.hpp
+/// Timing-graph reduction passes of the gray-box extraction (paper Section
+/// IV.A, Figs. 1-2, after Kobayashi-Malik / Moon et al.):
+///
+///  * serial merge — an internal vertex with a single fanin edge (or,
+///    mirrored, a single fanout edge) is removed and its through-paths
+///    become direct edges carrying the statistical sum;
+///  * parallel merge — edges sharing source and sink collapse into one edge
+///    carrying the statistical max (exactly delay-preserving under Clark's
+///    algebra because the common arrival cancels from the tightness);
+///  * dangling cleanup — internal vertices that lost all fanin or all
+///    fanout (e.g. after non-critical edge pruning) are cascaded away.
+///
+/// Port vertices are never removed.
+
+#pragma once
+
+#include "hssta/timing/graph.hpp"
+#include "hssta/timing/statops.hpp"
+
+namespace hssta::model {
+
+struct ReduceStats {
+  size_t serial_merges = 0;
+  size_t parallel_merges = 0;
+  size_t dangling_removed = 0;
+  size_t passes = 0;
+  timing::MaxDiagnostics diagnostics;
+};
+
+/// One parallel-merge sweep; returns the number of edge groups merged.
+size_t parallel_merge_pass(timing::TimingGraph& g,
+                           timing::MaxDiagnostics* diag = nullptr);
+
+/// One serial-merge sweep (both orientations); returns merges performed.
+size_t serial_merge_pass(timing::TimingGraph& g);
+
+/// Cascade-remove internal vertices without fanin or without fanout,
+/// including the edges hanging off them; returns vertices removed.
+size_t remove_dangling(timing::TimingGraph& g);
+
+/// Run cleanup + merge passes to fixpoint.
+ReduceStats reduce_graph(timing::TimingGraph& g);
+
+}  // namespace hssta::model

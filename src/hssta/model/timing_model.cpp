@@ -1,0 +1,297 @@
+#include "hssta/model/timing_model.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::model {
+
+using timing::CanonicalForm;
+using timing::EdgeId;
+using timing::TimingGraph;
+using timing::VertexId;
+
+BoundaryData compute_boundary(const netlist::Netlist& nl) {
+  BoundaryData b;
+  const auto& sinks = nl.net_sinks();
+  for (netlist::NetId n : nl.primary_inputs()) {
+    double cap = 0.0;
+    for (netlist::GateId gate : sinks[n]) cap += nl.gate(gate).type->input_cap;
+    b.input_cap.push_back(cap);
+  }
+  for (netlist::NetId n : nl.primary_outputs()) {
+    const netlist::GateId d = nl.driver(n);
+    b.output_drive_res.push_back(
+        d == netlist::kNoGate ? 0.0 : nl.gate(d).type->drive_res);
+  }
+  return b;
+}
+
+TimingModel::TimingModel(std::string name, TimingGraph graph,
+                         variation::ModuleVariation variation,
+                         BoundaryData boundary)
+    : name_(std::move(name)),
+      graph_(std::move(graph)),
+      variation_(std::move(variation)),
+      boundary_(std::move(boundary)) {
+  HSSTA_REQUIRE(boundary_.input_cap.size() == graph_.inputs().size(),
+                "boundary input caps must match input ports");
+  HSSTA_REQUIRE(boundary_.output_drive_res.size() == graph_.outputs().size(),
+                "boundary drives must match output ports");
+}
+
+std::vector<std::string> TimingModel::input_names() const {
+  std::vector<std::string> names;
+  for (VertexId v : graph_.inputs()) names.push_back(graph_.vertex(v).name);
+  return names;
+}
+
+std::vector<std::string> TimingModel::output_names() const {
+  std::vector<std::string> names;
+  for (VertexId v : graph_.outputs()) names.push_back(graph_.vertex(v).name);
+  return names;
+}
+
+core::DelayMatrix TimingModel::io_delays() const {
+  return core::all_pairs_io_delays(graph_);
+}
+
+namespace {
+
+/// Hex-float formatting for bit-exact round trips.
+std::string hexf(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& tok) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  HSSTA_REQUIRE(end && *end == '\0', "malformed number in model file: " + tok);
+  return v;
+}
+
+std::string checked_token(std::istream& is, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) throw Error(std::string("model file truncated at ") + what);
+  return tok;
+}
+
+void expect_keyword(std::istream& is, const std::string& kw) {
+  const std::string tok = checked_token(is, kw.c_str());
+  HSSTA_REQUIRE(tok == kw, "model file: expected '" + kw + "', got '" + tok +
+                               "'");
+}
+
+}  // namespace
+
+void TimingModel::save(std::ostream& os) const {
+  const variation::GridPartition& part = variation_.partition;
+  const variation::VariationSpace& space = *variation_.space;
+  const variation::SpatialCorrelationConfig& corr =
+      space.correlation_model().config();
+  const variation::ParameterSet& params = space.parameters();
+
+  os << "hstm 1\n";
+  os << "name " << name_ << '\n';
+  os << "die " << hexf(part.die().width) << ' ' << hexf(part.die().height)
+     << '\n';
+  os << "grid " << part.nx() << ' ' << part.ny() << '\n';
+  os << "corr " << hexf(corr.rho_neighbor) << ' ' << hexf(corr.rho_global)
+     << ' ' << hexf(corr.cutoff) << '\n';
+  os << "load_sigma " << hexf(params.load_sigma_rel) << '\n';
+  os << "params " << params.size() << '\n';
+  for (const auto& p : params.params)
+    os << "param " << p.name << ' ' << hexf(p.sigma_rel) << ' '
+       << hexf(p.global_frac) << ' ' << hexf(p.local_frac) << ' '
+       << hexf(p.random_frac) << '\n';
+  // The loader re-derives the PCA from the stored geometry; record the
+  // retained component count as a consistency check (hex-float geometry
+  // makes the recomputation bit-deterministic).
+  os << "pca " << space.num_components() << '\n';
+
+  os << "ports " << graph_.inputs().size() << ' ' << graph_.outputs().size()
+     << '\n';
+  for (size_t i = 0; i < graph_.inputs().size(); ++i)
+    os << "in " << graph_.vertex(graph_.inputs()[i]).name << ' '
+       << hexf(boundary_.input_cap[i]) << '\n';
+  for (size_t j = 0; j < graph_.outputs().size(); ++j)
+    os << "out " << graph_.vertex(graph_.outputs()[j]).name << ' '
+       << hexf(boundary_.output_drive_res[j]) << '\n';
+
+  // Live vertices, re-indexed densely.
+  std::vector<VertexId> dense_to_slot;
+  std::vector<size_t> slot_to_dense(graph_.num_vertex_slots(), 0);
+  for (VertexId v = 0; v < graph_.num_vertex_slots(); ++v) {
+    if (!graph_.vertex_alive(v)) continue;
+    slot_to_dense[v] = dense_to_slot.size();
+    dense_to_slot.push_back(v);
+  }
+  os << "vertices " << dense_to_slot.size() << '\n';
+  for (VertexId v : dense_to_slot) {
+    const timing::TimingVertex& tv = graph_.vertex(v);
+    HSSTA_REQUIRE(tv.name.find_first_of(" \t\n") == std::string::npos,
+                  "vertex names with whitespace cannot be serialized");
+    const char* kind = tv.is_input ? (tv.is_output ? "io" : "i")
+                                   : (tv.is_output ? "o" : "x");
+    os << "v " << tv.name << ' ' << kind << '\n';
+  }
+
+  os << "edges " << graph_.num_live_edges() << '\n';
+  for (EdgeId e = 0; e < graph_.num_edge_slots(); ++e) {
+    if (!graph_.edge_alive(e)) continue;
+    const timing::TimingEdge& te = graph_.edge(e);
+    os << "e " << slot_to_dense[te.from] << ' ' << slot_to_dense[te.to] << ' '
+       << hexf(te.delay.nominal()) << ' ' << hexf(te.delay.random());
+    for (double c : te.delay.corr()) os << ' ' << hexf(c);
+    os << '\n';
+  }
+  os << "end\n";
+}
+
+void TimingModel::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open model file for writing: " + path);
+  save(os);
+}
+
+TimingModel TimingModel::load(std::istream& is) {
+  expect_keyword(is, "hstm");
+  const std::string version = checked_token(is, "version");
+  HSSTA_REQUIRE(version == "1", "unsupported model format version " + version);
+
+  expect_keyword(is, "name");
+  const std::string name = checked_token(is, "name");
+
+  expect_keyword(is, "die");
+  const double w = parse_double(checked_token(is, "die width"));
+  const double h = parse_double(checked_token(is, "die height"));
+  expect_keyword(is, "grid");
+  size_t nx = 0, ny = 0;
+  is >> nx >> ny;
+  HSSTA_REQUIRE(is.good() && nx > 0 && ny > 0, "bad grid line in model file");
+
+  expect_keyword(is, "corr");
+  variation::SpatialCorrelationConfig corr;
+  corr.rho_neighbor = parse_double(checked_token(is, "rho_neighbor"));
+  corr.rho_global = parse_double(checked_token(is, "rho_global"));
+  corr.cutoff = parse_double(checked_token(is, "cutoff"));
+
+  expect_keyword(is, "load_sigma");
+  variation::ParameterSet params;
+  params.load_sigma_rel = parse_double(checked_token(is, "load_sigma"));
+  expect_keyword(is, "params");
+  size_t n_params = 0;
+  is >> n_params;
+  HSSTA_REQUIRE(is.good() && n_params > 0, "bad params count");
+  for (size_t k = 0; k < n_params; ++k) {
+    expect_keyword(is, "param");
+    variation::ProcessParameter p;
+    p.name = checked_token(is, "param name");
+    p.sigma_rel = parse_double(checked_token(is, "sigma"));
+    p.global_frac = parse_double(checked_token(is, "global frac"));
+    p.local_frac = parse_double(checked_token(is, "local frac"));
+    p.random_frac = parse_double(checked_token(is, "random frac"));
+    params.params.push_back(std::move(p));
+  }
+
+  expect_keyword(is, "pca");
+  size_t retained = 0;
+  is >> retained;
+  HSSTA_REQUIRE(is.good() && retained > 0, "bad pca line");
+
+  variation::GridPartition partition(placement::Die{w, h}, nx, ny);
+  linalg::PcaOptions pca_opts;
+  pca_opts.max_components = retained;
+  auto space = std::make_shared<const variation::VariationSpace>(
+      params, partition.geometry(), corr, pca_opts);
+  HSSTA_REQUIRE(space->num_components() == retained,
+                "model file PCA dimension could not be reproduced");
+  variation::ModuleVariation mv{partition, space};
+
+  expect_keyword(is, "ports");
+  size_t ni = 0, no = 0;
+  is >> ni >> no;
+  HSSTA_REQUIRE(is.good(), "bad ports line");
+  BoundaryData boundary;
+  std::vector<std::pair<std::string, bool>> input_ports;  // name, also-output
+  std::vector<std::string> output_ports;
+  for (size_t i = 0; i < ni; ++i) {
+    expect_keyword(is, "in");
+    input_ports.emplace_back(checked_token(is, "input name"), false);
+    boundary.input_cap.push_back(parse_double(checked_token(is, "input cap")));
+  }
+  for (size_t j = 0; j < no; ++j) {
+    expect_keyword(is, "out");
+    output_ports.push_back(checked_token(is, "output name"));
+    boundary.output_drive_res.push_back(
+        parse_double(checked_token(is, "output drive")));
+  }
+
+  expect_keyword(is, "vertices");
+  size_t nv = 0;
+  is >> nv;
+  HSSTA_REQUIRE(is.good(), "bad vertex count");
+  TimingGraph graph(space);
+  std::vector<VertexId> dense_to_slot;
+  size_t seen_inputs = 0, seen_outputs = 0;
+  for (size_t k = 0; k < nv; ++k) {
+    expect_keyword(is, "v");
+    const std::string vname = checked_token(is, "vertex name");
+    const std::string kind = checked_token(is, "vertex kind");
+    const bool is_in = kind == "i" || kind == "io";
+    const bool is_out = kind == "o" || kind == "io";
+    HSSTA_REQUIRE(kind == "i" || kind == "o" || kind == "x" || kind == "io",
+                  "bad vertex kind: " + kind);
+    if (is_in) {
+      HSSTA_REQUIRE(seen_inputs < input_ports.size() &&
+                        input_ports[seen_inputs].first == vname,
+                    "vertex/port order mismatch for input " + vname);
+      ++seen_inputs;
+    }
+    if (is_out) {
+      HSSTA_REQUIRE(seen_outputs < output_ports.size() &&
+                        output_ports[seen_outputs] == vname,
+                    "vertex/port order mismatch for output " + vname);
+      ++seen_outputs;
+    }
+    dense_to_slot.push_back(graph.add_vertex(vname, is_in, is_out));
+  }
+  HSSTA_REQUIRE(seen_inputs == ni && seen_outputs == no,
+                "model file port/vertex mismatch");
+
+  expect_keyword(is, "edges");
+  size_t ne = 0;
+  is >> ne;
+  HSSTA_REQUIRE(is.good(), "bad edge count");
+  const size_t dim = space->dim();
+  for (size_t k = 0; k < ne; ++k) {
+    expect_keyword(is, "e");
+    size_t from = 0, to = 0;
+    is >> from >> to;
+    HSSTA_REQUIRE(is.good() && from < nv && to < nv, "bad edge endpoints");
+    CanonicalForm d(dim);
+    d.set_nominal(parse_double(checked_token(is, "edge nominal")));
+    d.set_random(parse_double(checked_token(is, "edge random")));
+    for (size_t c = 0; c < dim; ++c)
+      d.corr()[c] = parse_double(checked_token(is, "edge coefficient"));
+    graph.add_edge(dense_to_slot[from], dense_to_slot[to], std::move(d));
+  }
+  expect_keyword(is, "end");
+
+  graph.validate();
+  return TimingModel(name, std::move(graph), std::move(mv),
+                     std::move(boundary));
+}
+
+TimingModel TimingModel::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open model file: " + path);
+  return load(is);
+}
+
+}  // namespace hssta::model

@@ -1,0 +1,79 @@
+/// \file timing_model.hpp
+/// The gray-box statistical timing model (paper Section III): a reduced
+/// timing graph with the same ports and (statistically) the same
+/// input-output delay matrix as the original module, plus everything the
+/// design level needs to re-embed it — the module's grid partition and
+/// correlation configuration (for the variable replacement of Section V)
+/// and boundary electrical data (the paper's future-work extension: input
+/// pin capacitance and output drive resistance, letting the design level
+/// adjust boundary delays for the actually connected load).
+///
+/// Models serialize to a line-based text format (.hstm). Doubles are
+/// written as hex-floats so a round-trip is bit-exact, which matters
+/// because the loader re-derives the PCA from the stored grid geometry and
+/// must reproduce the exact space the stored coefficients refer to.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hssta/core/io_delays.hpp"
+#include "hssta/netlist/netlist.hpp"
+#include "hssta/timing/graph.hpp"
+#include "hssta/variation/space.hpp"
+
+namespace hssta::model {
+
+/// Boundary electrical data for load-aware stitching (extension).
+struct BoundaryData {
+  std::vector<double> input_cap;          ///< fF, per input port
+  std::vector<double> output_drive_res;   ///< ns/fF, per output port
+};
+
+/// Derive boundary data from the module netlist: an input port presents the
+/// sum of the pin caps it drives; an output port drives with its source
+/// gate's drive resistance (0 for an input feeding through).
+[[nodiscard]] BoundaryData compute_boundary(const netlist::Netlist& nl);
+
+class TimingModel {
+ public:
+  TimingModel(std::string name, timing::TimingGraph graph,
+              variation::ModuleVariation variation, BoundaryData boundary);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const timing::TimingGraph& graph() const { return graph_; }
+  [[nodiscard]] timing::TimingGraph& graph() { return graph_; }
+  [[nodiscard]] const variation::ModuleVariation& variation() const {
+    return variation_;
+  }
+  [[nodiscard]] const BoundaryData& boundary() const { return boundary_; }
+
+  /// Port name lists in port order.
+  [[nodiscard]] std::vector<std::string> input_names() const;
+  [[nodiscard]] std::vector<std::string> output_names() const;
+
+  /// Die outline of the module (from the grid partition).
+  [[nodiscard]] const placement::Die& die() const {
+    return variation_.partition.die();
+  }
+
+  /// The model's IO delay matrix (its accuracy contract).
+  [[nodiscard]] core::DelayMatrix io_delays() const;
+
+  /// --- serialization ------------------------------------------------------
+
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static TimingModel load(std::istream& is);
+  [[nodiscard]] static TimingModel load_file(const std::string& path);
+
+ private:
+  std::string name_;
+  timing::TimingGraph graph_;
+  variation::ModuleVariation variation_;
+  BoundaryData boundary_;
+};
+
+}  // namespace hssta::model

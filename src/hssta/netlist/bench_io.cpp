@@ -1,0 +1,261 @@
+#include "hssta/netlist/bench_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "hssta/util/error.hpp"
+#include "hssta/util/strings.hpp"
+
+namespace hssta::netlist {
+
+namespace {
+
+using library::CellLibrary;
+using library::CellType;
+using library::GateFunc;
+
+struct Parser {
+  const CellLibrary& lib;
+  Netlist nl;
+  std::unordered_map<std::string, NetId> nets;
+  std::vector<std::string> output_names;
+  int line_no = 0;
+  int synth_counter = 0;
+
+  explicit Parser(const CellLibrary& l, std::string name)
+      : lib(l), nl(std::move(name)) {}
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "bench parse error at line " << line_no << ": " << msg;
+    throw Error(os.str());
+  }
+
+  NetId net(const std::string& name) {
+    auto it = nets.find(name);
+    if (it != nets.end()) return it->second;
+    const NetId id = nl.add_net(name);
+    nets.emplace(name, id);
+    return id;
+  }
+
+  NetId fresh_net(const std::string& base) {
+    // Synthesized intermediate net for wide-gate decomposition.
+    std::string name = base + "$t" + std::to_string(synth_counter++);
+    while (nets.count(name))
+      name = base + "$t" + std::to_string(synth_counter++);
+    return net(name);
+  }
+
+  static GateFunc func_from_name(const std::string& lower) {
+    if (lower == "and") return GateFunc::kAnd;
+    if (lower == "nand") return GateFunc::kNand;
+    if (lower == "or") return GateFunc::kOr;
+    if (lower == "nor") return GateFunc::kNor;
+    if (lower == "xor") return GateFunc::kXor;
+    if (lower == "xnor") return GateFunc::kXnor;
+    if (lower == "not" || lower == "inv") return GateFunc::kNot;
+    if (lower == "buf" || lower == "buff") return GateFunc::kBuf;
+    throw Error("unsupported bench gate function: " + lower);
+  }
+
+  const CellType* exact_cell(GateFunc func, size_t arity) const {
+    const CellType* c = lib.find_widest(func, arity);
+    return (c && c->num_inputs == arity) ? c : nullptr;
+  }
+
+  void add_cell_gate(const std::string& name, const CellType* type,
+                     std::vector<NetId> fanins, NetId out) {
+    nl.add_gate(name, type, std::move(fanins), out);
+  }
+
+  /// Reduce `ins` with `reduce_func` cells until at most `final_width`
+  /// nets remain (tree construction for wide gates).
+  std::vector<NetId> reduce_tree(const std::string& base, GateFunc reduce_func,
+                                 std::vector<NetId> ins, size_t final_width) {
+    while (ins.size() > final_width) {
+      const CellType* cell = lib.find_widest(
+          reduce_func, std::min(ins.size() - final_width + 1, ins.size()));
+      if (!cell || cell->num_inputs < 2)
+        fail(std::string("library lacks a 2+ input ") +
+             library::gate_func_name(reduce_func) + " cell for decomposition");
+      const size_t take = std::min(cell->num_inputs, ins.size());
+      const CellType* exact = exact_cell(reduce_func, take);
+      HSSTA_ASSERT(exact != nullptr || take == cell->num_inputs,
+                   "widest cell must match its own arity");
+      const CellType* use = exact ? exact : cell;
+      std::vector<NetId> group(ins.begin(), ins.begin() + take);
+      ins.erase(ins.begin(), ins.begin() + take);
+      const NetId out = fresh_net(base);
+      add_cell_gate(nl.net_name(out), use, std::move(group), out);
+      ins.push_back(out);
+    }
+    return ins;
+  }
+
+  void add_logic(const std::string& out_name, GateFunc func,
+                 std::vector<NetId> ins) {
+    const NetId out = net(out_name);
+    if (ins.empty()) fail("gate with no inputs: " + out_name);
+
+    // Single-input wide functions degenerate to BUF/NOT.
+    if (ins.size() == 1 && func != GateFunc::kBuf && func != GateFunc::kNot) {
+      const bool inverting = (func == GateFunc::kNand ||
+                              func == GateFunc::kNor ||
+                              func == GateFunc::kXnor);
+      func = inverting ? GateFunc::kNot : GateFunc::kBuf;
+    }
+
+    if (const CellType* cell = exact_cell(func, ins.size())) {
+      add_cell_gate(out_name, cell, std::move(ins), out);
+      return;
+    }
+
+    // Decompose. Inverting functions reduce with their non-inverting dual
+    // and invert only at the final stage, preserving logic exactly.
+    GateFunc reduce_func = func;
+    switch (func) {
+      case GateFunc::kNand: reduce_func = GateFunc::kAnd; break;
+      case GateFunc::kNor: reduce_func = GateFunc::kOr; break;
+      case GateFunc::kXnor: reduce_func = GateFunc::kXor; break;
+      default: break;
+    }
+    // Find the widest final cell of the requested function.
+    const CellType* final_cell = lib.find_widest(func, ins.size());
+    if (!final_cell) {
+      // No cell of the function at all (e.g. XNOR absent): reduce fully with
+      // the dual and invert.
+      const CellType* inv = lib.find_widest(GateFunc::kNot, 1);
+      if (!inv) fail("library lacks an inverter for decomposition");
+      std::vector<NetId> rest = reduce_tree(out_name, reduce_func,
+                                            std::move(ins), 1);
+      add_cell_gate(out_name, inv, {rest[0]}, out);
+      return;
+    }
+    std::vector<NetId> rest = reduce_tree(out_name, reduce_func, std::move(ins),
+                                          final_cell->num_inputs);
+    const CellType* last = exact_cell(func, rest.size());
+    if (!last) fail("internal: no exact cell after reduction");
+    add_cell_gate(out_name, last, std::move(rest), out);
+  }
+
+  void parse_line(std::string_view raw) {
+    // Strip comments and whitespace.
+    const size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string line{trim(raw)};
+    if (line.empty()) return;
+
+    auto paren_arg = [&](std::string_view s) -> std::string {
+      const size_t open = s.find('(');
+      const size_t close = s.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open)
+        fail("malformed parenthesized expression: " + line);
+      return std::string(trim(s.substr(open + 1, close - open - 1)));
+    };
+
+    const std::string lower = to_lower(line);
+    if (starts_with(lower, "input")) {
+      // Route through the name map: the net may already have been (or may
+      // later be) referenced by a gate line.
+      nl.mark_primary_input(net(paren_arg(line)));
+      return;
+    }
+    if (starts_with(lower, "output")) {
+      output_names.push_back(paren_arg(line));
+      return;
+    }
+
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) fail("expected assignment: " + line);
+    const std::string out_name{trim(std::string_view(line).substr(0, eq))};
+    const std::string rhs{trim(std::string_view(line).substr(eq + 1))};
+    const size_t open = rhs.find('(');
+    if (open == std::string::npos) fail("expected FUNC(...): " + rhs);
+    const GateFunc func =
+        func_from_name(to_lower(trim(std::string_view(rhs).substr(0, open))));
+
+    const size_t close = rhs.rfind(')');
+    if (close == std::string::npos || close < open)
+      fail("unbalanced parentheses: " + rhs);
+    std::vector<NetId> ins;
+    for (const std::string& tok :
+         split(rhs.substr(open + 1, close - open - 1), ',')) {
+      const std::string name{trim(tok)};
+      if (name.empty()) fail("empty operand in: " + rhs);
+      ins.push_back(net(name));
+    }
+    add_logic(out_name, func, std::move(ins));
+  }
+
+  Netlist finish() {
+    for (const std::string& name : output_names) {
+      auto it = nets.find(name);
+      if (it == nets.end())
+        throw Error("OUTPUT references unknown net: " + name);
+      nl.mark_primary_output(it->second);
+    }
+    nl.validate();
+    return std::move(nl);
+  }
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, const CellLibrary& lib, std::string name) {
+  Parser p(lib, std::move(name));
+  std::string line;
+  while (std::getline(in, line)) {
+    ++p.line_no;
+    p.parse_line(line);
+  }
+  return p.finish();
+}
+
+Netlist read_bench_string(const std::string& text, const CellLibrary& lib,
+                          std::string name) {
+  std::istringstream in(text);
+  return read_bench(in, lib, std::move(name));
+}
+
+Netlist read_bench_file(const std::string& path, const CellLibrary& lib) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open bench file: " + path);
+  // Derive the circuit name from the file stem.
+  std::string name = path;
+  const size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return read_bench(in, lib, name);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " — written by hssta\n";
+  for (NetId n : nl.primary_inputs())
+    out << "INPUT(" << nl.net_name(n) << ")\n";
+  for (NetId n : nl.primary_outputs())
+    out << "OUTPUT(" << nl.net_name(n) << ")\n";
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    out << nl.net_name(gate.output) << " = "
+        << library::gate_func_name(gate.type->func) << '(';
+    for (size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.net_name(gate.fanins[i]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(os, nl);
+  return os.str();
+}
+
+}  // namespace hssta::netlist

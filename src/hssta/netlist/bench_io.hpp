@@ -1,0 +1,46 @@
+/// \file bench_io.hpp
+/// Reader/writer for the ISCAS85 `.bench` netlist format:
+///
+///   # comment
+///   INPUT(G1)
+///   OUTPUT(G17)
+///   G10 = NAND(G1, G3)
+///
+/// The reader maps functions onto the cell library; gates wider than the
+/// widest library cell of that function are decomposed into logically
+/// equivalent trees (e.g. an 8-input NAND becomes an AND tree plus INV),
+/// so real ISCAS85 files load against the default 4-input-max library.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hssta/library/cell_library.hpp"
+#include "hssta/netlist/netlist.hpp"
+
+namespace hssta::netlist {
+
+/// Parse `.bench` text. Throws hssta::Error with a line number on any
+/// syntax or structural problem.
+[[nodiscard]] Netlist read_bench(std::istream& in,
+                                 const library::CellLibrary& lib,
+                                 std::string name = "bench");
+
+/// Parse from a string (convenience for tests).
+[[nodiscard]] Netlist read_bench_string(const std::string& text,
+                                        const library::CellLibrary& lib,
+                                        std::string name = "bench");
+
+/// Parse from a file path.
+[[nodiscard]] Netlist read_bench_file(const std::string& path,
+                                      const library::CellLibrary& lib);
+
+/// Write `.bench` text. Gates are emitted by their library function name;
+/// the result re-reads into an equivalent netlist.
+void write_bench(std::ostream& out, const Netlist& nl);
+
+/// Write to a string (convenience for tests).
+[[nodiscard]] std::string write_bench_string(const Netlist& nl);
+
+}  // namespace hssta::netlist

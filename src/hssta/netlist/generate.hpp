@@ -1,0 +1,59 @@
+/// \file generate.hpp
+/// Circuit generators.
+///
+/// The reproduction runs offline, so the ISCAS85 benchmark netlists are
+/// replaced by synthetic circuits with matching published statistics
+/// (see DESIGN.md "Substitutions"):
+///  * make_random_dag — a seeded levelized DAG generator that hits the
+///    requested gate count, primary IO counts, total pin count (the paper's
+///    Eo) exactly and the logic depth structurally;
+///  * make_array_multiplier — a genuine carry-save array multiplier in
+///    NOR/INV logic, the documented structure of c6288 (16 half adders +
+///    224 full adders for 16x16);
+///  * make_ripple_adder — a small arithmetic circuit for tests/examples.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hssta/library/cell_library.hpp"
+#include "hssta/netlist/netlist.hpp"
+
+namespace hssta::netlist {
+
+/// Target statistics for the random DAG generator.
+struct RandomDagSpec {
+  std::string name = "random";
+  size_t num_inputs = 8;
+  size_t num_outputs = 4;
+  size_t num_gates = 64;
+  /// Total gate input pins (the timing graph's edge count). Must lie in
+  /// [num_gates, 4 * num_gates]; hit exactly (barring a rare connectivity
+  /// repair, which may add a few).
+  size_t num_pins = 128;
+  /// Logic levels; the generator guarantees at least this depth.
+  size_t depth = 10;
+  uint64_t seed = 1;
+};
+
+/// Generate a connected, acyclic, combinational netlist matching `spec`.
+/// Every primary input drives at least one gate; every gate reaches a
+/// primary output or is itself a primary output net. Deterministic in seed.
+[[nodiscard]] Netlist make_random_dag(const RandomDagSpec& spec,
+                                      const library::CellLibrary& lib);
+
+/// Carry-save array multiplier (Braun style) over NOR2/INV cells, mirroring
+/// the documented structure of ISCAS85 c6288. bits_a x bits_b -> product of
+/// bits_a + bits_b bits. For 16x16: 2384 gates, 4736 pins, depth ~90.
+[[nodiscard]] Netlist make_array_multiplier(size_t bits_a, size_t bits_b,
+                                            const library::CellLibrary& lib,
+                                            std::string name = "mult");
+
+/// Ripple-carry adder over XOR/AND/OR cells: inputs a[i], b[i], cin;
+/// outputs s[i], cout.
+[[nodiscard]] Netlist make_ripple_adder(size_t bits,
+                                        const library::CellLibrary& lib,
+                                        std::string name = "rca");
+
+}  // namespace hssta::netlist

@@ -1,0 +1,58 @@
+#include "hssta/netlist/iscas.hpp"
+
+#include "hssta/netlist/generate.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::netlist {
+
+const std::vector<IscasProfile>& iscas85_profiles() {
+  // inputs/outputs/gates are the published circuit statistics; pins matches
+  // the paper's Eo column (total gate input pins), gates = Vo - inputs.
+  // Depths are the published levelized depths (c6288's is realized
+  // structurally by the multiplier generator).
+  static const std::vector<IscasProfile> profiles = {
+      {"c432", 36, 7, 160, 336, 17},
+      {"c499", 41, 32, 202, 408, 11},
+      {"c880", 60, 26, 383, 729, 24},
+      {"c1355", 41, 32, 546, 1064, 24},
+      {"c1908", 33, 25, 880, 1498, 40},
+      {"c2670", 233, 140, 1193, 2076, 32},
+      {"c3540", 50, 22, 1669, 2939, 47},
+      {"c5315", 178, 123, 2307, 4386, 49},
+      {"c6288", 32, 32, 2416, 4800, 124},
+      {"c7552", 207, 108, 3512, 6144, 43},
+  };
+  return profiles;
+}
+
+const IscasProfile& iscas85_profile(std::string_view name) {
+  for (const IscasProfile& p : iscas85_profiles())
+    if (p.name == name) return p;
+  throw Error("unknown ISCAS85 circuit: " + std::string(name));
+}
+
+Netlist make_iscas85(std::string_view name, const library::CellLibrary& lib,
+                     uint64_t seed) {
+  const IscasProfile& p = iscas85_profile(name);
+  if (p.name == "c6288") {
+    // The one circuit whose structure is fully documented: a 16x16 Braun
+    // array multiplier (256 partial products, 16 HA + 224 FA in NOR logic).
+    Netlist nl = make_array_multiplier(16, 16, lib, p.name);
+    return nl;
+  }
+  RandomDagSpec spec;
+  spec.name = p.name;
+  spec.num_inputs = p.inputs;
+  spec.num_outputs = p.outputs;
+  spec.num_gates = p.gates;
+  spec.num_pins = p.pins;
+  spec.depth = p.depth;
+  // Mix the circuit name into the seed so each benchmark is distinct but
+  // reproducible.
+  uint64_t h = seed;
+  for (char c : p.name) h = h * 1099511628211ull + static_cast<uint64_t>(c);
+  spec.seed = h;
+  return make_random_dag(spec, lib);
+}
+
+}  // namespace hssta::netlist

@@ -1,0 +1,46 @@
+/// \file iscas.hpp
+/// Synthetic ISCAS85 suite used by the paper's experiments (Table I, Figs.
+/// 6-7). The real netlists are not redistributable here, so each circuit is
+/// synthesized to its published statistics; c6288 is generated structurally
+/// as the 16x16 carry-save array multiplier it actually is (Hansen et al.,
+/// IEEE D&T 1999 — the paper's own reference [21]). When the genuine .bench
+/// files are available, load them with read_bench_file() instead; every
+/// downstream API accepts either source.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hssta/library/cell_library.hpp"
+#include "hssta/netlist/netlist.hpp"
+
+namespace hssta::netlist {
+
+/// Published statistics of one ISCAS85 circuit. `pins` is the total gate
+/// input pin count, which equals the timing-graph edge count Eo in the
+/// paper's Table I; `gates` equals Vo - inputs there.
+struct IscasProfile {
+  std::string name;
+  size_t inputs = 0;
+  size_t outputs = 0;
+  size_t gates = 0;
+  size_t pins = 0;
+  size_t depth = 0;  ///< approximate logic depth (levels)
+};
+
+/// All ten ISCAS85 profiles in the paper's Table I order.
+[[nodiscard]] const std::vector<IscasProfile>& iscas85_profiles();
+
+/// Profile by name ("c432" ... "c7552"); throws if unknown.
+[[nodiscard]] const IscasProfile& iscas85_profile(std::string_view name);
+
+/// Generate the synthetic equivalent of one ISCAS85 circuit.
+/// Deterministic: the same name/seed yields the same netlist.
+[[nodiscard]] Netlist make_iscas85(std::string_view name,
+                                   const library::CellLibrary& lib,
+                                   uint64_t seed = 2009);
+
+}  // namespace hssta::netlist

@@ -1,0 +1,174 @@
+#include "hssta/netlist/netlist.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::netlist {
+
+NetId Netlist::add_net(std::string name) {
+  HSSTA_REQUIRE(!name.empty(), "net needs a name");
+  const NetId id = static_cast<NetId>(net_names_.size());
+  net_names_.push_back(std::move(name));
+  net_driver_.push_back(kNoGate);
+  net_is_pi_.push_back(0);
+  net_is_po_.push_back(0);
+  sinks_valid_ = false;
+  return id;
+}
+
+void Netlist::mark_primary_input(NetId net) {
+  HSSTA_REQUIRE(net < num_nets(), "net id out of range");
+  HSSTA_REQUIRE(net_driver_[net] == kNoGate,
+                "primary input must not have a driver: " + net_names_[net]);
+  if (!net_is_pi_[net]) {
+    net_is_pi_[net] = 1;
+    primary_inputs_.push_back(net);
+  }
+}
+
+NetId Netlist::add_primary_input(std::string name) {
+  const NetId id = add_net(std::move(name));
+  mark_primary_input(id);
+  return id;
+}
+
+void Netlist::mark_primary_output(NetId net) {
+  HSSTA_REQUIRE(net < num_nets(), "net id out of range");
+  if (!net_is_po_[net]) {
+    net_is_po_[net] = 1;
+    primary_outputs_.push_back(net);
+  }
+}
+
+GateId Netlist::add_gate(std::string name, const library::CellType* type,
+                         std::vector<NetId> fanins, NetId output) {
+  HSSTA_REQUIRE(type != nullptr, "gate needs a cell type");
+  HSSTA_REQUIRE(fanins.size() == type->num_inputs,
+                "gate fanin count must match cell arity: " + name);
+  HSSTA_REQUIRE(output < num_nets(), "gate output net out of range");
+  HSSTA_REQUIRE(net_driver_[output] == kNoGate && !net_is_pi_[output],
+                "net already driven: " + net_names_[output]);
+  for (NetId f : fanins)
+    HSSTA_REQUIRE(f < num_nets(), "gate fanin net out of range");
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{std::move(name), type, std::move(fanins), output});
+  net_driver_[output] = id;
+  sinks_valid_ = false;
+  return id;
+}
+
+bool Netlist::is_primary_input(NetId n) const {
+  HSSTA_REQUIRE(n < num_nets(), "net id out of range");
+  return net_is_pi_[n] != 0;
+}
+
+bool Netlist::is_primary_output(NetId n) const {
+  HSSTA_REQUIRE(n < num_nets(), "net id out of range");
+  return net_is_po_[n] != 0;
+}
+
+NetId Netlist::net_by_name(const std::string& name) const {
+  for (NetId n = 0; n < num_nets(); ++n)
+    if (net_names_[n] == name) return n;
+  throw Error("no net named " + name + " in netlist " + name_);
+}
+
+const std::vector<std::vector<GateId>>& Netlist::net_sinks() const {
+  if (!sinks_valid_) {
+    sinks_cache_.assign(num_nets(), {});
+    for (GateId g = 0; g < gates_.size(); ++g)
+      for (NetId f : gates_[g].fanins) sinks_cache_[f].push_back(g);
+    sinks_valid_ = true;
+  }
+  return sinks_cache_;
+}
+
+std::vector<GateId> Netlist::topological_order() const {
+  // Kahn's algorithm over gates; a gate is ready once all fanin nets are
+  // resolved (PI or emitted gate output).
+  std::vector<size_t> pending(gates_.size());
+  std::vector<GateId> ready;
+  ready.reserve(gates_.size());
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    size_t unresolved = 0;
+    for (NetId f : gates_[g].fanins)
+      if (net_driver_[f] != kNoGate) ++unresolved;
+    pending[g] = unresolved;
+    if (unresolved == 0) ready.push_back(g);
+  }
+
+  const auto& sinks = net_sinks();
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  for (size_t head = 0; head < ready.size(); ++head) {
+    const GateId g = ready[head];
+    order.push_back(g);
+    // net_sinks() lists a sink once per consuming pin, so decrementing by
+    // one per occurrence retires exactly the pins fed by this gate.
+    for (GateId s : sinks[gates_[g].output]) {
+      HSSTA_ASSERT(pending[s] > 0, "topo bookkeeping underflow");
+      if (--pending[s] == 0) ready.push_back(s);
+    }
+  }
+  HSSTA_REQUIRE(order.size() == gates_.size(),
+                "netlist contains a combinational cycle");
+  return order;
+}
+
+size_t Netlist::num_pins() const {
+  size_t pins = 0;
+  for (const Gate& g : gates_) pins += g.fanins.size();
+  return pins;
+}
+
+size_t Netlist::depth() const {
+  std::vector<size_t> level(num_nets(), 0);
+  size_t deepest = 0;
+  for (GateId g : topological_order()) {
+    size_t lv = 0;
+    for (NetId f : gates_[g].fanins) lv = std::max(lv, level[f]);
+    level[gates_[g].output] = lv + 1;
+    deepest = std::max(deepest, lv + 1);
+  }
+  return deepest;
+}
+
+void Netlist::validate() const {
+  for (NetId n = 0; n < num_nets(); ++n) {
+    HSSTA_REQUIRE(net_is_pi_[n] || net_driver_[n] != kNoGate,
+                  "undriven net: " + net_names_[n]);
+  }
+  for (const Gate& g : gates_) {
+    HSSTA_REQUIRE(g.type != nullptr, "gate without type: " + g.name);
+    HSSTA_REQUIRE(g.fanins.size() == g.type->num_inputs,
+                  "arity mismatch on gate: " + g.name);
+  }
+  HSSTA_REQUIRE(!primary_outputs_.empty(), "netlist has no primary outputs");
+  (void)topological_order();  // throws on cycles
+}
+
+std::vector<bool> Netlist::simulate(const std::vector<bool>& pi_values) const {
+  HSSTA_REQUIRE(pi_values.size() == primary_inputs_.size(),
+                "simulate needs one value per primary input");
+  // std::vector<bool> is a bitset and cannot back a std::span<const bool>;
+  // evaluate over plain bytes and convert at the end.
+  std::vector<uint8_t> value(num_nets(), 0);
+  for (size_t i = 0; i < primary_inputs_.size(); ++i)
+    value[primary_inputs_[i]] = pi_values[i] ? 1 : 0;
+  constexpr size_t kMaxArity = 16;
+  bool ins[kMaxArity];
+  for (GateId g : topological_order()) {
+    const Gate& gate = gates_[g];
+    HSSTA_REQUIRE(gate.fanins.size() <= kMaxArity,
+                  "gate arity beyond simulation limit: " + gate.name);
+    for (size_t i = 0; i < gate.fanins.size(); ++i)
+      ins[i] = value[gate.fanins[i]] != 0;
+    value[gate.output] = library::eval_gate(
+        gate.type->func, std::span<const bool>(ins, gate.fanins.size()));
+  }
+  return {value.begin(), value.end()};
+}
+
+}  // namespace hssta::netlist

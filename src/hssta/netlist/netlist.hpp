@@ -1,0 +1,121 @@
+/// \file netlist.hpp
+/// Gate-level combinational netlist: the input representation for timing
+/// graph construction, Monte Carlo reference simulation and functional
+/// (boolean) verification of generated circuits.
+///
+/// Conventions: every net is driven either by a primary input or by exactly
+/// one gate output. Primary outputs are *marked nets* (they may also have
+/// internal fanout), matching the vertex accounting of the paper's Table I
+/// (Vo = #PI + #gates).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hssta/library/cell.hpp"
+
+namespace hssta::netlist {
+
+using NetId = uint32_t;
+using GateId = uint32_t;
+inline constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
+
+/// One gate instance. Fanins are nets in pin order; the output is a net
+/// driven exclusively by this gate.
+struct Gate {
+  std::string name;
+  const library::CellType* type = nullptr;
+  std::vector<NetId> fanins;
+  NetId output = 0;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// --- construction ---------------------------------------------------
+
+  /// Add an undriven net; it must later be driven by a gate or declared PI.
+  NetId add_net(std::string name);
+
+  /// Declare an existing net as primary input (must be undriven).
+  void mark_primary_input(NetId net);
+
+  /// Convenience: add_net + mark_primary_input.
+  NetId add_primary_input(std::string name);
+
+  /// Declare a net as primary output (any driven net or PI may be one).
+  void mark_primary_output(NetId net);
+
+  /// Add a gate driving `output`; the net must not already have a driver.
+  GateId add_gate(std::string name, const library::CellType* type,
+                  std::vector<NetId> fanins, NetId output);
+
+  /// --- access -----------------------------------------------------------
+
+  [[nodiscard]] size_t num_nets() const { return net_names_.size(); }
+  [[nodiscard]] size_t num_gates() const { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(GateId g) const { return gates_.at(g); }
+  [[nodiscard]] Gate& gate(GateId g) { return gates_.at(g); }
+  [[nodiscard]] const std::string& net_name(NetId n) const {
+    return net_names_.at(n);
+  }
+  /// Driving gate of a net, or kNoGate for primary inputs.
+  [[nodiscard]] GateId driver(NetId n) const { return net_driver_.at(n); }
+  [[nodiscard]] const std::vector<NetId>& primary_inputs() const {
+    return primary_inputs_;
+  }
+  [[nodiscard]] const std::vector<NetId>& primary_outputs() const {
+    return primary_outputs_;
+  }
+  [[nodiscard]] bool is_primary_input(NetId n) const;
+  [[nodiscard]] bool is_primary_output(NetId n) const;
+
+  /// Net id by name; throws if absent.
+  [[nodiscard]] NetId net_by_name(const std::string& name) const;
+
+  /// Gates consuming a net (computed on demand, cached).
+  [[nodiscard]] const std::vector<std::vector<GateId>>& net_sinks() const;
+
+  /// --- analysis -----------------------------------------------------------
+
+  /// Gates in topological order (fanins before the gate).
+  /// Throws hssta::Error if the netlist contains a combinational cycle.
+  [[nodiscard]] std::vector<GateId> topological_order() const;
+
+  /// Total number of gate input pins (the paper's Eo).
+  [[nodiscard]] size_t num_pins() const;
+
+  /// Longest path length in gate count (levelized depth).
+  [[nodiscard]] size_t depth() const;
+
+  /// Structural checks: every net driven or PI, every gate pin connected,
+  /// arities match cell types, POs exist. Throws on violation.
+  void validate() const;
+
+  /// Boolean simulation: values for all nets given primary input values
+  /// (in primary_inputs() order).
+  [[nodiscard]] std::vector<bool> simulate(
+      const std::vector<bool>& pi_values) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> net_names_;
+  std::vector<GateId> net_driver_;
+  std::vector<uint8_t> net_is_pi_;
+  std::vector<uint8_t> net_is_po_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+  std::vector<Gate> gates_;
+  mutable std::vector<std::vector<GateId>> sinks_cache_;
+  mutable bool sinks_valid_ = false;
+};
+
+}  // namespace hssta::netlist

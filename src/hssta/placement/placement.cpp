@@ -1,0 +1,116 @@
+#include "hssta/placement/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::placement {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+Placement place_rows(const Netlist& nl, const PlaceOptions& opts) {
+  HSSTA_REQUIRE(opts.row_height > 0 && opts.target_aspect > 0 &&
+                    opts.utilization > 0 && opts.utilization <= 1.0,
+                "bad placement options");
+
+  // Total cell area decides the die outline for the requested aspect ratio.
+  double total_width = 0.0;
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    total_width += nl.gate(g).type->width;
+  const double area =
+      total_width * opts.row_height / opts.utilization + 1e-9;
+  double die_width = std::sqrt(area * opts.target_aspect);
+  const size_t rows = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(area / (die_width * opts.row_height))));
+  // Rebalance width so rows * row_height * width == area.
+  die_width = area / (static_cast<double>(rows) * opts.row_height);
+
+  Placement out;
+  out.die = Die{die_width, static_cast<double>(rows) * opts.row_height};
+  out.gate_position.resize(nl.num_gates());
+
+  // Order cells by DFS post-order from the primary outputs: each logic cone
+  // is laid out contiguously, which keeps connected cells spatially close
+  // (the property the grid correlation model feeds on). Post-order is also
+  // a valid topological order. Gates unreachable from any PO are appended.
+  std::vector<GateId> order;
+  order.reserve(nl.num_gates());
+  {
+    std::vector<uint8_t> state(nl.num_gates(), 0);  // 0 new, 1 open, 2 done
+    std::vector<std::pair<GateId, size_t>> stack;
+    auto visit = [&](GateId root) {
+      if (root == netlist::kNoGate || state[root]) return;
+      stack.emplace_back(root, 0);
+      state[root] = 1;
+      while (!stack.empty()) {
+        auto& [g, pin] = stack.back();
+        const auto& fanins = nl.gate(g).fanins;
+        bool descended = false;
+        while (pin < fanins.size()) {
+          const GateId d = nl.driver(fanins[pin++]);
+          if (d != netlist::kNoGate && state[d] == 0) {
+            state[d] = 1;
+            stack.emplace_back(d, 0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && (stack.back().second >= fanins.size())) {
+          state[g] = 2;
+          order.push_back(g);
+          stack.pop_back();
+        }
+      }
+    };
+    for (netlist::NetId po : nl.primary_outputs()) visit(nl.driver(po));
+    for (GateId g = 0; g < nl.num_gates(); ++g)
+      if (state[g] == 0) order.push_back(g);
+  }
+
+  // Walk cells along a continuous serpentine of total length
+  // rows * die_width; each cell sits at its center position, so the die
+  // outline cannot overflow (cells spanning a row break land by center).
+  const double pitch_scale = 1.0 / opts.utilization;
+  double cursor = 0.0;
+  for (GateId g : order) {
+    const double w = nl.gate(g).type->width * pitch_scale;
+    const double center = cursor + w / 2.0;
+    size_t row = static_cast<size_t>(center / die_width);
+    row = std::min(row, rows - 1);
+    const double offset =
+        std::clamp(center - static_cast<double>(row) * die_width, 0.0,
+                   die_width);
+    const double x = (row % 2 == 0) ? offset : die_width - offset;
+    out.gate_position[g] =
+        Point{x, (static_cast<double>(row) + 0.5) * opts.row_height};
+    cursor += w;
+  }
+
+  // Primary input ports along the left edge, evenly spread.
+  const size_t n_pi = nl.primary_inputs().size();
+  out.input_position.resize(n_pi);
+  for (size_t i = 0; i < n_pi; ++i) {
+    const double frac =
+        n_pi > 1 ? static_cast<double>(i) / static_cast<double>(n_pi - 1)
+                 : 0.5;
+    out.input_position[i] = Point{0.0, frac * out.die.height};
+  }
+  return out;
+}
+
+Placement translate(const Placement& p, double dx, double dy) {
+  Placement out = p;
+  for (Point& pt : out.gate_position) {
+    pt.x += dx;
+    pt.y += dy;
+  }
+  for (Point& pt : out.input_position) {
+    pt.x += dx;
+    pt.y += dy;
+  }
+  return out;
+}
+
+}  // namespace hssta::placement

@@ -1,0 +1,56 @@
+/// \file placement.hpp
+/// Cell placement. The variation model only consumes cell locations (to map
+/// cells into correlation grids), so a row-based placer that lays cells out
+/// in topological order — keeping logically adjacent cells spatially
+/// adjacent — is a faithful substitute for the paper's (unpublished)
+/// placements. See DESIGN.md "Substitutions".
+
+#pragma once
+
+#include <vector>
+
+#include "hssta/netlist/netlist.hpp"
+
+namespace hssta::placement {
+
+/// A point on the die, micrometres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Die outline, micrometres; origin at (0, 0).
+struct Die {
+  double width = 0.0;
+  double height = 0.0;
+};
+
+/// Placement result: one location per gate (its output pin) and per
+/// primary input (its port).
+struct Placement {
+  Die die;
+  std::vector<Point> gate_position;  ///< indexed by GateId
+  std::vector<Point> input_position; ///< indexed by PI position in netlist
+
+  [[nodiscard]] const Point& gate(netlist::GateId g) const {
+    return gate_position.at(g);
+  }
+};
+
+/// Options for the row placer.
+struct PlaceOptions {
+  double row_height = 1.4;   ///< um
+  double target_aspect = 1.0; ///< width/height of the die
+  double utilization = 0.8;  ///< row fill ratio (rest becomes whitespace)
+};
+
+/// Place gates in topological order into boustrophedon rows. Primary input
+/// ports are spread along the left die edge. Deterministic.
+[[nodiscard]] Placement place_rows(const netlist::Netlist& nl,
+                                   const PlaceOptions& opts = {});
+
+/// Translate a placement by (dx, dy) — used when instantiating a module at
+/// its design-level origin.
+[[nodiscard]] Placement translate(const Placement& p, double dx, double dy);
+
+}  // namespace hssta::placement

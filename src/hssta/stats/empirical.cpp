@@ -1,0 +1,129 @@
+#include "hssta/stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::stats {
+
+void Moments::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Moments::mean() const {
+  HSSTA_REQUIRE(n_ > 0, "mean of empty moment accumulator");
+  return mean_;
+}
+
+double Moments::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Moments::stddev() const { return std::sqrt(variance()); }
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)) {}
+
+void EmpiricalDistribution::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double EmpiricalDistribution::mean() const {
+  HSSTA_REQUIRE(!samples_.empty(), "mean of empty distribution");
+  double acc = 0.0;
+  for (double v : samples_) acc += v;
+  return acc / static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::stddev() const {
+  HSSTA_REQUIRE(samples_.size() >= 2, "stddev needs at least two samples");
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double EmpiricalDistribution::min() const {
+  HSSTA_REQUIRE(!samples_.empty(), "min of empty distribution");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double EmpiricalDistribution::max() const {
+  HSSTA_REQUIRE(!samples_.empty(), "max of empty distribution");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+const std::vector<double>& EmpiricalDistribution::sorted() const {
+  ensure_sorted();
+  return sorted_;
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  HSSTA_REQUIRE(!samples_.empty(), "quantile of empty distribution");
+  HSSTA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0, 1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  HSSTA_REQUIRE(!samples_.empty(), "cdf of empty distribution");
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::ks_distance(
+    const EmpiricalDistribution& other) const {
+  ensure_sorted();
+  other.ensure_sorted();
+  const auto& a = sorted_;
+  const auto& b = other.sorted_;
+  HSSTA_REQUIRE(!a.empty() && !b.empty(), "ks_distance of empty distribution");
+  size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    // Consume every sample equal to the smaller head value from both sides,
+    // so tied samples produce a single joint CDF step.
+    const double v = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == v) ++i;
+    while (j < b.size() && b[j] == v) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double EmpiricalDistribution::ks_distance(
+    const std::function<double(double)>& cdf_fn) const {
+  ensure_sorted();
+  HSSTA_REQUIRE(!sorted_.empty(), "ks_distance of empty distribution");
+  double d = 0.0;
+  const double n = static_cast<double>(sorted_.size());
+  for (size_t i = 0; i < sorted_.size(); ++i) {
+    const double f = cdf_fn(sorted_[i]);
+    d = std::max(d, std::abs(static_cast<double>(i + 1) / n - f));
+    d = std::max(d, std::abs(static_cast<double>(i) / n - f));
+  }
+  return d;
+}
+
+}  // namespace hssta::stats

@@ -1,0 +1,71 @@
+/// \file empirical.hpp
+/// Empirical distributions for Monte Carlo results: running moments
+/// (Welford), quantiles, empirical CDF evaluation and two-sample /
+/// distribution-vs-curve Kolmogorov-Smirnov distances. These back the
+/// accuracy comparisons in Table I and Fig. 7 of the paper.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hssta::stats {
+
+/// Numerically stable streaming mean/variance accumulator.
+class Moments {
+ public:
+  void add(double x);
+
+  [[nodiscard]] size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// A set of scalar samples with quantile/CDF queries.
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  void add(double x);
+  void reserve(size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Linear-interpolated quantile, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Empirical CDF value P{X <= x}.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Sorted copy of the samples.
+  [[nodiscard]] const std::vector<double>& sorted() const;
+
+  /// Two-sample Kolmogorov-Smirnov distance.
+  [[nodiscard]] double ks_distance(const EmpiricalDistribution& other) const;
+
+  /// KS distance against an analytic CDF.
+  [[nodiscard]] double ks_distance(
+      const std::function<double(double)>& cdf) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace hssta::stats

@@ -1,0 +1,35 @@
+#include "hssta/stats/histogram.hpp"
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::stats {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  HSSTA_REQUIRE(bins > 0, "histogram needs at least one bin");
+  HSSTA_REQUIRE(lo < hi, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  long bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  if (bin < 0) bin = 0;
+  if (bin >= static_cast<long>(counts_.size()))
+    bin = static_cast<long>(counts_.size()) - 1;
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+std::vector<double> Histogram::edges() const {
+  std::vector<double> e(counts_.size() + 1);
+  for (size_t i = 0; i <= counts_.size(); ++i)
+    e[i] = lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  return e;
+}
+
+}  // namespace hssta::stats

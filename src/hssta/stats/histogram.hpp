@@ -1,0 +1,35 @@
+/// \file histogram.hpp
+/// Fixed-range uniform-bin histogram; used for the paper's Fig. 6
+/// (criticality histogram) and general bench reporting.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hssta::stats {
+
+class Histogram {
+ public:
+  /// Bins of equal width covering [lo, hi]; values outside are clamped to
+  /// the first/last bin so no sample is silently dropped.
+  Histogram(double lo, double hi, size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] size_t bins() const { return counts_.size(); }
+  [[nodiscard]] size_t count(size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] size_t total() const { return total_; }
+  [[nodiscard]] const std::vector<size_t>& counts() const { return counts_; }
+
+  /// bins()+1 edges from lo to hi.
+  [[nodiscard]] std::vector<double> edges() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace hssta::stats

@@ -1,0 +1,21 @@
+/// \file normal.hpp
+/// Standard normal pdf/cdf/quantile. These are the building blocks of the
+/// statistical max (paper eqs. 6-8): the tightness probability is a Phi()
+/// evaluation and Clark's moments use phi().
+
+#pragma once
+
+namespace hssta::stats {
+
+/// Standard normal probability density.
+[[nodiscard]] double normal_pdf(double x);
+
+/// Standard normal cumulative distribution (via erfc, accurate in tails).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation with one
+/// Halley refinement step; |error| < 1e-12 over (0, 1)).
+/// Throws hssta::Error for p outside (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace hssta::stats

@@ -1,0 +1,88 @@
+#include "hssta/timing/builder.hpp"
+
+#include <cmath>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::timing {
+
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+BuiltGraph build_timing_graph(const Netlist& nl,
+                              const placement::Placement& pl,
+                              const variation::ModuleVariation& variation,
+                              const BuildOptions& opts) {
+  HSSTA_REQUIRE(pl.gate_position.size() == nl.num_gates(),
+                "placement does not cover the netlist");
+  const variation::VariationSpace& space = *variation.space;
+
+  BuiltGraph out{TimingGraph(variation.space), {}, {}, {}};
+  TimingGraph& g = out.graph;
+
+  // Vertices: primary inputs, then gate outputs (netlist order). A net that
+  // is a primary output marks its vertex as an output port.
+  std::vector<VertexId> net_vertex(nl.num_nets(), kNoVertex);
+  for (NetId n : nl.primary_inputs())
+    net_vertex[n] = g.add_vertex(nl.net_name(n), /*is_input=*/true,
+                                 nl.is_primary_output(n));
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    const NetId n = nl.gate(gate).output;
+    net_vertex[n] =
+        g.add_vertex(nl.net_name(n), /*is_input=*/false,
+                     nl.is_primary_output(n));
+  }
+
+  // Loads: sum of sink pin capacitances plus the port cap on POs.
+  std::vector<double> net_load(nl.num_nets(), 0.0);
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    const netlist::Gate& gt = nl.gate(gate);
+    for (NetId f : gt.fanins) net_load[f] += gt.type->input_cap;
+  }
+  for (NetId n : nl.primary_outputs()) net_load[n] += opts.output_port_cap;
+
+  // Edges: one per gate input pin.
+  const size_t dim = space.dim();
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    const netlist::Gate& gt = nl.gate(gate);
+    const size_t grid = variation.partition.grid_of(pl.gate(gate));
+    const double load = net_load[gt.output];
+    const VertexId to = net_vertex[gt.output];
+    for (uint32_t pin = 0; pin < gt.fanins.size(); ++pin) {
+      const VertexId from = net_vertex[gt.fanins[pin]];
+      HSSTA_ASSERT(from != kNoVertex, "fanin net without vertex");
+
+      const double d0 = gt.type->pin_delay(pin, load);
+      CanonicalForm delay(dim);
+      delay.set_nominal(d0);
+      double random2 = 0.0;
+      for (size_t p = 0; p < space.num_params(); ++p) {
+        const double sens =
+            gt.type->sensitivity(space.parameters().at(p).name);
+        if (sens == 0.0) continue;
+        space.accumulate(p, grid, d0 * sens, delay.corr());
+        const double r = d0 * sens * space.sigma_random(p);
+        random2 += r * r;
+      }
+      // Load uncertainty acts on the load-dependent delay share and is
+      // private to this edge.
+      const double load_term = gt.type->drive_res * load *
+                               space.parameters().load_sigma_rel;
+      random2 += load_term * load_term;
+      delay.set_random(std::sqrt(random2));
+
+      const EdgeId e = g.add_edge(from, to, std::move(delay));
+      HSSTA_ASSERT(e == out.sites.size(), "edge/site order out of sync");
+      out.sites.push_back(EdgeSite{gate, pin, grid, d0, load});
+    }
+  }
+
+  for (NetId n : nl.primary_inputs())
+    out.input_vertices.push_back(net_vertex[n]);
+  for (NetId n : nl.primary_outputs())
+    out.output_vertices.push_back(net_vertex[n]);
+  return out;
+}
+
+}  // namespace hssta::timing

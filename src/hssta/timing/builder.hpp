@@ -1,0 +1,50 @@
+/// \file builder.hpp
+/// Timing-graph construction from a placed netlist: one vertex per primary
+/// input and per gate output, one edge per gate input pin with a canonical
+/// delay assembled from the cell's nominal timing, its parameter
+/// sensitivities and the variation space of the module's grid partition
+/// (paper Sections II and VI).
+
+#pragma once
+
+#include <vector>
+
+#include "hssta/netlist/netlist.hpp"
+#include "hssta/placement/placement.hpp"
+#include "hssta/timing/graph.hpp"
+#include "hssta/variation/space.hpp"
+
+namespace hssta::timing {
+
+struct BuildOptions {
+  /// Capacitive load charged to nets that are primary outputs (output port
+  /// plus downstream wire), fF.
+  double output_port_cap = 3.0;
+};
+
+/// Physical annotation of one timing edge, kept alongside the graph so the
+/// Monte Carlo reference evaluates the *same* nominal delays and loads.
+struct EdgeSite {
+  netlist::GateId gate = netlist::kNoGate;
+  uint32_t pin = 0;
+  size_t grid = 0;      ///< correlation grid holding the gate
+  double nominal = 0.0; ///< pin-to-output delay at nominal load, ns
+  double load = 0.0;    ///< capacitive load, fF
+};
+
+/// A constructed timing graph plus its per-edge physical annotations
+/// (indexed by EdgeId) and the IO vertex lists in netlist port order.
+struct BuiltGraph {
+  TimingGraph graph;
+  std::vector<EdgeSite> sites;
+  std::vector<VertexId> input_vertices;   ///< netlist PI order
+  std::vector<VertexId> output_vertices;  ///< netlist PO order
+};
+
+/// Build the canonical timing graph of a placed module.
+[[nodiscard]] BuiltGraph build_timing_graph(
+    const netlist::Netlist& nl, const placement::Placement& pl,
+    const variation::ModuleVariation& variation,
+    const BuildOptions& opts = {});
+
+}  // namespace hssta::timing

@@ -1,0 +1,80 @@
+#include "hssta/timing/canonical.hpp"
+
+#include <cmath>
+
+#include "hssta/stats/normal.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::timing {
+
+CanonicalForm CanonicalForm::constant(double value, size_t dim) {
+  CanonicalForm f(dim);
+  f.nominal_ = value;
+  return f;
+}
+
+void CanonicalForm::set_random(double r) {
+  HSSTA_REQUIRE(r >= 0.0, "random coefficient must be non-negative");
+  random_ = r;
+}
+
+void CanonicalForm::add_random_rss(double r) {
+  random_ = std::sqrt(random_ * random_ + r * r);
+}
+
+double CanonicalForm::variance() const {
+  double acc = random_ * random_;
+  for (double c : corr_) acc += c * c;
+  return acc;
+}
+
+double CanonicalForm::sigma() const { return std::sqrt(variance()); }
+
+double CanonicalForm::covariance(const CanonicalForm& other) const {
+  HSSTA_REQUIRE(dim() == other.dim(), "covariance across different spaces");
+  double acc = 0.0;
+  for (size_t i = 0; i < corr_.size(); ++i) acc += corr_[i] * other.corr_[i];
+  return acc;
+}
+
+double CanonicalForm::correlation(const CanonicalForm& other) const {
+  const double va = variance();
+  const double vb = other.variance();
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return covariance(other) / std::sqrt(va * vb);
+}
+
+double CanonicalForm::quantile(double p) const {
+  return nominal_ + sigma() * stats::normal_quantile(p);
+}
+
+double CanonicalForm::cdf(double x) const {
+  const double s = sigma();
+  if (s == 0.0) return x >= nominal_ ? 1.0 : 0.0;
+  return stats::normal_cdf((x - nominal_) / s);
+}
+
+CanonicalForm& CanonicalForm::operator+=(const CanonicalForm& other) {
+  HSSTA_REQUIRE(dim() == other.dim(), "sum across different spaces");
+  nominal_ += other.nominal_;
+  for (size_t i = 0; i < corr_.size(); ++i) corr_[i] += other.corr_[i];
+  add_random_rss(other.random_);
+  return *this;
+}
+
+void CanonicalForm::scale(double s) {
+  HSSTA_REQUIRE(s >= 0.0, "canonical forms scale by non-negative factors");
+  nominal_ *= s;
+  for (double& c : corr_) c *= s;
+  random_ *= s;
+}
+
+double CanonicalForm::evaluate(std::span<const double> y, double xr) const {
+  HSSTA_REQUIRE(y.size() == corr_.size(),
+                "evaluation point has wrong dimension");
+  double acc = nominal_ + random_ * xr;
+  for (size_t i = 0; i < corr_.size(); ++i) acc += corr_[i] * y[i];
+  return acc;
+}
+
+}  // namespace hssta::timing

@@ -1,0 +1,81 @@
+/// \file canonical.hpp
+/// The canonical linear delay form of the paper (eq. 3):
+///   d = a0 + sum_k c_k * y_k + a_r * x_r
+/// with y the correlated variables of a VariationSpace (per-parameter global
+/// + spatial PCA components, all iid standard normal by construction) and
+/// x_r an independent standard normal private to this form.
+///
+/// Because every y_k is standard normal and independent, moments are plain
+/// vector algebra: Var = |c|^2 + a_r^2 and Cov(A, B) = c_A . c_B.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hssta::timing {
+
+class CanonicalForm {
+ public:
+  /// Zero form (nominal 0, no variation) of a given coefficient dimension.
+  explicit CanonicalForm(size_t dim = 0) : corr_(dim, 0.0) {}
+
+  /// Deterministic constant.
+  [[nodiscard]] static CanonicalForm constant(double value, size_t dim);
+
+  [[nodiscard]] size_t dim() const { return corr_.size(); }
+
+  [[nodiscard]] double nominal() const { return nominal_; }
+  void set_nominal(double v) { nominal_ = v; }
+  void add_nominal(double v) { nominal_ += v; }
+
+  [[nodiscard]] std::span<const double> corr() const { return corr_; }
+  [[nodiscard]] std::span<double> corr() { return corr_; }
+
+  /// Coefficient of the private random variable (kept non-negative).
+  [[nodiscard]] double random() const { return random_; }
+  void set_random(double r);
+  /// Root-sum-square another independent random contribution in.
+  void add_random_rss(double r);
+
+  /// --- moments ------------------------------------------------------------
+
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double sigma() const;
+  /// Covariance through the shared correlated variables (the private random
+  /// parts of distinct forms are independent by definition).
+  [[nodiscard]] double covariance(const CanonicalForm& other) const;
+  [[nodiscard]] double correlation(const CanonicalForm& other) const;
+
+  /// Gaussian-assumption helpers for reporting.
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double cdf(double x) const;
+
+  /// --- algebra ------------------------------------------------------------
+
+  /// Statistical sum: nominals and coefficients add; the independent random
+  /// parts combine in root-sum-square (paper Section II).
+  CanonicalForm& operator+=(const CanonicalForm& other);
+  [[nodiscard]] friend CanonicalForm operator+(CanonicalForm a,
+                                               const CanonicalForm& b) {
+    a += b;
+    return a;
+  }
+
+  /// Scale the whole form by s >= 0 (delays are non-negative quantities).
+  void scale(double s);
+
+  /// Value at a concrete assignment of the correlated variables plus this
+  /// form's private random draw.
+  [[nodiscard]] double evaluate(std::span<const double> y, double xr) const;
+
+  [[nodiscard]] bool operator==(const CanonicalForm& other) const = default;
+
+ private:
+  double nominal_ = 0.0;
+  std::vector<double> corr_;
+  double random_ = 0.0;
+};
+
+}  // namespace hssta::timing

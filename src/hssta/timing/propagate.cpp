@@ -1,0 +1,98 @@
+#include "hssta/timing/propagate.hpp"
+
+#include <algorithm>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::timing {
+
+const CanonicalForm& PropagationResult::at(VertexId v) const {
+  HSSTA_REQUIRE(v < time.size() && valid[v], "time of unreached vertex");
+  return time[v];
+}
+
+PropagationResult propagate_arrivals(const TimingGraph& g,
+                                     std::span<const VertexId> sources) {
+  PropagationResult r;
+  r.time.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
+  r.valid.assign(g.num_vertex_slots(), 0);
+
+  if (sources.empty()) {
+    for (VertexId v : g.inputs()) r.valid[v] = 1;
+  } else {
+    for (VertexId v : sources) {
+      HSSTA_REQUIRE(g.vertex_alive(v), "propagation source is dead");
+      r.valid[v] = 1;
+    }
+  }
+
+  CanonicalForm candidate(g.dim());
+  for (VertexId v : g.topo_order()) {
+    bool has = r.valid[v] != 0;  // sources carry arrival 0
+    for (EdgeId e : g.vertex(v).fanin) {
+      const TimingEdge& te = g.edge(e);
+      if (!r.valid[te.from]) continue;
+      candidate = r.time[te.from];
+      candidate += te.delay;
+      if (!has) {
+        r.time[v] = std::move(candidate);
+        candidate = CanonicalForm(g.dim());
+        has = true;
+      } else {
+        r.time[v] = statistical_max(r.time[v], candidate, &r.diagnostics);
+      }
+    }
+    r.valid[v] = has ? 1 : 0;
+  }
+  return r;
+}
+
+PropagationResult propagate_to_sink(const TimingGraph& g, VertexId sink) {
+  HSSTA_REQUIRE(g.vertex_alive(sink), "sink is dead");
+  PropagationResult r;
+  r.time.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
+  r.valid.assign(g.num_vertex_slots(), 0);
+  r.valid[sink] = 1;
+
+  std::vector<VertexId> order = g.topo_order();
+  std::reverse(order.begin(), order.end());
+  CanonicalForm candidate(g.dim());
+  for (VertexId v : order) {
+    bool has = v == sink;
+    for (EdgeId e : g.vertex(v).fanout) {
+      const TimingEdge& te = g.edge(e);
+      if (!r.valid[te.to]) continue;
+      candidate = r.time[te.to];
+      candidate += te.delay;
+      if (!has) {
+        r.time[v] = std::move(candidate);
+        candidate = CanonicalForm(g.dim());
+        has = true;
+      } else {
+        r.time[v] = statistical_max(r.time[v], candidate, &r.diagnostics);
+      }
+    }
+    r.valid[v] = has ? 1 : 0;
+  }
+  return r;
+}
+
+CanonicalForm circuit_delay(const TimingGraph& g,
+                            const PropagationResult& arrivals,
+                            MaxDiagnostics* diag) {
+  bool has = false;
+  CanonicalForm acc(g.dim());
+  for (VertexId v : g.outputs()) {
+    if (!arrivals.valid[v]) continue;
+    if (!has) {
+      acc = arrivals.time[v];
+      has = true;
+    } else {
+      acc = statistical_max(acc, arrivals.time[v], diag);
+    }
+  }
+  HSSTA_REQUIRE(has, "no output port was reached");
+  return acc;
+}
+
+}  // namespace hssta::timing

@@ -1,0 +1,45 @@
+/// \file propagate.hpp
+/// Block-based arrival-time propagation (paper Section II): a single
+/// topological sweep folding statistical sum along edges and statistical
+/// max at multi-fanin vertices. The backward variant computes, for one
+/// sink, the maximum remaining delay from every vertex to that sink — the
+/// "required time" ingredient of the criticality computation (Section IV.B).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hssta/timing/graph.hpp"
+#include "hssta/timing/statops.hpp"
+
+namespace hssta::timing {
+
+/// Per-vertex canonical times; `valid[v]` is false for vertices that no
+/// source reaches (forward) or that cannot reach the sink (backward).
+struct PropagationResult {
+  std::vector<CanonicalForm> time;  ///< indexed by VertexId slot
+  std::vector<uint8_t> valid;
+  MaxDiagnostics diagnostics;
+
+  [[nodiscard]] bool is_valid(VertexId v) const { return valid[v] != 0; }
+  [[nodiscard]] const CanonicalForm& at(VertexId v) const;
+};
+
+/// Forward arrival propagation from `sources` (each injected at arrival 0).
+/// An empty span means "all input ports" — the ordinary full-circuit case.
+[[nodiscard]] PropagationResult propagate_arrivals(
+    const TimingGraph& g, std::span<const VertexId> sources = {});
+
+/// Backward propagation: time[v] = statistical max delay from v to `sink`
+/// over all live paths; time[sink] = 0.
+[[nodiscard]] PropagationResult propagate_to_sink(const TimingGraph& g,
+                                                  VertexId sink);
+
+/// Statistical max of the arrival times over all output ports (the module /
+/// design delay distribution). Throws if no output is reached.
+[[nodiscard]] CanonicalForm circuit_delay(const TimingGraph& g,
+                                          const PropagationResult& arrivals,
+                                          MaxDiagnostics* diag = nullptr);
+
+}  // namespace hssta::timing

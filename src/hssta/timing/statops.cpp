@@ -1,0 +1,156 @@
+#include "hssta/timing/statops.hpp"
+
+#include <cmath>
+
+#include "hssta/stats/normal.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::timing {
+
+namespace {
+
+/// theta^2 below this fraction of the larger input variance is treated as
+/// fully correlated: max{A, B} is then simply the input with the larger
+/// nominal (A - B is essentially deterministic).
+constexpr double kDegenerateFrac = 1e-14;
+
+struct PairStats {
+  double va, vb, cov, theta;
+  bool degenerate;
+};
+
+PairStats pair_stats(const CanonicalForm& a, const CanonicalForm& b) {
+  PairStats s{};
+  s.va = a.variance();
+  s.vb = b.variance();
+  s.cov = a.covariance(b);
+  const double theta2 = s.va + s.vb - 2.0 * s.cov;
+  const double scale = std::max(s.va, s.vb);
+  s.degenerate = theta2 <= kDegenerateFrac * scale || theta2 <= 0.0;
+  s.theta = s.degenerate ? 0.0 : std::sqrt(theta2);
+  return s;
+}
+
+}  // namespace
+
+MaxDiagnostics& MaxDiagnostics::operator+=(const MaxDiagnostics& o) {
+  ops += o.ops;
+  variance_clamped += o.variance_clamped;
+  degenerate_theta += o.degenerate_theta;
+  return *this;
+}
+
+double tightness_probability(const CanonicalForm& a, const CanonicalForm& b) {
+  const PairStats s = pair_stats(a, b);
+  if (s.degenerate) return a.nominal() >= b.nominal() ? 1.0 : 0.0;
+  return stats::normal_cdf((a.nominal() - b.nominal()) / s.theta);
+}
+
+double max_mean(const CanonicalForm& a, const CanonicalForm& b) {
+  const PairStats s = pair_stats(a, b);
+  if (s.degenerate) return std::max(a.nominal(), b.nominal());
+  const double alpha = (a.nominal() - b.nominal()) / s.theta;
+  const double tp = stats::normal_cdf(alpha);
+  return tp * a.nominal() + (1.0 - tp) * b.nominal() +
+         s.theta * stats::normal_pdf(alpha);
+}
+
+CanonicalForm statistical_max(const CanonicalForm& a, const CanonicalForm& b,
+                              MaxDiagnostics* diag) {
+  HSSTA_REQUIRE(a.dim() == b.dim(), "max across different spaces");
+  if (diag) ++diag->ops;
+
+  const PairStats s = pair_stats(a, b);
+  if (s.degenerate) {
+    if (diag) ++diag->degenerate_theta;
+    return a.nominal() >= b.nominal() ? a : b;
+  }
+
+  const double a0 = a.nominal();
+  const double b0 = b.nominal();
+  const double alpha = (a0 - b0) / s.theta;
+  const double tp = stats::normal_cdf(alpha);     // eq. 6
+  const double pdf = stats::normal_pdf(alpha);
+
+  // Clark's moments (eqs. 7-8).
+  const double mu = tp * a0 + (1.0 - tp) * b0 + s.theta * pdf;
+  const double second = tp * (s.va + a0 * a0) + (1.0 - tp) * (s.vb + b0 * b0) +
+                        (a0 + b0) * s.theta * pdf;
+  const double var = second - mu * mu;
+
+  // Re-linearization (eq. 9): blend correlated coefficients by TP, match
+  // the remaining variance with the private random term.
+  CanonicalForm out(a.dim());
+  out.set_nominal(mu);
+  const std::span<const double> ca = a.corr();
+  const std::span<const double> cb = b.corr();
+  const std::span<double> co = out.corr();
+  double corr_var = 0.0;
+  for (size_t i = 0; i < co.size(); ++i) {
+    co[i] = tp * ca[i] + (1.0 - tp) * cb[i];
+    corr_var += co[i] * co[i];
+  }
+  const double resid = var - corr_var;
+  if (resid > 0.0) {
+    out.set_random(std::sqrt(resid));
+  } else {
+    out.set_random(0.0);
+    if (diag) ++diag->variance_clamped;
+  }
+  return out;
+}
+
+void statistical_max_accumulate(CanonicalForm& acc, const CanonicalForm& b,
+                                MaxDiagnostics* diag) {
+  acc = statistical_max(acc, b, diag);
+}
+
+CanonicalForm statistical_max(std::span<const CanonicalForm> xs,
+                              MaxDiagnostics* diag) {
+  HSSTA_REQUIRE(!xs.empty(), "max of an empty set");
+  CanonicalForm acc = xs[0];
+  for (size_t i = 1; i < xs.size(); ++i)
+    statistical_max_accumulate(acc, xs[i], diag);
+  return acc;
+}
+
+std::vector<double> tightness_split(std::span<const CanonicalForm> xs,
+                                    MaxDiagnostics* diag) {
+  HSSTA_REQUIRE(!xs.empty(), "tightness split of an empty set");
+  const size_t k = xs.size();
+  if (k == 1) return {1.0};
+  if (k == 2) {
+    const double t = tightness_probability(xs[0], xs[1]);
+    return {t, 1.0 - t};
+  }
+  // Leave-one-out maxima via prefix/suffix folds.
+  std::vector<CanonicalForm> prefix(xs.begin(), xs.end());
+  std::vector<CanonicalForm> suffix(xs.begin(), xs.end());
+  for (size_t t = 1; t < k; ++t)
+    prefix[t] = statistical_max(prefix[t - 1], xs[t], diag);
+  for (size_t t = k - 1; t-- > 0;)
+    suffix[t] = statistical_max(suffix[t + 1], xs[t], diag);
+  std::vector<double> tp(k, 0.0);
+  double sum = 0.0;
+  for (size_t t = 0; t < k; ++t) {
+    double p;
+    if (t == 0) {
+      p = tightness_probability(xs[0], suffix[1]);
+    } else if (t + 1 == k) {
+      p = tightness_probability(xs[k - 1], prefix[k - 2]);
+    } else {
+      const CanonicalForm others =
+          statistical_max(prefix[t - 1], suffix[t + 1], diag);
+      p = tightness_probability(xs[t], others);
+    }
+    tp[t] = p;
+    sum += p;
+  }
+  if (sum > 0.0)
+    for (double& p : tp) p /= sum;
+  else
+    for (double& p : tp) p = 1.0 / static_cast<double>(k);
+  return tp;
+}
+
+}  // namespace hssta::timing

@@ -1,0 +1,57 @@
+/// \file statops.hpp
+/// Statistical maximum of canonical forms (paper Section II, eqs. 6-9),
+/// following Visweswariah et al. (DAC'04) / Clark (1961):
+///  * tightness probability TP = Prob{A >= B} = Phi((a0-b0)/theta),
+///    theta^2 = Var(A) + Var(B) - 2 Cov(A, B);
+///  * the exact mean/variance of max{A, B} from Clark's moments;
+///  * re-linearization: correlated coefficients blend as
+///    TP * a + (1-TP) * b, the private random coefficient is set by
+///    variance matching (clamped at zero when Clark's variance falls below
+///    the correlated part — a known property of the approximation, counted
+///    in MaxDiagnostics).
+
+#pragma once
+
+#include <span>
+
+#include "hssta/timing/canonical.hpp"
+
+namespace hssta::timing {
+
+/// Counters exposing the numerical health of max operations.
+struct MaxDiagnostics {
+  size_t ops = 0;               ///< pairwise max operations performed
+  size_t variance_clamped = 0;  ///< variance matching hit the zero clamp
+  size_t degenerate_theta = 0;  ///< theta ~ 0: picked the dominating input
+
+  MaxDiagnostics& operator+=(const MaxDiagnostics& o);
+};
+
+/// Prob{A >= B}. For theta ~ 0 returns 0 or 1 by nominal comparison.
+[[nodiscard]] double tightness_probability(const CanonicalForm& a,
+                                           const CanonicalForm& b);
+
+/// Clark's exact mean of max{A, B} (before re-linearization).
+[[nodiscard]] double max_mean(const CanonicalForm& a, const CanonicalForm& b);
+
+/// Statistical maximum re-linearized into canonical form.
+[[nodiscard]] CanonicalForm statistical_max(const CanonicalForm& a,
+                                            const CanonicalForm& b,
+                                            MaxDiagnostics* diag = nullptr);
+
+/// In-place fold: acc = max{acc, b}.
+void statistical_max_accumulate(CanonicalForm& acc, const CanonicalForm& b,
+                                MaxDiagnostics* diag = nullptr);
+
+/// Sequential n-ary maximum (the paper applies the pairwise operation
+/// iteratively). Throws on an empty span.
+[[nodiscard]] CanonicalForm statistical_max(std::span<const CanonicalForm> xs,
+                                            MaxDiagnostics* diag = nullptr);
+
+/// Probability that each entry is the maximum of the set: leave-one-out
+/// tightness probabilities (prefix/suffix Clark folds), renormalized to
+/// sum to exactly 1. Throws on an empty span.
+[[nodiscard]] std::vector<double> tightness_split(
+    std::span<const CanonicalForm> xs, MaxDiagnostics* diag = nullptr);
+
+}  // namespace hssta::timing

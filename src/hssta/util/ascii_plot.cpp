@@ -1,0 +1,83 @@
+#include "hssta/util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta {
+
+void plot_histogram(std::ostream& os, const std::vector<double>& bin_edges,
+                    const std::vector<size_t>& counts, int bar_width,
+                    const std::string& title) {
+  HSSTA_REQUIRE(bin_edges.size() == counts.size() + 1,
+                "need one more edge than bins");
+  HSSTA_REQUIRE(bar_width > 0, "bar width must be positive");
+  if (!title.empty()) os << title << '\n';
+  const size_t max_count = counts.empty()
+                               ? 0
+                               : *std::max_element(counts.begin(), counts.end());
+  char label[96];
+  for (size_t b = 0; b < counts.size(); ++b) {
+    std::snprintf(label, sizeof(label), "[%6.3f, %6.3f) %7zu |",
+                  bin_edges[b], bin_edges[b + 1], counts[b]);
+    os << label;
+    const int bar =
+        max_count == 0
+            ? 0
+            : static_cast<int>(std::lround(static_cast<double>(counts[b]) /
+                                           static_cast<double>(max_count) *
+                                           bar_width));
+    os << std::string(static_cast<size_t>(bar), '#') << '\n';
+  }
+}
+
+void plot_xy(std::ostream& os, const std::vector<PlotSeries>& series,
+             int width, int height, const std::string& title) {
+  HSSTA_REQUIRE(width > 4 && height > 2, "plot area too small");
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const auto& s : series) {
+    HSSTA_REQUIRE(s.x.size() == s.y.size(), "series x/y length mismatch");
+    for (double v : s.x) { xmin = std::min(xmin, v); xmax = std::max(xmax, v); }
+    for (double v : s.y) { ymin = std::min(ymin, v); ymax = std::max(ymax, v); }
+  }
+  if (!(xmin < xmax)) { xmin -= 0.5; xmax += 0.5; }
+  if (!(ymin < ymax)) { ymin -= 0.5; ymax += 0.5; }
+
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  auto put = [&](double x, double y, char m) {
+    const int c = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) *
+                                               (width - 1)));
+    const int r = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) *
+                                               (height - 1)));
+    if (c >= 0 && c < width && r >= 0 && r < height)
+      grid[static_cast<size_t>(height - 1 - r)][static_cast<size_t>(c)] = m;
+  };
+  for (const auto& s : series)
+    for (size_t i = 0; i < s.x.size(); ++i) put(s.x[i], s.y[i], s.marker);
+
+  if (!title.empty()) os << title << '\n';
+  char buf[64];
+  for (int r = 0; r < height; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height - 1);
+    std::snprintf(buf, sizeof(buf), "%9.3g |", yv);
+    os << buf << grid[static_cast<size_t>(r)] << '\n';
+  }
+  os << std::string(11, ' ') << std::string(static_cast<size_t>(width), '-')
+     << '\n';
+  std::snprintf(buf, sizeof(buf), "%9.3g", xmin);
+  os << std::string(11, ' ') << buf;
+  std::snprintf(buf, sizeof(buf), "%9.3g", xmax);
+  const int pad = width - 9 - 9;
+  os << std::string(static_cast<size_t>(std::max(1, pad)), ' ') << buf << '\n';
+  for (const auto& s : series)
+    os << "  " << s.marker << " = " << s.name << '\n';
+}
+
+}  // namespace hssta

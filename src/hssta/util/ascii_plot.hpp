@@ -1,0 +1,32 @@
+/// \file ascii_plot.hpp
+/// Terminal plots for the bench harnesses: the paper's Fig. 6 (histogram)
+/// and Fig. 7 (CDF curves) are rendered as ASCII art in bench output.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hssta {
+
+/// One named series of (x, y) points for a line plot.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+/// Render a horizontal-bar histogram: one row per bin, bar length
+/// proportional to count, annotated with the bin range and count.
+void plot_histogram(std::ostream& os, const std::vector<double>& bin_edges,
+                    const std::vector<size_t>& counts, int bar_width = 50,
+                    const std::string& title = "");
+
+/// Render one or more (x, y) series on a shared character grid.
+/// Each series uses its own marker; overlapping cells show the later series.
+void plot_xy(std::ostream& os, const std::vector<PlotSeries>& series,
+             int width = 72, int height = 24, const std::string& title = "");
+
+}  // namespace hssta

@@ -1,0 +1,42 @@
+#include "hssta/util/csv.hpp"
+
+#include <cstdio>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw Error("cannot open CSV output file: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  char buf[64];
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    std::snprintf(buf, sizeof(buf), "%.12g", values[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+}  // namespace hssta

@@ -1,0 +1,36 @@
+/// \file csv.hpp
+/// Minimal CSV writer; benches dump every table/figure series as CSV next to
+/// the human-readable output so results can be re-plotted externally.
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hssta {
+
+/// Writes rows of fields to a file, comma-separated. Fields containing a
+/// comma, quote, or newline are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws hssta::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row of raw string fields.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Write one row of doubles with full precision.
+  void write_row(const std::vector<double>& values);
+
+  /// Flush and report the destination path.
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace hssta

@@ -1,0 +1,52 @@
+/// \file error.hpp
+/// Error handling primitives for the hssta library.
+///
+/// All recoverable misuse (bad arguments, malformed files, inconsistent
+/// graphs) throws hssta::Error. Internal invariants use HSSTA_ASSERT, which
+/// is compiled in all build types: timing analysis silently producing wrong
+/// numbers is far more expensive than the check.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hssta {
+
+/// Exception type thrown by all hssta components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* kind, const char* cond,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace hssta
+
+/// Precondition check on public API arguments; always enabled.
+#define HSSTA_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::hssta::detail::raise("requirement", #cond, __FILE__, __LINE__,    \
+                             (msg));                                      \
+  } while (false)
+
+/// Internal invariant check; always enabled (cheap relative to the math).
+#define HSSTA_ASSERT(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::hssta::detail::raise("invariant", #cond, __FILE__, __LINE__,      \
+                             (msg));                                      \
+  } while (false)

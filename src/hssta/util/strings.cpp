@@ -1,0 +1,65 @@
+#include "hssta/util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace hssta {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    const size_t next = s.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(s.substr(pos));
+      return out;
+    }
+    out.emplace_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string fmt_double(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+  return buf;
+}
+
+std::string fmt_percent(double frac, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", prec, frac * 100.0);
+  return buf;
+}
+
+}  // namespace hssta

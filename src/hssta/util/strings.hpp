@@ -1,0 +1,33 @@
+/// \file strings.hpp
+/// Small string utilities shared by parsers and report writers.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hssta {
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any whitespace run; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Format a double with `prec` significant digits (used by table printers).
+[[nodiscard]] std::string fmt_double(double v, int prec = 4);
+
+/// Format a fraction as a percentage string, e.g. 0.134 -> "13.4%".
+[[nodiscard]] std::string fmt_percent(double frac, int prec = 1);
+
+}  // namespace hssta

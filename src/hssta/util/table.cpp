@@ -1,0 +1,51 @@
+#include "hssta/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HSSTA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HSSTA_REQUIRE(cells.size() == header_.size(),
+                "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  if (!title.empty()) os << title << '\n';
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::ostringstream os;
+  print(os, title);
+  return os.str();
+}
+
+}  // namespace hssta

@@ -1,0 +1,36 @@
+/// \file table.hpp
+/// Plain-text table printer used by the bench harnesses to reproduce the
+/// paper's tables (column alignment, header rule, optional title).
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hssta {
+
+/// Column-aligned text table. Rows are added as vectors of pre-formatted
+/// strings; numeric helpers are provided for the common cases.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] size_t rows() const { return rows_.size(); }
+
+  /// Render with single-space-padded columns and a dashed header rule.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Render as a string (convenience for tests).
+  [[nodiscard]] std::string to_string(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hssta

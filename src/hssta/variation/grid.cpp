@@ -1,0 +1,69 @@
+#include "hssta/variation/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::variation {
+
+double GridGeometry::distance(size_t a, size_t b) const {
+  HSSTA_REQUIRE(a < centers.size() && b < centers.size(),
+                "grid index out of range");
+  const double dx = centers[a].x - centers[b].x;
+  const double dy = centers[a].y - centers[b].y;
+  return std::sqrt(dx * dx + dy * dy) / unit;
+}
+
+GridPartition::GridPartition(placement::Die die, size_t nx, size_t ny)
+    : die_(die), nx_(nx), ny_(ny) {
+  HSSTA_REQUIRE(nx >= 1 && ny >= 1, "grid partition needs >= 1 grid per axis");
+  HSSTA_REQUIRE(die.width > 0 && die.height > 0, "grid needs a non-empty die");
+  pitch_x_ = die.width / static_cast<double>(nx);
+  pitch_y_ = die.height / static_cast<double>(ny);
+}
+
+GridPartition GridPartition::for_cell_count(placement::Die die,
+                                            size_t num_cells,
+                                            size_t max_cells_per_grid) {
+  HSSTA_REQUIRE(max_cells_per_grid >= 1, "need a positive cell bound");
+  const size_t min_grids =
+      std::max<size_t>(1, (num_cells + max_cells_per_grid - 1) /
+                              max_cells_per_grid);
+  // Near-square grids: pick nx from the die aspect, then round ny up.
+  const double aspect = die.width / die.height;
+  size_t nx = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::sqrt(static_cast<double>(min_grids) * aspect))));
+  size_t ny = (min_grids + nx - 1) / nx;
+  return GridPartition(die, nx, ny);
+}
+
+size_t GridPartition::grid_of(const placement::Point& p) const {
+  const auto clamp_idx = [](double v, double pitch, size_t n) {
+    long i = static_cast<long>(std::floor(v / pitch));
+    i = std::clamp<long>(i, 0, static_cast<long>(n) - 1);
+    return static_cast<size_t>(i);
+  };
+  const size_t ix = clamp_idx(p.x, pitch_x_, nx_);
+  const size_t iy = clamp_idx(p.y, pitch_y_, ny_);
+  return iy * nx_ + ix;
+}
+
+placement::Point GridPartition::center(size_t idx) const {
+  HSSTA_REQUIRE(idx < num_grids(), "grid index out of range");
+  const size_t ix = idx % nx_;
+  const size_t iy = idx / nx_;
+  return placement::Point{(static_cast<double>(ix) + 0.5) * pitch_x_,
+                          (static_cast<double>(iy) + 0.5) * pitch_y_};
+}
+
+GridGeometry GridPartition::geometry() const {
+  GridGeometry g;
+  g.centers.reserve(num_grids());
+  for (size_t i = 0; i < num_grids(); ++i) g.centers.push_back(center(i));
+  g.unit = std::sqrt(pitch_x_ * pitch_y_);
+  return g;
+}
+
+}  // namespace hssta::variation

@@ -1,0 +1,66 @@
+/// \file grid.hpp
+/// Die grid partitions for the spatial correlation model (paper Sections II
+/// and V). Module-level characterization uses a regular partition sized so
+/// no grid holds more than a given cell count (the paper uses <100); the
+/// design level composes module grids and filler grids into a heterogeneous
+/// geometry, represented uniformly as a list of grid centers plus the
+/// normalization pitch for distance measurement.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hssta/placement/placement.hpp"
+
+namespace hssta::variation {
+
+/// Geometry shared by regular and heterogeneous partitions: one center per
+/// grid, and the unit pitch that converts physical distance into the "grid
+/// distance" of the paper's correlation profile.
+struct GridGeometry {
+  std::vector<placement::Point> centers;
+  double unit = 1.0;  ///< um per grid-distance unit
+
+  [[nodiscard]] size_t size() const { return centers.size(); }
+
+  /// Euclidean distance between grid centers in grid-distance units.
+  [[nodiscard]] double distance(size_t a, size_t b) const;
+};
+
+/// Regular rectangular partition of a die area.
+class GridPartition {
+ public:
+  /// Partition `die` (origin at (0,0)) into nx * ny equal grids.
+  GridPartition(placement::Die die, size_t nx, size_t ny);
+
+  /// Choose the partition so that no grid is expected to hold more than
+  /// `max_cells_per_grid` of the `num_cells` cells (the paper's rule), with
+  /// near-square grids.
+  [[nodiscard]] static GridPartition for_cell_count(placement::Die die,
+                                                    size_t num_cells,
+                                                    size_t max_cells_per_grid);
+
+  [[nodiscard]] size_t nx() const { return nx_; }
+  [[nodiscard]] size_t ny() const { return ny_; }
+  [[nodiscard]] size_t num_grids() const { return nx_ * ny_; }
+  [[nodiscard]] double pitch_x() const { return pitch_x_; }
+  [[nodiscard]] double pitch_y() const { return pitch_y_; }
+  [[nodiscard]] const placement::Die& die() const { return die_; }
+
+  /// Grid index containing a point (clamped to the die).
+  [[nodiscard]] size_t grid_of(const placement::Point& p) const;
+
+  /// Center of grid `idx`.
+  [[nodiscard]] placement::Point center(size_t idx) const;
+
+  /// Geometry view: centers in index order, unit = geometric mean pitch.
+  [[nodiscard]] GridGeometry geometry() const;
+
+ private:
+  placement::Die die_;
+  size_t nx_, ny_;
+  double pitch_x_, pitch_y_;
+};
+
+}  // namespace hssta::variation

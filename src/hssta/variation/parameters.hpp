@@ -1,0 +1,53 @@
+/// \file parameters.hpp
+/// Process parameters with variation (paper Section II, eq. 1):
+///   p = p0 + pg + pl + pr
+/// Each parameter's total relative sigma splits into global, spatially
+/// correlated local, and purely random variance fractions. Section VI of the
+/// paper fixes the totals (L 15.7%, Tox 5.3%, Vth 4.4%) and the correlation
+/// profile (0.92 neighbours, 0.42 global floor), which pins the global
+/// fraction at 0.42; the remaining mass is split local/random.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hssta::variation {
+
+/// One spatially modelled process parameter.
+struct ProcessParameter {
+  std::string name;          ///< joined with cell sensitivities by name
+  double sigma_rel = 0.0;    ///< total relative sigma (e.g. 0.157 for Leff)
+  double global_frac = 0.42; ///< variance fraction shared die-to-die
+  double local_frac = 0.53;  ///< variance fraction with spatial correlation
+  double random_frac = 0.05; ///< variance fraction independent per cell
+
+  /// Component sigmas (relative units).
+  [[nodiscard]] double sigma_global() const;
+  [[nodiscard]] double sigma_local() const;
+  [[nodiscard]] double sigma_random() const;
+
+  /// Fractions must be non-negative and sum to 1 (within 1e-9).
+  void validate() const;
+};
+
+/// The full parameter configuration of an analysis run.
+struct ParameterSet {
+  std::vector<ProcessParameter> params;
+  /// Relative sigma of the load capacitance seen by each timing edge;
+  /// purely random per edge (paper Section VI: 15%).
+  double load_sigma_rel = 0.15;
+
+  [[nodiscard]] size_t size() const { return params.size(); }
+  [[nodiscard]] const ProcessParameter& at(size_t i) const;
+  /// Index of a parameter by name; throws if unknown.
+  [[nodiscard]] size_t index_of(const std::string& name) const;
+  void validate() const;
+};
+
+/// The paper's Section VI configuration: Leff 15.7%, Tox 5.3%, Vth 4.4%,
+/// load 15%, variance split 0.42/0.53/0.05.
+[[nodiscard]] ParameterSet default_90nm_parameters();
+
+}  // namespace hssta::variation

@@ -1,0 +1,72 @@
+#include "hssta/variation/space.hpp"
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::variation {
+
+namespace {
+
+/// All parameters must share the variance split (they share one PCA).
+const ProcessParameter& validated_reference(const ParameterSet& params) {
+  params.validate();
+  const ProcessParameter& ref = params.params.front();
+  for (const auto& p : params.params) {
+    HSSTA_REQUIRE(std::abs(p.global_frac - ref.global_frac) < 1e-12 &&
+                      std::abs(p.local_frac - ref.local_frac) < 1e-12,
+                  "parameters must share one variance split per space");
+  }
+  return ref;
+}
+
+}  // namespace
+
+VariationSpace::VariationSpace(ParameterSet params, GridGeometry grids,
+                               SpatialCorrelationConfig corr_cfg,
+                               linalg::PcaOptions pca_opts)
+    : params_(std::move(params)),
+      grids_(std::move(grids)),
+      model_(corr_cfg, validated_reference(params_).global_frac,
+             params_.params.front().local_frac),
+      corr_(model_.correlation_matrix(grids_)),
+      // The cutoff clamp can leave the correlation matrix marginally
+      // indefinite; allow PCA to clip up to 1% relative negative mass.
+      pca_(linalg::pca(corr_, pca_opts, /*clip_tol=*/1e-2)) {
+  HSSTA_REQUIRE(grids_.size() >= 1, "space needs at least one grid");
+}
+
+void VariationSpace::accumulate(size_t param, size_t grid, double scale,
+                                std::span<double> corr) const {
+  HSSTA_REQUIRE(param < num_params(), "parameter index out of range");
+  HSSTA_REQUIRE(grid < num_grids(), "grid index out of range");
+  HSSTA_REQUIRE(corr.size() == dim(), "coefficient vector has wrong size");
+  const ProcessParameter& p = params_.at(param);
+  corr[global_index(param)] += scale * p.sigma_global();
+  const double sl = scale * p.sigma_local();
+  const std::span<const double> row = loading_row(grid);
+  double* dst = corr.data() + spatial_offset(param);
+  for (size_t j = 0; j < row.size(); ++j) dst[j] += sl * row[j];
+}
+
+double VariationSpace::sigma_random(size_t param) const {
+  return params_.at(param).sigma_random();
+}
+
+std::span<const double> VariationSpace::loading_row(size_t grid) const {
+  HSSTA_REQUIRE(grid < num_grids(), "grid index out of range");
+  return pca_.loadings.row(grid);
+}
+
+ModuleVariation make_module_variation(const placement::Placement& pl,
+                                      size_t num_cells,
+                                      const ParameterSet& params,
+                                      const SpatialCorrelationConfig& corr_cfg,
+                                      size_t max_cells_per_grid,
+                                      linalg::PcaOptions pca_opts) {
+  GridPartition partition =
+      GridPartition::for_cell_count(pl.die, num_cells, max_cells_per_grid);
+  auto space = std::make_shared<const VariationSpace>(
+      params, partition.geometry(), corr_cfg, pca_opts);
+  return ModuleVariation{partition, std::move(space)};
+}
+
+}  // namespace hssta::variation

@@ -1,0 +1,104 @@
+/// \file space.hpp
+/// VariationSpace: the coordinate system of canonical delay forms.
+///
+/// A canonical delay (paper eq. 3) is
+///   d = a0 + sum_k c_k * y_k + a_r * x_r
+/// where y concatenates, for every process parameter, one global variable
+/// followed by that parameter's spatial PCA components. The VariationSpace
+/// fixes that layout: all timing edges, arrival times and IO delays of one
+/// analysis share a space, covariances are plain dot products of their
+/// coefficient vectors, and the hierarchical variable replacement (paper
+/// eq. 19) is a linear remap between a module space and the design space.
+///
+/// All parameters share one grid partition and one correlation profile (as
+/// in the paper), so a single PCA of the grid correlation matrix serves
+/// every parameter; parameter p's spatial block is scaled by its own
+/// sigma_local.
+
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "hssta/linalg/pca.hpp"
+#include "hssta/variation/grid.hpp"
+#include "hssta/variation/parameters.hpp"
+#include "hssta/variation/spatial.hpp"
+
+namespace hssta::variation {
+
+class VariationSpace {
+ public:
+  /// Decomposes the grid correlation of `grids` under `corr_cfg` by PCA.
+  /// All parameters must share the same global/local variance split (they
+  /// share the PCA). `pca_opts` allows component truncation (ablations).
+  VariationSpace(ParameterSet params, GridGeometry grids,
+                 SpatialCorrelationConfig corr_cfg,
+                 linalg::PcaOptions pca_opts = {});
+
+  /// --- dimensions and layout -------------------------------------------
+
+  [[nodiscard]] size_t num_params() const { return params_.size(); }
+  [[nodiscard]] size_t num_grids() const { return grids_.size(); }
+  /// Spatial PCA components retained per parameter.
+  [[nodiscard]] size_t num_components() const { return pca_.retained; }
+  /// Length of the correlated-coefficient vector of a canonical form.
+  [[nodiscard]] size_t dim() const {
+    return num_params() * (1 + num_components());
+  }
+  /// Slot of parameter p's global variable.
+  [[nodiscard]] size_t global_index(size_t param) const { return param; }
+  /// First slot of parameter p's spatial block.
+  [[nodiscard]] size_t spatial_offset(size_t param) const {
+    return num_params() + param * num_components();
+  }
+
+  /// --- edge-coefficient construction -------------------------------------
+
+  /// Accumulate into `corr` the correlated coefficients of `scale` units of
+  /// relative deviation of parameter `param` for a cell in `grid`:
+  /// the global slot gains scale * sigma_global, the spatial block gains
+  /// scale * sigma_local * loading_row(grid).
+  void accumulate(size_t param, size_t grid, double scale,
+                  std::span<double> corr) const;
+
+  /// Sigma of the purely random component of `param` (relative units).
+  [[nodiscard]] double sigma_random(size_t param) const;
+
+  /// --- introspection -----------------------------------------------------
+
+  [[nodiscard]] const ParameterSet& parameters() const { return params_; }
+  [[nodiscard]] const GridGeometry& grids() const { return grids_; }
+  [[nodiscard]] const SpatialCorrelationModel& correlation_model() const {
+    return model_;
+  }
+  /// Grid-local correlation matrix R (n x n, unit diagonal).
+  [[nodiscard]] const linalg::Matrix& correlation() const { return corr_; }
+  /// PCA of R: loadings (n x k), whitening (k x n).
+  [[nodiscard]] const linalg::PcaResult& pca() const { return pca_; }
+  /// Row of the loading matrix for one grid (length k).
+  [[nodiscard]] std::span<const double> loading_row(size_t grid) const;
+
+ private:
+  ParameterSet params_;
+  GridGeometry grids_;
+  SpatialCorrelationModel model_;
+  linalg::Matrix corr_;
+  linalg::PcaResult pca_;
+};
+
+/// A module's variation context: its regular grid partition plus the space
+/// built on it. Spaces are shared between graphs/models via shared_ptr.
+struct ModuleVariation {
+  GridPartition partition;
+  std::shared_ptr<const VariationSpace> space;
+};
+
+/// Convenience: partition the die of a placed module per the paper's
+/// "< max_cells_per_grid cells per grid" rule and build its space.
+[[nodiscard]] ModuleVariation make_module_variation(
+    const placement::Placement& pl, size_t num_cells,
+    const ParameterSet& params, const SpatialCorrelationConfig& corr_cfg,
+    size_t max_cells_per_grid = 100, linalg::PcaOptions pca_opts = {});
+
+}  // namespace hssta::variation

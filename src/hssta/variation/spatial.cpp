@@ -1,0 +1,69 @@
+#include "hssta/variation/spatial.hpp"
+
+#include <cmath>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::variation {
+
+SpatialCorrelationModel::SpatialCorrelationModel(
+    const SpatialCorrelationConfig& config, double global_frac,
+    double local_frac)
+    : config_(config), global_frac_(global_frac), local_frac_(local_frac) {
+  HSSTA_REQUIRE(local_frac > 0.0, "spatial model needs a local fraction > 0");
+  HSSTA_REQUIRE(config.cutoff > 1.0, "cutoff must exceed one grid distance");
+  HSSTA_REQUIRE(config.rho_neighbor > config.rho_global,
+                "neighbour correlation must exceed the global floor");
+  // The total-correlation floor is realized by the global variance share;
+  // allow small deviations but reject configurations that cannot reproduce
+  // the paper's profile.
+  HSSTA_REQUIRE(std::abs(global_frac - config.rho_global) < 0.25,
+                "global variance fraction far from the correlation floor");
+  const double rho1 = (config.rho_neighbor - global_frac) / local_frac;
+  HSSTA_REQUIRE(rho1 > 0.0 && rho1 < 1.0,
+                "derived neighbour local correlation outside (0, 1)");
+  // Fit the Matern-3/2 rate through rho_local(1) = rho1 by bisection:
+  // f(beta) = (1 + beta) e^{-beta} is strictly decreasing on beta > 0.
+  double lo = 1e-6, hi = 64.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    ((1.0 + mid) * std::exp(-mid) > rho1 ? lo : hi) = mid;
+  }
+  beta_ = 0.5 * (lo + hi);
+  // The clamp beyond the cutoff must only cut a marginal residue, else the
+  // correlation matrix drifts away from positive semidefinite.
+  const double residue =
+      (1.0 + beta_ * config.cutoff) * std::exp(-beta_ * config.cutoff);
+  HSSTA_REQUIRE(residue <= 0.08,
+                "correlation profile still significant at the cutoff; "
+                "increase the cutoff or lower the neighbour correlation");
+}
+
+double SpatialCorrelationModel::local_rho(double distance) const {
+  HSSTA_REQUIRE(distance >= 0.0, "negative grid distance");
+  if (distance >= config_.cutoff) return 0.0;
+  // Matern-3/2 kernel: PSD in the plane, exact at d = 0 and d = 1.
+  return (1.0 + beta_ * distance) * std::exp(-beta_ * distance);
+}
+
+double SpatialCorrelationModel::total_rho(double distance) const {
+  if (distance == 0.0) return global_frac_ + local_frac_;
+  return global_frac_ + local_frac_ * local_rho(distance);
+}
+
+linalg::Matrix SpatialCorrelationModel::correlation_matrix(
+    const GridGeometry& grids) const {
+  const size_t n = grids.size();
+  linalg::Matrix r(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    r(i, i) = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      const double rho = local_rho(grids.distance(i, j));
+      r(i, j) = rho;
+      r(j, i) = rho;
+    }
+  }
+  return r;
+}
+
+}  // namespace hssta::variation

@@ -1,0 +1,73 @@
+/// \file spatial.hpp
+/// The spatial correlation profile of Section VI of the paper: total
+/// parameter correlation 0.92 between neighbouring grids, decaying to the
+/// global-variation floor 0.42 at grid distance 15 (and exactly the floor
+/// beyond — cells farther apart share only the global component).
+///
+/// With variance fractions g + l + r = 1 the total correlation at grid
+/// distance d > 0 is
+///     rho_total(d) = g + l * rho_local(d)
+/// so the profile pins g = rho_global and
+///     rho_local(1) = (rho_neighbor - rho_global) / l.
+/// The local correlation uses a Matern-3/2 kernel
+///     rho_local(d) = (1 + beta d) * exp(-beta d)
+/// which is positive semidefinite in the plane by construction. beta is
+/// fitted so rho_local(1) meets the neighbour target exactly; with the
+/// paper's numbers the kernel has decayed to ~0.02 by the cutoff 15, so the
+/// hard clamp to zero beyond the cutoff perturbs the spectrum only
+/// marginally (PCA clips the residue). Unlike a Gaussian kernel, the
+/// Matern profile keeps substantial mid-range correlation (e.g. ~0.19 at
+/// distance 8), matching the paper's "decays exponentially to the floor at
+/// 15" description — which is what makes neighbouring modules in a
+/// hierarchical design meaningfully correlated (Fig. 7).
+
+#pragma once
+
+#include "hssta/linalg/matrix.hpp"
+#include "hssta/variation/grid.hpp"
+#include "hssta/variation/parameters.hpp"
+
+namespace hssta::variation {
+
+/// Correlation profile targets (total correlations, as in the paper).
+struct SpatialCorrelationConfig {
+  double rho_neighbor = 0.92;  ///< total correlation at grid distance 1
+  double rho_global = 0.42;    ///< total correlation floor (global only)
+  double cutoff = 15.0;        ///< grid distance where local corr. vanishes
+};
+
+/// Local-variation correlation function rho_local(d), derived from a config
+/// and the variance split of a parameter set.
+class SpatialCorrelationModel {
+ public:
+  /// `global_frac`/`local_frac` are the variance fractions used by the
+  /// parameters (all default parameters share one split). Throws if the
+  /// targets are unreachable (e.g. rho_local(1) would exceed 1).
+  SpatialCorrelationModel(const SpatialCorrelationConfig& config,
+                          double global_frac, double local_frac);
+
+  /// Local correlation at grid distance d >= 0 (1 at d = 0).
+  [[nodiscard]] double local_rho(double distance) const;
+
+  /// Total parameter correlation between cells at grid distance d
+  /// (diagnostic; the analysis itself consumes local_rho).
+  [[nodiscard]] double total_rho(double distance) const;
+
+  /// Correlation matrix of the per-grid local variables for a geometry
+  /// (unit diagonal). Symmetric, PSD up to the cutoff-clamp noise; PCA
+  /// clips the residue.
+  [[nodiscard]] linalg::Matrix correlation_matrix(
+      const GridGeometry& grids) const;
+
+  [[nodiscard]] const SpatialCorrelationConfig& config() const {
+    return config_;
+  }
+
+ private:
+  SpatialCorrelationConfig config_;
+  double global_frac_;
+  double local_frac_;
+  double beta_;  ///< Matern-3/2 rate, fitted through rho_local(1)
+};
+
+}  // namespace hssta::variation

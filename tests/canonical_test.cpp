@@ -1,0 +1,106 @@
+// Tests for the canonical linear delay form: moments, algebra, evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hssta/stats/normal.hpp"
+#include "hssta/timing/canonical.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::timing {
+namespace {
+
+CanonicalForm make(double nominal, std::vector<double> corr, double random) {
+  CanonicalForm f(corr.size());
+  f.set_nominal(nominal);
+  std::copy(corr.begin(), corr.end(), f.corr().begin());
+  f.set_random(random);
+  return f;
+}
+
+TEST(Canonical, ConstantHasNoVariance) {
+  const CanonicalForm c = CanonicalForm::constant(3.5, 4);
+  EXPECT_DOUBLE_EQ(c.nominal(), 3.5);
+  EXPECT_DOUBLE_EQ(c.variance(), 0.0);
+  EXPECT_EQ(c.dim(), 4u);
+}
+
+TEST(Canonical, MomentsFromCoefficients) {
+  const CanonicalForm f = make(1.0, {0.3, -0.4}, 0.5);
+  EXPECT_DOUBLE_EQ(f.variance(), 0.09 + 0.16 + 0.25);
+  EXPECT_DOUBLE_EQ(f.sigma(), std::sqrt(0.5));
+}
+
+TEST(Canonical, CovarianceThroughSharedVariables) {
+  const CanonicalForm a = make(0.0, {1.0, 2.0}, 3.0);
+  const CanonicalForm b = make(0.0, {-1.0, 0.5}, 7.0);
+  // Private randoms never co-vary.
+  EXPECT_DOUBLE_EQ(a.covariance(b), -1.0 + 1.0);
+  const CanonicalForm c = make(0.0, {2.0, 4.0}, 0.0);
+  EXPECT_NEAR(a.correlation(c), (2.0 + 8.0) / (a.sigma() * c.sigma()), 1e-12);
+}
+
+TEST(Canonical, SumAddsCoefficientsAndRssRandom) {
+  CanonicalForm a = make(1.0, {0.5, 0.0}, 3.0);
+  const CanonicalForm b = make(2.0, {0.25, -1.0}, 4.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.nominal(), 3.0);
+  EXPECT_DOUBLE_EQ(a.corr()[0], 0.75);
+  EXPECT_DOUBLE_EQ(a.corr()[1], -1.0);
+  EXPECT_DOUBLE_EQ(a.random(), 5.0);  // sqrt(9 + 16)
+}
+
+TEST(Canonical, SumVarianceOfCorrelatedForms) {
+  // Var(A+B) = VarA + VarB + 2Cov.
+  const CanonicalForm a = make(0.0, {1.0}, 0.5);
+  const CanonicalForm b = make(0.0, {2.0}, 0.0);
+  const CanonicalForm s = a + b;
+  EXPECT_DOUBLE_EQ(s.variance(),
+                   a.variance() + b.variance() + 2.0 * a.covariance(b));
+}
+
+TEST(Canonical, ScaleIsLinear) {
+  CanonicalForm a = make(2.0, {1.0, -2.0}, 3.0);
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a.nominal(), 1.0);
+  EXPECT_DOUBLE_EQ(a.corr()[1], -1.0);
+  EXPECT_DOUBLE_EQ(a.random(), 1.5);
+  EXPECT_THROW(a.scale(-1.0), Error);
+}
+
+TEST(Canonical, EvaluateAtAssignment) {
+  const CanonicalForm a = make(10.0, {1.0, -0.5}, 2.0);
+  const std::vector<double> y{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.evaluate(y, 1.5), 10.0 + 2.0 - 2.0 + 3.0);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW((void)a.evaluate(bad, 0.0), Error);
+}
+
+TEST(Canonical, QuantileAndCdfAreConsistent) {
+  const CanonicalForm a = make(5.0, {3.0}, 4.0);  // sigma = 5
+  EXPECT_NEAR(a.quantile(0.5), 5.0, 1e-12);
+  EXPECT_NEAR(a.cdf(a.quantile(0.99)), 0.99, 1e-9);
+  EXPECT_NEAR(a.quantile(stats::normal_cdf(1.0)), 10.0, 1e-9);
+  // Deterministic form: step CDF.
+  const CanonicalForm c = CanonicalForm::constant(1.0, 1);
+  EXPECT_DOUBLE_EQ(c.cdf(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(c.cdf(1.0), 1.0);
+}
+
+TEST(Canonical, DimensionMismatchesThrow) {
+  CanonicalForm a(2), b(3);
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW((void)a.covariance(b), Error);
+}
+
+TEST(Canonical, RandomCoefficientStaysNonNegative) {
+  CanonicalForm a(1);
+  EXPECT_THROW(a.set_random(-0.5), Error);
+  a.set_random(3.0);
+  a.add_random_rss(4.0);
+  EXPECT_DOUBLE_EQ(a.random(), 5.0);
+}
+
+}  // namespace
+}  // namespace hssta::timing

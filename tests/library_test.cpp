@@ -1,0 +1,116 @@
+// Unit tests for hssta/library: gate function evaluation, cell timing,
+// library lookup and the default 90nm library contents.
+
+#include <gtest/gtest.h>
+
+#include "hssta/library/cell_library.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::library {
+namespace {
+
+TEST(GateFunc, TruthTablesTwoInputs) {
+  const bool tt[4][2] = {{false, false}, {false, true}, {true, false},
+                         {true, true}};
+  for (const auto& row : tt) {
+    const std::span<const bool> in(row, 2);
+    const bool a = row[0], b = row[1];
+    EXPECT_EQ(eval_gate(GateFunc::kAnd, in), a && b);
+    EXPECT_EQ(eval_gate(GateFunc::kNand, in), !(a && b));
+    EXPECT_EQ(eval_gate(GateFunc::kOr, in), a || b);
+    EXPECT_EQ(eval_gate(GateFunc::kNor, in), !(a || b));
+    EXPECT_EQ(eval_gate(GateFunc::kXor, in), a != b);
+    EXPECT_EQ(eval_gate(GateFunc::kXnor, in), a == b);
+  }
+}
+
+TEST(GateFunc, UnaryAndParity) {
+  const bool t = true, f = false;
+  EXPECT_TRUE(eval_gate(GateFunc::kBuf, std::span<const bool>(&t, 1)));
+  EXPECT_FALSE(eval_gate(GateFunc::kNot, std::span<const bool>(&t, 1)));
+  EXPECT_TRUE(eval_gate(GateFunc::kNot, std::span<const bool>(&f, 1)));
+  const bool three[3] = {true, true, true};
+  EXPECT_TRUE(eval_gate(GateFunc::kXor, std::span<const bool>(three, 3)));
+  EXPECT_FALSE(eval_gate(GateFunc::kXnor, std::span<const bool>(three, 3)));
+}
+
+TEST(GateFunc, ArityChecks) {
+  const bool two[2] = {true, false};
+  EXPECT_THROW((void)eval_gate(GateFunc::kBuf, std::span<const bool>(two, 2)),
+               Error);
+  EXPECT_THROW((void)eval_gate(GateFunc::kAnd, std::span<const bool>{}),
+               Error);
+}
+
+TEST(CellType, PinDelayIsIntrinsicPlusLoad) {
+  CellType c;
+  c.name = "X";
+  c.num_inputs = 2;
+  c.intrinsic = {0.010, 0.012};
+  c.drive_res = 0.004;
+  EXPECT_DOUBLE_EQ(c.pin_delay(0, 10.0), 0.010 + 0.04);
+  EXPECT_DOUBLE_EQ(c.pin_delay(1, 0.0), 0.012);
+  EXPECT_THROW((void)c.pin_delay(2, 0.0), Error);
+}
+
+TEST(CellType, SensitivityLookup) {
+  CellType c;
+  c.sensitivities = {{"Leff", 0.9}, {"Vth", 0.5}};
+  EXPECT_DOUBLE_EQ(c.sensitivity("Leff"), 0.9);
+  EXPECT_DOUBLE_EQ(c.sensitivity("Vth"), 0.5);
+  EXPECT_DOUBLE_EQ(c.sensitivity("Tox"), 0.0);
+}
+
+TEST(CellLibrary, AddGetFind) {
+  CellLibrary lib;
+  CellType c;
+  c.name = "FOO2";
+  c.func = GateFunc::kAnd;
+  c.num_inputs = 2;
+  c.intrinsic = {0.01, 0.01};
+  lib.add(c);
+  EXPECT_EQ(lib.size(), 1u);
+  EXPECT_EQ(lib.get("FOO2").name, "FOO2");
+  EXPECT_EQ(lib.find("BAR"), nullptr);
+  EXPECT_THROW((void)lib.get("BAR"), Error);
+  EXPECT_THROW(lib.add(c), Error);  // duplicate
+}
+
+TEST(CellLibrary, FindWidestRespectsCap) {
+  const CellLibrary lib = default_90nm();
+  const CellType* w4 = lib.find_widest(GateFunc::kNand, 8);
+  ASSERT_NE(w4, nullptr);
+  EXPECT_EQ(w4->num_inputs, 4u);
+  const CellType* w2 = lib.find_widest(GateFunc::kNand, 2);
+  ASSERT_NE(w2, nullptr);
+  EXPECT_EQ(w2->num_inputs, 2u);
+  EXPECT_EQ(lib.find_widest(GateFunc::kXor, 1), nullptr);
+}
+
+TEST(Default90nm, HasExpectedCellsWithSaneValues) {
+  const CellLibrary lib = default_90nm();
+  for (const char* name :
+       {"INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4",
+        "AND2", "AND3", "AND4", "OR2", "OR3", "OR4", "XOR2", "XNOR2"}) {
+    const CellType& c = lib.get(name);
+    EXPECT_EQ(c.intrinsic.size(), c.num_inputs) << name;
+    for (double d : c.intrinsic) EXPECT_GT(d, 0.0) << name;
+    EXPECT_GT(c.drive_res, 0.0) << name;
+    EXPECT_GT(c.input_cap, 0.0) << name;
+    EXPECT_GT(c.width, 0.0) << name;
+    // All three process parameters present with positive sensitivity.
+    EXPECT_GT(c.sensitivity("Leff"), 0.0) << name;
+    EXPECT_GT(c.sensitivity("Tox"), 0.0) << name;
+    EXPECT_GT(c.sensitivity("Vth"), 0.0) << name;
+  }
+}
+
+TEST(Default90nm, LaterPinsAreSlower) {
+  const CellLibrary lib = default_90nm();
+  const CellType& nand4 = lib.get("NAND4");
+  for (size_t i = 1; i < nand4.num_inputs; ++i)
+    EXPECT_GT(nand4.intrinsic[i], nand4.intrinsic[i - 1]);
+}
+
+}  // namespace
+}  // namespace hssta::library

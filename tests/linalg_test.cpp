@@ -1,0 +1,213 @@
+// Unit tests for hssta/linalg: matrix ops, Jacobi eigendecomposition,
+// Cholesky, PCA. Includes randomized property sweeps (seeded).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hssta/linalg/cholesky.hpp"
+#include "hssta/linalg/eigen.hpp"
+#include "hssta/linalg/matrix.hpp"
+#include "hssta/linalg/pca.hpp"
+#include "hssta/stats/rng.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::linalg {
+namespace {
+
+using stats::Rng;
+
+Matrix random_spd(size_t n, Rng& rng) {
+  // B * B^T + n * I is symmetric positive definite.
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) b(r, c) = rng.normal();
+  Matrix s = b * b.transposed();
+  for (size_t i = 0; i < n; ++i) s(i, i) += static_cast<double>(n);
+  return s;
+}
+
+TEST(Matrix, BasicOpsAndIdentity) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix i = Matrix::identity(2);
+  Matrix prod = a * i;
+  EXPECT_EQ(prod.max_abs_diff(a), 0.0);
+  Matrix t = a.transposed();
+  EXPECT_EQ(t(0, 1), 3);
+  EXPECT_EQ(t(1, 0), 2);
+}
+
+TEST(Matrix, ProductMatchesHandComputation) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix b{{7, 8}, {9, 10}, {11, 12}};
+  Matrix c = a * b;
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(Matrix, MatVecAndTransposedTimes) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  std::vector<double> v{1, 1, 1};
+  auto av = a * v;
+  ASSERT_EQ(av.size(), 2u);
+  EXPECT_DOUBLE_EQ(av[0], 6);
+  EXPECT_DOUBLE_EQ(av[1], 15);
+  std::vector<double> w{1, -1};
+  auto atw = a.transposed_times(w);
+  ASSERT_EQ(atw.size(), 3u);
+  EXPECT_DOUBLE_EQ(atw[0], -3);
+  EXPECT_DOUBLE_EQ(atw[1], -3);
+  EXPECT_DOUBLE_EQ(atw[2], -3);
+}
+
+TEST(Matrix, GatherRows) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  std::vector<size_t> idx{2, 0};
+  Matrix g = a.gather_rows(idx);
+  EXPECT_DOUBLE_EQ(g(0, 0), 5);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2);
+  std::vector<size_t> bad{7};
+  EXPECT_THROW((void)a.gather_rows(bad), Error);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), Error);
+  EXPECT_THROW((void)a.distance(Matrix(3, 2)), Error);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix d{{3, 0}, {0, 1}};
+  auto e = eigen_symmetric(d);
+  ASSERT_EQ(e.values.size(), 2u);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a{{2, 1}, {1, 2}};
+  auto e = eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(std::abs(e.vectors(1, 0)), std::sqrt(0.5), 1e-9);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  Matrix a{{1, 2}, {0, 1}};
+  EXPECT_THROW((void)eigen_symmetric(a), Error);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenPropertyTest, ReconstructsAndIsOrthogonal) {
+  const size_t n = GetParam();
+  Rng rng(1234 + n);
+  Matrix a = random_spd(n, rng);
+  auto e = eigen_symmetric(a);
+
+  // Reconstruction: V diag(l) V^T == A.
+  Matrix vd(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) vd(r, c) = e.vectors(r, c) * e.values[c];
+  Matrix rec = vd * e.vectors.transposed();
+  EXPECT_LT(rec.max_abs_diff(a), 1e-8 * static_cast<double>(n));
+
+  // Orthogonality: V^T V == I.
+  Matrix vtv = e.vectors.transposed() * e.vectors;
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(n)), 1e-10);
+
+  // SPD input: all eigenvalues positive, descending.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GT(e.values[i], 0.0);
+    if (i > 0) {
+      EXPECT_GE(e.values[i - 1], e.values[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskyPropertyTest, FactorReconstructs) {
+  const size_t n = GetParam();
+  Rng rng(99 + n);
+  Matrix c = random_spd(n, rng);
+  Matrix l = cholesky(c);
+  Matrix rec = l * l.transposed();
+  EXPECT_LT(rec.max_abs_diff(c), 1e-9 * static_cast<double>(n));
+  // L is lower triangular.
+  for (size_t r = 0; r < n; ++r)
+    for (size_t col = r + 1; col < n; ++col) EXPECT_EQ(l(r, col), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+TEST(Cholesky, RepairsTinyIndefiniteness) {
+  // A rank-deficient PSD matrix: ones everywhere. Plain Cholesky hits a zero
+  // pivot; the jitter path must recover it.
+  Matrix c{{1, 1}, {1, 1}};
+  Matrix l = cholesky(c);
+  Matrix rec = l * l.transposed();
+  EXPECT_LT(rec.max_abs_diff(c), 1e-5);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix c{{1, 2}, {2, 1}};  // eigenvalues 3 and -1
+  EXPECT_THROW((void)cholesky(c), Error);
+}
+
+class PcaPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PcaPropertyTest, LoadingsReconstructCovarianceAndWhiteningInverts) {
+  const size_t n = GetParam();
+  Rng rng(4321 + n);
+  Matrix c = random_spd(n, rng);
+  PcaResult p = pca(c);
+  EXPECT_EQ(p.retained, n);  // SPD: nothing dropped
+  EXPECT_LT(p.reconstructed_covariance().max_abs_diff(c),
+            1e-8 * static_cast<double>(n));
+
+  // whitening * loadings == I_k.
+  Matrix wl = p.whitening * p.loadings;
+  EXPECT_LT(wl.max_abs_diff(Matrix::identity(p.retained)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PcaPropertyTest,
+                         ::testing::Values(1, 2, 3, 6, 12, 24, 48));
+
+TEST(Pca, TruncationKeepsDominantVariance) {
+  // Covariance with eigenvalues ~ {100, 1, 0.01...}: 95% retention keeps 1.
+  Matrix c{{100, 0, 0}, {0, 1, 0}, {0, 0, 0.01}};
+  PcaOptions opts;
+  opts.min_explained = 0.95;
+  PcaResult p = pca(c, opts);
+  EXPECT_EQ(p.retained, 1u);
+  EXPECT_GT(p.explained, 0.95);
+}
+
+TEST(Pca, ClipsTinyNegativeEigenvalues) {
+  // Rank-1 PSD matrix perturbed to be slightly indefinite.
+  Matrix c{{1.0, 1.0}, {1.0, 1.0 - 1e-9}};
+  PcaResult p = pca(c);
+  EXPECT_LE(p.retained, 1u);
+  for (double l : p.eigenvalues) EXPECT_GE(l, 0.0);
+}
+
+TEST(Pca, RejectsBadlyIndefinite) {
+  Matrix c{{1, 2}, {2, 1}};
+  EXPECT_THROW((void)pca(c), Error);
+}
+
+}  // namespace
+}  // namespace hssta::linalg

@@ -1,0 +1,125 @@
+// Tests for the row placer: bounds, determinism, locality, translation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hssta/library/cell_library.hpp"
+#include "hssta/netlist/generate.hpp"
+#include "hssta/placement/placement.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::placement {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+const library::CellLibrary& lib() {
+  static const library::CellLibrary l = library::default_90nm();
+  return l;
+}
+
+Netlist sample_netlist() {
+  netlist::RandomDagSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.num_gates = 300;
+  spec.num_pins = 560;
+  spec.depth = 14;
+  spec.seed = 21;
+  return netlist::make_random_dag(spec, lib());
+}
+
+TEST(Placement, AllCellsInsideDie) {
+  Netlist nl = sample_netlist();
+  Placement p = place_rows(nl);
+  EXPECT_GT(p.die.width, 0.0);
+  EXPECT_GT(p.die.height, 0.0);
+  ASSERT_EQ(p.gate_position.size(), nl.num_gates());
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Point& pt = p.gate(g);
+    EXPECT_GE(pt.x, 0.0);
+    EXPECT_LE(pt.x, p.die.width + 1e-9);
+    EXPECT_GE(pt.y, 0.0);
+    EXPECT_LE(pt.y, p.die.height + 1e-9);
+  }
+  for (const Point& pt : p.input_position) {
+    EXPECT_DOUBLE_EQ(pt.x, 0.0);
+    EXPECT_GE(pt.y, 0.0);
+    EXPECT_LE(pt.y, p.die.height + 1e-9);
+  }
+}
+
+TEST(Placement, RoughlySquareDie) {
+  Netlist nl = sample_netlist();
+  Placement p = place_rows(nl);
+  const double aspect = p.die.width / p.die.height;
+  EXPECT_GT(aspect, 0.5);
+  EXPECT_LT(aspect, 2.0);
+}
+
+TEST(Placement, Deterministic) {
+  Netlist nl = sample_netlist();
+  Placement a = place_rows(nl);
+  Placement b = place_rows(nl);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_DOUBLE_EQ(a.gate(g).x, b.gate(g).x);
+    EXPECT_DOUBLE_EQ(a.gate(g).y, b.gate(g).y);
+  }
+}
+
+TEST(Placement, ConnectedCellsAreNearbyOnAverage) {
+  // Locality sanity: mean distance between connected cells must be well
+  // below the mean distance between random cell pairs.
+  Netlist nl = sample_netlist();
+  Placement p = place_rows(nl);
+  auto dist = [](const Point& a, const Point& b) {
+    return std::hypot(a.x - b.x, a.y - b.y);
+  };
+  double connected = 0.0;
+  size_t n_connected = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    for (netlist::NetId f : nl.gate(g).fanins) {
+      const netlist::GateId d = nl.driver(f);
+      if (d == netlist::kNoGate) continue;
+      connected += dist(p.gate(g), p.gate(d));
+      ++n_connected;
+    }
+  }
+  connected /= static_cast<double>(n_connected);
+
+  double random = 0.0;
+  size_t n_random = 0;
+  for (GateId g = 0; g < nl.num_gates(); g += 7)
+    for (GateId h = 3; h < nl.num_gates(); h += 11) {
+      random += dist(p.gate(g), p.gate(h));
+      ++n_random;
+    }
+  random /= static_cast<double>(n_random);
+  EXPECT_LT(connected, 0.7 * random);
+}
+
+TEST(Placement, TranslateShiftsEverything) {
+  Netlist nl = sample_netlist();
+  Placement p = place_rows(nl);
+  Placement t = translate(p, 100.0, -5.0);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_DOUBLE_EQ(t.gate(g).x, p.gate(g).x + 100.0);
+    EXPECT_DOUBLE_EQ(t.gate(g).y, p.gate(g).y - 5.0);
+  }
+  EXPECT_DOUBLE_EQ(t.die.width, p.die.width);
+}
+
+TEST(Placement, RejectsBadOptions) {
+  Netlist nl = sample_netlist();
+  PlaceOptions bad;
+  bad.row_height = 0.0;
+  EXPECT_THROW((void)place_rows(nl, bad), Error);
+  bad = PlaceOptions{};
+  bad.utilization = 1.5;
+  EXPECT_THROW((void)place_rows(nl, bad), Error);
+}
+
+}  // namespace
+}  // namespace hssta::placement

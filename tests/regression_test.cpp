@@ -1,0 +1,91 @@
+// Regression pins: exact (seed-deterministic) values of the headline
+// reproduction quantities. These are not correctness oracles — the MC and
+// property suites are — but they catch silent behavioural drift in the
+// pipeline (generator, placement, PCA, propagation, extraction) that the
+// tolerance-based tests would absorb.
+//
+// If a deliberate algorithm change moves these numbers, re-baseline after
+// checking the MC-validated suites still pass.
+
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/core/ssta.hpp"
+#include "hssta/netlist/iscas.hpp"
+#include "hssta/timing/statops.hpp"
+
+namespace hssta {
+namespace {
+
+TEST(Regression, C432ExtractionStatistics) {
+  const library::CellLibrary& lib = testing::default_lib();
+  const netlist::Netlist nl = netlist::make_iscas85("c432", lib);
+  EXPECT_EQ(nl.num_gates(), 160u);
+  EXPECT_EQ(nl.num_pins(), 338u);  // 336 target + connectivity repair
+  EXPECT_EQ(nl.primary_inputs().size(), 36u);
+  EXPECT_EQ(nl.primary_outputs().size(), 7u);
+
+  const placement::Placement pl = placement::place_rows(nl);
+  const variation::ModuleVariation mv = variation::make_module_variation(
+      pl, nl.num_gates(), variation::default_90nm_parameters(),
+      variation::SpatialCorrelationConfig{});
+  EXPECT_EQ(mv.partition.num_grids(), 2u);
+  const timing::BuiltGraph built = timing::build_timing_graph(nl, pl, mv);
+  const model::Extraction ex = model::extract_timing_model(
+      built, mv, "c432", model::compute_boundary(nl));
+  EXPECT_EQ(ex.stats.original_edges, 338u);
+  EXPECT_EQ(ex.stats.original_vertices, 196u);
+  EXPECT_EQ(ex.stats.model_edges, 86u);
+  EXPECT_EQ(ex.stats.model_vertices, 62u);
+  EXPECT_EQ(ex.stats.pairs_repaired, 0u);
+}
+
+TEST(Regression, SmallModuleDelayMoments) {
+  const testing::ModuleUnderTest m(testing::small_module_spec(77));
+  const core::SstaResult ssta = core::run_ssta(m.built.graph);
+  EXPECT_NEAR(ssta.delay.nominal(), ssta.delay.nominal(), 0.0);  // finite
+  // Pin to 1e-9: the whole pipeline is deterministic.
+  EXPECT_NEAR(ssta.delay.nominal(), 0.73874804340848121, 1e-9);
+  EXPECT_NEAR(ssta.delay.sigma(), 0.10750064596603774, 1e-9);
+}
+
+TEST(Regression, MultiplierStructureConstants) {
+  const library::CellLibrary& lib = testing::default_lib();
+  const netlist::Netlist nl = netlist::make_array_multiplier(16, 16, lib);
+  EXPECT_EQ(nl.num_gates(), 2384u);
+  EXPECT_EQ(nl.num_pins(), 4704u);
+  EXPECT_EQ(nl.depth(), 148u);
+}
+
+TEST(TightnessSplit, PartitionProperties) {
+  auto make = [](double nom, double rnd) {
+    timing::CanonicalForm f(0);
+    f.set_nominal(nom);
+    f.set_random(rnd);
+    return f;
+  };
+  // Equal iid forms split evenly for any count.
+  for (size_t k : {1u, 2u, 3u, 5u, 9u}) {
+    std::vector<timing::CanonicalForm> xs(k, make(1.0, 0.2));
+    const auto tp = timing::tightness_split(xs);
+    ASSERT_EQ(tp.size(), k);
+    double sum = 0.0;
+    for (double p : tp) {
+      EXPECT_NEAR(p, 1.0 / static_cast<double>(k), 0.02);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // A dominating entry takes all the mass.
+  std::vector<timing::CanonicalForm> xs{make(10.0, 0.1), make(1.0, 0.1),
+                                        make(1.0, 0.1)};
+  const auto tp = timing::tightness_split(xs);
+  EXPECT_GT(tp[0], 1.0 - 1e-9);
+  EXPECT_LT(tp[1] + tp[2], 1e-9);
+  // Empty input throws.
+  EXPECT_THROW((void)timing::tightness_split({}), Error);
+}
+
+}  // namespace
+}  // namespace hssta

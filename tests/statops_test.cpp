@@ -1,0 +1,198 @@
+// Tests for the statistical max: tightness probability, Clark's moments
+// against closed forms and Monte Carlo, degenerate handling, diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hssta/stats/empirical.hpp"
+#include "hssta/stats/rng.hpp"
+#include "hssta/timing/statops.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::timing {
+namespace {
+
+CanonicalForm make(double nominal, std::vector<double> corr, double random) {
+  CanonicalForm f(corr.size());
+  f.set_nominal(nominal);
+  std::copy(corr.begin(), corr.end(), f.corr().begin());
+  f.set_random(random);
+  return f;
+}
+
+TEST(Tightness, EqualIndependentFormsSplitEvenly) {
+  const CanonicalForm a = make(1.0, {0.0}, 1.0);
+  const CanonicalForm b = make(1.0, {0.0}, 1.0);
+  EXPECT_NEAR(tightness_probability(a, b), 0.5, 1e-12);
+}
+
+TEST(Tightness, ComplementsSumToOne) {
+  const CanonicalForm a = make(1.2, {0.5, 0.1}, 0.3);
+  const CanonicalForm b = make(0.9, {-0.2, 0.4}, 0.6);
+  EXPECT_NEAR(tightness_probability(a, b) + tightness_probability(b, a), 1.0,
+              1e-12);
+}
+
+TEST(Tightness, DominatingNominalGoesToOne) {
+  const CanonicalForm a = make(100.0, {}, 1.0);
+  const CanonicalForm b = make(0.0, {}, 1.0);
+  EXPECT_GT(tightness_probability(a, b), 1.0 - 1e-12);
+}
+
+TEST(Tightness, DegenerateFallsBackToNominal) {
+  const CanonicalForm a = make(2.0, {1.0}, 0.0);
+  const CanonicalForm b = make(1.0, {1.0}, 0.0);  // same variation part
+  EXPECT_DOUBLE_EQ(tightness_probability(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(tightness_probability(b, a), 0.0);
+}
+
+TEST(Max, IndependentStandardNormalsMatchClosedForm) {
+  // E[max(X, Y)] = 1/sqrt(pi) and Var = 1 - 1/pi for iid N(0, 1).
+  const CanonicalForm a = make(0.0, {0.0}, 1.0);
+  const CanonicalForm b = make(0.0, {0.0}, 1.0);
+  const CanonicalForm m = statistical_max(a, b);
+  EXPECT_NEAR(m.nominal(), 1.0 / std::sqrt(M_PI), 1e-12);
+  EXPECT_NEAR(m.variance(), 1.0 - 1.0 / M_PI, 1e-12);
+}
+
+TEST(Max, DominatedInputVanishes) {
+  const CanonicalForm a = make(10.0, {0.5}, 0.2);
+  const CanonicalForm b = make(0.0, {0.1}, 0.1);
+  const CanonicalForm m = statistical_max(a, b);
+  EXPECT_NEAR(m.nominal(), a.nominal(), 1e-9);
+  EXPECT_NEAR(m.corr()[0], a.corr()[0], 1e-9);
+  EXPECT_NEAR(m.sigma(), a.sigma(), 1e-9);
+}
+
+TEST(Max, FullyCorrelatedFormsReturnUnchanged) {
+  // No private random part: the two inputs are the same random variable and
+  // the max must return it exactly (degenerate theta path).
+  const CanonicalForm a = make(1.0, {0.7, -0.2}, 0.0);
+  MaxDiagnostics diag;
+  const CanonicalForm m = statistical_max(a, a, &diag);
+  EXPECT_EQ(m, a);
+  EXPECT_EQ(diag.degenerate_theta, 1u);
+}
+
+TEST(Max, PrivateRandomPartsStayIndependent) {
+  // Identical coefficients but nonzero private randoms: the arguments are
+  // distinct variables sharing the correlated part, so the max exceeds
+  // either input in mean (theta^2 = 2 * r^2, not degenerate).
+  const CanonicalForm a = make(1.0, {0.7, -0.2}, 0.3);
+  MaxDiagnostics diag;
+  const CanonicalForm m = statistical_max(a, a, &diag);
+  EXPECT_EQ(diag.degenerate_theta, 0u);
+  EXPECT_GT(m.nominal(), a.nominal());
+  // Closed form: E[max] = mu + r / sqrt(pi) for equal means.
+  EXPECT_NEAR(m.nominal(), 1.0 + 0.3 / std::sqrt(M_PI), 1e-12);
+}
+
+TEST(Max, MeanAtLeastEachInputMean) {
+  const CanonicalForm a = make(1.0, {0.4}, 0.1);
+  const CanonicalForm b = make(1.1, {0.3}, 0.4);
+  const CanonicalForm m = statistical_max(a, b);
+  EXPECT_GE(m.nominal(), a.nominal());
+  EXPECT_GE(m.nominal(), b.nominal());
+  EXPECT_DOUBLE_EQ(m.nominal(), max_mean(a, b));
+}
+
+TEST(Max, CommutesExactly) {
+  const CanonicalForm a = make(1.2, {0.5, 0.1, 0.0}, 0.3);
+  const CanonicalForm b = make(1.0, {-0.2, 0.4, 0.2}, 0.6);
+  const CanonicalForm ab = statistical_max(a, b);
+  const CanonicalForm ba = statistical_max(b, a);
+  EXPECT_NEAR(ab.nominal(), ba.nominal(), 1e-12);
+  EXPECT_NEAR(ab.sigma(), ba.sigma(), 1e-12);
+  for (size_t i = 0; i < ab.dim(); ++i)
+    EXPECT_NEAR(ab.corr()[i], ba.corr()[i], 1e-12);
+}
+
+struct MaxCase {
+  double a0, b0;
+  std::vector<double> ca, cb;
+  double ra, rb;
+};
+
+class MaxVsMonteCarlo : public ::testing::TestWithParam<MaxCase> {};
+
+TEST_P(MaxVsMonteCarlo, MomentsWithinSamplingTolerance) {
+  const MaxCase& tc = GetParam();
+  const CanonicalForm a = make(tc.a0, tc.ca, tc.ra);
+  const CanonicalForm b = make(tc.b0, tc.cb, tc.rb);
+  const CanonicalForm m = statistical_max(a, b);
+
+  stats::Rng rng(2009);
+  stats::Moments mc;
+  const size_t dim = a.dim();
+  std::vector<double> y(dim);
+  const int n = 200000;
+  for (int s = 0; s < n; ++s) {
+    for (double& v : y) v = rng.normal();
+    const double va = a.evaluate(y, rng.normal());
+    const double vb = b.evaluate(y, rng.normal());
+    mc.add(std::max(va, vb));
+  }
+  // Clark's mean/variance are exact for the Gaussian pair; tolerance is
+  // Monte Carlo noise only.
+  EXPECT_NEAR(m.nominal(), mc.mean(), 5.0 * mc.stddev() / std::sqrt(n));
+  EXPECT_NEAR(m.sigma(), mc.stddev(), 0.01 * mc.stddev() + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, MaxVsMonteCarlo,
+    ::testing::Values(
+        MaxCase{0.0, 0.0, {0.0, 0.0}, {0.0, 0.0}, 1.0, 1.0},   // iid
+        MaxCase{1.0, 1.0, {0.6, 0.0}, {0.6, 0.0}, 0.2, 0.2},   // correlated
+        MaxCase{1.0, 1.3, {0.4, 0.1}, {-0.2, 0.3}, 0.3, 0.1},  // shifted
+        MaxCase{2.0, 1.0, {0.5, 0.5}, {0.5, -0.5}, 0.0, 0.0},  // no random
+        MaxCase{0.0, 0.05, {0.9, 0.0}, {0.85, 0.1}, 0.05, 0.05},  // near-dup
+        MaxCase{5.0, 4.0, {1.0, 2.0}, {2.0, 1.0}, 0.5, 0.25}));
+
+TEST(Max, VarianceClampIsCountedAndSane) {
+  // Construct a case prone to clamping: nearly identical, highly correlated
+  // forms with opposite small independent parts.
+  MaxDiagnostics diag;
+  const CanonicalForm a = make(1.0, {1.0, 0.001}, 0.0);
+  const CanonicalForm b = make(1.0, {1.0, -0.001}, 0.0);
+  const CanonicalForm m = statistical_max(a, b, &diag);
+  EXPECT_EQ(diag.ops, 1u);
+  EXPECT_GE(m.variance(), 0.0);
+  EXPECT_GE(m.nominal(), 1.0);
+}
+
+TEST(Max, NarySequentialFold) {
+  std::vector<CanonicalForm> xs;
+  for (int i = 0; i < 5; ++i) xs.push_back(make(0.1 * i, {0.2}, 0.1));
+  MaxDiagnostics diag;
+  const CanonicalForm m = statistical_max(std::span<const CanonicalForm>(xs),
+                                          &diag);
+  EXPECT_EQ(diag.ops, 4u);
+  EXPECT_GE(m.nominal(), 0.4);
+  EXPECT_THROW((void)statistical_max(std::span<const CanonicalForm>{}),
+               Error);
+}
+
+TEST(Max, NaryVersusMonteCarlo) {
+  std::vector<CanonicalForm> xs = {
+      make(1.0, {0.3, 0.0, 0.1}, 0.2), make(1.1, {0.0, 0.3, 0.0}, 0.2),
+      make(0.9, {0.2, 0.2, 0.0}, 0.1), make(1.05, {-0.1, 0.1, 0.3}, 0.3)};
+  const CanonicalForm m =
+      statistical_max(std::span<const CanonicalForm>(xs), nullptr);
+
+  stats::Rng rng(77);
+  stats::Moments mc;
+  std::vector<double> y(3);
+  for (int s = 0; s < 200000; ++s) {
+    for (double& v : y) v = rng.normal();
+    double best = -1e300;
+    for (const auto& f : xs) best = std::max(best, f.evaluate(y, rng.normal()));
+    mc.add(best);
+  }
+  // Sequential Clark folding is approximate for n > 2: allow ~2% error.
+  EXPECT_NEAR(m.nominal(), mc.mean(), 0.02 * mc.mean());
+  EXPECT_NEAR(m.sigma(), mc.stddev(), 0.05 * mc.stddev() + 0.002);
+}
+
+}  // namespace
+}  // namespace hssta::timing

@@ -1,0 +1,178 @@
+// Unit tests for hssta/stats: rng determinism and distribution quality,
+// normal pdf/cdf/quantile accuracy, empirical distribution machinery,
+// histograms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hssta/stats/empirical.hpp"
+#include "hssta/stats/histogram.hpp"
+#include "hssta/stats/normal.hpp"
+#include "hssta/stats/rng.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::stats {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformRangeAndMean) {
+  Rng rng(7);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    acc += u;
+  }
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 50);
+  EXPECT_THROW((void)rng.uniform_index(0), Error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  Moments m;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) m.add(rng.normal());
+  EXPECT_NEAR(m.mean(), 0.0, 0.02);
+  EXPECT_NEAR(m.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // Parent and child streams should not be identical.
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) differs |= (a.next_u64() != child.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Normal, PdfCdfKnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-12);
+  // Deep tail stays accurate through erfc.
+  EXPECT_NEAR(normal_cdf(-8.0) / 6.22096057427178e-16, 1.0, 1e-6);
+}
+
+class NormalQuantileTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileTest, RoundTripsThroughCdf) {
+  const double p = GetParam();
+  const double x = normal_quantile(p);
+  EXPECT_NEAR(normal_cdf(x), p, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormalQuantileTest,
+                         ::testing::Values(1e-10, 1e-6, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 1.0 - 1e-6));
+
+TEST(Normal, QuantileRejectsOutOfRange) {
+  EXPECT_THROW((void)normal_quantile(0.0), Error);
+  EXPECT_THROW((void)normal_quantile(1.0), Error);
+  EXPECT_THROW((void)normal_quantile(-0.5), Error);
+}
+
+TEST(Moments, MatchesDirectComputation) {
+  Moments m;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  for (double x : xs) m.add(x);
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+  EXPECT_NEAR(m.variance(), 5.0 / 3.0, 1e-14);  // unbiased
+}
+
+TEST(Empirical, MomentsQuantilesCdf) {
+  EmpiricalDistribution d({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 4.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(d.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(10.0), 1.0);
+}
+
+TEST(Empirical, AddInvalidatesCache) {
+  EmpiricalDistribution d({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 2.0);
+  d.add(5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 5.0);
+}
+
+TEST(Empirical, KsDistanceSelfIsZeroDisjointIsOne) {
+  EmpiricalDistribution a({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(a.ks_distance(a), 0.0);
+  EmpiricalDistribution b({10, 11, 12});
+  EXPECT_DOUBLE_EQ(a.ks_distance(b), 1.0);
+}
+
+TEST(Empirical, KsAgainstNormalCdfDetectsFit) {
+  Rng rng(17);
+  EmpiricalDistribution d;
+  for (int i = 0; i < 20000; ++i) d.add(rng.normal());
+  const double ks_good = d.ks_distance([](double x) { return normal_cdf(x); });
+  EXPECT_LT(ks_good, 0.015);
+  const double ks_bad =
+      d.ks_distance([](double x) { return normal_cdf(x - 1.0); });
+  EXPECT_GT(ks_bad, 0.3);
+}
+
+TEST(Empirical, GaussianSamplesMatchTheory) {
+  Rng rng(23);
+  EmpiricalDistribution d;
+  for (int i = 0; i < 100000; ++i) d.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(d.mean(), 10.0, 0.05);
+  EXPECT_NEAR(d.stddev(), 2.0, 0.05);
+  // 97.7% quantile of N(10, 2) is ~ 10 + 2*2 = 14.
+  EXPECT_NEAR(d.quantile(normal_cdf(2.0)), 14.0, 0.15);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-1.0);  // clamps into bin 0
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.99);
+  h.add(2.0);  // clamps into last bin
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 2u);
+  const auto e = h.edges();
+  ASSERT_EQ(e.size(), 5u);
+  EXPECT_DOUBLE_EQ(e[0], 0.0);
+  EXPECT_DOUBLE_EQ(e[2], 0.5);
+  EXPECT_DOUBLE_EQ(e[4], 1.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace hssta::stats

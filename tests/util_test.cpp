@@ -1,0 +1,138 @@
+// Unit tests for hssta/util: error macros, strings, table, csv, ascii plots.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hssta/util/ascii_plot.hpp"
+#include "hssta/util/csv.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/strings.hpp"
+#include "hssta/util/table.hpp"
+#include "hssta/util/timer.hpp"
+
+namespace hssta {
+namespace {
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    HSSTA_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertPassesOnTrue) {
+  EXPECT_NO_THROW(HSSTA_ASSERT(2 + 2 == 4, "sanity"));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto f = split("a,,b,", ',');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[2], "b");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  const auto f = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "foo");
+  EXPECT_EQ(f[1], "bar");
+  EXPECT_EQ(f[2], "baz");
+}
+
+TEST(Strings, LowerAndPrefix) {
+  EXPECT_EQ(to_lower("NaNd2"), "nand2");
+  EXPECT_TRUE(starts_with("INPUT(a)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(fmt_percent(0.134, 1), "13.4%");
+  EXPECT_EQ(fmt_percent(0.2, 0), "20%");
+  EXPECT_EQ(fmt_double(0.5), "0.5");
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"circuit", "Eo", "Em"});
+  t.add_row({"c432", "336", "45"});
+  t.add_row({"c7552", "6144", "1073"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.to_string("Table I");
+  EXPECT_NE(s.find("Table I"), std::string::npos);
+  EXPECT_NE(s.find("c7552"), std::string::npos);
+  // Header rule exists.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Csv, WritesAndEscapes) {
+  const std::string path = ::testing::TempDir() + "hssta_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row(std::vector<std::string>{"a", "with,comma", "with\"quote"});
+    w.write_row(std::vector<double>{1.5, 2.25});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"with,comma\",\"with\"\"quote\"");
+  EXPECT_EQ(line2, "1.5,2.25");
+  std::remove(path.c_str());
+}
+
+TEST(AsciiPlot, HistogramRendersBars) {
+  std::ostringstream os;
+  plot_histogram(os, {0.0, 0.5, 1.0}, {10, 5}, 20, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("####################"), std::string::npos);  // full bar
+  EXPECT_NE(s.find("##########"), std::string::npos);            // half bar
+}
+
+TEST(AsciiPlot, HistogramRejectsBadEdges) {
+  std::ostringstream os;
+  EXPECT_THROW(plot_histogram(os, {0.0, 1.0}, {1, 2}), Error);
+}
+
+TEST(AsciiPlot, XyPlotsSeries) {
+  std::ostringstream os;
+  PlotSeries s1{"line", {0, 1, 2, 3}, {0, 1, 2, 3}, '*'};
+  PlotSeries s2{"flat", {0, 1, 2, 3}, {1, 1, 1, 1}, 'o'};
+  plot_xy(os, {s1, s2}, 40, 10, "curves");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("curves"), std::string::npos);
+  EXPECT_NE(out.find("* = line"), std::string::npos);
+  EXPECT_NE(out.find("o = flat"), std::string::npos);
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace hssta

@@ -1,0 +1,229 @@
+// Tests for the variation model: parameter splits, correlation profile
+// endpoints (the paper's 0.92 / 0.42 / cutoff-15 shape), grid partitioning,
+// and VariationSpace invariants (covariance reproduction, layout).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hssta/linalg/matrix.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/variation/grid.hpp"
+#include "hssta/variation/parameters.hpp"
+#include "hssta/variation/space.hpp"
+#include "hssta/variation/spatial.hpp"
+
+namespace hssta::variation {
+namespace {
+
+using placement::Die;
+using placement::Point;
+
+TEST(Parameters, Default90nmMatchesPaperNumbers) {
+  const ParameterSet set = default_90nm_parameters();
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set.at(set.index_of("Leff")).sigma_rel, 0.157);
+  EXPECT_DOUBLE_EQ(set.at(set.index_of("Tox")).sigma_rel, 0.053);
+  EXPECT_DOUBLE_EQ(set.at(set.index_of("Vth")).sigma_rel, 0.044);
+  EXPECT_DOUBLE_EQ(set.load_sigma_rel, 0.15);
+  EXPECT_THROW((void)set.index_of("Frob"), Error);
+}
+
+TEST(Parameters, ComponentSigmasSquareToTotal) {
+  const ProcessParameter p{"X", 0.1, 0.42, 0.53, 0.05};
+  const double total2 = p.sigma_global() * p.sigma_global() +
+                        p.sigma_local() * p.sigma_local() +
+                        p.sigma_random() * p.sigma_random();
+  EXPECT_NEAR(total2, 0.01, 1e-15);
+}
+
+TEST(Parameters, ValidationCatchesBadFractions) {
+  ProcessParameter p{"X", 0.1, 0.5, 0.6, 0.05};  // sums to 1.15
+  EXPECT_THROW(p.validate(), Error);
+  p = ProcessParameter{"X", -0.1, 0.42, 0.53, 0.05};
+  EXPECT_THROW(p.validate(), Error);
+  ParameterSet dup;
+  dup.params = {ProcessParameter{"A", 0.1, 0.42, 0.53, 0.05},
+                ProcessParameter{"A", 0.1, 0.42, 0.53, 0.05}};
+  EXPECT_THROW(dup.validate(), Error);
+}
+
+TEST(Spatial, ProfileHitsPaperEndpoints) {
+  const SpatialCorrelationModel m(SpatialCorrelationConfig{}, 0.42, 0.53);
+  // Same grid: global + local shared.
+  EXPECT_NEAR(m.total_rho(0.0), 0.95, 1e-12);
+  // Neighbouring grids: the paper's 0.92.
+  EXPECT_NEAR(m.total_rho(1.0), 0.92, 1e-12);
+  // At/beyond the cutoff: only the global floor 0.42.
+  EXPECT_NEAR(m.total_rho(15.0), 0.42, 1e-12);
+  EXPECT_NEAR(m.total_rho(40.0), 0.42, 1e-12);
+  // Close to the floor already just inside the cutoff.
+  EXPECT_LT(m.total_rho(14.9), 0.44);
+}
+
+TEST(Spatial, LocalRhoMonotoneDecreasing) {
+  const SpatialCorrelationModel m(SpatialCorrelationConfig{}, 0.42, 0.53);
+  double prev = m.local_rho(0.0);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  for (double d = 0.5; d <= 20.0; d += 0.5) {
+    const double r = m.local_rho(d);
+    EXPECT_LE(r, prev + 1e-12) << "at distance " << d;
+    EXPECT_GE(r, 0.0);
+    prev = r;
+  }
+}
+
+TEST(Spatial, RejectsImpossibleTargets) {
+  SpatialCorrelationConfig cfg;
+  cfg.rho_neighbor = 0.99;  // needs local rho(1) = (0.99-0.42)/0.3 > 1
+  EXPECT_THROW(SpatialCorrelationModel(cfg, 0.42, 0.30), Error);
+  cfg = SpatialCorrelationConfig{};
+  cfg.rho_global = 0.95;  // floor above neighbour correlation
+  EXPECT_THROW(SpatialCorrelationModel(cfg, 0.42, 0.53), Error);
+}
+
+TEST(Grid, RegularPartitionIndexing) {
+  const GridPartition g(Die{100.0, 50.0}, 4, 2);
+  EXPECT_EQ(g.num_grids(), 8u);
+  EXPECT_DOUBLE_EQ(g.pitch_x(), 25.0);
+  EXPECT_DOUBLE_EQ(g.pitch_y(), 25.0);
+  EXPECT_EQ(g.grid_of(Point{1.0, 1.0}), 0u);
+  EXPECT_EQ(g.grid_of(Point{99.0, 1.0}), 3u);
+  EXPECT_EQ(g.grid_of(Point{1.0, 49.0}), 4u);
+  EXPECT_EQ(g.grid_of(Point{99.0, 49.0}), 7u);
+  // Outside points clamp.
+  EXPECT_EQ(g.grid_of(Point{-5.0, -5.0}), 0u);
+  EXPECT_EQ(g.grid_of(Point{1000.0, 1000.0}), 7u);
+  // Centers are inside their grid.
+  const Point c5 = g.center(5);
+  EXPECT_EQ(g.grid_of(c5), 5u);
+}
+
+TEST(Grid, ForCellCountRespectsBound) {
+  const GridPartition g =
+      GridPartition::for_cell_count(Die{80.0, 80.0}, 3512, 100);
+  EXPECT_GE(g.num_grids(), 36u);   // ceil(3512/100)
+  EXPECT_LE(g.num_grids(), 49u);   // not absurdly fine
+  const GridPartition one = GridPartition::for_cell_count(Die{10, 10}, 5, 100);
+  EXPECT_EQ(one.num_grids(), 1u);
+}
+
+TEST(Grid, GeometryDistances) {
+  const GridPartition g(Die{40.0, 40.0}, 4, 4);
+  const GridGeometry geom = g.geometry();
+  ASSERT_EQ(geom.size(), 16u);
+  EXPECT_DOUBLE_EQ(geom.unit, 10.0);
+  EXPECT_DOUBLE_EQ(geom.distance(0, 1), 1.0);   // adjacent in x
+  EXPECT_DOUBLE_EQ(geom.distance(0, 4), 1.0);   // adjacent in y
+  EXPECT_NEAR(geom.distance(0, 5), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(geom.distance(0, 3), 3.0);
+}
+
+class SpaceTest : public ::testing::Test {
+ protected:
+  SpaceTest()
+      : space_(default_90nm_parameters(),
+               GridPartition(Die{60.0, 60.0}, 3, 3).geometry(),
+               SpatialCorrelationConfig{}) {}
+  VariationSpace space_;
+};
+
+TEST_F(SpaceTest, LayoutDimensions) {
+  EXPECT_EQ(space_.num_params(), 3u);
+  EXPECT_EQ(space_.num_grids(), 9u);
+  EXPECT_EQ(space_.num_components(), 9u);  // no truncation by default
+  EXPECT_EQ(space_.dim(), 3u + 3u * 9u);
+  EXPECT_EQ(space_.global_index(2), 2u);
+  EXPECT_EQ(space_.spatial_offset(0), 3u);
+  EXPECT_EQ(space_.spatial_offset(2), 3u + 18u);
+}
+
+TEST_F(SpaceTest, PcaReconstructsCorrelation) {
+  const linalg::Matrix rec = space_.pca().reconstructed_covariance();
+  EXPECT_LT(rec.max_abs_diff(space_.correlation()), 1e-6);
+}
+
+TEST_F(SpaceTest, AccumulateReproducesParameterCovariance) {
+  // Two cells in grids a and b: covariance of their parameter deviations
+  // through the space must equal sigma_g^2 + sigma_l^2 * rho_local(dist).
+  const size_t ga = 0, gb = 5;
+  std::vector<double> ca(space_.dim(), 0.0), cb(space_.dim(), 0.0);
+  const size_t p = 0;  // Leff
+  space_.accumulate(p, ga, 1.0, ca);
+  space_.accumulate(p, gb, 1.0, cb);
+  const double cov = linalg::dot(ca, cb);
+  const ProcessParameter& leff = space_.parameters().at(p);
+  const double expected =
+      leff.sigma_global() * leff.sigma_global() +
+      leff.sigma_local() * leff.sigma_local() *
+          space_.correlation_model().local_rho(space_.grids().distance(ga, gb));
+  EXPECT_NEAR(cov, expected, 1e-9);
+
+  // Same-cell variance (without the random part).
+  const double var = linalg::dot(ca, ca);
+  EXPECT_NEAR(var,
+              leff.sigma_global() * leff.sigma_global() +
+                  leff.sigma_local() * leff.sigma_local(),
+              1e-9);
+}
+
+TEST_F(SpaceTest, DifferentParametersAreIndependent) {
+  std::vector<double> c0(space_.dim(), 0.0), c1(space_.dim(), 0.0);
+  space_.accumulate(0, 4, 1.0, c0);
+  space_.accumulate(1, 4, 1.0, c1);
+  EXPECT_DOUBLE_EQ(linalg::dot(c0, c1), 0.0);
+}
+
+TEST_F(SpaceTest, AccumulateValidatesArguments) {
+  std::vector<double> c(space_.dim(), 0.0);
+  EXPECT_THROW(space_.accumulate(7, 0, 1.0, c), Error);
+  EXPECT_THROW(space_.accumulate(0, 99, 1.0, c), Error);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(space_.accumulate(0, 0, 1.0, wrong), Error);
+}
+
+TEST(Space, TruncationReducesComponents) {
+  linalg::PcaOptions opts;
+  opts.min_explained = 0.95;
+  const VariationSpace full(default_90nm_parameters(),
+                            GridPartition(Die{40, 40}, 4, 4).geometry(),
+                            SpatialCorrelationConfig{});
+  const VariationSpace trunc(default_90nm_parameters(),
+                             GridPartition(Die{40, 40}, 4, 4).geometry(),
+                             SpatialCorrelationConfig{}, opts);
+  EXPECT_LT(trunc.num_components(), full.num_components());
+  EXPECT_GE(trunc.pca().explained, 0.95);
+}
+
+TEST(Space, RejectsMismatchedVarianceSplits) {
+  ParameterSet bad = default_90nm_parameters();
+  bad.params[1].global_frac = 0.60;
+  bad.params[1].local_frac = 0.35;
+  EXPECT_THROW(VariationSpace(bad,
+                              GridPartition(Die{40, 40}, 2, 2).geometry(),
+                              SpatialCorrelationConfig{}),
+               Error);
+}
+
+TEST(Space, MakeModuleVariationAppliesCellBound) {
+  // A fake placement of 950 cells on a 50x50 die.
+  placement::Placement pl;
+  pl.die = Die{50.0, 50.0};
+  const ModuleVariation mv = make_module_variation(
+      pl, 950, default_90nm_parameters(), SpatialCorrelationConfig{});
+  EXPECT_GE(mv.partition.num_grids(), 10u);
+  EXPECT_EQ(mv.space->num_grids(), mv.partition.num_grids());
+}
+
+TEST(Space, LargeGridCorrelationIsPcaClean) {
+  // A realistic module-sized partition (6x6 grids): PCA must succeed with
+  // at most marginal clipping despite the correlation cutoff clamp.
+  const VariationSpace space(default_90nm_parameters(),
+                             GridPartition(Die{120, 120}, 6, 6).geometry(),
+                             SpatialCorrelationConfig{});
+  EXPECT_LE(space.pca().clipped_negative, 2u);
+  EXPECT_GT(space.pca().explained, 0.999);
+}
+
+}  // namespace
+}  // namespace hssta::variation

@@ -1,0 +1,160 @@
+// hssta_cli — command-line front end for .bench workflows.
+//
+//   hssta_cli report  <in.bench> [--paths K]      module SSTA report
+//   hssta_cli extract <in.bench> <out.hstm> [--delta X]
+//   hssta_cli mc      <in.bench> [--samples N] [--seed S]
+//
+// All commands use the default 90nm library and the paper's variation
+// setup (Leff/Tox/Vth, 0.92-neighbour correlation, <100 cells per grid).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "hssta/core/paths.hpp"
+#include "hssta/core/ssta.hpp"
+#include "hssta/hssta.hpp"
+
+namespace {
+
+using namespace hssta;
+
+struct Flags {
+  size_t paths = 5;
+  size_t samples = 5000;
+  uint64_t seed = 2009;
+  double delta = 0.05;
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags f;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw Error("missing value after " + a);
+      return argv[++i];
+    };
+    if (a == "--paths") f.paths = std::strtoull(next(), nullptr, 10);
+    else if (a == "--samples") f.samples = std::strtoull(next(), nullptr, 10);
+    else if (a == "--seed") f.seed = std::strtoull(next(), nullptr, 10);
+    else if (a == "--delta") f.delta = std::strtod(next(), nullptr);
+    else throw Error("unknown flag: " + a);
+  }
+  return f;
+}
+
+struct Loaded {
+  netlist::Netlist netlist;
+  placement::Placement placement;
+  variation::ModuleVariation variation;
+  timing::BuiltGraph built;
+};
+
+Loaded load(const std::string& path, const library::CellLibrary& lib) {
+  netlist::Netlist nl = netlist::read_bench_file(path, lib);
+  placement::Placement pl = placement::place_rows(nl);
+  variation::ModuleVariation mv = variation::make_module_variation(
+      pl, nl.num_gates(), variation::default_90nm_parameters(),
+      variation::SpatialCorrelationConfig{});
+  timing::BuiltGraph built = timing::build_timing_graph(nl, pl, mv);
+  return Loaded{std::move(nl), std::move(pl), std::move(mv),
+                std::move(built)};
+}
+
+int cmd_report(const std::string& path, const Flags& flags,
+               const library::CellLibrary& lib) {
+  const Loaded m = load(path, lib);
+  std::printf("%s: %zu gates, %zu inputs, %zu outputs, depth %zu\n",
+              m.netlist.name().c_str(), m.netlist.num_gates(),
+              m.netlist.primary_inputs().size(),
+              m.netlist.primary_outputs().size(), m.netlist.depth());
+  std::printf("variation: %zu grids, %zu variables\n\n",
+              m.variation.partition.num_grids(), m.variation.space->dim());
+
+  const core::SstaResult ssta = core::run_ssta(m.built.graph);
+  std::printf("delay: mean %.4f ns, sigma %.4f ns\n", ssta.delay.nominal(),
+              ssta.delay.sigma());
+  for (double q : {0.90, 0.99, 0.9987})
+    std::printf("  %.2f%% quantile: %.4f ns\n", 100 * q,
+                ssta.delay.quantile(q));
+  std::printf("nominal STA %.4f ns, 3-sigma corner %.4f ns\n\n",
+              timing::corner_delay(m.built.graph, 0.0),
+              timing::corner_delay(m.built.graph, 3.0));
+
+  const auto paths = core::report_critical_paths(m.built.graph, flags.paths);
+  std::printf("top %zu critical paths:\n", paths.size());
+  for (const auto& p : paths)
+    std::printf("  P=%5.1f%%  %.4f ns (+/- %.4f)  %s\n",
+                100.0 * p.criticality, p.delay.nominal(), p.delay.sigma(),
+                p.format(m.built.graph).c_str());
+  return 0;
+}
+
+int cmd_extract(const std::string& in, const std::string& out,
+                const Flags& flags, const library::CellLibrary& lib) {
+  const Loaded m = load(in, lib);
+  const model::Extraction ex = model::extract_timing_model(
+      m.built, m.variation, m.netlist.name(),
+      model::compute_boundary(m.netlist),
+      model::ExtractOptions{flags.delta, true});
+  ex.model.save_file(out);
+  std::printf(
+      "%s: %zu -> %zu edges (%.0f%%), %zu -> %zu vertices (%.0f%%), "
+      "%.3f s\nmodel written to %s\n",
+      m.netlist.name().c_str(), ex.stats.original_edges,
+      ex.stats.model_edges, 100.0 * ex.stats.edge_ratio(),
+      ex.stats.original_vertices, ex.stats.model_vertices,
+      100.0 * ex.stats.vertex_ratio(), ex.stats.seconds, out.c_str());
+  return 0;
+}
+
+int cmd_mc(const std::string& path, const Flags& flags,
+           const library::CellLibrary& lib) {
+  const Loaded m = load(path, lib);
+  const mc::FlatCircuit fc =
+      mc::FlatCircuit::from_module(m.built, m.netlist, m.variation);
+  stats::Rng rng(flags.seed);
+  WallTimer timer;
+  const auto d = fc.sample_delay(flags.samples, rng);
+  std::printf(
+      "%s Monte Carlo (%zu samples, seed %llu, %.2f s):\n"
+      "  mean %.4f ns, sigma %.4f ns, min %.4f, max %.4f\n"
+      "  quantiles: 90%% %.4f | 99%% %.4f | 99.87%% %.4f\n",
+      m.netlist.name().c_str(), flags.samples,
+      static_cast<unsigned long long>(flags.seed), timer.seconds(), d.mean(),
+      d.stddev(), d.min(), d.max(), d.quantile(0.90), d.quantile(0.99),
+      d.quantile(0.9987));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hssta_cli report  <in.bench> [--paths K]\n"
+               "  hssta_cli extract <in.bench> <out.hstm> [--delta X]\n"
+               "  hssta_cli mc      <in.bench> [--samples N] [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) return usage();
+    const std::string cmd = argv[1];
+    const library::CellLibrary lib = library::default_90nm();
+    if (cmd == "report")
+      return cmd_report(argv[2], parse_flags(argc, argv, 3), lib);
+    if (cmd == "extract") {
+      if (argc < 4) return usage();
+      return cmd_extract(argv[2], argv[3], parse_flags(argc, argv, 4), lib);
+    }
+    if (cmd == "mc") return cmd_mc(argv[2], parse_flags(argc, argv, 3), lib);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
