@@ -53,13 +53,14 @@ int main(int, char**) {
                                          "seconds"});
 
   for (const char* circuit : {"c880", "c3540"}) {
-    const auto pipeline = bench::ModulePipeline::for_iscas(circuit);
+    const flow::Module module = bench::module_for_iscas(circuit);
     const core::DelayMatrix original =
-        core::all_pairs_io_delays(pipeline->built.graph);
+        core::all_pairs_io_delays(module.graph());
 
     Table t({"delta", "Em", "pe", "pv", "merr", "verr", "repaired", "T(s)"});
     for (double delta : {0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}) {
-      const model::Extraction ex = pipeline->extract(delta);
+      const model::Extraction& ex =
+          module.extract_model(model::ExtractOptions{delta, true});
       const Accuracy acc = canonical_error(ex.model.io_delays(), original);
       t.add_row({fmt_double(delta, 3), std::to_string(ex.stats.model_edges),
                  fmt_percent(ex.stats.edge_ratio(), 1),

@@ -35,33 +35,30 @@ int main(int argc, char** argv) {
                                          "ssta_seconds", "mc_seconds"});
 
   for (size_t bound : {25, 50, 100, 200, 400, 1000}) {
-    netlist::Netlist nl = netlist::make_iscas85("c1908", bench::lib());
-    const bench::ModulePipeline pipeline(std::move(nl), bound);
+    const flow::Module module = bench::module_for_iscas("c1908", bound);
 
     WallTimer ssta_timer;
-    const core::SstaResult ssta = core::run_ssta(pipeline.built.graph);
+    const core::SstaResult& ssta = module.ssta();
     const double t_ssta = ssta_timer.seconds();
 
     WallTimer mc_timer;
-    const mc::FlatCircuit fc = mc::FlatCircuit::from_module(
-        pipeline.built, pipeline.netlist, pipeline.variation);
     stats::Rng rng(args.seed);
-    const auto mc = fc.sample_delay(args.samples, rng);
+    const auto mc = module.flat_circuit().sample_delay(args.samples, rng);
     const double t_mc = mc_timer.seconds();
 
     const double serr =
         std::abs(ssta.delay.sigma() - mc.stddev()) / mc.stddev();
     t.add_row({std::to_string(bound),
-               std::to_string(pipeline.variation.partition.num_grids()),
-               std::to_string(pipeline.variation.space->dim()),
+               std::to_string(module.variation().partition.num_grids()),
+               std::to_string(module.variation().space->dim()),
                fmt_double(ssta.delay.nominal(), 5), fmt_double(mc.mean(), 5),
                fmt_double(ssta.delay.sigma(), 4), fmt_double(mc.stddev(), 4),
                fmt_percent(serr, 1), fmt_double(t_ssta, 4),
                fmt_double(t_mc, 3)});
     csv.write_row(std::vector<double>{
         static_cast<double>(bound),
-        static_cast<double>(pipeline.variation.partition.num_grids()),
-        static_cast<double>(pipeline.variation.space->dim()),
+        static_cast<double>(module.variation().partition.num_grids()),
+        static_cast<double>(module.variation().space->dim()),
         ssta.delay.nominal(), mc.mean(), ssta.delay.sigma(), mc.stddev(),
         t_ssta, t_mc});
   }

@@ -1,78 +1,58 @@
-// Shared infrastructure for the bench harnesses: the module pipeline
-// (synthesize -> place -> variation -> timing graph), the paper's Fig. 7
-// design topology, simple flag parsing and output-file handling.
+// Shared infrastructure for the bench harnesses, built on the flow::
+// facade: module handles for the synthetic ISCAS85 suite, the paper's
+// Fig. 7 design topology, ArgParser-based flag parsing and output-file
+// handling.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "hssta/hier/design.hpp"
-#include "hssta/library/cell_library.hpp"
-#include "hssta/model/extract.hpp"
-#include "hssta/netlist/iscas.hpp"
-#include "hssta/placement/placement.hpp"
-#include "hssta/timing/builder.hpp"
-#include "hssta/variation/space.hpp"
+#include "hssta/flow/flow.hpp"
+#include "hssta/util/argparse.hpp"
 
 namespace hssta::bench {
 
-inline const library::CellLibrary& lib() {
-  static const library::CellLibrary l = library::default_90nm();
-  return l;
+/// A flow::Config with the bench-wide grid bound and extraction threshold
+/// applied.
+inline flow::Config bench_config(size_t max_cells_per_grid = 100,
+                                 double delta = 0.05) {
+  flow::Config cfg;
+  cfg.max_cells_per_grid = max_cells_per_grid;
+  cfg.extract.criticality_threshold = delta;
+  return cfg;
 }
 
-/// Everything one module needs through the analysis pipeline, with the
-/// lifetimes tied together.
-struct ModulePipeline {
-  netlist::Netlist netlist;
-  placement::Placement placement;
-  variation::ModuleVariation variation;
-  timing::BuiltGraph built;
-
-  ModulePipeline(netlist::Netlist nl, size_t max_cells_per_grid)
-      : netlist(std::move(nl)),
-        placement(placement::place_rows(netlist)),
-        variation(variation::make_module_variation(
-            placement, netlist.num_gates(),
-            variation::default_90nm_parameters(),
-            variation::SpatialCorrelationConfig{}, max_cells_per_grid)),
-        built(timing::build_timing_graph(netlist, placement, variation)) {}
-
-  static std::unique_ptr<ModulePipeline> for_iscas(
-      const std::string& name, size_t max_cells_per_grid = 100) {
-    return std::make_unique<ModulePipeline>(
-        netlist::make_iscas85(name, lib()), max_cells_per_grid);
-  }
-
-  [[nodiscard]] model::Extraction extract(double delta = 0.05) const {
-    return model::extract_timing_model(built, variation, netlist.name(),
-                                       model::compute_boundary(netlist),
-                                       model::ExtractOptions{delta, true});
-  }
-};
+/// Module handle for one synthetic ISCAS85 circuit. `delta` becomes the
+/// module's configured extraction threshold, so everything derived from
+/// the handle — including design-level analyses — uses the same model.
+inline flow::Module module_for_iscas(const std::string& name,
+                                     size_t max_cells_per_grid = 100,
+                                     double delta = 0.05) {
+  return flow::Module::from_iscas(name,
+                                  bench_config(max_cells_per_grid, delta));
+}
 
 /// The paper's Fig. 7 experimental circuit: four instances of one module in
 /// two columns, placed in abutment; the outputs of the first-column modules
-/// are cross-connected to the inputs of the second-column modules.
-inline hier::HierDesign make_fig7_design(const ModulePipeline& m,
-                                         const model::TimingModel& model) {
-  using hier::PortRef;
-  const placement::Die mdie = model.die();
-  hier::HierDesign d("fig7", placement::Die{2 * mdie.width, 2 * mdie.height});
-  const size_t a =
-      d.add_instance({"A", &model, {0, 0}, &m.netlist, &m.placement});
-  const size_t b = d.add_instance(
-      {"B", &model, {0, mdie.height}, &m.netlist, &m.placement});
-  const size_t c = d.add_instance(
-      {"C", &model, {mdie.width, 0}, &m.netlist, &m.placement});
-  const size_t e = d.add_instance(
-      {"D", &model, {mdie.width, mdie.height}, &m.netlist, &m.placement});
+/// are cross-connected to the inputs of the second-column modules. The
+/// module's model is extracted on demand with the module's own configured
+/// options (see module_for_iscas).
+inline flow::Design make_fig7_design(const flow::Module& m) {
+  const placement::Die mdie = m.model().die();
 
-  const size_t ni = model.graph().inputs().size();
-  const size_t no = model.graph().outputs().size();
+  flow::Design d("fig7", placement::Die{2 * mdie.width, 2 * mdie.height},
+                 m.config());
+  const size_t a = d.add_instance(m, 0, 0, "A");
+  const size_t b = d.add_instance(m, 0, mdie.height, "B");
+  const size_t c = d.add_instance(m, mdie.width, 0, "C");
+  const size_t e = d.add_instance(m, mdie.width, mdie.height, "D");
+
+  const size_t ni = d.num_inputs(a);
+  const size_t no = d.num_outputs(a);
   const size_t half = ni / 2;
   for (size_t k = 0; k < ni; ++k) {
     // C consumes the low halves of A and B; D consumes the high halves, so
@@ -81,44 +61,37 @@ inline hier::HierDesign make_fig7_design(const ModulePipeline& m,
     const size_t c_port = (k < half) ? k : k - half;
     const size_t d_src = (k < half) ? b : a;
     const size_t d_port = (k < half) ? k + half : k;
-    d.add_connection({PortRef{c_src, c_port % no}, PortRef{c, k}});
-    d.add_connection({PortRef{d_src, d_port % no}, PortRef{e, k}});
+    d.connect(c_src, c_port % no, c, k);
+    d.connect(d_src, d_port % no, e, k);
   }
   for (size_t k = 0; k < ni; ++k) {
-    d.add_primary_input({"pa" + std::to_string(k), {PortRef{a, k}}});
-    d.add_primary_input({"pb" + std::to_string(k), {PortRef{b, k}}});
+    d.primary_input("pa" + std::to_string(k), a, k);
+    d.primary_input("pb" + std::to_string(k), b, k);
   }
   for (size_t k = 0; k < no; ++k) {
-    d.add_primary_output({"qc" + std::to_string(k), PortRef{c, k}});
-    d.add_primary_output({"qd" + std::to_string(k), PortRef{e, k}});
+    d.primary_output("qc" + std::to_string(k), c, k);
+    d.primary_output("qd" + std::to_string(k), e, k);
   }
-  d.validate();
   return d;
 }
 
-/// Minimal flag parsing: --samples N, --quick, --delta X, --seed N.
+/// Bench-wide flags: --samples N, --quick, --delta X, --seed N.
 struct BenchArgs {
-  size_t samples = 4000;
+  uint64_t samples = 4000;
   double delta = 0.05;
   uint64_t seed = 2009;
   bool quick = false;
 
-  static BenchArgs parse(int argc, char** argv) {
+  static BenchArgs parse(int argc, char** argv,
+                         const std::string& program = "bench") {
     BenchArgs a;
-    for (int i = 1; i < argc; ++i) {
-      const std::string flag = argv[i];
-      auto next = [&]() -> std::string {
-        return (i + 1 < argc) ? argv[++i] : "";
-      };
-      if (flag == "--samples") a.samples = std::strtoull(next().c_str(),
-                                                         nullptr, 10);
-      else if (flag == "--delta") a.delta = std::strtod(next().c_str(),
-                                                        nullptr);
-      else if (flag == "--seed") a.seed = std::strtoull(next().c_str(),
-                                                        nullptr, 10);
-      else if (flag == "--quick") a.quick = true;
-    }
-    if (a.quick) a.samples = std::min<size_t>(a.samples, 1500);
+    util::ArgParser p(program, "hssta bench harness");
+    p.option("--samples", &a.samples, "N", "Monte Carlo sample count");
+    p.option("--delta", &a.delta, "X", "extraction criticality threshold");
+    p.option("--seed", &a.seed, "S", "Monte Carlo RNG seed");
+    p.flag("--quick", &a.quick, "cap sample counts for a fast smoke run");
+    if (!p.parse(argc, argv)) std::exit(0);
+    if (a.quick) a.samples = std::min<uint64_t>(a.samples, 1500);
     return a;
   }
 };

@@ -20,22 +20,20 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
 
   std::printf("Fig. 6 reproduction: edge criticality histogram for c7552\n\n");
-  const auto pipeline = bench::ModulePipeline::for_iscas("c7552");
+  const flow::Module module = bench::module_for_iscas("c7552");
+  const timing::TimingGraph& g = module.graph();
   std::printf("circuit: %zu vertices, %zu edges, %zu inputs, %zu outputs\n",
-              pipeline->built.graph.num_live_vertices(),
-              pipeline->built.graph.num_live_edges(),
-              pipeline->built.graph.inputs().size(),
-              pipeline->built.graph.outputs().size());
+              g.num_live_vertices(), g.num_live_edges(), g.inputs().size(),
+              g.outputs().size());
 
   WallTimer timer;
-  const core::CriticalityResult crit =
-      core::compute_criticality(pipeline->built.graph);
+  const core::CriticalityResult crit = core::compute_criticality(g);
   std::printf("criticality computation: %.2f s\n\n", timer.seconds());
 
   stats::Histogram hist(0.0, 1.0, 20);
   size_t below = 0, above = 0, total = 0;
-  for (timing::EdgeId e = 0; e < pipeline->built.graph.num_edge_slots(); ++e) {
-    if (!pipeline->built.graph.edge_alive(e)) continue;
+  for (timing::EdgeId e = 0; e < g.num_edge_slots(); ++e) {
+    if (!g.edge_alive(e)) continue;
     const double c = crit.max_criticality[e];
     hist.add(c);
     ++total;

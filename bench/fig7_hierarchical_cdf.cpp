@@ -32,10 +32,11 @@ int main(int argc, char** argv) {
       "Fig. 7 reproduction: hierarchical SSTA of 4 x c6288 (16x16 array "
       "multipliers)\n\n");
 
-  // Characterize the multiplier module once.
-  const auto pipeline = bench::ModulePipeline::for_iscas("c6288");
+  // Characterize the multiplier module once, at the requested delta.
+  const flow::Module module = bench::module_for_iscas("c6288", 100,
+                                                      args.delta);
   WallTimer extraction_timer;
-  const model::Extraction ex = pipeline->extract(args.delta);
+  const model::Extraction& ex = module.extract_model();
   const double t_extract = extraction_timer.seconds();
   std::printf(
       "module model: %zu -> %zu edges (%.0f%%), %zu -> %zu vertices, "
@@ -44,23 +45,21 @@ int main(int argc, char** argv) {
       100.0 * ex.stats.edge_ratio(), ex.stats.original_vertices,
       ex.stats.model_vertices, t_extract);
 
-  const hier::HierDesign design = bench::make_fig7_design(*pipeline, ex.model);
+  const flow::Design design = bench::make_fig7_design(module);
 
   // Ground truth: flat Monte Carlo of the four original netlists.
   WallTimer mc_timer;
-  const auto mc = mc::hier_flat_mc(design, args.samples, args.seed);
+  const stats::EmpiricalDistribution& mc =
+      design.monte_carlo(flow::McOptions{args.samples, args.seed});
   const double t_mc = mc_timer.seconds();
 
   // Proposed: variable replacement at design level.
-  hier::HierOptions proposed_opts;
-  const hier::HierResult proposed =
-      hier::analyze_hierarchical(design, proposed_opts);
+  const hier::HierResult& proposed = design.analyze();
 
   // Baseline: only global correlation between modules.
   hier::HierOptions global_opts;
   global_opts.mode = hier::CorrelationMode::kGlobalOnly;
-  const hier::HierResult global_only =
-      hier::analyze_hierarchical(design, global_opts);
+  const hier::HierResult& global_only = design.analyze(global_opts);
 
   // Normalized-delay CDF curves like the paper's figure.
   const double lo = mc.quantile(0.0005);

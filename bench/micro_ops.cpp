@@ -61,18 +61,18 @@ void BM_TightnessProbability(benchmark::State& state) {
 BENCHMARK(BM_TightnessProbability);
 
 void BM_FullCircuitSsta(benchmark::State& state) {
-  const auto pipeline = bench::ModulePipeline::for_iscas("c880");
+  const flow::Module module = bench::module_for_iscas("c880");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_ssta(pipeline->built.graph));
+    benchmark::DoNotOptimize(core::run_ssta(module.graph()));
   }
 }
 BENCHMARK(BM_FullCircuitSsta)->Unit(benchmark::kMillisecond);
 
 void BM_AllPairsCriticality(benchmark::State& state) {
-  const auto pipeline = bench::ModulePipeline::for_iscas("c432");
+  const flow::Module module = bench::module_for_iscas("c432");
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::compute_criticality(pipeline->built.graph));
+        core::compute_criticality(module.graph()));
   }
 }
 BENCHMARK(BM_AllPairsCriticality)->Unit(benchmark::kMillisecond);
@@ -91,9 +91,8 @@ void BM_Pca(benchmark::State& state) {
 BENCHMARK(BM_Pca)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_FlatMcSample(benchmark::State& state) {
-  const auto pipeline = bench::ModulePipeline::for_iscas("c880");
-  const mc::FlatCircuit fc = mc::FlatCircuit::from_module(
-      pipeline->built, pipeline->netlist, pipeline->variation);
+  const flow::Module module = bench::module_for_iscas("c880");
+  const mc::FlatCircuit& fc = module.flat_circuit();
   stats::Rng rng(7);
   for (auto _ : state) {
     benchmark::DoNotOptimize(fc.sample_delay(10, rng));

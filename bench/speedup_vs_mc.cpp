@@ -26,20 +26,20 @@ int main(int argc, char** argv) {
       "Speedup reproduction: hierarchical SSTA vs flat Monte Carlo on the\n"
       "Fig. 7 design (4 x c6288)\n\n");
 
-  const auto pipeline = bench::ModulePipeline::for_iscas("c6288");
+  const flow::Module module = bench::module_for_iscas("c6288", 100,
+                                                      args.delta);
   WallTimer extract_timer;
-  const model::Extraction ex = pipeline->extract(args.delta);
+  module.extract_model();
   const double t_extract = extract_timer.seconds();
-  const hier::HierDesign design = bench::make_fig7_design(*pipeline, ex.model);
+  const flow::Design design = bench::make_fig7_design(module);
 
   // Design-level analysis (the recurring cost at design time; extraction is
   // a one-off characterization like the paper's library preparation).
-  const hier::HierResult hier = hier::analyze_hierarchical(design);
+  const hier::HierResult& hier = design.analyze();
   const double t_hier = hier.build_seconds + hier.analysis_seconds;
 
   // Flatten once, then time pure sampling per sample count.
-  const hier::DesignGrid grid = hier::build_design_grid(design);
-  const mc::FlatCircuit fc = mc::flatten_design(design, grid);
+  const mc::FlatCircuit& fc = design.flat_circuit();
 
   Table t({"method", "samples", "runtime(s)", "speedup of hier SSTA"});
   CsvWriter csv(bench::out_path("speedup_vs_mc.csv"));

@@ -88,13 +88,13 @@ int main(int argc, char** argv) {
 
   double sum_pe = 0, sum_pv = 0, sum_merr = 0, sum_verr = 0;
   for (const PaperRow& row : kPaper) {
-    const auto pipeline = bench::ModulePipeline::for_iscas(row.circuit);
-    const model::Extraction ex = pipeline->extract(args.delta);
+    const flow::Module module = bench::module_for_iscas(row.circuit);
+    const model::Extraction& ex =
+        module.extract_model(model::ExtractOptions{args.delta, true});
 
-    const mc::FlatCircuit fc = mc::FlatCircuit::from_module(
-        pipeline->built, pipeline->netlist, pipeline->variation);
     stats::Rng rng(args.seed);
-    const mc::IoStats ref = fc.sample_io_delays(args.samples, rng);
+    const mc::IoStats ref =
+        module.flat_circuit().sample_io_delays(args.samples, rng);
     const Accuracy acc = compare(ex.model.io_delays(), ref);
 
     const auto& st = ex.stats;

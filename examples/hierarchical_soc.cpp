@@ -1,28 +1,21 @@
 // SoC-integrator flow: design-level SSTA over pre-characterized IP models
-// (paper Section V). Four instances of a datapath block are placed on the
-// top die in two pipeline columns; the integrator never sees the netlists —
-// only the .hstm-style models — yet gets a design delay distribution that
-// tracks flattened Monte Carlo, because the independent-variable
-// replacement restores the spatial correlation between the abutted blocks.
+// (paper Section V), written against the flow:: facade. Four instances of
+// a datapath block are placed on the top die in two pipeline columns; the
+// integrator never sees the netlists — only the extracted models — yet
+// gets a design delay distribution that tracks flattened Monte Carlo,
+// because the independent-variable replacement restores the spatial
+// correlation between the abutted blocks.
 
 #include <cstdio>
 #include <iostream>
 
-#include "hssta/hier/hier_ssta.hpp"
-#include "hssta/library/cell_library.hpp"
-#include "hssta/mc/hier_mc.hpp"
-#include "hssta/model/extract.hpp"
-#include "hssta/netlist/generate.hpp"
-#include "hssta/placement/placement.hpp"
-#include "hssta/timing/builder.hpp"
+#include "hssta/flow/flow.hpp"
 #include "hssta/util/ascii_plot.hpp"
-#include "hssta/variation/space.hpp"
 
 int main() {
   using namespace hssta;
-  const library::CellLibrary lib = library::default_90nm();
 
-  // --- IP vendor side: characterize the block, ship the model. -----------
+  // --- IP vendor side: characterize the block once. ----------------------
   netlist::RandomDagSpec spec;
   spec.name = "dsp_slice";
   spec.num_inputs = 16;
@@ -31,48 +24,38 @@ int main() {
   spec.num_pins = 720;
   spec.depth = 18;
   spec.seed = 5;
-  const netlist::Netlist nl = netlist::make_random_dag(spec, lib);
-  const placement::Placement pl = placement::place_rows(nl);
-  const variation::ModuleVariation mv = variation::make_module_variation(
-      pl, nl.num_gates(), variation::default_90nm_parameters(),
-      variation::SpatialCorrelationConfig{});
-  const timing::BuiltGraph built = timing::build_timing_graph(nl, pl, mv);
-  const model::Extraction ex = model::extract_timing_model(
-      built, mv, spec.name, model::compute_boundary(nl));
-  std::printf("IP model '%s': %zu -> %zu timing arcs\n\n", spec.name.c_str(),
+  const flow::Module dsp = flow::Module::from_random_dag(spec);
+  const model::Extraction& ex = dsp.extract_model();
+  std::printf("IP model '%s': %zu -> %zu timing arcs\n\n", dsp.name().c_str(),
               ex.stats.original_edges, ex.stats.model_edges);
 
   // --- Integrator side: place four instances, wire two pipeline stages. --
-  using hier::PortRef;
-  const placement::Die mdie = ex.model.die();
-  hier::HierDesign soc("soc",
-                       placement::Die{2 * mdie.width, 2 * mdie.height});
-  const size_t a = soc.add_instance({"dsp0", &ex.model, {0, 0}, &nl, &pl});
-  const size_t b =
-      soc.add_instance({"dsp1", &ex.model, {0, mdie.height}, &nl, &pl});
-  const size_t c =
-      soc.add_instance({"dsp2", &ex.model, {mdie.width, 0}, &nl, &pl});
-  const size_t d = soc.add_instance(
-      {"dsp3", &ex.model, {mdie.width, mdie.height}, &nl, &pl});
+  const placement::Die mdie = dsp.model().die();
+  flow::Design soc("soc");
+  const size_t a = soc.add_instance(dsp, 0, 0, "dsp0");
+  const size_t b = soc.add_instance(dsp, 0, mdie.height, "dsp1");
+  const size_t c = soc.add_instance(dsp, mdie.width, 0, "dsp2");
+  const size_t d = soc.add_instance(dsp, mdie.width, mdie.height, "dsp3");
   for (size_t k = 0; k < 16; ++k) {
-    soc.add_connection({PortRef{a, k}, PortRef{c, k}});
-    soc.add_connection({PortRef{b, k}, PortRef{d, k}});
-    soc.add_primary_input({"ia" + std::to_string(k), {PortRef{a, k}}});
-    soc.add_primary_input({"ib" + std::to_string(k), {PortRef{b, k}}});
-    soc.add_primary_output({"oc" + std::to_string(k), PortRef{c, k}});
-    soc.add_primary_output({"od" + std::to_string(k), PortRef{d, k}});
+    soc.connect(a, k, c, k);
+    soc.connect(b, k, d, k);
+    soc.primary_input("ia" + std::to_string(k), a, k);
+    soc.primary_input("ib" + std::to_string(k), b, k);
+    soc.primary_output("oc" + std::to_string(k), c, k);
+    soc.primary_output("od" + std::to_string(k), d, k);
   }
 
   // Proposed analysis vs the correlation-blind baseline.
-  const hier::HierResult prop = hier::analyze_hierarchical(soc);
+  const hier::HierResult& prop = soc.analyze();
   hier::HierOptions glob;
   glob.mode = hier::CorrelationMode::kGlobalOnly;
-  const hier::HierResult base = hier::analyze_hierarchical(soc, glob);
+  const hier::HierResult& base = soc.analyze(glob);
 
-  // Sign-off check: flattened Monte Carlo (integrator-side only possible
-  // here because the example owns the netlists; a real integrator relies on
-  // the model).
-  const auto mcd = mc::hier_flat_mc(soc, 5000, 123);
+  // Sign-off check: flattened Monte Carlo (possible here because the
+  // instances came from flow::Modules that carry their netlists; a design
+  // assembled from .hstm files would rely on the models alone).
+  const stats::EmpiricalDistribution& mcd =
+      soc.monte_carlo(flow::McOptions{5000, 123});
 
   std::printf("design delay:\n");
   std::printf("  flattened MC     : mean %.4f ns, sigma %.4f ns\n",

@@ -1,37 +1,25 @@
 // IP-vendor flow: characterize a block once, ship a compact statistical
 // timing model instead of the netlist (paper Sections III-IV).
 //
-// The example extracts the gray-box model of a c432-sized block, verifies
-// that the model reproduces the block's input-output delays, writes the
-// model to a .hstm file (the hand-off artifact) and reloads it bit-exactly.
+// The example extracts the gray-box model of a c432-sized block through
+// the flow:: facade, verifies that the model reproduces the block's
+// input-output delays, writes the model to a .hstm file (the hand-off
+// artifact) and reloads it bit-exactly.
 
 #include <cstdio>
 
 #include "hssta/core/io_delays.hpp"
-#include "hssta/library/cell_library.hpp"
-#include "hssta/model/extract.hpp"
-#include "hssta/netlist/iscas.hpp"
-#include "hssta/placement/placement.hpp"
-#include "hssta/timing/builder.hpp"
-#include "hssta/variation/space.hpp"
+#include "hssta/flow/flow.hpp"
 
 int main() {
   using namespace hssta;
-  const library::CellLibrary lib = library::default_90nm();
 
-  // The block to protect: a c432-sized circuit (use read_bench_file to load
-  // a real netlist instead).
-  const netlist::Netlist nl = netlist::make_iscas85("c432", lib);
-  const placement::Placement pl = placement::place_rows(nl);
-  const variation::ModuleVariation mv = variation::make_module_variation(
-      pl, nl.num_gates(), variation::default_90nm_parameters(),
-      variation::SpatialCorrelationConfig{});
-  const timing::BuiltGraph built = timing::build_timing_graph(nl, pl, mv);
-
-  // Extract with the paper's threshold delta = 0.05.
-  const model::Extraction ex = model::extract_timing_model(
-      built, mv, nl.name(), model::compute_boundary(nl),
-      model::ExtractOptions{0.05, true});
+  // The block to protect: a c432-sized circuit (use
+  // flow::Module::from_bench_file to load a real netlist instead).
+  // The default flow::Config already uses the paper's threshold
+  // delta = 0.05.
+  const flow::Module m = flow::Module::from_iscas("c432");
+  const model::Extraction& ex = m.extract_model();
   const model::ExtractionStats& st = ex.stats;
   std::printf(
       "extraction: %zu -> %zu edges (%.0f%%), %zu -> %zu vertices (%.0f%%)\n"
@@ -43,7 +31,7 @@ int main() {
       st.seconds);
 
   // The model's contract: same IO delay matrix as the original block.
-  const core::DelayMatrix original = core::all_pairs_io_delays(built.graph);
+  const core::DelayMatrix original = core::all_pairs_io_delays(m.graph());
   const core::DelayMatrix modeled = ex.model.io_delays();
   double worst = 0.0;
   for (size_t i = 0; i < original.num_inputs(); ++i)
@@ -51,11 +39,11 @@ int main() {
       if (!original.is_valid(i, j)) continue;
       const double ref = original.at(i, j).nominal();
       if (ref > 1e-9)
-        worst = std::max(worst, std::abs(modeled.at(i, j).nominal() - ref) /
-                                    ref);
+        worst = std::max(worst,
+                         std::abs(modeled.at(i, j).nominal() - ref) / ref);
     }
-  std::printf("worst IO mean-delay deviation vs original: %.2f%%\n", worst *
-                                                                         100);
+  std::printf("worst IO mean-delay deviation vs original: %.2f%%\n",
+              worst * 100);
 
   // A few sample entries of the shipped delay matrix.
   std::printf("\nmodel IO delays (first 3x3, mean / sigma in ns):\n");
@@ -70,7 +58,8 @@ int main() {
     std::printf("\n");
   }
 
-  // Hand-off: write and reload the .hstm artifact.
+  // Hand-off: write and reload the .hstm artifact. A reloaded model drops
+  // straight into flow::Design::add_instance_from_model_file.
   const std::string path = "c432.hstm";
   ex.model.save_file(path);
   const model::TimingModel loaded = model::TimingModel::load_file(path);

@@ -1,0 +1,134 @@
+#include "hssta/flow/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "hssta/util/error.hpp"
+#include "hssta/util/strings.hpp"
+
+namespace hssta::flow {
+
+namespace {
+
+std::string trimmed(const std::string& s) { return std::string(trim(s)); }
+
+// Numeric parsing shares util's strict helpers (full consumption, no
+// signs on counts, overflow rejected); wrap them to quote the key.
+double parse_num(const std::string& key, const std::string& value) {
+  return parse_number("'" + key + "'", value);
+}
+
+uint64_t parse_cnt(const std::string& key, const std::string& value) {
+  return parse_count("'" + key + "'", value);
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "1" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "off") return false;
+  throw Error("malformed boolean for '" + key + "': " + value);
+}
+
+}  // namespace
+
+void Config::set(const std::string& key, const std::string& value) {
+  if (key == "place.row_height")
+    place.row_height = parse_num(key, value);
+  else if (key == "place.target_aspect")
+    place.target_aspect = parse_num(key, value);
+  else if (key == "place.utilization")
+    place.utilization = parse_num(key, value);
+  else if (key == "parameters.load_sigma")
+    parameters.load_sigma_rel = parse_num(key, value);
+  else if (key == "correlation.rho_neighbor")
+    correlation.rho_neighbor = parse_num(key, value);
+  else if (key == "correlation.rho_global")
+    correlation.rho_global = parse_num(key, value);
+  else if (key == "correlation.cutoff")
+    correlation.cutoff = parse_num(key, value);
+  else if (key == "grid.max_cells")
+    max_cells_per_grid = parse_cnt(key, value);
+  else if (key == "pca.min_explained")
+    pca.min_explained = parse_num(key, value);
+  else if (key == "pca.max_components")
+    pca.max_components = parse_cnt(key, value);
+  else if (key == "build.output_port_cap")
+    build.output_port_cap = parse_num(key, value);
+  else if (key == "extract.delta")
+    extract.criticality_threshold = parse_num(key, value);
+  else if (key == "extract.repair_connectivity")
+    extract.repair_connectivity = parse_bool(key, value);
+  else if (key == "hier.mode") {
+    if (value == "replacement")
+      hier.mode = hier::CorrelationMode::kReplacement;
+    else if (value == "global_only")
+      hier.mode = hier::CorrelationMode::kGlobalOnly;
+    else
+      throw Error(
+          "config: hier.mode must be 'replacement' or 'global_only', got: " +
+          value);
+  } else if (key == "hier.load_aware_boundary")
+    hier.load_aware_boundary = parse_bool(key, value);
+  else if (key == "hier.interconnect_delay")
+    hier.interconnect_delay = parse_num(key, value);
+  else if (key == "hier.pca.min_explained")
+    hier.pca.min_explained = parse_num(key, value);
+  else if (key == "hier.pca.max_components")
+    hier.pca.max_components = parse_cnt(key, value);
+  else if (key == "mc.samples")
+    mc.samples = parse_cnt(key, value);
+  else if (key == "mc.seed")
+    mc.seed = parse_cnt(key, value);
+  else
+    throw Error("config: unknown key '" + key + "'");
+}
+
+Config Config::from_stream(std::istream& is, const std::string& origin) {
+  Config cfg;
+  std::string line;
+  std::string section;
+  size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto where = [&] { return origin + ":" + std::to_string(lineno); };
+    if (const size_t hash = line.find('#'); hash != std::string::npos)
+      line.resize(hash);
+    line = trimmed(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() <= 2)
+        throw Error(where() + ": malformed section header: " + line);
+      section = trimmed(line.substr(1, line.size() - 2));
+      if (section.empty()) throw Error(where() + ": empty section header");
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      throw Error(where() + ": expected 'key = value', got: " + line);
+    std::string key = trimmed(line.substr(0, eq));
+    const std::string value = trimmed(line.substr(eq + 1));
+    if (key.empty()) throw Error(where() + ": missing key before '='");
+    if (value.empty())
+      throw Error(where() + ": missing value for '" + key + "'");
+    if (!section.empty()) key = section + "." + key;
+    try {
+      cfg.set(key, value);
+    } catch (const Error& e) {
+      throw Error(where() + ": " + e.what());
+    }
+  }
+  return cfg;
+}
+
+Config Config::from_string(const std::string& text) {
+  std::istringstream is(text);
+  return from_stream(is, "<string>");
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open config file: " + path);
+  return from_stream(is, path);
+}
+
+}  // namespace hssta::flow

@@ -1,0 +1,88 @@
+/// \file config.hpp
+/// One configuration object for the whole analysis pipeline.
+///
+/// Every stage of the flow — placement, variation modelling, timing-graph
+/// construction, model extraction, hierarchical stitching, Monte Carlo —
+/// has its own option struct in its own subsystem. flow::Config gathers
+/// them with the paper's Section VI defaults (90nm parameters, 0.92
+/// neighbour correlation, delta = 0.05, < 100 cells per grid) so that a
+/// consumer configures one object instead of re-wiring six.
+///
+/// Configs load from a small TOML-like text format ("key = value" lines,
+/// optional "[section]" headers, '#' comments):
+///
+///   [extract]
+///   delta = 0.02
+///   [hier]
+///   mode = global_only
+///   interconnect_delay = 0.01
+///   [mc]
+///   samples = 20000
+///
+/// Unknown keys and malformed values throw hssta::Error with the offending
+/// line, so a typo in a run configuration fails loudly instead of silently
+/// analyzing with defaults.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hssta/hier/hier_ssta.hpp"
+#include "hssta/linalg/pca.hpp"
+#include "hssta/model/extract.hpp"
+#include "hssta/placement/placement.hpp"
+#include "hssta/timing/builder.hpp"
+#include "hssta/variation/parameters.hpp"
+#include "hssta/variation/spatial.hpp"
+
+namespace hssta::flow {
+
+/// Monte Carlo controls shared by module- and design-level sampling.
+struct McOptions {
+  size_t samples = 10000;  ///< the paper's Section VI sample count
+  uint64_t seed = 2009;
+
+  bool operator==(const McOptions&) const = default;
+};
+
+/// The consolidated pipeline configuration. Defaults reproduce the paper's
+/// Section VI experimental setup exactly.
+struct Config {
+  /// Row placement of module cells ([place] row_height, target_aspect,
+  /// utilization).
+  placement::PlaceOptions place;
+  /// Process parameters: Leff/Tox/Vth with the 0.42/0.53/0.05 variance
+  /// split ([parameters] load_sigma).
+  variation::ParameterSet parameters = variation::default_90nm_parameters();
+  /// Spatial correlation profile ([correlation] rho_neighbor, rho_global,
+  /// cutoff).
+  variation::SpatialCorrelationConfig correlation;
+  /// Grid partition bound, Chang & Sapatnekar's "< 100 cells per grid"
+  /// rule ([grid] max_cells).
+  size_t max_cells_per_grid = 100;
+  /// Module-level PCA truncation ([pca] min_explained, max_components).
+  linalg::PcaOptions pca;
+  /// Timing-graph construction ([build] output_port_cap).
+  timing::BuildOptions build;
+  /// Model extraction ([extract] delta, repair_connectivity).
+  model::ExtractOptions extract;
+  /// Design-level hierarchical analysis ([hier] mode, load_aware_boundary,
+  /// interconnect_delay, pca.min_explained, pca.max_components).
+  hier::HierOptions hier;
+  /// Monte Carlo reference runs ([mc] samples, seed).
+  McOptions mc;
+
+  /// Apply one "section.key" (or bare "key") assignment; throws
+  /// hssta::Error on unknown keys or malformed values.
+  void set(const std::string& key, const std::string& value);
+
+  /// Parse the TOML-like format described above. `origin` names the source
+  /// in error messages.
+  static Config from_stream(std::istream& is,
+                            const std::string& origin = "<config>");
+  static Config from_string(const std::string& text);
+  static Config from_file(const std::string& path);
+};
+
+}  // namespace hssta::flow

@@ -1,0 +1,224 @@
+#include "hssta/flow/design.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "hssta/stats/rng.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::flow {
+
+const model::TimingModel& Design::Instance::timing_model() const {
+  return module ? module->model() : *model;
+}
+
+Design::Design(std::string name, Config cfg)
+    : name_(std::move(name)), cfg_(std::move(cfg)) {}
+
+Design::Design(std::string name, placement::Die die, Config cfg)
+    : name_(std::move(name)), cfg_(std::move(cfg)), fixed_die_(die) {}
+
+size_t Design::add_instance(const Module& module, double x, double y,
+                            std::string name) {
+  invalidate();
+  if (name.empty()) name = "u" + std::to_string(instances_.size());
+  instances_.push_back(
+      Instance{std::move(name), module, nullptr, placement::Point{x, y}});
+  return instances_.size() - 1;
+}
+
+size_t Design::add_instance(std::shared_ptr<const model::TimingModel> model,
+                            double x, double y, std::string name) {
+  HSSTA_REQUIRE(model != nullptr, "add_instance: null model");
+  invalidate();
+  if (name.empty()) name = "u" + std::to_string(instances_.size());
+  instances_.push_back(Instance{std::move(name), std::nullopt,
+                                std::move(model), placement::Point{x, y}});
+  return instances_.size() - 1;
+}
+
+size_t Design::add_instance_from_model_file(const std::string& path, double x,
+                                            double y, std::string name) {
+  auto model = std::make_shared<const model::TimingModel>(
+      model::TimingModel::load_file(path));
+  if (name.empty()) name = model->name();
+  return add_instance(std::move(model), x, y, std::move(name));
+}
+
+void Design::connect(size_t from, size_t from_port, size_t to,
+                     size_t to_port) {
+  HSSTA_REQUIRE(from < instances_.size() && to < instances_.size(),
+                "connect: instance index out of range");
+  invalidate();
+  connections_.push_back(hier::Connection{hier::PortRef{from, from_port},
+                                          hier::PortRef{to, to_port}});
+}
+
+void Design::primary_input(const std::string& name, size_t inst,
+                           size_t port) {
+  HSSTA_REQUIRE(inst < instances_.size(),
+                "primary_input: instance index out of range");
+  invalidate();
+  const hier::PortRef sink{inst, port};
+  for (hier::PrimaryInput& pi : inputs_) {
+    if (pi.name == name) {
+      pi.sinks.push_back(sink);
+      return;
+    }
+  }
+  inputs_.push_back(hier::PrimaryInput{name, {sink}});
+}
+
+void Design::primary_output(const std::string& name, size_t inst,
+                            size_t port) {
+  HSSTA_REQUIRE(inst < instances_.size(),
+                "primary_output: instance index out of range");
+  invalidate();
+  outputs_.push_back(hier::PrimaryOutput{name, hier::PortRef{inst, port}});
+}
+
+void Design::expose_unconnected_ports() {
+  invalidate();
+  std::set<std::pair<size_t, size_t>> driven_inputs;
+  std::set<std::pair<size_t, size_t>> read_outputs;
+  for (const hier::Connection& c : connections_) {
+    driven_inputs.emplace(c.to_input.instance, c.to_input.port);
+    read_outputs.emplace(c.from_output.instance, c.from_output.port);
+  }
+  for (const hier::PrimaryInput& pi : inputs_)
+    for (const hier::PortRef& s : pi.sinks)
+      driven_inputs.emplace(s.instance, s.port);
+  for (const hier::PrimaryOutput& po : outputs_)
+    read_outputs.emplace(po.source.instance, po.source.port);
+
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    for (size_t p = 0; p < num_inputs(i); ++p)
+      if (!driven_inputs.count({i, p}))
+        inputs_.push_back(hier::PrimaryInput{
+            inst.name + "_i" + std::to_string(p), {hier::PortRef{i, p}}});
+    for (size_t p = 0; p < num_outputs(i); ++p)
+      if (!read_outputs.count({i, p}))
+        outputs_.push_back(hier::PrimaryOutput{
+            inst.name + "_o" + std::to_string(p), hier::PortRef{i, p}});
+  }
+}
+
+const Design::Instance& Design::instance(size_t inst) const {
+  HSSTA_REQUIRE(inst < instances_.size(), "instance index out of range");
+  return instances_[inst];
+}
+
+const std::string& Design::instance_name(size_t inst) const {
+  return instance(inst).name;
+}
+
+const model::TimingModel& Design::instance_model(size_t inst) const {
+  return instance(inst).timing_model();
+}
+
+size_t Design::num_inputs(size_t inst) const {
+  return instance(inst).timing_model().graph().inputs().size();
+}
+
+size_t Design::num_outputs(size_t inst) const {
+  return instance(inst).timing_model().graph().outputs().size();
+}
+
+bool Design::can_monte_carlo() const {
+  return std::all_of(instances_.begin(), instances_.end(),
+                     [](const Instance& i) { return i.module.has_value(); });
+}
+
+void Design::invalidate() {
+  hier_.reset();
+  results_.clear();
+  flat_.reset();
+  mc_.clear();
+}
+
+const hier::HierDesign& Design::hier() const {
+  if (hier_) return *hier_;
+  HSSTA_REQUIRE(!instances_.empty(), "design '" + name_ + "' has no instances");
+
+  placement::Die die;
+  if (fixed_die_) {
+    die = *fixed_die_;
+  } else {
+    double w = 0.0, h = 0.0;
+    for (const Instance& inst : instances_) {
+      const placement::Die& mdie = inst.timing_model().die();
+      w = std::max(w, inst.origin.x + mdie.width);
+      h = std::max(h, inst.origin.y + mdie.height);
+    }
+    die = placement::Die{w, h};
+  }
+
+  hier::HierDesign d(name_, die);
+  for (const Instance& inst : instances_) {
+    const netlist::Netlist* nl =
+        inst.module ? &inst.module->netlist() : nullptr;
+    const placement::Placement* pl =
+        inst.module ? &inst.module->placement() : nullptr;
+    d.add_instance(hier::ModuleInstance{inst.name, &inst.timing_model(),
+                                        inst.origin, nl, pl});
+  }
+  for (const hier::Connection& c : connections_) d.add_connection(c);
+  for (const hier::PrimaryInput& pi : inputs_) d.add_primary_input(pi);
+  for (const hier::PrimaryOutput& po : outputs_) d.add_primary_output(po);
+  d.validate();
+  hier_ = std::move(d);
+  return *hier_;
+}
+
+const hier::HierResult& Design::analyze() const { return analyze(cfg_.hier); }
+
+const hier::HierResult& Design::analyze(const hier::HierOptions& opts) const {
+  const HierKey key{static_cast<int>(opts.mode), opts.load_aware_boundary,
+                    opts.interconnect_delay, opts.pca.min_explained,
+                    opts.pca.rel_tol, opts.pca.max_components};
+  auto it = results_.find(key);
+  if (it == results_.end())
+    it = results_.emplace(key, hier::analyze_hierarchical(hier(), opts))
+             .first;
+  return it->second;
+}
+
+const timing::CanonicalForm& Design::delay() const {
+  return analyze().delay();
+}
+
+const mc::FlatCircuit& Design::flat_circuit() const {
+  if (!flat_) {
+    HSSTA_REQUIRE(can_monte_carlo(),
+                  "design '" + name_ +
+                      "': Monte Carlo needs every instance's source "
+                      "netlist; an instance built from a model file "
+                      "cannot be flattened");
+    const hier::DesignGrid grid = hier::build_design_grid(hier());
+    mc::FlattenOptions fopts;
+    fopts.interconnect_delay = cfg_.hier.interconnect_delay;
+    fopts.load_aware_boundary = cfg_.hier.load_aware_boundary;
+    flat_ = mc::flatten_design(hier(), grid, fopts);
+  }
+  return *flat_;
+}
+
+const stats::EmpiricalDistribution& Design::monte_carlo() const {
+  return monte_carlo(cfg_.mc);
+}
+
+const stats::EmpiricalDistribution& Design::monte_carlo(
+    const McOptions& opts) const {
+  const McKey key{opts.samples, opts.seed};
+  auto it = mc_.find(key);
+  if (it == mc_.end()) {
+    stats::Rng rng(opts.seed);
+    it = mc_.emplace(key, flat_circuit().sample_delay(opts.samples, rng))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace hssta::flow

@@ -1,0 +1,151 @@
+/// \file design.hpp
+/// flow::Design — the design-level pipeline as one handle.
+///
+/// A Design assembles placed instances of pre-characterized modules and
+/// exposes the paper's hierarchical analysis (Section V) as lazily
+/// computed, cached stages:
+///
+///   flow::Design d("soc");
+///   const size_t a = d.add_instance(module, 0, 0, "a");
+///   const size_t b = d.add_instance(module, w, 0, "b");
+///   d.connect(a, 0, b, 0);                 // a.out0 -> b.in0
+///   d.primary_input("pi0", a, 0);
+///   d.primary_output("po0", b, 0);
+///   d.analyze().delay();                   // stitched distribution
+///   d.monte_carlo();                       // flattened MC reference
+///
+/// Instances come from three sources:
+///  * a flow::Module — the model is extracted on demand and the module's
+///    netlist/placement are retained so flattened Monte Carlo works;
+///  * a loaded model (TimingModel::load_file / add_instance_from_model_file)
+///    — the paper's IP hand-off: analysis works, Monte Carlo (which needs
+///    the original netlist) does not;
+///  * any shared_ptr<const TimingModel>.
+///
+/// The design die defaults to the bounding box of the placed instances; a
+/// fixed outline can be given at construction. Structural mutation after an
+/// analysis invalidates the cached results.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "hssta/flow/config.hpp"
+#include "hssta/flow/module.hpp"
+#include "hssta/hier/design.hpp"
+#include "hssta/hier/hier_ssta.hpp"
+#include "hssta/mc/hier_mc.hpp"
+#include "hssta/stats/empirical.hpp"
+
+namespace hssta::flow {
+
+class Design {
+ public:
+  /// Die = bounding box of the placed instances.
+  explicit Design(std::string name, Config cfg = {});
+  /// Fixed die outline.
+  Design(std::string name, placement::Die die, Config cfg = {});
+
+  /// --- assembly ----------------------------------------------------------
+
+  /// Place a module instance with its origin at (x, y); returns its index.
+  /// The instance name defaults to "u<index>". The module handle is
+  /// retained (shared), and its model is extracted lazily at analysis time
+  /// with the *module's* configured extraction options.
+  size_t add_instance(const Module& module, double x, double y,
+                      std::string name = "");
+  /// Place an instance of a stand-alone model (e.g. loaded from .hstm).
+  /// Monte Carlo is unavailable for designs with model-only instances.
+  size_t add_instance(std::shared_ptr<const model::TimingModel> model,
+                      double x, double y, std::string name = "");
+  /// Convenience: TimingModel::load_file + add_instance.
+  size_t add_instance_from_model_file(const std::string& path, double x,
+                                      double y, std::string name = "");
+
+  /// Wire output port `from_port` of instance `from` to input port
+  /// `to_port` of instance `to`.
+  void connect(size_t from, size_t from_port, size_t to, size_t to_port);
+  /// Declare a design primary input driving an instance input; calling
+  /// again with the same name fans the input out to more sinks.
+  void primary_input(const std::string& name, size_t inst, size_t port);
+  /// Declare a design primary output fed by an instance output.
+  void primary_output(const std::string& name, size_t inst, size_t port);
+  /// Expose every instance input that no connection or primary input
+  /// drives ("<inst>_i<port>") and every instance output no connection or
+  /// primary output reads ("<inst>_o<port>") as primary ports. Convenient
+  /// for CLI-assembled designs where only the stitched topology matters.
+  void expose_unconnected_ports();
+
+  /// --- introspection -----------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] size_t num_instances() const { return instances_.size(); }
+  [[nodiscard]] const std::string& instance_name(size_t inst) const;
+  /// The instance's (lazily extracted or loaded) timing model.
+  [[nodiscard]] const model::TimingModel& instance_model(size_t inst) const;
+  [[nodiscard]] size_t num_inputs(size_t inst) const;
+  [[nodiscard]] size_t num_outputs(size_t inst) const;
+  /// True when every instance carries its source netlist, i.e. flattened
+  /// Monte Carlo is possible.
+  [[nodiscard]] bool can_monte_carlo() const;
+
+  /// --- pipeline stages (lazy, cached) -------------------------------------
+
+  /// The assembled + validated hier::HierDesign (subsystem-level view).
+  [[nodiscard]] const hier::HierDesign& hier() const;
+  /// Design-level hierarchical SSTA with config().hier options; the
+  /// overload caches per option value.
+  [[nodiscard]] const hier::HierResult& analyze() const;
+  [[nodiscard]] const hier::HierResult& analyze(
+      const hier::HierOptions& opts) const;
+  /// The stitched design delay distribution (= analyze().delay()).
+  [[nodiscard]] const timing::CanonicalForm& delay() const;
+  /// Flattened-netlist Monte Carlo with config().mc options; throws
+  /// hssta::Error if an instance lacks its netlist (see can_monte_carlo).
+  [[nodiscard]] const stats::EmpiricalDistribution& monte_carlo() const;
+  [[nodiscard]] const stats::EmpiricalDistribution& monte_carlo(
+      const McOptions& opts) const;
+  /// The flattened scalar-evaluable circuit backing monte_carlo().
+  [[nodiscard]] const mc::FlatCircuit& flat_circuit() const;
+
+ private:
+  struct Instance {
+    std::string name;
+    /// Exactly one of `module` / `model` is set.
+    std::optional<Module> module;
+    std::shared_ptr<const model::TimingModel> model;
+    placement::Point origin;
+
+    [[nodiscard]] const model::TimingModel& timing_model() const;
+  };
+
+  void invalidate();
+  [[nodiscard]] const Instance& instance(size_t inst) const;
+
+  std::string name_;
+  Config cfg_;
+  std::optional<placement::Die> fixed_die_;
+  std::vector<Instance> instances_;
+  std::vector<hier::Connection> connections_;
+  std::vector<hier::PrimaryInput> inputs_;
+  std::vector<hier::PrimaryOutput> outputs_;
+
+  /// Cache keys for the parameterized stages (std::map nodes are
+  /// address-stable, so references returned earlier survive later calls
+  /// with different options).
+  using HierKey = std::tuple<int, bool, double, double, double, size_t>;
+  using McKey = std::pair<size_t, uint64_t>;
+
+  mutable std::optional<hier::HierDesign> hier_;
+  mutable std::map<HierKey, hier::HierResult> results_;
+  mutable std::optional<mc::FlatCircuit> flat_;
+  mutable std::map<McKey, stats::EmpiricalDistribution> mc_;
+};
+
+}  // namespace hssta::flow

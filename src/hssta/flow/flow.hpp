@@ -1,0 +1,24 @@
+/// \file flow.hpp
+/// The recommended entry point of the hssta library: the pipeline facade.
+///
+/// The paper's value is a flow — module SSTA, gray-box model extraction,
+/// design-level hierarchical stitching — and this subsystem packages that
+/// flow as three types:
+///
+///   * flow::Config  — one configuration object for every stage, with the
+///                     paper's Section VI defaults and key=value loading;
+///   * flow::Module  — one IP block through the module-level pipeline
+///                     (netlist -> placement -> variation -> timing graph)
+///                     with cached ssta/slack/paths/extract/monte_carlo;
+///   * flow::Design  — placed module instances stitched at design level
+///                     with cached analyze/monte_carlo.
+///
+/// The subsystem headers under hssta/{core,hier,model,...} remain public
+/// for callers who need to compose stages manually; see docs/API.md for
+/// the two-layer API and a migration table.
+
+#pragma once
+
+#include "hssta/flow/config.hpp"
+#include "hssta/flow/design.hpp"
+#include "hssta/flow/module.hpp"

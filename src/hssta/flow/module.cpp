@@ -1,0 +1,192 @@
+#include "hssta/flow/module.hpp"
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "hssta/netlist/bench_io.hpp"
+#include "hssta/netlist/iscas.hpp"
+#include "hssta/placement/placement.hpp"
+#include "hssta/stats/rng.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::flow {
+
+std::shared_ptr<const library::CellLibrary> default_library() {
+  static const std::shared_ptr<const library::CellLibrary> lib =
+      std::make_shared<const library::CellLibrary>(library::default_90nm());
+  return lib;
+}
+
+/// All pipeline state behind one Module handle. Stages are std::optional
+/// caches filled on first use; parameterized stages key a std::map on the
+/// argument (map nodes are address-stable, so references returned earlier
+/// survive later calls with different arguments).
+struct Module::State {
+  Config cfg;
+  std::shared_ptr<const library::CellLibrary> lib;
+  netlist::Netlist nl;
+
+  std::optional<placement::Placement> placement;
+  std::optional<variation::ModuleVariation> variation;
+  std::optional<timing::BuiltGraph> built;
+
+  std::optional<core::SstaResult> ssta;
+  std::map<double, core::SlackResult> slack;
+  std::map<size_t, std::vector<core::CriticalPath>> paths;
+  std::map<std::pair<double, bool>, model::Extraction> extractions;
+  std::optional<mc::FlatCircuit> flat;
+  std::map<std::pair<size_t, uint64_t>, stats::EmpiricalDistribution> mc;
+
+  State(Config c, std::shared_ptr<const library::CellLibrary> l,
+        netlist::Netlist n)
+      : cfg(std::move(c)), lib(std::move(l)), nl(std::move(n)) {}
+};
+
+Module Module::from_netlist(netlist::Netlist nl, Config cfg,
+                            std::shared_ptr<const library::CellLibrary> lib) {
+  if (!lib) lib = default_library();
+  return Module(std::make_shared<State>(std::move(cfg), std::move(lib),
+                                        std::move(nl)));
+}
+
+Module Module::from_bench_file(
+    const std::string& path, Config cfg,
+    std::shared_ptr<const library::CellLibrary> lib) {
+  if (!lib) lib = default_library();
+  netlist::Netlist nl = netlist::read_bench_file(path, *lib);
+  return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
+}
+
+Module Module::from_bench_string(
+    const std::string& text, Config cfg,
+    std::shared_ptr<const library::CellLibrary> lib) {
+  if (!lib) lib = default_library();
+  netlist::Netlist nl = netlist::read_bench_string(text, *lib);
+  return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
+}
+
+Module Module::from_iscas(std::string_view name, Config cfg, uint64_t seed,
+                          std::shared_ptr<const library::CellLibrary> lib) {
+  if (!lib) lib = default_library();
+  netlist::Netlist nl = netlist::make_iscas85(name, *lib, seed);
+  return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
+}
+
+Module Module::from_random_dag(
+    const netlist::RandomDagSpec& spec, Config cfg,
+    std::shared_ptr<const library::CellLibrary> lib) {
+  if (!lib) lib = default_library();
+  netlist::Netlist nl = netlist::make_random_dag(spec, *lib);
+  return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
+}
+
+const std::string& Module::name() const { return state_->nl.name(); }
+
+const Config& Module::config() const { return state_->cfg; }
+
+const library::CellLibrary& Module::library() const { return *state_->lib; }
+
+const netlist::Netlist& Module::netlist() const { return state_->nl; }
+
+const placement::Placement& Module::placement() const {
+  State& s = *state_;
+  if (!s.placement) s.placement = placement::place_rows(s.nl, s.cfg.place);
+  return *s.placement;
+}
+
+const variation::ModuleVariation& Module::variation() const {
+  State& s = *state_;
+  if (!s.variation)
+    s.variation = variation::make_module_variation(
+        placement(), s.nl.num_gates(), s.cfg.parameters, s.cfg.correlation,
+        s.cfg.max_cells_per_grid, s.cfg.pca);
+  return *s.variation;
+}
+
+const timing::BuiltGraph& Module::built() const {
+  State& s = *state_;
+  if (!s.built)
+    s.built = timing::build_timing_graph(s.nl, placement(), variation(),
+                                         s.cfg.build);
+  return *s.built;
+}
+
+const timing::TimingGraph& Module::graph() const { return built().graph; }
+
+const core::SstaResult& Module::ssta() const {
+  State& s = *state_;
+  if (!s.ssta) s.ssta = core::run_ssta(built().graph);
+  return *s.ssta;
+}
+
+const timing::CanonicalForm& Module::delay() const { return ssta().delay; }
+
+const core::SlackResult& Module::slack(double required_at_outputs) const {
+  State& s = *state_;
+  auto it = s.slack.find(required_at_outputs);
+  if (it == s.slack.end())
+    it = s.slack
+             .emplace(required_at_outputs,
+                      core::compute_slack(built().graph, required_at_outputs))
+             .first;
+  return it->second;
+}
+
+const std::vector<core::CriticalPath>& Module::critical_paths(size_t k) const {
+  State& s = *state_;
+  auto it = s.paths.find(k);
+  if (it == s.paths.end())
+    it = s.paths.emplace(k, core::report_critical_paths(built().graph, k))
+             .first;
+  return it->second;
+}
+
+const model::Extraction& Module::extract_model() const {
+  return extract_model(state_->cfg.extract);
+}
+
+const model::Extraction& Module::extract_model(
+    const model::ExtractOptions& opts) const {
+  State& s = *state_;
+  const std::pair<double, bool> key{opts.criticality_threshold,
+                                    opts.repair_connectivity};
+  auto it = s.extractions.find(key);
+  if (it == s.extractions.end())
+    it = s.extractions
+             .emplace(key, model::extract_timing_model(
+                               built(), variation(), s.nl.name(),
+                               model::compute_boundary(s.nl), opts))
+             .first;
+  return it->second;
+}
+
+const model::TimingModel& Module::model() const {
+  return extract_model().model;
+}
+
+const mc::FlatCircuit& Module::flat_circuit() const {
+  State& s = *state_;
+  if (!s.flat)
+    s.flat = mc::FlatCircuit::from_module(built(), s.nl, variation());
+  return *s.flat;
+}
+
+const stats::EmpiricalDistribution& Module::monte_carlo() const {
+  return monte_carlo(state_->cfg.mc);
+}
+
+const stats::EmpiricalDistribution& Module::monte_carlo(
+    const McOptions& opts) const {
+  State& s = *state_;
+  const std::pair<size_t, uint64_t> key{opts.samples, opts.seed};
+  auto it = s.mc.find(key);
+  if (it == s.mc.end()) {
+    stats::Rng rng(opts.seed);
+    it = s.mc.emplace(key, flat_circuit().sample_delay(opts.samples, rng))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace hssta::flow

@@ -1,7 +1,26 @@
 /// \file hssta.hpp
 /// Umbrella header: the full public API of the hssta library.
+///
+/// The API has two layers:
+///
+///  * The **flow facade** (hssta/flow/) — the recommended entry point.
+///    flow::Module runs the module-level pipeline (netlist -> placement ->
+///    variation -> timing graph -> SSTA / model extraction / Monte Carlo)
+///    as lazily computed, cached stages behind one handle; flow::Design
+///    stitches placed module instances at design level; flow::Config
+///    gathers every stage's options with the paper's Section VI defaults
+///    and loads them from key=value files.
+///
+///  * The **subsystem headers** (hssta/core, hssta/hier, hssta/model, ...)
+///    — the individual stages, for callers who compose pipelines manually
+///    or extend them.
+///
+/// See docs/API.md for the module -> extract -> hierarchical lifecycle and
+/// a migration table from hand-wired subsystem calls to the facade.
 
 #pragma once
+
+#include "hssta/flow/flow.hpp"
 
 #include "hssta/core/criticality.hpp"
 #include "hssta/core/io_delays.hpp"
@@ -37,6 +56,7 @@
 #include "hssta/timing/propagate.hpp"
 #include "hssta/timing/sta.hpp"
 #include "hssta/timing/statops.hpp"
+#include "hssta/util/argparse.hpp"
 #include "hssta/util/ascii_plot.hpp"
 #include "hssta/util/csv.hpp"
 #include "hssta/util/error.hpp"

@@ -1,0 +1,147 @@
+#include "hssta/util/argparse.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "hssta/util/error.hpp"
+#include "hssta/util/strings.hpp"
+
+namespace hssta::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::flag(const std::string& name, bool* out,
+                           std::string help) {
+  HSSTA_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back(Flag{name, "", std::move(help), nullptr, out});
+  return *this;
+}
+
+ArgParser& ArgParser::option(const std::string& name, uint64_t* out,
+                             std::string metavar, std::string help) {
+  HSSTA_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back(Flag{name, std::move(metavar), std::move(help),
+                        [name, out](const std::string& v) {
+                          *out = parse_count(name, v);
+                        },
+                        nullptr});
+  return *this;
+}
+
+ArgParser& ArgParser::option(const std::string& name, double* out,
+                             std::string metavar, std::string help) {
+  HSSTA_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back(Flag{name, std::move(metavar), std::move(help),
+                        [name, out](const std::string& v) {
+                          *out = parse_number(name, v);
+                        },
+                        nullptr});
+  return *this;
+}
+
+ArgParser& ArgParser::option(const std::string& name, std::string* out,
+                             std::string metavar, std::string help) {
+  HSSTA_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  flags_.push_back(Flag{name, std::move(metavar), std::move(help),
+                        [out](const std::string& v) { *out = v; }, nullptr});
+  return *this;
+}
+
+ArgParser& ArgParser::positional(const std::string& name, std::string* out,
+                                 std::string help) {
+  positionals_.push_back(Positional{name, std::move(help), out});
+  return *this;
+}
+
+ArgParser& ArgParser::positional_rest(const std::string& name,
+                                      std::vector<std::string>* out,
+                                      std::string help, size_t min_count) {
+  rest_name_ = name;
+  rest_help_ = std::move(help);
+  rest_out_ = out;
+  rest_min_ = min_count;
+  return *this;
+}
+
+const ArgParser::Flag* ArgParser::find(const std::string& name) const {
+  for (const Flag& f : flags_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, int first) {
+  size_t next_positional = 0;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::string value;
+      bool has_inline_value = false;
+      if (const size_t eq = arg.find('='); eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline_value = true;
+      }
+      const Flag* f = find(arg);
+      if (!f) throw Error("unknown flag: " + arg + " (try --help)");
+      if (f->switch_target) {
+        if (has_inline_value)
+          throw Error(arg + " takes no value");
+        *f->switch_target = true;
+        continue;
+      }
+      if (!has_inline_value) {
+        if (i + 1 >= argc) throw Error("missing value after " + arg);
+        value = argv[++i];
+      }
+      f->set(value);
+      continue;
+    }
+    if (next_positional < positionals_.size()) {
+      *positionals_[next_positional++].out = arg;
+      continue;
+    }
+    if (rest_out_) {
+      rest_out_->push_back(std::move(arg));
+      continue;
+    }
+    throw Error("unexpected argument: " + arg + " (try --help)");
+  }
+  if (next_positional < positionals_.size())
+    throw Error("missing required argument <" +
+                positionals_[next_positional].name + ">");
+  if (rest_out_ && rest_out_->size() < rest_min_)
+    throw Error("expected at least " + std::to_string(rest_min_) + " <" +
+                rest_name_ + "> arguments");
+  return true;
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream os;
+  os << "usage: " << program_;
+  for (const Positional& p : positionals_) os << " <" << p.name << ">";
+  if (rest_out_) os << " <" << rest_name_ << "...>";
+  if (!flags_.empty()) os << " [flags]";
+  os << '\n';
+  if (!description_.empty()) os << description_ << '\n';
+  if (!positionals_.empty() || rest_out_) os << '\n';
+  for (const Positional& p : positionals_)
+    os << "  <" << p.name << ">  " << p.help << '\n';
+  if (rest_out_) os << "  <" << rest_name_ << "...>  " << rest_help_ << '\n';
+  os << "\nflags:\n";
+  for (const Flag& f : flags_) {
+    std::string left = "  " + f.name;
+    if (!f.metavar.empty()) left += " <" + f.metavar + ">";
+    os << left;
+    for (size_t pad = left.size(); pad < 26; ++pad) os << ' ';
+    os << f.help << '\n';
+  }
+  os << "  --help                  print this help\n";
+  return os.str();
+}
+
+}  // namespace hssta::util

@@ -1,0 +1,89 @@
+/// \file argparse.hpp
+/// util::ArgParser — a small reusable command-line flag registry.
+///
+/// Callers register typed options bound to variables, then parse():
+///
+///   bool verbose = false;
+///   size_t samples = 10000;
+///   std::string out;
+///   util::ArgParser p("hssta_cli mc", "module Monte Carlo");
+///   p.flag("--verbose", &verbose, "print per-sample detail");
+///   p.option("--samples", &samples, "N", "sample count");
+///   p.positional("in.bench", &out, "input netlist");
+///   if (!p.parse(argc, argv)) return 0;   // --help was printed
+///
+/// Accepted syntax: "--name value" and "--name=value". Unknown flags and
+/// missing values throw hssta::Error naming the flag; --help is always
+/// registered and makes parse() print the generated help text and return
+/// false.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hssta::util {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = "");
+
+  /// Boolean switch: present -> true. No value.
+  ArgParser& flag(const std::string& name, bool* out, std::string help);
+
+  /// Valued options; `metavar` names the value in the help text. Values
+  /// must parse completely (e.g. "--samples 12x" throws).
+  ArgParser& option(const std::string& name, uint64_t* out,
+                    std::string metavar, std::string help);
+  ArgParser& option(const std::string& name, double* out, std::string metavar,
+                    std::string help);
+  ArgParser& option(const std::string& name, std::string* out,
+                    std::string metavar, std::string help);
+
+  /// Required positional argument, consumed in registration order.
+  ArgParser& positional(const std::string& name, std::string* out,
+                        std::string help);
+  /// Trailing positionals (after all single positionals); at least
+  /// `min_count` must be present.
+  ArgParser& positional_rest(const std::string& name,
+                             std::vector<std::string>* out, std::string help,
+                             size_t min_count = 0);
+
+  /// Parse argv[first..argc). Throws hssta::Error on unknown flags,
+  /// missing values, malformed values or missing positionals. Returns
+  /// false when --help was consumed (help text printed to stdout).
+  bool parse(int argc, const char* const* argv, int first = 1);
+
+  /// The generated usage/flags text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string metavar;  ///< empty for switches
+    std::string help;
+    std::function<void(const std::string&)> set;  ///< null for switches
+    bool* switch_target = nullptr;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+    std::string* out;
+  };
+
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<Positional> positionals_;
+  std::string rest_name_;
+  std::string rest_help_;
+  std::vector<std::string>* rest_out_ = nullptr;
+  size_t rest_min_ = 0;
+};
+
+}  // namespace hssta::util

@@ -1,7 +1,11 @@
 #include "hssta/util/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+
+#include "hssta/util/error.hpp"
 
 namespace hssta {
 
@@ -60,6 +64,25 @@ std::string fmt_percent(double frac, int prec) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f%%", prec, frac * 100.0);
   return buf;
+}
+
+uint64_t parse_count(const std::string& what, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (!end || end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      value.find_first_of("+-") != std::string::npos)
+    throw Error("malformed count for " + what + ": " + value);
+  return v;
+}
+
+double parse_number(const std::string& what, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(value.c_str(), &end);
+  if (!end || end == value.c_str() || *end != '\0' || errno == ERANGE)
+    throw Error("malformed number for " + what + ": " + value);
+  return v;
 }
 
 }  // namespace hssta

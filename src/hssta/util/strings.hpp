@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,5 +30,16 @@ namespace hssta {
 
 /// Format a fraction as a percentage string, e.g. 0.134 -> "13.4%".
 [[nodiscard]] std::string fmt_percent(double frac, int prec = 1);
+
+/// Parse a non-negative integer, consuming the whole string; rejects
+/// signs, trailing garbage and out-of-range values. Throws hssta::Error
+/// naming `what` (a flag or config key) on any violation.
+[[nodiscard]] uint64_t parse_count(const std::string& what,
+                                   const std::string& value);
+
+/// Parse a double, consuming the whole string; rejects trailing garbage
+/// and overflow. Throws hssta::Error naming `what` on any violation.
+[[nodiscard]] double parse_number(const std::string& what,
+                                  const std::string& value);
 
 }  // namespace hssta

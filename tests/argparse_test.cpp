@@ -1,0 +1,161 @@
+// Tests for util::ArgParser: typed option binding, --name value and
+// --name=value syntax, positional handling, help generation, and the
+// error contract (unknown flags, missing values, malformed values).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hssta/util/argparse.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return std::vector<const char*>(args);
+}
+
+TEST(ArgParser, BindsTypedOptionsAndFlags) {
+  bool quick = false;
+  uint64_t samples = 4000;
+  double delta = 0.05;
+  std::string out;
+  ArgParser p("prog");
+  p.flag("--quick", &quick, "fast run");
+  p.option("--samples", &samples, "N", "sample count");
+  p.option("--delta", &delta, "X", "threshold");
+  p.option("--out", &out, "file", "output path");
+
+  const auto args = argv_of({"prog", "--quick", "--samples", "123",
+                             "--delta=0.2", "--out", "a.csv"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_TRUE(quick);
+  EXPECT_EQ(samples, 123u);
+  EXPECT_EQ(delta, 0.2);
+  EXPECT_EQ(out, "a.csv");
+}
+
+TEST(ArgParser, PositionalsConsumeInOrder) {
+  std::string in, out;
+  std::vector<std::string> rest;
+  ArgParser p("prog");
+  p.positional("in", &in, "input");
+  p.positional("out", &out, "output");
+  p.positional_rest("extra", &rest, "more files");
+
+  const auto args = argv_of({"prog", "a.bench", "b.hstm", "c", "d"});
+  EXPECT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(in, "a.bench");
+  EXPECT_EQ(out, "b.hstm");
+  EXPECT_EQ(rest, (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  ArgParser p("prog");
+  bool b = false;
+  p.flag("--known", &b, "known flag");
+  const auto args = argv_of({"prog", "--unknown"});
+  try {
+    p.parse(static_cast<int>(args.size()), args.data());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--unknown"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  uint64_t n = 0;
+  ArgParser p("prog");
+  p.option("--samples", &n, "N", "count");
+  const auto args = argv_of({"prog", "--samples"});
+  try {
+    p.parse(static_cast<int>(args.size()), args.data());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--samples"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, MalformedValuesThrow) {
+  uint64_t n = 0;
+  double d = 0;
+  ArgParser p("prog");
+  p.option("--n", &n, "N", "count");
+  p.option("--d", &d, "X", "number");
+
+  const auto bad_int = argv_of({"prog", "--n", "12x"});
+  EXPECT_THROW(p.parse(static_cast<int>(bad_int.size()), bad_int.data()),
+               Error);
+  const auto neg_int = argv_of({"prog", "--n", "-3"});
+  EXPECT_THROW(p.parse(static_cast<int>(neg_int.size()), neg_int.data()),
+               Error);
+  const auto bad_dbl = argv_of({"prog", "--d", "fast"});
+  EXPECT_THROW(p.parse(static_cast<int>(bad_dbl.size()), bad_dbl.data()),
+               Error);
+}
+
+TEST(ArgParser, SwitchRejectsInlineValue) {
+  bool b = false;
+  ArgParser p("prog");
+  p.flag("--quick", &b, "fast");
+  const auto args = argv_of({"prog", "--quick=1"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(ArgParser, MissingPositionalsThrow) {
+  std::string in;
+  ArgParser p("prog");
+  p.positional("in", &in, "input");
+  const auto args = argv_of({"prog"});
+  try {
+    p.parse(static_cast<int>(args.size()), args.data());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("<in>"), std::string::npos);
+  }
+
+  std::vector<std::string> rest;
+  ArgParser q("prog");
+  q.positional_rest("mod", &rest, "modules", 2);
+  const auto one = argv_of({"prog", "a.bench"});
+  EXPECT_THROW(q.parse(static_cast<int>(one.size()), one.data()), Error);
+}
+
+TEST(ArgParser, UnexpectedPositionalThrows) {
+  ArgParser p("prog");
+  const auto args = argv_of({"prog", "stray"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(ArgParser, HelpListsEverythingAndStopsParsing) {
+  bool quick = false;
+  uint64_t n = 7;
+  std::string in;
+  ArgParser p("prog", "does things");
+  p.flag("--quick", &quick, "fast run");
+  p.option("--samples", &n, "N", "sample count");
+  p.positional("in", &in, "input file");
+
+  const std::string h = p.help();
+  for (const char* expect :
+       {"usage: prog", "does things", "<in>", "--quick", "fast run",
+        "--samples <N>", "sample count", "--help"})
+    EXPECT_NE(h.find(expect), std::string::npos) << expect;
+
+  // --help short-circuits: nothing after it is parsed or validated.
+  const auto args = argv_of({"prog", "--help", "--unknown"});
+  EXPECT_FALSE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(n, 7u);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  bool b = false;
+  ArgParser p("prog");
+  p.flag("--x", &b, "first");
+  EXPECT_THROW(p.flag("--x", &b, "again"), Error);
+}
+
+}  // namespace
+}  // namespace hssta::util

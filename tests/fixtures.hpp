@@ -1,44 +1,38 @@
-// Shared test fixtures: a placed-and-extracted module under test and the
-// paper-style 2x2 cross-connected hierarchical design built from it.
+// Shared test fixtures: a placed-and-extracted module under test (backed
+// by the flow:: facade) and the paper-style 2x2 cross-connected
+// hierarchical design built from it.
 
 #pragma once
 
+#include "hssta/flow/flow.hpp"
 #include "hssta/hier/design.hpp"
-#include "hssta/library/cell_library.hpp"
-#include "hssta/model/extract.hpp"
-#include "hssta/netlist/generate.hpp"
-#include "hssta/placement/placement.hpp"
-#include "hssta/timing/builder.hpp"
-#include "hssta/variation/space.hpp"
 
 namespace hssta::testing {
 
 inline const library::CellLibrary& default_lib() {
-  static const library::CellLibrary lib = library::default_90nm();
-  return lib;
+  return *flow::default_library();
 }
 
-/// A module with everything the pipelines need, kept alive together.
+/// A module with everything the pipelines need, kept alive together. The
+/// reference members let suites keep addressing the stages as fields while
+/// the flow::Module handle owns them.
 struct ModuleUnderTest {
-  netlist::Netlist netlist;
-  placement::Placement placement;
-  variation::ModuleVariation variation;
-  timing::BuiltGraph built;
-  model::Extraction extraction;
+  flow::Module module;
+  const netlist::Netlist& netlist;
+  const placement::Placement& placement;
+  const variation::ModuleVariation& variation;
+  const timing::BuiltGraph& built;
+  const model::Extraction& extraction;
 
   explicit ModuleUnderTest(const netlist::RandomDagSpec& spec,
                            double delta = 0.05)
-      : netlist(netlist::make_random_dag(spec, default_lib())),
-        placement(placement::place_rows(netlist)),
-        variation(variation::make_module_variation(
-            placement, netlist.num_gates(),
-            variation::default_90nm_parameters(),
-            variation::SpatialCorrelationConfig{})),
-        built(timing::build_timing_graph(netlist, placement, variation)),
-        extraction(model::extract_timing_model(
-            built, variation, netlist.name(),
-            model::compute_boundary(netlist),
-            model::ExtractOptions{delta, true})) {}
+      : module(flow::Module::from_random_dag(spec)),
+        netlist(module.netlist()),
+        placement(module.placement()),
+        variation(module.variation()),
+        built(module.built()),
+        extraction(
+            module.extract_model(model::ExtractOptions{delta, true})) {}
 
   [[nodiscard]] const model::TimingModel& model() const {
     return extraction.model;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# clang-format gate over src/ (and the other first-party C++ trees).
+# Exits non-zero listing the offending files when formatting drifts from
+# .clang-format. Usage: tools/format_check.sh [--fix]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format_check: $CLANG_FORMAT not found; skipping (install clang-format to enable the gate)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tools tests bench examples \
+  -name '*.cpp' -o -name '*.hpp' | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "format_check: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done
+if [[ $bad -ne 0 ]]; then
+  echo "format_check: run tools/format_check.sh --fix" >&2
+  exit 1
+fi
+echo "format_check: ${#files[@]} files clean"

@@ -1,140 +1,228 @@
-// hssta_cli — command-line front end for .bench workflows.
+// hssta_cli — command-line front end for the flow:: pipeline API.
 //
-//   hssta_cli report  <in.bench> [--paths K]      module SSTA report
-//   hssta_cli extract <in.bench> <out.hstm> [--delta X]
-//   hssta_cli mc      <in.bench> [--samples N] [--seed S]
+//   hssta_cli report  <in.bench>              module SSTA report
+//   hssta_cli extract <in.bench> <out.hstm>   gray-box model extraction
+//   hssta_cli mc      <in.bench>              module Monte Carlo
+//   hssta_cli hier    <m1> <m2> [...]         design-level analysis of a
+//                                             pipeline of modules; each <m>
+//                                             is a .bench netlist (model
+//                                             extracted on the fly) or a
+//                                             pre-extracted .hstm model
 //
-// All commands use the default 90nm library and the paper's variation
-// setup (Leff/Tox/Vth, 0.92-neighbour correlation, <100 cells per grid).
+// All commands accept --config <file> (flow::Config key=value text); the
+// defaults are the paper's Section VI setup (90nm library, Leff/Tox/Vth,
+// 0.92-neighbour correlation, < 100 cells per grid, delta = 0.05).
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <iostream>
 #include <string>
+#include <vector>
 
-#include "hssta/core/paths.hpp"
-#include "hssta/core/ssta.hpp"
-#include "hssta/hssta.hpp"
+#include "hssta/flow/flow.hpp"
+#include "hssta/model/timing_model.hpp"
+#include "hssta/timing/sta.hpp"
+#include "hssta/util/argparse.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/strings.hpp"
+#include "hssta/util/timer.hpp"
 
 namespace {
 
 using namespace hssta;
 
-struct Flags {
-  size_t paths = 5;
-  size_t samples = 5000;
-  uint64_t seed = 2009;
-  double delta = 0.05;
-};
+/// Flags shared by every subcommand.
+struct Common {
+  std::string config_file;
 
-Flags parse_flags(int argc, char** argv, int first) {
-  Flags f;
-  for (int i = first; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) throw Error("missing value after " + a);
-      return argv[++i];
-    };
-    if (a == "--paths") f.paths = std::strtoull(next(), nullptr, 10);
-    else if (a == "--samples") f.samples = std::strtoull(next(), nullptr, 10);
-    else if (a == "--seed") f.seed = std::strtoull(next(), nullptr, 10);
-    else if (a == "--delta") f.delta = std::strtod(next(), nullptr);
-    else throw Error("unknown flag: " + a);
+  void register_flags(util::ArgParser& p) {
+    p.option("--config", &config_file, "file",
+             "flow::Config key=value file");
   }
-  return f;
-}
 
-struct Loaded {
-  netlist::Netlist netlist;
-  placement::Placement placement;
-  variation::ModuleVariation variation;
-  timing::BuiltGraph built;
+  [[nodiscard]] flow::Config load() const {
+    return config_file.empty() ? flow::Config{}
+                               : flow::Config::from_file(config_file);
+  }
 };
 
-Loaded load(const std::string& path, const library::CellLibrary& lib) {
-  netlist::Netlist nl = netlist::read_bench_file(path, lib);
-  placement::Placement pl = placement::place_rows(nl);
-  variation::ModuleVariation mv = variation::make_module_variation(
-      pl, nl.num_gates(), variation::default_90nm_parameters(),
-      variation::SpatialCorrelationConfig{});
-  timing::BuiltGraph built = timing::build_timing_graph(nl, pl, mv);
-  return Loaded{std::move(nl), std::move(pl), std::move(mv),
-                std::move(built)};
+void print_distribution(const char* label, const timing::CanonicalForm& d) {
+  std::printf("%s: mean %.4f ns, sigma %.4f ns\n", label, d.nominal(),
+              d.sigma());
+  for (double q : {0.90, 0.99, 0.9987})
+    std::printf("  %.2f%% quantile: %.4f ns\n", 100 * q, d.quantile(q));
 }
 
-int cmd_report(const std::string& path, const Flags& flags,
-               const library::CellLibrary& lib) {
-  const Loaded m = load(path, lib);
+int cmd_report(int argc, const char* const* argv) {
+  Common common;
+  uint64_t paths = 5;
+  std::string in;
+  util::ArgParser p("hssta_cli report", "module-level SSTA report");
+  p.positional("in.bench", &in, "input netlist");
+  p.option("--paths", &paths, "K", "critical paths to report (default 5)");
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 2)) return 0;
+
+  const flow::Module m = flow::Module::from_bench_file(in, common.load());
   std::printf("%s: %zu gates, %zu inputs, %zu outputs, depth %zu\n",
-              m.netlist.name().c_str(), m.netlist.num_gates(),
-              m.netlist.primary_inputs().size(),
-              m.netlist.primary_outputs().size(), m.netlist.depth());
+              m.name().c_str(), m.netlist().num_gates(),
+              m.netlist().primary_inputs().size(),
+              m.netlist().primary_outputs().size(), m.netlist().depth());
   std::printf("variation: %zu grids, %zu variables\n\n",
-              m.variation.partition.num_grids(), m.variation.space->dim());
+              m.variation().partition.num_grids(), m.variation().space->dim());
 
-  const core::SstaResult ssta = core::run_ssta(m.built.graph);
-  std::printf("delay: mean %.4f ns, sigma %.4f ns\n", ssta.delay.nominal(),
-              ssta.delay.sigma());
-  for (double q : {0.90, 0.99, 0.9987})
-    std::printf("  %.2f%% quantile: %.4f ns\n", 100 * q,
-                ssta.delay.quantile(q));
+  print_distribution("delay", m.delay());
   std::printf("nominal STA %.4f ns, 3-sigma corner %.4f ns\n\n",
-              timing::corner_delay(m.built.graph, 0.0),
-              timing::corner_delay(m.built.graph, 3.0));
+              timing::corner_delay(m.graph(), 0.0),
+              timing::corner_delay(m.graph(), 3.0));
 
-  const auto paths = core::report_critical_paths(m.built.graph, flags.paths);
-  std::printf("top %zu critical paths:\n", paths.size());
-  for (const auto& p : paths)
+  const auto& top = m.critical_paths(paths);
+  std::printf("top %zu critical paths:\n", top.size());
+  for (const auto& path : top)
     std::printf("  P=%5.1f%%  %.4f ns (+/- %.4f)  %s\n",
-                100.0 * p.criticality, p.delay.nominal(), p.delay.sigma(),
-                p.format(m.built.graph).c_str());
+                100.0 * path.criticality, path.delay.nominal(),
+                path.delay.sigma(), path.format(m.graph()).c_str());
   return 0;
 }
 
-int cmd_extract(const std::string& in, const std::string& out,
-                const Flags& flags, const library::CellLibrary& lib) {
-  const Loaded m = load(in, lib);
-  const model::Extraction ex = model::extract_timing_model(
-      m.built, m.variation, m.netlist.name(),
-      model::compute_boundary(m.netlist),
-      model::ExtractOptions{flags.delta, true});
+int cmd_extract(int argc, const char* const* argv) {
+  Common common;
+  double delta = -1.0;
+  std::string in, out;
+  util::ArgParser p("hssta_cli extract", "gray-box timing model extraction");
+  p.positional("in.bench", &in, "input netlist");
+  p.positional("out.hstm", &out, "output model file");
+  p.option("--delta", &delta, "X",
+           "criticality threshold (default: config, 0.05)");
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 2)) return 0;
+
+  flow::Config cfg = common.load();
+  if (delta >= 0.0) cfg.extract.criticality_threshold = delta;
+  const flow::Module m = flow::Module::from_bench_file(in, cfg);
+  const model::Extraction& ex = m.extract_model();
   ex.model.save_file(out);
   std::printf(
       "%s: %zu -> %zu edges (%.0f%%), %zu -> %zu vertices (%.0f%%), "
       "%.3f s\nmodel written to %s\n",
-      m.netlist.name().c_str(), ex.stats.original_edges,
-      ex.stats.model_edges, 100.0 * ex.stats.edge_ratio(),
-      ex.stats.original_vertices, ex.stats.model_vertices,
-      100.0 * ex.stats.vertex_ratio(), ex.stats.seconds, out.c_str());
+      m.name().c_str(), ex.stats.original_edges, ex.stats.model_edges,
+      100.0 * ex.stats.edge_ratio(), ex.stats.original_vertices,
+      ex.stats.model_vertices, 100.0 * ex.stats.vertex_ratio(),
+      ex.stats.seconds, out.c_str());
   return 0;
 }
 
-int cmd_mc(const std::string& path, const Flags& flags,
-           const library::CellLibrary& lib) {
-  const Loaded m = load(path, lib);
-  const mc::FlatCircuit fc =
-      mc::FlatCircuit::from_module(m.built, m.netlist, m.variation);
-  stats::Rng rng(flags.seed);
+int cmd_mc(int argc, const char* const* argv) {
+  Common common;
+  uint64_t samples = 0, seed = 0;
+  std::string in;
+  util::ArgParser p("hssta_cli mc", "module Monte Carlo reference");
+  p.positional("in.bench", &in, "input netlist");
+  p.option("--samples", &samples, "N", "sample count (default: config)");
+  p.option("--seed", &seed, "S", "RNG seed (default: config)");
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 2)) return 0;
+
+  flow::Config cfg = common.load();
+  if (samples) cfg.mc.samples = samples;
+  if (seed) cfg.mc.seed = seed;
+  const flow::Module m = flow::Module::from_bench_file(in, cfg);
   WallTimer timer;
-  const auto d = fc.sample_delay(flags.samples, rng);
+  const stats::EmpiricalDistribution& d = m.monte_carlo();
   std::printf(
       "%s Monte Carlo (%zu samples, seed %llu, %.2f s):\n"
       "  mean %.4f ns, sigma %.4f ns, min %.4f, max %.4f\n"
       "  quantiles: 90%% %.4f | 99%% %.4f | 99.87%% %.4f\n",
-      m.netlist.name().c_str(), flags.samples,
-      static_cast<unsigned long long>(flags.seed), timer.seconds(), d.mean(),
+      m.name().c_str(), cfg.mc.samples,
+      static_cast<unsigned long long>(cfg.mc.seed), timer.seconds(), d.mean(),
       d.stddev(), d.min(), d.max(), d.quantile(0.90), d.quantile(0.99),
       d.quantile(0.9987));
+  return 0;
+}
+
+/// hier: load the modules, place them left-to-right in abutment and chain
+/// every consecutive pair (output k of stage i feeds input k of stage i+1,
+/// wrapping over the narrower port list). Unwired boundary ports become
+/// design primary ports, then the full hierarchical analysis runs.
+int cmd_hier(int argc, const char* const* argv) {
+  Common common;
+  bool run_mc = false;
+  bool global_only = false;
+  uint64_t samples = 0, seed = 0;
+  std::vector<std::string> files;
+  util::ArgParser p("hssta_cli hier",
+                    "design-level hierarchical SSTA of chained modules");
+  p.positional_rest("module.bench|.hstm", &files,
+                    "module netlists or model files (>= 2)", 2);
+  p.flag("--mc", &run_mc,
+         "cross-check with flattened Monte Carlo (.bench modules only)");
+  p.flag("--global-only", &global_only,
+         "baseline correlation mode instead of variable replacement");
+  p.option("--samples", &samples, "N", "MC sample count (default: config)");
+  p.option("--seed", &seed, "S", "MC RNG seed (default: config)");
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 2)) return 0;
+
+  flow::Config cfg = common.load();
+  if (samples) cfg.mc.samples = samples;
+  if (seed) cfg.mc.seed = seed;
+  if (global_only) cfg.hier.mode = hier::CorrelationMode::kGlobalOnly;
+
+  flow::Design design("chain", cfg);
+  double x = 0.0;
+  for (const std::string& file : files) {
+    size_t idx;
+    if (file.size() > 5 && file.substr(file.size() - 5) == ".hstm")
+      idx = design.add_instance_from_model_file(file, x, 0.0);
+    else
+      idx = design.add_instance(flow::Module::from_bench_file(file, cfg), x,
+                                0.0);
+    x += design.instance_model(idx).die().width;
+    std::printf("instance %zu '%s': %s (%zu in, %zu out, die %.1f x %.1f "
+                "um)\n",
+                idx, design.instance_name(idx).c_str(), file.c_str(),
+                design.num_inputs(idx), design.num_outputs(idx),
+                design.instance_model(idx).die().width,
+                design.instance_model(idx).die().height);
+  }
+
+  for (size_t i = 0; i + 1 < design.num_instances(); ++i) {
+    const size_t no = design.num_outputs(i);
+    const size_t ni = design.num_inputs(i + 1);
+    if (no == 0)
+      throw Error("cannot chain: module '" + design.instance_name(i) +
+                  "' has no outputs");
+    for (size_t k = 0; k < ni; ++k) design.connect(i, k % no, i + 1, k);
+  }
+  design.expose_unconnected_ports();
+
+  const hier::HierResult& r = design.analyze();
+  std::printf("\ndesign: %zu instances, %zu top-level nets, %s correlation "
+              "(built %.3f s, analyzed %.3f s)\n",
+              design.num_instances(), design.hier().connections().size(),
+              global_only ? "global-only" : "replacement", r.build_seconds,
+              r.analysis_seconds);
+  print_distribution("stitched design delay", r.delay());
+
+  if (run_mc) {
+    WallTimer timer;
+    const stats::EmpiricalDistribution& d = design.monte_carlo();
+    std::printf(
+        "\nflattened Monte Carlo (%zu samples, %.2f s): mean %.4f ns, "
+        "sigma %.4f ns\n  SSTA vs MC: mean %+.2f%%, sigma %+.2f%%\n",
+        cfg.mc.samples, timer.seconds(), d.mean(), d.stddev(),
+        100.0 * (r.delay().nominal() / d.mean() - 1.0),
+        100.0 * (r.delay().sigma() / d.stddev() - 1.0));
+  }
   return 0;
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  hssta_cli report  <in.bench> [--paths K]\n"
-               "  hssta_cli extract <in.bench> <out.hstm> [--delta X]\n"
-               "  hssta_cli mc      <in.bench> [--samples N] [--seed S]\n");
+               "  hssta_cli report  <in.bench> [flags]\n"
+               "  hssta_cli extract <in.bench> <out.hstm> [flags]\n"
+               "  hssta_cli mc      <in.bench> [flags]\n"
+               "  hssta_cli hier    <m1.bench|.hstm> <m2...> [flags]\n"
+               "run a subcommand with --help for its flags\n");
   return 2;
 }
 
@@ -142,16 +230,12 @@ int usage() {
 
 int main(int argc, char** argv) {
   try {
-    if (argc < 3) return usage();
+    if (argc < 2) return usage();
     const std::string cmd = argv[1];
-    const library::CellLibrary lib = library::default_90nm();
-    if (cmd == "report")
-      return cmd_report(argv[2], parse_flags(argc, argv, 3), lib);
-    if (cmd == "extract") {
-      if (argc < 4) return usage();
-      return cmd_extract(argv[2], argv[3], parse_flags(argc, argv, 4), lib);
-    }
-    if (cmd == "mc") return cmd_mc(argv[2], parse_flags(argc, argv, 3), lib);
+    if (cmd == "report") return cmd_report(argc, argv);
+    if (cmd == "extract") return cmd_extract(argc, argv);
+    if (cmd == "mc") return cmd_mc(argc, argv);
+    if (cmd == "hier") return cmd_hier(argc, argv);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
