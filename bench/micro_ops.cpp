@@ -1,13 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the primitive operations whose
 // throughput bounds every analysis in the library: canonical sum and Clark
 // max at several coefficient dimensions, full-graph propagation, the
-// all-pairs criticality engine, PCA, and Monte Carlo sampling.
+// all-pairs criticality engine, PCA, and Monte Carlo sampling — plus the
+// executor-based thread sweeps (1/2/4/8 threads) for the three hot paths
+// the exec layer parallelizes. Run with
+//   --benchmark_out=bench_out/BENCH_micro_ops.json --benchmark_out_format=json
+// to land the speedup trajectory in a BENCH_*.json artifact.
 
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
 #include "hssta/core/criticality.hpp"
+#include "hssta/core/io_delays.hpp"
 #include "hssta/core/ssta.hpp"
+#include "hssta/exec/executor.hpp"
 #include "hssta/linalg/pca.hpp"
 #include "hssta/mc/flat_mc.hpp"
 #include "hssta/stats/rng.hpp"
@@ -99,6 +105,52 @@ void BM_FlatMcSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlatMcSample)->Unit(benchmark::kMillisecond);
+
+// --- executor thread sweeps (Arg = thread count) ---------------------------
+// Wall-clock (UseRealTime) at 1/2/4/8 threads; the acceptance target is
+// >= 2x for all_pairs_io_delays on a c7552-class module at 4 threads.
+
+const flow::Module& c7552_module() {
+  static const flow::Module m = bench::module_for_iscas("c7552");
+  return m;
+}
+
+void BM_AllPairsIoDelaysThreads(benchmark::State& state) {
+  const flow::Module& module = c7552_module();
+  const auto ex = exec::make_executor(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::all_pairs_io_delays(module.graph(), *ex));
+  }
+}
+BENCHMARK(BM_AllPairsIoDelaysThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CriticalityThreads(benchmark::State& state) {
+  const flow::Module module = bench::module_for_iscas("c1908");
+  const auto ex = exec::make_executor(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_criticality(module.graph(), *ex));
+  }
+}
+BENCHMARK(BM_CriticalityThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_FlatMcThreads(benchmark::State& state) {
+  const flow::Module module = bench::module_for_iscas("c880");
+  const mc::FlatCircuit& fc = module.flat_circuit();
+  const auto ex = exec::make_executor(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fc.sample_delay(256, 7, *ex));
+  }
+}
+BENCHMARK(BM_FlatMcThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,14 +1,22 @@
 // The paper's Section VI-B runtime claim: hierarchical analysis with
 // pre-characterized models is ~three orders of magnitude faster than Monte
 // Carlo simulation of the flattened netlist. This harness measures the
-// Fig. 7 design's analysis time against flat MC across sample counts.
+// Fig. 7 design's analysis time against flat MC across sample counts, then
+// sweeps the executor thread count (1/2/4/8) over the three hot parallel
+// paths — all-pairs IO delays, criticality, flat MC — and lands the
+// speedup trajectory in bench_out/BENCH_threads.json.
 //
 // Flags: --samples N caps the largest MC run (default 10000).
 
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <iostream>
 
 #include "common.hpp"
+#include "hssta/core/criticality.hpp"
+#include "hssta/core/io_delays.hpp"
+#include "hssta/exec/executor.hpp"
 #include "hssta/hier/hier_ssta.hpp"
 #include "hssta/mc/hier_mc.hpp"
 #include "hssta/util/csv.hpp"
@@ -68,5 +76,68 @@ int main(int argc, char** argv) {
               t_extract);
   t.print(std::cout);
   std::printf("\nCSV: %s\n", bench::out_path("speedup_vs_mc.csv").c_str());
+
+  // --- executor thread sweep ------------------------------------------------
+  // Wall time of the three executor-parallel hot paths on the c6288 module
+  // (IO delays / criticality) and the flattened Fig. 7 design (flat MC) at
+  // 1/2/4/8 threads; speedups are relative to the 1-thread run of the same
+  // op. Results are bit-identical across the sweep by construction.
+  const size_t sweep_samples = args.quick ? 500 : 2000;
+  std::printf("\nexecutor thread sweep (hardware threads: %zu)\n",
+              exec::effective_threads(0));
+  Table sweep({"op", "threads", "runtime(s)", "speedup vs 1 thread"});
+  std::ofstream json(bench::out_path("BENCH_threads.json"));
+  json << "[\n";
+  bool first = true;
+  struct Op {
+    const char* name;
+    const char* circuit;
+    std::function<void(exec::Executor&)> run;
+  };
+  const Op ops[] = {
+      {"all_pairs_io_delays", "c6288",
+       [&](exec::Executor& ex) {
+         (void)core::all_pairs_io_delays(module.graph(), ex);
+       }},
+      {"criticality", "c6288",
+       [&](exec::Executor& ex) {
+         (void)core::compute_criticality(module.graph(), ex);
+       }},
+      {"flat_mc", "fig7_4xc6288",
+       [&](exec::Executor& ex) {
+         (void)fc.sample_delay(sweep_samples, args.seed, ex);
+       }},
+  };
+  // Best-of-N wall time per configuration (first rep also warms caches and
+  // the pool), so the speedup ratios are not single-sample noise.
+  const size_t reps = args.quick ? 2 : 3;
+  for (const Op& op : ops) {
+    double t1 = 0.0;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      const auto ex = exec::make_executor(threads);
+      double seconds = 0.0;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        WallTimer timer;
+        op.run(*ex);
+        const double t = timer.seconds();
+        if (rep == 0 || t < seconds) seconds = t;
+      }
+      if (threads == 1) t1 = seconds;
+      const double speedup = seconds > 0.0 ? t1 / seconds : 0.0;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+      sweep.add_row({op.name, std::to_string(threads),
+                     fmt_double(seconds, 4), buf});
+      json << (first ? "" : ",\n");
+      first = false;
+      json << "  {\"op\": \"" << op.name << "\", \"circuit\": \""
+           << op.circuit << "\", \"threads\": " << threads
+           << ", \"seconds\": " << seconds << ", \"speedup_vs_1\": "
+           << speedup << "}";
+    }
+  }
+  json << "\n]\n";
+  sweep.print(std::cout);
+  std::printf("\nJSON: %s\n", bench::out_path("BENCH_threads.json").c_str());
   return 0;
 }

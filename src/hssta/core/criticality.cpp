@@ -18,56 +18,65 @@ using timing::VertexId;
 
 namespace {
 
+/// Per-worker scratch for the per-input criticality passes: propagation
+/// buffers, tightness candidates, the backward vertex-criticality array and
+/// this worker's cm accumulator (merged by max after the region).
+struct CritScratch {
+  timing::PropagationResult prop;
+  std::vector<double> tp;
+  std::vector<CanonicalForm> cand;
+  std::vector<EdgeId> cand_edge;
+  std::vector<double> vc;
+  std::vector<double> cm;
+  MaxDiagnostics diag;
+};
+
 /// Fanin tightness probabilities for one arrival propagation:
 /// tp[e] = Prob{edge e carries the maximal fanin arrival of its sink},
-/// renormalized per vertex so they partition exactly.
-std::vector<double> fanin_tightness(const TimingGraph& g,
-                                    const PropagationResult& arrival,
-                                    MaxDiagnostics* diag) {
-  std::vector<double> tp(g.num_edge_slots(), 0.0);
-  std::vector<CanonicalForm> cand;  // valid fanin arrival candidates
-  std::vector<EdgeId> cand_edge;
-
+/// renormalized per vertex so they partition exactly. Writes sc.tp.
+void fanin_tightness_into(const TimingGraph& g,
+                          const PropagationResult& arrival,
+                          MaxDiagnostics* diag, CritScratch& sc) {
+  sc.tp.assign(g.num_edge_slots(), 0.0);
   for (VertexId v : g.topo_order()) {
     const auto& fanin = g.vertex(v).fanin;
     if (fanin.empty()) continue;
-    cand.clear();
-    cand_edge.clear();
+    sc.cand.clear();
+    sc.cand_edge.clear();
     for (EdgeId e : fanin) {
       const timing::TimingEdge& te = g.edge(e);
       if (!arrival.valid[te.from]) continue;
       CanonicalForm c = arrival.time[te.from];
       c += te.delay;
-      cand.push_back(std::move(c));
-      cand_edge.push_back(e);
+      sc.cand.push_back(std::move(c));
+      sc.cand_edge.push_back(e);
     }
-    if (cand.empty()) continue;
-    const std::vector<double> split = timing::tightness_split(cand, diag);
-    for (size_t t = 0; t < split.size(); ++t) tp[cand_edge[t]] = split[t];
+    if (sc.cand.empty()) continue;
+    const std::vector<double> split = timing::tightness_split(sc.cand, diag);
+    for (size_t t = 0; t < split.size(); ++t) sc.tp[sc.cand_edge[t]] = split[t];
   }
-  return tp;
 }
 
 /// Scalar backward pass for one (input, output) pair: distribute vertex
 /// criticality over fanin edges by tp and fold the result into `fold`
-/// via `combine(fold[e], c_ij(e))`.
+/// via `combine(fold[e], c_ij(e))`. Uses sc.vc as scratch.
 template <typename Combine>
 void backward_pass(const TimingGraph& g,
                    const std::vector<VertexId>& reverse_order,
-                   const std::vector<double>& tp,
                    const PropagationResult& arrival, VertexId output,
-                   double prune_epsilon, Combine&& combine) {
+                   double prune_epsilon, CritScratch& sc,
+                   Combine&& combine) {
   if (!arrival.valid[output]) return;
-  std::vector<double> vc(g.num_vertex_slots(), 0.0);
-  vc[output] = 1.0;
+  sc.vc.assign(g.num_vertex_slots(), 0.0);
+  sc.vc[output] = 1.0;
   for (VertexId v : reverse_order) {
-    const double mass = vc[v];
+    const double mass = sc.vc[v];
     if (mass <= prune_epsilon) continue;
     for (EdgeId e : g.vertex(v).fanin) {
-      const double c = mass * tp[e];
+      const double c = mass * sc.tp[e];
       if (c <= 0.0) continue;
       combine(e, c);
-      vc[g.edge(e).from] += c;
+      sc.vc[g.edge(e).from] += c;
     }
   }
 }
@@ -75,6 +84,7 @@ void backward_pass(const TimingGraph& g,
 }  // namespace
 
 CriticalityResult compute_criticality(const TimingGraph& g,
+                                      exec::Executor& ex,
                                       const CriticalityOptions& opts) {
   const auto& ins = g.inputs();
   const auto& outs = g.outputs();
@@ -83,49 +93,78 @@ CriticalityResult compute_criticality(const TimingGraph& g,
 
   CriticalityResult res;
   res.max_criticality.assign(g.num_edge_slots(), 0.0);
+  if (opts.with_io_delays)
+    res.io_delays = DelayMatrix(ins.size(), outs.size(), g.dim());
 
-  std::vector<VertexId> order = g.topo_order();
-  std::vector<VertexId> reverse_order(order.rbegin(), order.rend());
+  const std::vector<VertexId> order = g.topo_order();
+  const std::vector<VertexId> reverse_order(order.rbegin(), order.rend());
 
-  for (size_t i = 0; i < ins.size(); ++i) {
-    const std::vector<VertexId> sources{ins[i]};
-    const PropagationResult arrival = timing::propagate_arrivals(g, sources);
-    res.diagnostics += arrival.diagnostics;
-    const std::vector<double> tp =
-        fanin_tightness(g, arrival, &res.diagnostics);
+  // Exclusive spans the reset -> region -> merge sequence so concurrent
+  // callers sharing `ex` serialize instead of interleaving workspaces.
+  const exec::Executor::Exclusive scope(ex);
+  for (size_t w = 0; w < ex.num_workspaces(); ++w) {
+    CritScratch& sc = ex.workspace(w).get<CritScratch>();
+    sc.cm.assign(g.num_edge_slots(), 0.0);
+    sc.diag = MaxDiagnostics{};
+  }
+
+  // One work item per input port: forward canonical propagation + fanin
+  // tightness, then a scalar backward pass per output. Each worker folds
+  // into its own cm accumulator; io_delays rows are per-input, so they are
+  // written without synchronization.
+  ex.parallel_for(ins.size(), [&](size_t i, exec::Workspace& ws) {
+    CritScratch& sc = ws.get<CritScratch>();
+    const VertexId sources[] = {ins[i]};
+    timing::propagate_arrivals_into(g, sources, sc.prop);
+    sc.diag += sc.prop.diagnostics;
+    fanin_tightness_into(g, sc.prop, &sc.diag, sc);
 
     for (size_t j = 0; j < outs.size(); ++j) {
-      backward_pass(g, reverse_order, tp, arrival, outs[j],
-                    opts.prune_epsilon, [&](EdgeId e, double c) {
-                      if (c > res.max_criticality[e])
-                        res.max_criticality[e] = c;
+      backward_pass(g, reverse_order, sc.prop, outs[j], opts.prune_epsilon,
+                    sc, [&](EdgeId e, double c) {
+                      if (c > sc.cm[e]) sc.cm[e] = c;
                     });
     }
 
     if (opts.with_io_delays) {
-      if (res.io_delays.num_inputs() == 0)
-        res.io_delays = DelayMatrix(ins.size(), outs.size(), g.dim());
       for (size_t j = 0; j < outs.size(); ++j)
-        if (arrival.valid[outs[j]])
-          res.io_delays.set(i, j, arrival.time[outs[j]]);
+        if (sc.prop.valid[outs[j]])
+          res.io_delays.set(i, j, sc.prop.time[outs[j]]);
     }
+  });
+
+  // Merge the per-worker accumulators. max over doubles and integer sums
+  // are order-insensitive, so this equals the serial fold bit-for-bit.
+  for (size_t w = 0; w < ex.num_workspaces(); ++w) {
+    const CritScratch& sc = ex.workspace(w).get<CritScratch>();
+    res.diagnostics += sc.diag;
+    for (size_t e = 0; e < res.max_criticality.size(); ++e)
+      if (sc.cm[e] > res.max_criticality[e])
+        res.max_criticality[e] = sc.cm[e];
   }
   // Reconvergence can push the tp partition marginally above 1; clamp.
   for (double& c : res.max_criticality) c = std::min(c, 1.0);
   return res;
 }
 
+CriticalityResult compute_criticality(const TimingGraph& g,
+                                      const CriticalityOptions& opts) {
+  exec::SerialExecutor ex;
+  return compute_criticality(g, ex, opts);
+}
+
 std::vector<double> pair_criticalities(const TimingGraph& g, size_t input,
                                        size_t output) {
   HSSTA_REQUIRE(input < g.inputs().size() && output < g.outputs().size(),
                 "IO index out of range");
-  std::vector<VertexId> order = g.topo_order();
-  std::vector<VertexId> reverse_order(order.rbegin(), order.rend());
-  const std::vector<VertexId> sources{g.inputs()[input]};
-  const PropagationResult arrival = timing::propagate_arrivals(g, sources);
-  const std::vector<double> tp = fanin_tightness(g, arrival, nullptr);
+  const std::vector<VertexId> order = g.topo_order();
+  const std::vector<VertexId> reverse_order(order.rbegin(), order.rend());
+  CritScratch sc;
+  const VertexId sources[] = {g.inputs()[input]};
+  timing::propagate_arrivals_into(g, sources, sc.prop);
+  fanin_tightness_into(g, sc.prop, nullptr, sc);
   std::vector<double> c(g.num_edge_slots(), 0.0);
-  backward_pass(g, reverse_order, tp, arrival, g.outputs()[output], 0.0,
+  backward_pass(g, reverse_order, sc.prop, g.outputs()[output], 0.0, sc,
                 [&](EdgeId e, double value) { c[e] += value; });
   return c;
 }
@@ -136,10 +175,12 @@ double edge_pair_criticality(const TimingGraph& g, EdgeId e, size_t input,
   return pair_criticalities(g, input, output)[e];
 }
 
-// Declared in paths.hpp; lives here to share fanin_tightness.
+// Declared in paths.hpp; lives here to share the tightness machinery.
 std::vector<double> arrival_tightness(const TimingGraph& g,
                                       const PropagationResult& arrivals) {
-  return fanin_tightness(g, arrivals, nullptr);
+  CritScratch sc;
+  fanin_tightness_into(g, arrivals, nullptr, sc);
+  return std::move(sc.tp);
 }
 
 }  // namespace hssta::core

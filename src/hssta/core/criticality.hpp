@@ -54,7 +54,15 @@ struct CriticalityResult {
   timing::MaxDiagnostics diagnostics;
 };
 
-/// Compute cm for every live edge of `g`.
+/// Compute cm for every live edge of `g`. The per-input forward propagation
+/// + tightness passes (and their backward scalar passes per output) fan out
+/// across `ex`; per-worker cm accumulators merge by max afterwards, so the
+/// result is bit-identical at every thread count.
+[[nodiscard]] CriticalityResult compute_criticality(
+    const timing::TimingGraph& g, exec::Executor& ex,
+    const CriticalityOptions& opts = {});
+
+/// Serial convenience overload (runs on a call-local SerialExecutor).
 [[nodiscard]] CriticalityResult compute_criticality(
     const timing::TimingGraph& g, const CriticalityOptions& opts = {});
 

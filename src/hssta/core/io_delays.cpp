@@ -63,21 +63,48 @@ double DelayMatrix::max_mean_error(const DelayMatrix& reference,
   return worst;
 }
 
-DelayMatrix all_pairs_io_delays(const TimingGraph& g,
+namespace {
+
+/// Per-worker scratch: a reusable propagation result plus the worker's
+/// share of the diagnostics counters (merged after the region; integer
+/// sums, so the merge is independent of the thread partition).
+struct IoDelayScratch {
+  timing::PropagationResult prop;
+  timing::MaxDiagnostics diag;
+};
+
+}  // namespace
+
+DelayMatrix all_pairs_io_delays(const TimingGraph& g, exec::Executor& ex,
                                 timing::MaxDiagnostics* diag) {
   const auto& ins = g.inputs();
   const auto& outs = g.outputs();
   DelayMatrix m(ins.size(), outs.size(), g.dim());
-  for (size_t i = 0; i < ins.size(); ++i) {
-    const VertexId src = ins[i];
-    const std::vector<VertexId> sources{src};
-    const timing::PropagationResult r =
-        timing::propagate_arrivals(g, sources);
-    if (diag) *diag += r.diagnostics;
+  // Exclusive spans the reset -> region -> merge sequence so concurrent
+  // callers sharing `ex` serialize instead of interleaving workspaces.
+  const exec::Executor::Exclusive scope(ex);
+  for (size_t w = 0; w < ex.num_workspaces(); ++w)
+    ex.workspace(w).get<IoDelayScratch>().diag = timing::MaxDiagnostics{};
+  // Each row (i, *) is written by exactly one work item, so the matrix
+  // needs no synchronization.
+  ex.parallel_for(ins.size(), [&](size_t i, exec::Workspace& ws) {
+    IoDelayScratch& sc = ws.get<IoDelayScratch>();
+    const VertexId sources[] = {ins[i]};
+    timing::propagate_arrivals_into(g, sources, sc.prop);
+    sc.diag += sc.prop.diagnostics;
     for (size_t j = 0; j < outs.size(); ++j)
-      if (r.valid[outs[j]]) m.set(i, j, r.time[outs[j]]);
-  }
+      if (sc.prop.valid[outs[j]]) m.set(i, j, sc.prop.time[outs[j]]);
+  });
+  if (diag)
+    for (size_t w = 0; w < ex.num_workspaces(); ++w)
+      *diag += ex.workspace(w).get<IoDelayScratch>().diag;
   return m;
+}
+
+DelayMatrix all_pairs_io_delays(const TimingGraph& g,
+                                timing::MaxDiagnostics* diag) {
+  exec::SerialExecutor ex;
+  return all_pairs_io_delays(g, ex, diag);
 }
 
 }  // namespace hssta::core

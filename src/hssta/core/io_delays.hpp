@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "hssta/exec/executor.hpp"
 #include "hssta/timing/graph.hpp"
 #include "hssta/timing/propagate.hpp"
 
@@ -48,7 +49,14 @@ class DelayMatrix {
 };
 
 /// Compute the delay matrix of a timing graph: one forward propagation per
-/// input port (rows/columns follow g.inputs()/g.outputs() order).
+/// input port (rows/columns follow g.inputs()/g.outputs() order). The
+/// propagations fan out across `ex` (one row per work item, per-thread
+/// propagation scratch); results are bit-identical at every thread count.
+[[nodiscard]] DelayMatrix all_pairs_io_delays(
+    const timing::TimingGraph& g, exec::Executor& ex,
+    timing::MaxDiagnostics* diag = nullptr);
+
+/// Serial convenience overload (runs on a call-local SerialExecutor).
 [[nodiscard]] DelayMatrix all_pairs_io_delays(
     const timing::TimingGraph& g, timing::MaxDiagnostics* diag = nullptr);
 

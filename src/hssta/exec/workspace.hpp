@@ -1,0 +1,56 @@
+/// \file workspace.hpp
+/// Per-thread scratch arena for the compute layer.
+///
+/// Hot analyses (per-input canonical propagation, criticality backward
+/// passes, Monte Carlo edge evaluation) need sizeable scratch buffers. A
+/// Workspace owns one lazily constructed instance per scratch type, so a
+/// worker thread allocates its buffers once and reuses them across every
+/// loop iteration the executor hands it — the allocation cost of a parallel
+/// region is O(threads), not O(work items).
+///
+/// Workspaces are owned by an Executor (one per worker slot) and handed to
+/// parallel_for bodies; they are not synchronized — each instance must only
+/// ever be touched by the thread the executor assigns it to during a run,
+/// and by the caller between runs (e.g. to reset accumulators before a
+/// region and merge them afterwards).
+
+#pragma once
+
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+
+namespace hssta::exec {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// The workspace's instance of scratch type T, default-constructed on
+  /// first use and kept alive for the workspace's lifetime.
+  template <typename T>
+  [[nodiscard]] T& get() {
+    const std::type_index key(typeid(T));
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      it = slots_
+               .emplace(key, Slot(new T(),
+                                  [](void* p) { delete static_cast<T*>(p); }))
+               .first;
+    }
+    return *static_cast<T*>(it->second.ptr.get());
+  }
+
+ private:
+  struct Slot {
+    Slot(void* p, void (*deleter)(void*)) : ptr(p, deleter) {}
+    std::unique_ptr<void, void (*)(void*)> ptr;
+  };
+  std::unordered_map<std::type_index, Slot> slots_;
+};
+
+}  // namespace hssta::exec

@@ -31,6 +31,19 @@ bool parse_bool(const std::string& key, const std::string& value) {
 
 }  // namespace
 
+size_t default_threads() {
+  if (const char* env = std::getenv("HSSTA_THREADS")) {
+    try {
+      return static_cast<size_t>(parse_count("HSSTA_THREADS", env));
+    } catch (const Error&) {
+      // A malformed environment value must not make every default-
+      // constructed Config throw; fall back to serial.
+      return 1;
+    }
+  }
+  return 1;
+}
+
 void Config::set(const std::string& key, const std::string& value) {
   if (key == "place.row_height")
     place.row_height = parse_num(key, value);
@@ -79,6 +92,8 @@ void Config::set(const std::string& key, const std::string& value) {
     mc.samples = parse_cnt(key, value);
   else if (key == "mc.seed")
     mc.seed = parse_cnt(key, value);
+  else if (key == "threads" || key == "exec.threads")
+    threads = parse_cnt(key, value);
   else
     throw Error("config: unknown key '" + key + "'");
 }

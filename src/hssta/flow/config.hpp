@@ -25,6 +25,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -37,6 +38,12 @@
 #include "hssta/variation/spatial.hpp"
 
 namespace hssta::flow {
+
+/// The default for Config::threads: the HSSTA_THREADS environment variable
+/// when set (0 there means "hardware concurrency"), otherwise 1 (serial).
+/// Results are bit-identical at every thread count, so the knob is purely
+/// about speed.
+[[nodiscard]] size_t default_threads();
 
 /// Monte Carlo controls shared by module- and design-level sampling.
 struct McOptions {
@@ -72,6 +79,12 @@ struct Config {
   hier::HierOptions hier;
   /// Monte Carlo reference runs ([mc] samples, seed).
   McOptions mc;
+  /// Worker threads for the compute layer ([exec] threads, or the bare key
+  /// "threads"): 0 = hardware concurrency, 1 = serial (default; see
+  /// default_threads()). Applies to every executor-driven stage — model
+  /// extraction / criticality, all-pairs IO delays, Monte Carlo batches and
+  /// per-instance design analysis — without changing any result bit.
+  size_t threads = default_threads();
 
   /// Apply one "section.key" (or bare "key") assignment; throws
   /// hssta::Error on unknown keys or malformed values.

@@ -4,10 +4,13 @@
 #include <set>
 #include <utility>
 
-#include "hssta/stats/rng.hpp"
 #include "hssta/util/error.hpp"
 
 namespace hssta::flow {
+
+namespace {
+using StateLock = std::lock_guard<std::recursive_mutex>;
+}  // namespace
 
 const model::TimingModel& Design::Instance::timing_model() const {
   return module ? module->model() : *model;
@@ -18,6 +21,20 @@ Design::Design(std::string name, Config cfg)
 
 Design::Design(std::string name, placement::Die die, Config cfg)
     : name_(std::move(name)), cfg_(std::move(cfg)), fixed_die_(die) {}
+
+Design::Design(Design&& other) noexcept
+    : name_(std::move(other.name_)),
+      cfg_(std::move(other.cfg_)),
+      fixed_die_(other.fixed_die_),
+      instances_(std::move(other.instances_)),
+      connections_(std::move(other.connections_)),
+      inputs_(std::move(other.inputs_)),
+      outputs_(std::move(other.outputs_)),
+      exec_(std::move(other.exec_)),
+      hier_(std::move(other.hier_)),
+      results_(std::move(other.results_)),
+      flat_(std::move(other.flat_)),
+      mc_(std::move(other.mc_)) {}
 
 size_t Design::add_instance(const Module& module, double x, double y,
                             std::string name) {
@@ -132,15 +149,48 @@ bool Design::can_monte_carlo() const {
 }
 
 void Design::invalidate() {
+  const StateLock lock(mu_);
   hier_.reset();
   results_.clear();
   flat_.reset();
   mc_.clear();
 }
 
+exec::Executor& Design::executor() const {
+  if (!exec_) exec_ = exec::make_executor(cfg_.threads);
+  return *exec_;
+}
+
+void Design::prefill_models() const {
+  // Collect the distinct module states that still need extraction (shared
+  // handles dedupe to one task; model-only instances have nothing to do).
+  std::vector<const Module*> todo;
+  std::set<const void*> seen;
+  for (const Instance& inst : instances_) {
+    if (!inst.module) continue;
+    if (seen.insert(inst.module->state_.get()).second)
+      todo.push_back(&*inst.module);
+  }
+  if (todo.size() < 2) {
+    // A single module extracts on its own executor — no sharding level.
+    for (const Module* m : todo) (void)m->extract_model();
+    return;
+  }
+  // Shard per instance-module across the design executor; each task gets a
+  // dedicated serial context (regions do not nest), and the module caches
+  // make every later model() call a lookup.
+  executor().parallel_for(
+      todo.size(), [&](size_t k, exec::Workspace&) {
+        exec::SerialExecutor inner;
+        (void)todo[k]->extract_model(todo[k]->config().extract, inner);
+      });
+}
+
 const hier::HierDesign& Design::hier() const {
+  const StateLock lock(mu_);
   if (hier_) return *hier_;
   HSSTA_REQUIRE(!instances_.empty(), "design '" + name_ + "' has no instances");
+  prefill_models();
 
   placement::Die die;
   if (fixed_die_) {
@@ -175,11 +225,14 @@ const hier::HierDesign& Design::hier() const {
 const hier::HierResult& Design::analyze() const { return analyze(cfg_.hier); }
 
 const hier::HierResult& Design::analyze(const hier::HierOptions& opts) const {
+  const StateLock lock(mu_);
   const HierKey key{static_cast<int>(opts.mode), opts.load_aware_boundary,
                     opts.interconnect_delay, opts.pca.min_explained,
                     opts.pca.rel_tol, opts.pca.max_components};
   auto it = results_.find(key);
   if (it == results_.end())
+    // hier() shards the per-instance model extraction across the design
+    // executor before the serial stitching pass runs here.
     it = results_.emplace(key, hier::analyze_hierarchical(hier(), opts))
              .first;
   return it->second;
@@ -190,6 +243,7 @@ const timing::CanonicalForm& Design::delay() const {
 }
 
 const mc::FlatCircuit& Design::flat_circuit() const {
+  const StateLock lock(mu_);
   if (!flat_) {
     HSSTA_REQUIRE(can_monte_carlo(),
                   "design '" + name_ +
@@ -211,13 +265,13 @@ const stats::EmpiricalDistribution& Design::monte_carlo() const {
 
 const stats::EmpiricalDistribution& Design::monte_carlo(
     const McOptions& opts) const {
+  const StateLock lock(mu_);
   const McKey key{opts.samples, opts.seed};
   auto it = mc_.find(key);
-  if (it == mc_.end()) {
-    stats::Rng rng(opts.seed);
-    it = mc_.emplace(key, flat_circuit().sample_delay(opts.samples, rng))
+  if (it == mc_.end())
+    it = mc_.emplace(key, flat_circuit().sample_delay(opts.samples, opts.seed,
+                                                      executor()))
              .first;
-  }
   return it->second;
 }
 

@@ -25,16 +25,26 @@
 /// The design die defaults to the bounding box of the placed instances; a
 /// fixed outline can be given at construction. Structural mutation after an
 /// analysis invalidates the cached results.
+///
+/// Analysis is sharded: before the (serial) stitching pass, the design
+/// extracts the timing model of every instance backed by a live module in
+/// parallel across its executor (config().threads) — the embarrassingly
+/// parallel per-instance half of the paper's Fig. 5 flow. Monte Carlo
+/// sample batches fan out across the same executor. Results are
+/// bit-identical at every thread count, and the analysis/MC stages are
+/// safe to query from concurrent threads (structural mutation is not).
 
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "hssta/exec/executor.hpp"
 #include "hssta/flow/config.hpp"
 #include "hssta/flow/module.hpp"
 #include "hssta/hier/design.hpp"
@@ -50,6 +60,18 @@ class Design {
   explicit Design(std::string name, Config cfg = {});
   /// Fixed die outline.
   Design(std::string name, placement::Die die, Config cfg = {});
+
+  /// Move-constructible (fresh internal mutex; caches move along), so
+  /// factory functions can return by value. Moving requires exclusive
+  /// access, like any structural mutation. Not copyable or move-assignable
+  /// — nothing needs assignment, and the hand-written member list exists
+  /// once. A member omitted from the move ctor would only drop a
+  /// recomputable cache, never corrupt structural state (those failures
+  /// are loud).
+  Design(Design&& other) noexcept;
+  Design& operator=(Design&& other) = delete;
+  Design(const Design&) = delete;
+  Design& operator=(const Design&) = delete;
 
   /// --- assembly ----------------------------------------------------------
 
@@ -127,6 +149,12 @@ class Design {
 
   void invalidate();
   [[nodiscard]] const Instance& instance(size_t inst) const;
+  /// Extract every live-module instance's timing model across the design
+  /// executor (dedicated serial context per task); no-op once cached.
+  /// Call with `mu_` held.
+  void prefill_models() const;
+  /// The design's executor (config threads). Call with `mu_` held.
+  [[nodiscard]] exec::Executor& executor() const;
 
   std::string name_;
   Config cfg_;
@@ -142,6 +170,8 @@ class Design {
   using HierKey = std::tuple<int, bool, double, double, double, size_t>;
   using McKey = std::pair<size_t, uint64_t>;
 
+  mutable std::recursive_mutex mu_;
+  mutable std::shared_ptr<exec::Executor> exec_;
   mutable std::optional<hier::HierDesign> hier_;
   mutable std::map<HierKey, hier::HierResult> results_;
   mutable std::optional<mc::FlatCircuit> flat_;

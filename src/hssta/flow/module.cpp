@@ -1,6 +1,7 @@
 #include "hssta/flow/module.hpp"
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -22,10 +23,19 @@ std::shared_ptr<const library::CellLibrary> default_library() {
 /// caches filled on first use; parameterized stages key a std::map on the
 /// argument (map nodes are address-stable, so references returned earlier
 /// survive later calls with different arguments).
+///
+/// Thread safety: every stage getter holds `mu` (recursive, because stages
+/// build on upstream stages) for the whole lookup-or-compute, giving
+/// once-per-stage semantics for concurrently shared handles. Cached objects
+/// are never moved or destroyed while the State lives, so references handed
+/// out remain valid without the lock.
 struct Module::State {
   Config cfg;
   std::shared_ptr<const library::CellLibrary> lib;
   netlist::Netlist nl;
+
+  mutable std::recursive_mutex mu;
+  std::shared_ptr<exec::Executor> exec;
 
   std::optional<placement::Placement> placement;
   std::optional<variation::ModuleVariation> variation;
@@ -41,7 +51,18 @@ struct Module::State {
   State(Config c, std::shared_ptr<const library::CellLibrary> l,
         netlist::Netlist n)
       : cfg(std::move(c)), lib(std::move(l)), nl(std::move(n)) {}
+
+  /// The module's executor (config threads), created on first use.
+  /// Call with `mu` held.
+  exec::Executor& executor() {
+    if (!exec) exec = exec::make_executor(cfg.threads);
+    return *exec;
+  }
 };
+
+namespace {
+using StateLock = std::lock_guard<std::recursive_mutex>;
+}  // namespace
 
 Module Module::from_netlist(netlist::Netlist nl, Config cfg,
                             std::shared_ptr<const library::CellLibrary> lib) {
@@ -91,12 +112,14 @@ const netlist::Netlist& Module::netlist() const { return state_->nl; }
 
 const placement::Placement& Module::placement() const {
   State& s = *state_;
+  const StateLock lock(s.mu);
   if (!s.placement) s.placement = placement::place_rows(s.nl, s.cfg.place);
   return *s.placement;
 }
 
 const variation::ModuleVariation& Module::variation() const {
   State& s = *state_;
+  const StateLock lock(s.mu);
   if (!s.variation)
     s.variation = variation::make_module_variation(
         placement(), s.nl.num_gates(), s.cfg.parameters, s.cfg.correlation,
@@ -106,6 +129,7 @@ const variation::ModuleVariation& Module::variation() const {
 
 const timing::BuiltGraph& Module::built() const {
   State& s = *state_;
+  const StateLock lock(s.mu);
   if (!s.built)
     s.built = timing::build_timing_graph(s.nl, placement(), variation(),
                                          s.cfg.build);
@@ -116,6 +140,7 @@ const timing::TimingGraph& Module::graph() const { return built().graph; }
 
 const core::SstaResult& Module::ssta() const {
   State& s = *state_;
+  const StateLock lock(s.mu);
   if (!s.ssta) s.ssta = core::run_ssta(built().graph);
   return *s.ssta;
 }
@@ -124,6 +149,7 @@ const timing::CanonicalForm& Module::delay() const { return ssta().delay; }
 
 const core::SlackResult& Module::slack(double required_at_outputs) const {
   State& s = *state_;
+  const StateLock lock(s.mu);
   auto it = s.slack.find(required_at_outputs);
   if (it == s.slack.end())
     it = s.slack
@@ -135,6 +161,7 @@ const core::SlackResult& Module::slack(double required_at_outputs) const {
 
 const std::vector<core::CriticalPath>& Module::critical_paths(size_t k) const {
   State& s = *state_;
+  const StateLock lock(s.mu);
   auto it = s.paths.find(k);
   if (it == s.paths.end())
     it = s.paths.emplace(k, core::report_critical_paths(built().graph, k))
@@ -149,6 +176,14 @@ const model::Extraction& Module::extract_model() const {
 const model::Extraction& Module::extract_model(
     const model::ExtractOptions& opts) const {
   State& s = *state_;
+  const StateLock lock(s.mu);
+  return extract_model(opts, s.executor());
+}
+
+const model::Extraction& Module::extract_model(
+    const model::ExtractOptions& opts, exec::Executor& ex) const {
+  State& s = *state_;
+  const StateLock lock(s.mu);
   const std::pair<double, bool> key{opts.criticality_threshold,
                                     opts.repair_connectivity};
   auto it = s.extractions.find(key);
@@ -156,7 +191,7 @@ const model::Extraction& Module::extract_model(
     it = s.extractions
              .emplace(key, model::extract_timing_model(
                                built(), variation(), s.nl.name(),
-                               model::compute_boundary(s.nl), opts))
+                               model::compute_boundary(s.nl), ex, opts))
              .first;
   return it->second;
 }
@@ -167,6 +202,7 @@ const model::TimingModel& Module::model() const {
 
 const mc::FlatCircuit& Module::flat_circuit() const {
   State& s = *state_;
+  const StateLock lock(s.mu);
   if (!s.flat)
     s.flat = mc::FlatCircuit::from_module(built(), s.nl, variation());
   return *s.flat;
@@ -179,13 +215,14 @@ const stats::EmpiricalDistribution& Module::monte_carlo() const {
 const stats::EmpiricalDistribution& Module::monte_carlo(
     const McOptions& opts) const {
   State& s = *state_;
+  const StateLock lock(s.mu);
   const std::pair<size_t, uint64_t> key{opts.samples, opts.seed};
   auto it = s.mc.find(key);
-  if (it == s.mc.end()) {
-    stats::Rng rng(opts.seed);
-    it = s.mc.emplace(key, flat_circuit().sample_delay(opts.samples, rng))
+  if (it == s.mc.end())
+    it = s.mc
+             .emplace(key, flat_circuit().sample_delay(opts.samples, opts.seed,
+                                                       s.executor()))
              .first;
-  }
   return it->second;
 }
 

@@ -21,6 +21,19 @@
 /// Parameterized stages (slack at a required time, top-k paths, extraction
 /// options, MC options) cache per argument value; calling with the same
 /// arguments again returns the cached object.
+///
+/// Module handles are **thread-safe**: all stage getters serialize on one
+/// internal mutex with once-per-stage semantics, so any number of threads
+/// (including a flow::Design sharding its instances across an executor)
+/// may share one handle — a stage is computed exactly once and every
+/// caller receives the same object. Returned references are stable and
+/// may be used without holding any lock. Because the lock is handle-wide,
+/// a getter issued while another thread computes an expensive stage
+/// (extraction, Monte Carlo) blocks until that computation finishes, even
+/// if its own stage is already cached — thread-safety here buys
+/// correctness and deduplication, not intra-module getter concurrency.
+/// Compute-heavy stages run on the module's executor (config().threads)
+/// unless an explicit executor is passed.
 
 #pragma once
 
@@ -32,6 +45,7 @@
 
 #include "hssta/core/paths.hpp"
 #include "hssta/core/ssta.hpp"
+#include "hssta/exec/executor.hpp"
 #include "hssta/flow/config.hpp"
 #include "hssta/library/cell_library.hpp"
 #include "hssta/mc/flat_mc.hpp"
@@ -99,10 +113,16 @@ class Module {
   [[nodiscard]] const std::vector<core::CriticalPath>& critical_paths(
       size_t k) const;
   /// Gray-box timing model extraction with config().extract options; the
-  /// overload caches per option value.
+  /// overloads cache per option value (the executor does not participate
+  /// in the key — results are bit-identical at every thread count). The
+  /// two-argument form runs on `ex` instead of the module's executor,
+  /// letting an outer scheduler (e.g. flow::Design instance sharding)
+  /// control the fan-out.
   [[nodiscard]] const model::Extraction& extract_model() const;
   [[nodiscard]] const model::Extraction& extract_model(
       const model::ExtractOptions& opts) const;
+  [[nodiscard]] const model::Extraction& extract_model(
+      const model::ExtractOptions& opts, exec::Executor& ex) const;
   /// The extracted model (= extract_model().model).
   [[nodiscard]] const model::TimingModel& model() const;
   /// The scalar-evaluable physical view used by Monte Carlo.

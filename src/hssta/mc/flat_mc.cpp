@@ -119,41 +119,55 @@ void FlatCircuit::draw_deviates(stats::Rng& rng, std::vector<double>& global,
   }
 }
 
-void FlatCircuit::evaluate_edges(stats::Rng& rng,
-                                 std::vector<double>& delays) const {
-  static thread_local std::vector<double> global;
-  static thread_local linalg::Matrix local;
-  draw_deviates(rng, global, local);
+void FlatCircuit::evaluate_edges(stats::Rng& rng, McEvalScratch& sc) const {
+  draw_deviates(rng, sc.global, sc.local);
 
   const size_t num_params = params_.size();
-  delays.resize(nominal_.size());
+  sc.delays.resize(nominal_.size());
   for (size_t e = 0; e < nominal_.size(); ++e) {
     double d = nominal_[e];
     const double* sens = sens_.data() + e * num_params;
     for (size_t p = 0; p < num_params; ++p) {
       if (sens[p] == 0.0) continue;
-      const double dev = global[p] + local(p, grid_[e]) +
+      const double dev = sc.global[p] + sc.local(p, grid_[e]) +
                          params_.at(p).sigma_random() * rng.normal();
       d += sens[p] * dev;
     }
     if (load_term_[e] != 0.0)
       d += load_term_[e] * load_sigma_ * rng.normal();
-    delays[e] = d;
+    sc.delays[e] = d;
   }
+}
+
+stats::EmpiricalDistribution FlatCircuit::sample_delay_with_base(
+    size_t samples, uint64_t base, exec::Executor& ex) const {
+  HSSTA_REQUIRE(samples > 0, "need at least one sample");
+  // Sample s depends only on (base, s): the batch can be partitioned
+  // across threads arbitrarily and still fill the same slot values.
+  std::vector<double> values(samples);
+  ex.parallel_for(samples, [&](size_t s, exec::Workspace& ws) {
+    McEvalScratch& sc = ws.get<McEvalScratch>();
+    stats::Rng rng = stats::Rng::from_counter(base, s);
+    evaluate_edges(rng, sc);
+    values[s] = timing::longest_path(structure_, sc.delays)
+                    .max_over_outputs(structure_);
+  });
+  return stats::EmpiricalDistribution(std::move(values));
 }
 
 stats::EmpiricalDistribution FlatCircuit::sample_delay(
     size_t samples, stats::Rng& rng) const {
+  // Validate before drawing the stream base so a failed call leaves the
+  // caller's generator untouched.
   HSSTA_REQUIRE(samples > 0, "need at least one sample");
-  stats::EmpiricalDistribution out;
-  out.reserve(samples);
-  std::vector<double> delays;
-  for (size_t s = 0; s < samples; ++s) {
-    evaluate_edges(rng, delays);
-    out.add(timing::longest_path(structure_, delays)
-                .max_over_outputs(structure_));
-  }
-  return out;
+  exec::SerialExecutor ex;
+  return sample_delay_with_base(samples, rng.next_u64(), ex);
+}
+
+stats::EmpiricalDistribution FlatCircuit::sample_delay(
+    size_t samples, uint64_t seed, exec::Executor& ex) const {
+  stats::Rng seeder(seed);
+  return sample_delay_with_base(samples, seeder.next_u64(), ex);
 }
 
 IoStats FlatCircuit::sample_io_delays(size_t samples, stats::Rng& rng) const {
@@ -200,12 +214,14 @@ IoStats FlatCircuit::sample_io_delays(size_t samples, stats::Rng& rng) const {
     }
   }
 
-  std::vector<double> delays;
+  const uint64_t base = rng.next_u64();
+  McEvalScratch sc;
   std::vector<double> time(structure_.num_vertex_slots(), 0.0);
   std::vector<uint32_t> stamp(structure_.num_vertex_slots(), 0);
   uint32_t token = 0;
   for (size_t s = 0; s < samples; ++s) {
-    evaluate_edges(rng, delays);
+    stats::Rng sample_rng = stats::Rng::from_counter(base, s);
+    evaluate_edges(sample_rng, sc);
     const double n1 = static_cast<double>(s + 1);
     for (size_t i = 0; i < ins.size(); ++i) {
       ++token;
@@ -213,7 +229,7 @@ IoStats FlatCircuit::sample_io_delays(size_t samples, stats::Rng& rng) const {
       stamp[ins[i]] = token;
       for (const ConeEdge& ce : cone[i]) {
         if (stamp[ce.from] != token) continue;  // multi-pin duplicates only
-        const double cand = time[ce.from] + delays[ce.e];
+        const double cand = time[ce.from] + sc.delays[ce.e];
         if (stamp[ce.to] != token || cand > time[ce.to]) {
           time[ce.to] = cand;
           stamp[ce.to] = token;

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "hssta/exec/executor.hpp"
 #include "hssta/linalg/matrix.hpp"
 #include "hssta/netlist/netlist.hpp"
 #include "hssta/stats/empirical.hpp"
@@ -23,6 +24,14 @@
 #include "hssta/variation/space.hpp"
 
 namespace hssta::mc {
+
+/// Per-worker sampling scratch: parameter deviates, local grid deviates and
+/// per-arc scalar delays, reused across samples via exec::Workspace.
+struct McEvalScratch {
+  std::vector<double> global;
+  linalg::Matrix local;
+  std::vector<double> delays;
+};
 
 /// Per-IO-pair sample statistics (the Monte Carlo counterpart of the
 /// canonical DelayMatrix; backs the paper's merr/verr columns).
@@ -55,12 +64,24 @@ class FlatCircuit {
     return structure_;
   }
 
-  /// Circuit-delay distribution over `samples` draws.
+  /// Circuit-delay distribution over `samples` draws. Sampling is
+  /// counter-based: sample s is drawn from its own generator
+  /// Rng::from_counter(base, s), where the stream base is one draw from
+  /// `rng` — so sample values depend only on (base, s), never on loop
+  /// order or batch size.
   [[nodiscard]] stats::EmpiricalDistribution sample_delay(
       size_t samples, stats::Rng& rng) const;
 
+  /// Same distribution, with the sample batch fanned out across `ex`. The
+  /// stream base is derived as one draw from Rng(seed), so this matches
+  /// the Rng& overload called with Rng(seed) bit-for-bit at every thread
+  /// count.
+  [[nodiscard]] stats::EmpiricalDistribution sample_delay(
+      size_t samples, uint64_t seed, exec::Executor& ex) const;
+
   /// Per-IO-pair delay statistics (one scalar longest path per input per
-  /// sample — the expensive Table I reference).
+  /// sample — the expensive Table I reference). Counter-based like
+  /// sample_delay.
   [[nodiscard]] IoStats sample_io_delays(size_t samples,
                                          stats::Rng& rng) const;
 
@@ -78,9 +99,11 @@ class FlatCircuit {
                         double nominal, double load_sigma_term);
 
  private:
+  [[nodiscard]] stats::EmpiricalDistribution sample_delay_with_base(
+      size_t samples, uint64_t base, exec::Executor& ex) const;
   void draw_deviates(stats::Rng& rng, std::vector<double>& global,
                      linalg::Matrix& local) const;
-  void evaluate_edges(stats::Rng& rng, std::vector<double>& delays) const;
+  void evaluate_edges(stats::Rng& rng, McEvalScratch& sc) const;
 
   timing::TimingGraph structure_;
   variation::ParameterSet params_;

@@ -32,4 +32,10 @@ struct FlattenOptions {
     const hier::HierDesign& design, size_t samples, uint64_t seed,
     const FlattenOptions& opts = {});
 
+/// Same samples with the batch fanned out across `ex` (bit-identical to
+/// the serial overload at every thread count).
+[[nodiscard]] stats::EmpiricalDistribution hier_flat_mc(
+    const hier::HierDesign& design, size_t samples, uint64_t seed,
+    exec::Executor& ex, const FlattenOptions& opts = {});
+
 }  // namespace hssta::mc

@@ -5,22 +5,51 @@
 
 namespace hssta::mc {
 
-stats::EmpiricalDistribution sample_canonical_delay(
-    const timing::TimingGraph& g, size_t samples, stats::Rng& rng) {
+namespace {
+
+/// Per-worker scratch for canonical sampling.
+struct CanonicalScratch {
+  std::vector<double> y;
+  std::vector<double> edge_delay;
+};
+
+stats::EmpiricalDistribution sample_with_base(const timing::TimingGraph& g,
+                                              size_t samples, uint64_t base,
+                                              exec::Executor& ex) {
   HSSTA_REQUIRE(samples > 0, "need at least one sample");
-  stats::EmpiricalDistribution out;
-  out.reserve(samples);
-  std::vector<double> y(g.dim());
-  std::vector<double> edge_delay(g.num_edge_slots(), 0.0);
-  for (size_t s = 0; s < samples; ++s) {
-    for (double& v : y) v = rng.normal();
+  std::vector<double> values(samples);
+  ex.parallel_for(samples, [&](size_t s, exec::Workspace& ws) {
+    CanonicalScratch& sc = ws.get<CanonicalScratch>();
+    stats::Rng rng = stats::Rng::from_counter(base, s);
+    sc.y.resize(g.dim());
+    for (double& v : sc.y) v = rng.normal();
+    sc.edge_delay.assign(g.num_edge_slots(), 0.0);
     for (timing::EdgeId e = 0; e < g.num_edge_slots(); ++e) {
       if (!g.edge_alive(e)) continue;
-      edge_delay[e] = g.edge(e).delay.evaluate(y, rng.normal());
+      sc.edge_delay[e] = g.edge(e).delay.evaluate(sc.y, rng.normal());
     }
-    out.add(timing::longest_path(g, edge_delay).max_over_outputs(g));
-  }
-  return out;
+    values[s] =
+        timing::longest_path(g, sc.edge_delay).max_over_outputs(g);
+  });
+  return stats::EmpiricalDistribution(std::move(values));
+}
+
+}  // namespace
+
+stats::EmpiricalDistribution sample_canonical_delay(
+    const timing::TimingGraph& g, size_t samples, stats::Rng& rng) {
+  // Validate before drawing the stream base so a failed call leaves the
+  // caller's generator untouched.
+  HSSTA_REQUIRE(samples > 0, "need at least one sample");
+  exec::SerialExecutor ex;
+  return sample_with_base(g, samples, rng.next_u64(), ex);
+}
+
+stats::EmpiricalDistribution sample_canonical_delay(
+    const timing::TimingGraph& g, size_t samples, uint64_t seed,
+    exec::Executor& ex) {
+  stats::Rng seeder(seed);
+  return sample_with_base(g, samples, seeder.next_u64(), ex);
 }
 
 }  // namespace hssta::mc

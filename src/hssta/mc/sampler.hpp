@@ -4,9 +4,14 @@
 /// and runs deterministic longest path. This isolates the propagation
 /// (Clark max) approximation — the sampled model is exactly the canonical
 /// one the SSTA engine sees.
+///
+/// Sampling is counter-based (see stats::Rng::from_counter): sample s is
+/// drawn from its own generator keyed by (stream base, s), so results are
+/// independent of loop order and bit-identical at every thread count.
 
 #pragma once
 
+#include "hssta/exec/executor.hpp"
 #include "hssta/stats/empirical.hpp"
 #include "hssta/stats/rng.hpp"
 #include "hssta/timing/graph.hpp"
@@ -14,7 +19,14 @@
 namespace hssta::mc {
 
 /// Circuit-delay samples of a canonical graph (max over output ports).
+/// The stream base is one draw from `rng`.
 [[nodiscard]] stats::EmpiricalDistribution sample_canonical_delay(
     const timing::TimingGraph& g, size_t samples, stats::Rng& rng);
+
+/// Same samples, fanned out across `ex`; matches the Rng& overload called
+/// with Rng(seed) bit-for-bit.
+[[nodiscard]] stats::EmpiricalDistribution sample_canonical_delay(
+    const timing::TimingGraph& g, size_t samples, uint64_t seed,
+    exec::Executor& ex);
 
 }  // namespace hssta::mc

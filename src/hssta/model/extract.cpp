@@ -64,6 +64,16 @@ Extraction extract_timing_model(const timing::BuiltGraph& built,
                                 const variation::ModuleVariation& mv,
                                 std::string name, BoundaryData boundary,
                                 const ExtractOptions& opts) {
+  exec::SerialExecutor ex;
+  return extract_timing_model(built, mv, std::move(name), std::move(boundary),
+                              ex, opts);
+}
+
+Extraction extract_timing_model(const timing::BuiltGraph& built,
+                                const variation::ModuleVariation& mv,
+                                std::string name, BoundaryData boundary,
+                                exec::Executor& ex,
+                                const ExtractOptions& opts) {
   HSSTA_REQUIRE(opts.criticality_threshold >= 0.0 &&
                     opts.criticality_threshold < 1.0,
                 "criticality threshold must lie in [0, 1)");
@@ -74,8 +84,9 @@ Extraction extract_timing_model(const timing::BuiltGraph& built,
   stats.original_vertices = original.num_live_vertices();
   stats.original_edges = original.num_live_edges();
 
-  // Step 1 (paper Fig. 3): maximum criticality per edge.
-  const core::CriticalityResult crit = core::compute_criticality(original);
+  // Step 1 (paper Fig. 3): maximum criticality per edge — the dominant
+  // cost, fanned out per input port across the executor.
+  const core::CriticalityResult crit = core::compute_criticality(original, ex);
   stats.criticalities.reserve(stats.original_edges);
   for (EdgeId e = 0; e < original.num_edge_slots(); ++e)
     if (original.edge_alive(e))

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hssta/core/criticality.hpp"
+#include "hssta/exec/executor.hpp"
 #include "hssta/model/reduce.hpp"
 #include "hssta/model/timing_model.hpp"
 #include "hssta/timing/builder.hpp"
@@ -51,7 +52,16 @@ struct Extraction {
 };
 
 /// Extract the timing model of a built module graph. `boundary` typically
-/// comes from compute_boundary(netlist).
+/// comes from compute_boundary(netlist). The dominant cost — the per-input
+/// criticality passes of step 1 — fans out across `ex`; pruning, repair and
+/// reduction stay serial, and the result is bit-identical at every thread
+/// count.
+[[nodiscard]] Extraction extract_timing_model(
+    const timing::BuiltGraph& built, const variation::ModuleVariation& mv,
+    std::string name, BoundaryData boundary, exec::Executor& ex,
+    const ExtractOptions& opts = {});
+
+/// Serial convenience overload (runs on a call-local SerialExecutor).
 [[nodiscard]] Extraction extract_timing_model(
     const timing::BuiltGraph& built, const variation::ModuleVariation& mv,
     std::string name, BoundaryData boundary, const ExtractOptions& opts = {});

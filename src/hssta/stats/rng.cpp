@@ -76,4 +76,12 @@ double Rng::normal(double mean, double sigma) { return mean + sigma * normal(); 
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xA5A5A5A5DEADBEEFull); }
 
+Rng Rng::from_counter(uint64_t base, uint64_t counter) {
+  // Finalize both words independently through splitmix64 (a bijection), so
+  // distinct counters of one stream can never collide.
+  uint64_t a = base;
+  uint64_t b = counter ^ 0x6A09E667F3BCC909ull;
+  return Rng(splitmix64(a) ^ splitmix64(b));
+}
+
 }  // namespace hssta::stats

@@ -39,6 +39,13 @@ class Rng {
   /// Derive an independent child generator (for parallel or per-module use).
   [[nodiscard]] Rng fork();
 
+  /// Counter-based construction: the generator for work item `counter` of a
+  /// stream identified by `base`. Every (base, counter) pair yields an
+  /// independent, fully determined generator, so per-sample Monte Carlo
+  /// draws depend only on the sample index — never on loop order, batch
+  /// size or thread count.
+  [[nodiscard]] static Rng from_counter(uint64_t base, uint64_t counter);
+
  private:
   uint64_t s_[4];
   bool has_spare_ = false;

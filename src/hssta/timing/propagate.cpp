@@ -14,7 +14,19 @@ const CanonicalForm& PropagationResult::at(VertexId v) const {
 PropagationResult propagate_arrivals(const TimingGraph& g,
                                      std::span<const VertexId> sources) {
   PropagationResult r;
-  r.time.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
+  propagate_arrivals_into(g, sources, r);
+  return r;
+}
+
+void propagate_arrivals_into(const TimingGraph& g,
+                             std::span<const VertexId> sources,
+                             PropagationResult& r) {
+  r.diagnostics = MaxDiagnostics{};
+  // assign() recycles both the vertex vector and (by element-wise copy
+  // assignment) each entry's coefficient buffer, so a reused result does
+  // not reallocate.
+  const CanonicalForm zero(g.dim());
+  r.time.assign(g.num_vertex_slots(), zero);
   r.valid.assign(g.num_vertex_slots(), 0);
 
   if (sources.empty()) {
@@ -35,8 +47,7 @@ PropagationResult propagate_arrivals(const TimingGraph& g,
       candidate = r.time[te.from];
       candidate += te.delay;
       if (!has) {
-        r.time[v] = std::move(candidate);
-        candidate = CanonicalForm(g.dim());
+        r.time[v] = candidate;
         has = true;
       } else {
         r.time[v] = statistical_max(r.time[v], candidate, &r.diagnostics);
@@ -44,7 +55,6 @@ PropagationResult propagate_arrivals(const TimingGraph& g,
     }
     r.valid[v] = has ? 1 : 0;
   }
-  return r;
 }
 
 PropagationResult propagate_to_sink(const TimingGraph& g, VertexId sink) {

@@ -31,6 +31,15 @@ struct PropagationResult {
 [[nodiscard]] PropagationResult propagate_arrivals(
     const TimingGraph& g, std::span<const VertexId> sources = {});
 
+/// Workspace-reuse variant: overwrites `r` in place, recycling its vertex
+/// and coefficient buffers. The per-input loops of the compute layer
+/// (all-pairs IO delays, criticality) keep one PropagationResult per worker
+/// thread so repeated propagations allocate nothing after warm-up. Results
+/// are identical to propagate_arrivals.
+void propagate_arrivals_into(const TimingGraph& g,
+                             std::span<const VertexId> sources,
+                             PropagationResult& r);
+
 /// Backward propagation: time[v] = statistical max delay from v to `sink`
 /// over all live paths; time[sink] = 0.
 [[nodiscard]] PropagationResult propagate_to_sink(const TimingGraph& g,

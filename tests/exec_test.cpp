@@ -1,0 +1,320 @@
+// Tests for the exec:: execution layer and its contract with the compute
+// APIs:
+//  * parallel_for correctness (full coverage, static chunking, workspaces),
+//  * exception propagation and nested-submit rejection,
+//  * bit-exact serial vs multi-threaded results for the redesigned hot
+//    paths (IO delays, criticality cm, extraction, MC quantiles),
+//  * thread-safe shared flow::Module / sharded flow::Design handles.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "fixtures.hpp"
+#include "hssta/core/criticality.hpp"
+#include "hssta/core/io_delays.hpp"
+#include "hssta/exec/executor.hpp"
+#include "hssta/mc/flat_mc.hpp"
+#include "hssta/mc/hier_mc.hpp"
+#include "hssta/mc/sampler.hpp"
+#include "hssta/model/extract.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta {
+namespace {
+
+using testing::ModuleUnderTest;
+
+// --- executor mechanics -----------------------------------------------------
+
+TEST(Executor, ParallelForCoversEveryIndexExactlyOnce) {
+  exec::ThreadPoolExecutor pool(4);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](size_t i, exec::Workspace&) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(Executor, SerialRunsInOrderOnOneWorkspace) {
+  exec::SerialExecutor ex;
+  EXPECT_EQ(ex.concurrency(), 1u);
+  EXPECT_EQ(ex.num_workspaces(), 1u);
+  std::vector<size_t> order;
+  exec::Workspace* seen = nullptr;
+  ex.parallel_for(5, [&](size_t i, exec::Workspace& ws) {
+    order.push_back(i);
+    if (!seen) seen = &ws;
+    EXPECT_EQ(&ws, seen);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(seen, &ex.workspace(0));
+}
+
+TEST(Executor, WorkspaceArenaPersistsAcrossRegions) {
+  exec::ThreadPoolExecutor pool(2);
+  // With n == concurrency, static chunking maps index i to worker slot i.
+  std::vector<int*> first(2, nullptr);
+  pool.parallel_for(2, [&](size_t i, exec::Workspace& ws) {
+    int& slot = ws.get<int>();
+    slot = static_cast<int>(i) + 10;
+    first[i] = &slot;
+  });
+  std::vector<int*> second(2, nullptr);
+  std::vector<int> value(2, 0);
+  pool.parallel_for(2, [&](size_t i, exec::Workspace& ws) {
+    int& slot = ws.get<int>();
+    second[i] = &slot;
+    value[i] = slot;
+  });
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(first[i], second[i]);
+    EXPECT_EQ(value[i], static_cast<int>(i) + 10);
+  }
+}
+
+TEST(Executor, ExceptionPropagatesAndPoolSurvives) {
+  exec::ThreadPoolExecutor pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](size_t i, exec::Workspace&) {
+                                   if (i == 57) throw Error("task failure");
+                                 }),
+               Error);
+  // The pool is intact afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](size_t, exec::Workspace&) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+
+  exec::SerialExecutor serial;
+  EXPECT_THROW(serial.parallel_for(3,
+                                   [&](size_t i, exec::Workspace&) {
+                                     if (i == 1) throw Error("task failure");
+                                   }),
+               Error);
+}
+
+TEST(Executor, RejectsNestedSubmitOnSameExecutor) {
+  exec::ThreadPoolExecutor pool(2);
+  std::atomic<int> nested_rejections{0};
+  pool.parallel_for(4, [&](size_t, exec::Workspace&) {
+    try {
+      pool.parallel_for(1, [](size_t, exec::Workspace&) {});
+    } catch (const Error&) {
+      ++nested_rejections;
+    }
+  });
+  EXPECT_EQ(nested_rejections.load(), 4);
+
+  exec::SerialExecutor serial;
+  EXPECT_THROW(
+      serial.parallel_for(1,
+                          [&](size_t, exec::Workspace&) {
+                            serial.parallel_for(1,
+                                                [](size_t, exec::Workspace&) {
+                                                });
+                          }),
+      Error);
+
+  // A *different* executor inside a task is fine (the pattern used by
+  // flow::Design instance sharding).
+  pool.parallel_for(2, [&](size_t, exec::Workspace&) {
+    exec::SerialExecutor inner;
+    std::atomic<int> c{0};
+    inner.parallel_for(3, [&](size_t, exec::Workspace&) { ++c; });
+    EXPECT_EQ(c.load(), 3);
+  });
+}
+
+TEST(Executor, SharedExecutorSerializesWorkspaceAlgorithms) {
+  // Two threads drive workspace-merging algorithms through one shared
+  // pool; Executor::Exclusive serializes the whole reset -> region ->
+  // merge sequence, so both must reproduce the serial reference exactly.
+  const ModuleUnderTest m(testing::small_module_spec(41));
+  const core::DelayMatrix ref = core::all_pairs_io_delays(m.built.graph);
+  exec::ThreadPoolExecutor pool(4);
+  std::vector<core::DelayMatrix> got(2);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < got.size(); ++t)
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 3; ++rep)
+        got[t] = core::all_pairs_io_delays(m.built.graph, pool);
+    });
+  for (std::thread& t : threads) t.join();
+  for (const core::DelayMatrix& dm : got) {
+    ASSERT_EQ(dm.num_inputs(), ref.num_inputs());
+    for (size_t i = 0; i < ref.num_inputs(); ++i)
+      for (size_t j = 0; j < ref.num_outputs(); ++j) {
+        ASSERT_EQ(dm.is_valid(i, j), ref.is_valid(i, j));
+        if (ref.is_valid(i, j)) EXPECT_TRUE(dm.at(i, j) == ref.at(i, j));
+      }
+  }
+}
+
+TEST(Executor, FactoryMapsThreadRequests) {
+  EXPECT_GE(exec::effective_threads(0), 1u);
+  EXPECT_EQ(exec::effective_threads(3), 3u);
+  EXPECT_EQ(exec::make_executor(1)->concurrency(), 1u);
+  EXPECT_EQ(exec::make_executor(4)->concurrency(), 4u);
+}
+
+// --- bit-exact determinism across thread counts -----------------------------
+
+class ParallelDeterminism : public ::testing::Test {
+ protected:
+  ParallelDeterminism() : m_(testing::small_module_spec(31)), pool_(4) {}
+  ModuleUnderTest m_;
+  exec::ThreadPoolExecutor pool_;
+};
+
+TEST_F(ParallelDeterminism, IoDelayMatrixBitExact) {
+  timing::MaxDiagnostics serial_diag, pool_diag;
+  const core::DelayMatrix a =
+      core::all_pairs_io_delays(m_.built.graph, &serial_diag);
+  const core::DelayMatrix b =
+      core::all_pairs_io_delays(m_.built.graph, pool_, &pool_diag);
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  ASSERT_EQ(a.num_outputs(), b.num_outputs());
+  for (size_t i = 0; i < a.num_inputs(); ++i)
+    for (size_t j = 0; j < a.num_outputs(); ++j) {
+      ASSERT_EQ(a.is_valid(i, j), b.is_valid(i, j));
+      if (a.is_valid(i, j)) EXPECT_TRUE(a.at(i, j) == b.at(i, j));
+    }
+  EXPECT_EQ(serial_diag.ops, pool_diag.ops);
+  EXPECT_EQ(serial_diag.variance_clamped, pool_diag.variance_clamped);
+  EXPECT_EQ(serial_diag.degenerate_theta, pool_diag.degenerate_theta);
+}
+
+TEST_F(ParallelDeterminism, CriticalityBitExact) {
+  const core::CriticalityResult a =
+      core::compute_criticality(m_.built.graph);
+  const core::CriticalityResult b =
+      core::compute_criticality(m_.built.graph, pool_);
+  EXPECT_EQ(a.max_criticality, b.max_criticality);
+  EXPECT_EQ(a.diagnostics.ops, b.diagnostics.ops);
+  ASSERT_EQ(a.io_delays.num_inputs(), b.io_delays.num_inputs());
+  for (size_t i = 0; i < a.io_delays.num_inputs(); ++i)
+    for (size_t j = 0; j < a.io_delays.num_outputs(); ++j) {
+      ASSERT_EQ(a.io_delays.is_valid(i, j), b.io_delays.is_valid(i, j));
+      if (a.io_delays.is_valid(i, j))
+        EXPECT_TRUE(a.io_delays.at(i, j) == b.io_delays.at(i, j));
+    }
+}
+
+TEST_F(ParallelDeterminism, ExtractionBitExact) {
+  const model::Extraction a = model::extract_timing_model(
+      m_.built, m_.variation, "m", model::compute_boundary(m_.netlist));
+  const model::Extraction b = model::extract_timing_model(
+      m_.built, m_.variation, "m", model::compute_boundary(m_.netlist),
+      pool_);
+  EXPECT_EQ(a.stats.model_edges, b.stats.model_edges);
+  EXPECT_EQ(a.stats.model_vertices, b.stats.model_vertices);
+  EXPECT_EQ(a.stats.edges_pruned, b.stats.edges_pruned);
+  EXPECT_EQ(a.stats.criticalities, b.stats.criticalities);
+  const core::DelayMatrix& da = a.model.io_delays();
+  const core::DelayMatrix& db = b.model.io_delays();
+  ASSERT_EQ(da.num_inputs(), db.num_inputs());
+  for (size_t i = 0; i < da.num_inputs(); ++i)
+    for (size_t j = 0; j < da.num_outputs(); ++j) {
+      ASSERT_EQ(da.is_valid(i, j), db.is_valid(i, j));
+      if (da.is_valid(i, j)) EXPECT_TRUE(da.at(i, j) == db.at(i, j));
+    }
+}
+
+TEST_F(ParallelDeterminism, MonteCarloQuantilesBitExact) {
+  const mc::FlatCircuit fc =
+      mc::FlatCircuit::from_module(m_.built, m_.netlist, m_.variation);
+  exec::SerialExecutor serial;
+  const auto a = fc.sample_delay(701, 2009, serial);
+  const auto b = fc.sample_delay(701, 2009, pool_);
+  EXPECT_EQ(a.sorted(), b.sorted());
+  EXPECT_EQ(a.quantile(0.99), b.quantile(0.99));
+  // The Rng& overload called with Rng(seed) is the same stream.
+  stats::Rng rng(2009);
+  const auto c = fc.sample_delay(701, rng);
+  EXPECT_EQ(a.sorted(), c.sorted());
+
+  const auto ca = mc::sample_canonical_delay(m_.built.graph, 353, 7, serial);
+  const auto cb = mc::sample_canonical_delay(m_.built.graph, 353, 7, pool_);
+  EXPECT_EQ(ca.sorted(), cb.sorted());
+}
+
+TEST_F(ParallelDeterminism, HierMcBitExact) {
+  const hier::HierDesign design = testing::make_quad_design(m_);
+  const auto a = mc::hier_flat_mc(design, 301, 11);
+  const auto b = mc::hier_flat_mc(design, 301, 11, pool_);
+  EXPECT_EQ(a.sorted(), b.sorted());
+}
+
+// --- thread-safe flow handles ------------------------------------------------
+
+TEST(FlowThreads, SharedModuleHandleIsThreadSafe) {
+  const flow::Module m =
+      flow::Module::from_random_dag(testing::small_module_spec(61));
+  constexpr size_t kThreads = 8;
+  std::vector<const core::SstaResult*> ssta(kThreads, nullptr);
+  std::vector<const model::Extraction*> extraction(kThreads, nullptr);
+  std::vector<const stats::EmpiricalDistribution*> mc(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      const flow::Module handle = m;  // copies share state and caches
+      ssta[t] = &handle.ssta();
+      extraction[t] = &handle.extract_model();
+      mc[t] = &handle.monte_carlo(flow::McOptions{200, 5});
+      (void)handle.slack(1.0);
+      (void)handle.critical_paths(3);
+    });
+  for (std::thread& t : threads) t.join();
+  // Once-per-stage: every thread observed the same cached objects.
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ssta[t], ssta[0]);
+    EXPECT_EQ(extraction[t], extraction[0]);
+    EXPECT_EQ(mc[t], mc[0]);
+  }
+}
+
+TEST(FlowThreads, ShardedDesignMatchesSerialBitForBit) {
+  flow::Config serial_cfg;
+  serial_cfg.threads = 1;
+  flow::Config pool_cfg;
+  pool_cfg.threads = 4;
+
+  auto build = [](const flow::Config& cfg) {
+    // Two distinct module objects (not shared handles) so instance sharding
+    // has two genuine extraction tasks; the same spec keeps the grid pitch
+    // shared as the design grid requires.
+    flow::Module a =
+        flow::Module::from_random_dag(testing::small_module_spec(91), cfg);
+    flow::Module b =
+        flow::Module::from_random_dag(testing::small_module_spec(91), cfg);
+    flow::Design d("pair", cfg);
+    const size_t ia = d.add_instance(a, 0, 0, "a");
+    const size_t ib = d.add_instance(b, a.model().die().width, 0, "b");
+    const size_t ni = d.num_inputs(ia);
+    const size_t no = d.num_outputs(ia);
+    for (size_t k = 0; k < ni; ++k) d.connect(ia, k % no, ib, k);
+    d.expose_unconnected_ports();
+    return d;
+  };
+  const flow::Design serial_design = build(serial_cfg);
+  const flow::Design pool_design = build(pool_cfg);
+
+  EXPECT_EQ(serial_design.analyze().delay().nominal(),
+            pool_design.analyze().delay().nominal());
+  EXPECT_EQ(serial_design.analyze().delay().sigma(),
+            pool_design.analyze().delay().sigma());
+  EXPECT_EQ(serial_design.monte_carlo(flow::McOptions{301, 11}).sorted(),
+            pool_design.monte_carlo(flow::McOptions{301, 11}).sorted());
+}
+
+TEST(FlowThreads, ConfigParsesThreadsKey) {
+  EXPECT_EQ(flow::Config::from_string("threads = 4\n").threads, 4u);
+  EXPECT_EQ(flow::Config::from_string("[exec]\nthreads = 0\n").threads, 0u);
+  EXPECT_THROW((void)flow::Config::from_string("threads = -2\n"), Error);
+}
+
+}  // namespace
+}  // namespace hssta

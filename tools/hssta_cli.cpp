@@ -11,12 +11,17 @@
 //
 // All commands accept --config <file> (flow::Config key=value text); the
 // defaults are the paper's Section VI setup (90nm library, Leff/Tox/Vth,
-// 0.92-neighbour correlation, < 100 cells per grid, delta = 0.05).
+// 0.92-neighbour correlation, < 100 cells per grid, delta = 0.05). All
+// commands also accept --threads N (0 = all hardware threads) to fan the
+// compute layer out across an exec::ThreadPoolExecutor; results are
+// bit-identical at every thread count.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "hssta/exec/executor.hpp"
 #include "hssta/flow/flow.hpp"
 #include "hssta/model/timing_model.hpp"
 #include "hssta/timing/sta.hpp"
@@ -31,16 +36,24 @@ using namespace hssta;
 
 /// Flags shared by every subcommand.
 struct Common {
+  static constexpr uint64_t kThreadsUnset = UINT64_MAX;
+
   std::string config_file;
+  uint64_t threads = kThreadsUnset;
 
   void register_flags(util::ArgParser& p) {
     p.option("--config", &config_file, "file",
              "flow::Config key=value file");
+    p.option("--threads", &threads, "N",
+             "worker threads, 0 = all hardware threads (default: config)");
   }
 
   [[nodiscard]] flow::Config load() const {
-    return config_file.empty() ? flow::Config{}
-                               : flow::Config::from_file(config_file);
+    flow::Config cfg = config_file.empty()
+                           ? flow::Config{}
+                           : flow::Config::from_file(config_file);
+    if (threads != kThreadsUnset) cfg.threads = threads;
+    return cfg;
   }
 };
 
@@ -195,13 +208,21 @@ int cmd_hier(int argc, const char* const* argv) {
   design.expose_unconnected_ports();
 
   const hier::HierResult& r = design.analyze();
-  std::printf("\ndesign: %zu instances, %zu top-level nets, %s correlation "
-              "(built %.3f s, analyzed %.3f s)\n",
+  std::printf("\ndesign: %zu instances, %zu top-level nets, %s correlation, "
+              "%zu thread%s (built %.3f s, analyzed %.3f s)\n",
               design.num_instances(), design.hier().connections().size(),
-              global_only ? "global-only" : "replacement", r.build_seconds,
-              r.analysis_seconds);
+              global_only ? "global-only" : "replacement",
+              exec::effective_threads(cfg.threads),
+              exec::effective_threads(cfg.threads) == 1 ? "" : "s",
+              r.build_seconds, r.analysis_seconds);
   print_distribution("stitched design delay", r.delay());
 
+  if (run_mc && !design.can_monte_carlo()) {
+    std::printf(
+        "\nskipping Monte Carlo: an instance was loaded from a model file, "
+        "so the design cannot be flattened (needs .bench modules)\n");
+    run_mc = false;
+  }
   if (run_mc) {
     WallTimer timer;
     const stats::EmpiricalDistribution& d = design.monte_carlo();
