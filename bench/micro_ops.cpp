@@ -3,11 +3,18 @@
 // max at several coefficient dimensions, full-graph propagation, the
 // all-pairs criticality engine, PCA, and Monte Carlo sampling — plus the
 // executor-based thread sweeps (1/2/4/8 threads) for the three hot paths
-// the exec layer parallelizes. Run with
+// the exec layer parallelizes and the level-synchronous single-sweep
+// propagation. Run with
 //   --benchmark_out=bench_out/BENCH_micro_ops.json --benchmark_out_format=json
-// to land the speedup trajectory in a BENCH_*.json artifact.
+// to land the speedup trajectory in a BENCH_*.json artifact. Independently
+// of the google-benchmark flags, every run also writes
+// bench_out/BENCH_propagate.json: per-sweep wall time (forward arrivals /
+// backward required, level-synchronous) at 1/2/4/8 threads on c7552.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
 
 #include "common.hpp"
 #include "hssta/core/criticality.hpp"
@@ -17,7 +24,9 @@
 #include "hssta/linalg/pca.hpp"
 #include "hssta/mc/flat_mc.hpp"
 #include "hssta/stats/rng.hpp"
+#include "hssta/timing/propagate.hpp"
 #include "hssta/timing/statops.hpp"
+#include "hssta/util/timer.hpp"
 #include "hssta/variation/space.hpp"
 
 namespace {
@@ -152,6 +161,92 @@ BENCHMARK(BM_FlatMcThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- level-synchronous propagation (Arg = thread count) ---------------------
+// One full-graph forward sweep on c7552, level-parallel: the single-sweep
+// hot path that the per-input fan-out cannot speed up.
+
+void BM_PropagateLevelThreads(benchmark::State& state) {
+  const flow::Module& module = c7552_module();
+  const auto ex = exec::make_executor(static_cast<size_t>(state.range(0)));
+  timing::PropagationResult r;
+  for (auto _ : state) {
+    timing::propagate_arrivals_into(module.graph(), {}, r, *ex,
+                                    timing::LevelParallel::kOn);
+    benchmark::DoNotOptimize(r.time.data());
+  }
+}
+BENCHMARK(BM_PropagateLevelThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Per-sweep wall time of the level-synchronous forward (arrivals) and
+// backward (required-time) passes on c7552 at 1/2/4/8 threads, best of N
+// with the first rep warming graph caches and the pool. Written to
+// bench_out/BENCH_propagate.json on every run so the perf trajectory has
+// data regardless of the google-benchmark output flags.
+void write_propagate_json() {
+  const flow::Module& module = c7552_module();
+  const timing::TimingGraph& g = module.graph();
+  (void)g.levels();  // levelization is shared, measure sweeps only
+
+  std::ofstream json(bench::out_path("BENCH_propagate.json"));
+  json << "[\n";
+  bool first = true;
+  const size_t reps = 5;
+  struct Sweep {
+    const char* name;
+    void (*run)(const timing::TimingGraph&, timing::PropagationResult&,
+                exec::Executor&);
+  };
+  const Sweep sweeps[] = {
+      {"propagate_arrivals",
+       [](const timing::TimingGraph& gr, timing::PropagationResult& r,
+          exec::Executor& ex) {
+         timing::propagate_arrivals_into(gr, {}, r, ex,
+                                         timing::LevelParallel::kOn);
+       }},
+      {"propagate_required",
+       [](const timing::TimingGraph& gr, timing::PropagationResult& r,
+          exec::Executor& ex) {
+         timing::propagate_required_into(gr, {}, r, ex,
+                                         timing::LevelParallel::kOn);
+       }},
+  };
+  for (const Sweep& sweep : sweeps) {
+    double t1 = 0.0;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      const auto ex = exec::make_executor(threads);
+      timing::PropagationResult r;
+      double seconds = 0.0;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        WallTimer timer;
+        sweep.run(g, r, *ex);
+        const double t = timer.seconds();
+        if (rep == 0 || t < seconds) seconds = t;
+      }
+      if (threads == 1) t1 = seconds;
+      json << (first ? "" : ",\n");
+      first = false;
+      json << "  {\"op\": \"" << sweep.name
+           << "\", \"circuit\": \"c7552\", \"threads\": " << threads
+           << ", \"seconds\": " << seconds
+           << ", \"speedup_vs_1\": " << (seconds > 0.0 ? t1 / seconds : 0.0)
+           << "}";
+    }
+  }
+  json << "\n]\n";
+  std::printf("propagate sweep JSON: %s\n",
+              bench::out_path("BENCH_propagate.json").c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_propagate_json();
+  return 0;
+}

@@ -11,6 +11,7 @@ namespace hssta::core {
 
 using timing::CanonicalForm;
 using timing::EdgeId;
+using timing::LevelStructure;
 using timing::MaxDiagnostics;
 using timing::PropagationResult;
 using timing::TimingGraph;
@@ -19,64 +20,231 @@ using timing::VertexId;
 namespace {
 
 /// Per-worker scratch for the per-input criticality passes: propagation
-/// buffers, tightness candidates, the backward vertex-criticality array and
-/// this worker's cm accumulator (merged by max after the region).
+/// buffers, tightness candidates, the batched backward frontier (one row of
+/// |outputs| vertex-criticality masses per vertex slot) and this worker's
+/// cm accumulator (merged by max after a fan-out region).
 struct CritScratch {
   timing::PropagationResult prop;
   std::vector<double> tp;
   std::vector<CanonicalForm> cand;
   std::vector<EdgeId> cand_edge;
-  std::vector<double> vc;
+  std::vector<double> vc;          ///< row-major [vertex slot][output index]
+  std::vector<uint8_t> row_active; ///< row has mass (or is a seeded output)
   std::vector<double> cm;
   MaxDiagnostics diag;
 };
 
-/// Fanin tightness probabilities for one arrival propagation:
-/// tp[e] = Prob{edge e carries the maximal fanin arrival of its sink},
-/// renormalized per vertex so they partition exactly. Writes sc.tp.
+/// Per-worker scratch of the level-synchronous tightness pass.
+struct TightnessScratch {
+  std::vector<CanonicalForm> cand;
+  std::vector<EdgeId> cand_edge;
+  MaxDiagnostics diag;
+};
+
+/// Tightness probabilities of one vertex's fanin: tp[e] = Prob{edge e
+/// carries the maximal fanin arrival of v}, renormalized so they partition
+/// exactly. Shared by the serial and level-synchronous drivers.
+void tightness_vertex(const TimingGraph& g, const PropagationResult& arrival,
+                      VertexId v, std::vector<double>& tp,
+                      std::vector<CanonicalForm>& cand,
+                      std::vector<EdgeId>& cand_edge, MaxDiagnostics* diag) {
+  const auto& fanin = g.vertex(v).fanin;
+  if (fanin.empty()) return;
+  cand.clear();
+  cand_edge.clear();
+  for (EdgeId e : fanin) {
+    const timing::TimingEdge& te = g.edge(e);
+    if (!arrival.valid[te.from]) continue;
+    CanonicalForm c = arrival.time[te.from];
+    c += te.delay;
+    cand.push_back(std::move(c));
+    cand_edge.push_back(e);
+  }
+  if (cand.empty()) return;
+  const std::vector<double> split = timing::tightness_split(cand, diag);
+  for (size_t t = 0; t < split.size(); ++t) tp[cand_edge[t]] = split[t];
+}
+
+/// Fanin tightness probabilities for one arrival propagation (serial
+/// driver). Writes sc.tp.
 void fanin_tightness_into(const TimingGraph& g,
                           const PropagationResult& arrival,
                           MaxDiagnostics* diag, CritScratch& sc) {
   sc.tp.assign(g.num_edge_slots(), 0.0);
-  for (VertexId v : g.topo_order()) {
-    const auto& fanin = g.vertex(v).fanin;
-    if (fanin.empty()) continue;
-    sc.cand.clear();
-    sc.cand_edge.clear();
-    for (EdgeId e : fanin) {
-      const timing::TimingEdge& te = g.edge(e);
-      if (!arrival.valid[te.from]) continue;
-      CanonicalForm c = arrival.time[te.from];
-      c += te.delay;
-      sc.cand.push_back(std::move(c));
-      sc.cand_edge.push_back(e);
-    }
-    if (sc.cand.empty()) continue;
-    const std::vector<double> split = timing::tightness_split(sc.cand, diag);
-    for (size_t t = 0; t < split.size(); ++t) sc.tp[sc.cand_edge[t]] = split[t];
+  for (VertexId v : g.topo_order())
+    tightness_vertex(g, arrival, v, sc.tp, sc.cand, sc.cand_edge, diag);
+}
+
+/// Level-synchronous tightness driver: each edge's tp is written by its
+/// sink's task only, so a level's vertices fan out race-free; the per-
+/// worker diagnostics counters merge into `diag` by integer sum, equal to
+/// the serial totals.
+void fanin_tightness_level(const TimingGraph& g,
+                           const PropagationResult& arrival,
+                           const LevelStructure& ls, exec::Executor& ex,
+                           std::vector<double>& tp, MaxDiagnostics& diag) {
+  tp.assign(g.num_edge_slots(), 0.0);
+  for (size_t w = 0; w < ex.num_workspaces(); ++w)
+    ex.workspace(w).get<TightnessScratch>().diag = MaxDiagnostics{};
+  timing::for_each_level(ls, ex, /*front_to_back=*/true,
+                         [&](VertexId v, exec::Workspace& ws) {
+                           TightnessScratch& ts = ws.get<TightnessScratch>();
+                           tightness_vertex(g, arrival, v, tp, ts.cand,
+                                            ts.cand_edge, &ts.diag);
+                         });
+  for (size_t w = 0; w < ex.num_workspaces(); ++w)
+    diag += ex.workspace(w).get<TightnessScratch>().diag;
+}
+
+/// The batched backward pass's gather schedule. For every vertex u,
+/// edges[offsets[u] .. offsets[u+1]) lists u's live fanout edges in exactly
+/// the order the reference scalar scatter pass (pair_criticalities) would
+/// have accumulated their contributions into vc(u): by sink position in
+/// reverse topological order, then by the sink's fanin-list order. Gathering
+/// in this order reproduces the scatter pass's floating-point sums bit for
+/// bit.
+struct BackwardPlan {
+  std::vector<VertexId> reverse_order;
+  std::vector<size_t> offsets;  ///< per vertex slot (+1), into `edges`
+  std::vector<EdgeId> edges;
+};
+
+BackwardPlan make_backward_plan(const TimingGraph& g,
+                                const std::vector<VertexId>& order) {
+  BackwardPlan plan;
+  plan.reverse_order.assign(order.rbegin(), order.rend());
+  plan.offsets.assign(g.num_vertex_slots() + 1, 0);
+  for (VertexId v : plan.reverse_order)
+    for (EdgeId e : g.vertex(v).fanin) ++plan.offsets[g.edge(e).from + 1];
+  for (size_t u = 1; u < plan.offsets.size(); ++u)
+    plan.offsets[u] += plan.offsets[u - 1];
+  plan.edges.resize(plan.offsets.back());
+  std::vector<size_t> cursor(plan.offsets.begin(), plan.offsets.end() - 1);
+  for (VertexId v : plan.reverse_order)
+    for (EdgeId e : g.vertex(v).fanin)
+      plan.edges[cursor[g.edge(e).from]++] = e;
+  return plan;
+}
+
+/// Ensure the frontier matches (V x J) and clear it. Only rows flagged
+/// active by the previous pass are touched, so per-input reset cost tracks
+/// the mass actually propagated, not the full V * J footprint.
+void reset_frontier(const TimingGraph& g, size_t num_outs, CritScratch& sc) {
+  const size_t want = g.num_vertex_slots() * num_outs;
+  if (sc.vc.size() != want || sc.row_active.size() != g.num_vertex_slots()) {
+    sc.vc.assign(want, 0.0);
+    sc.row_active.assign(g.num_vertex_slots(), 0);
+    return;
+  }
+  for (VertexId v = 0; v < sc.row_active.size(); ++v) {
+    if (!sc.row_active[v]) continue;
+    std::fill_n(sc.vc.begin() + static_cast<size_t>(v) * num_outs, num_outs,
+                0.0);
+    sc.row_active[v] = 0;
   }
 }
 
-/// Scalar backward pass for one (input, output) pair: distribute vertex
-/// criticality over fanin edges by tp and fold the result into `fold`
-/// via `combine(fold[e], c_ij(e))`. Uses sc.vc as scratch.
+/// Seed the frontier: vc(output j, j) = 1 for every output the current
+/// input's arrival reaches (unreached outputs contribute no pass, exactly
+/// like the scatter reference).
+void seed_frontier(const std::vector<VertexId>& outs,
+                   const PropagationResult& arrival, size_t num_outs,
+                   CritScratch& sc) {
+  for (size_t j = 0; j < num_outs; ++j) {
+    if (!arrival.valid[outs[j]]) continue;
+    sc.vc[static_cast<size_t>(outs[j]) * num_outs + j] = 1.0;
+    sc.row_active[outs[j]] = 1;
+  }
+}
+
+/// Gather one vertex's frontier row: pull vc(sink) * tp(e) over u's fanout
+/// edges (in scatter order) for every output at once, folding each
+/// contribution into `combine`. Writes only u's own row / flag, so a
+/// topological level of gathers is race-free.
+template <typename Combine>
+inline void gather_vertex(const TimingGraph& g, const BackwardPlan& plan,
+                          VertexId u, size_t num_outs, double prune_epsilon,
+                          const std::vector<double>& tp, CritScratch& sc,
+                          Combine&& combine) {
+  double* row = sc.vc.data() + static_cast<size_t>(u) * num_outs;
+  bool active = sc.row_active[u] != 0;  // a seeded output row stays active
+  const size_t begin = plan.offsets[u];
+  const size_t end = plan.offsets[u + 1];
+  for (size_t k = begin; k < end; ++k) {
+    const EdgeId e = plan.edges[k];
+    const VertexId sink = g.edge(e).to;
+    if (!sc.row_active[sink]) continue;
+    const double tp_e = tp[e];
+    const double* sink_row =
+        sc.vc.data() + static_cast<size_t>(sink) * num_outs;
+    for (size_t j = 0; j < num_outs; ++j) {
+      const double mass = sink_row[j];
+      if (mass <= prune_epsilon) continue;  // the scatter pass's cutoff
+      const double c = mass * tp_e;
+      if (c <= 0.0) continue;
+      combine(e, c);
+      row[j] += c;
+      active = true;
+    }
+  }
+  sc.row_active[u] = active ? 1 : 0;
+}
+
+/// Batched backward pass over all outputs for one input, serial driver.
+template <typename Combine>
+void batched_backward(const TimingGraph& g, const BackwardPlan& plan,
+                      const std::vector<VertexId>& outs,
+                      const PropagationResult& arrival, double prune_epsilon,
+                      CritScratch& sc, Combine&& combine) {
+  const size_t num_outs = outs.size();
+  reset_frontier(g, num_outs, sc);
+  seed_frontier(outs, arrival, num_outs, sc);
+  for (VertexId u : plan.reverse_order)
+    gather_vertex(g, plan, u, num_outs, prune_epsilon, sc.tp, sc, combine);
+}
+
+/// Level-synchronous driver of the same pass: sweeps the level buckets back
+/// to front; a vertex only reads rows of strictly higher levels and writes
+/// its own, and combine targets (cm of u's fanout edges) have a unique
+/// writing vertex, so no merge step is needed.
+template <typename Combine>
+void batched_backward_level(const TimingGraph& g, const BackwardPlan& plan,
+                            const LevelStructure& ls,
+                            const std::vector<VertexId>& outs,
+                            const PropagationResult& arrival,
+                            double prune_epsilon, exec::Executor& ex,
+                            CritScratch& sc, Combine&& combine) {
+  const size_t num_outs = outs.size();
+  reset_frontier(g, num_outs, sc);
+  seed_frontier(outs, arrival, num_outs, sc);
+  timing::for_each_level(ls, ex, /*front_to_back=*/false,
+                         [&](VertexId v, exec::Workspace&) {
+                           gather_vertex(g, plan, v, num_outs, prune_epsilon,
+                                         sc.tp, sc, combine);
+                         });
+}
+
+/// Scalar backward pass for one (input, output) pair — the legacy scatter
+/// reference: distribute vertex criticality over fanin edges by tp and fold
+/// the result into `combine(e, c_ij(e))`. Kept verbatim as the oracle the
+/// batched gather pass is pinned against.
 template <typename Combine>
 void backward_pass(const TimingGraph& g,
                    const std::vector<VertexId>& reverse_order,
                    const PropagationResult& arrival, VertexId output,
-                   double prune_epsilon, CritScratch& sc,
-                   Combine&& combine) {
+                   double prune_epsilon, std::vector<double>& vc,
+                   const std::vector<double>& tp, Combine&& combine) {
   if (!arrival.valid[output]) return;
-  sc.vc.assign(g.num_vertex_slots(), 0.0);
-  sc.vc[output] = 1.0;
+  vc.assign(g.num_vertex_slots(), 0.0);
+  vc[output] = 1.0;
   for (VertexId v : reverse_order) {
-    const double mass = sc.vc[v];
+    const double mass = vc[v];
     if (mass <= prune_epsilon) continue;
     for (EdgeId e : g.vertex(v).fanin) {
-      const double c = mass * sc.tp[e];
+      const double c = mass * tp[e];
       if (c <= 0.0) continue;
       combine(e, c);
-      sc.vc[g.edge(e).from] += c;
+      vc[g.edge(e).from] += c;
     }
   }
 }
@@ -96,51 +264,78 @@ CriticalityResult compute_criticality(const TimingGraph& g,
   if (opts.with_io_delays)
     res.io_delays = DelayMatrix(ins.size(), outs.size(), g.dim());
 
-  const std::vector<VertexId> order = g.topo_order();
-  const std::vector<VertexId> reverse_order(order.rbegin(), order.rend());
+  const std::shared_ptr<const LevelStructure> ls = g.levels();
+  const BackwardPlan plan = make_backward_plan(g, ls->order);
 
-  // Exclusive spans the reset -> region -> merge sequence so concurrent
+  // Exclusive spans the reset -> region(s) -> merge sequence so concurrent
   // callers sharing `ex` serialize instead of interleaving workspaces.
   const exec::Executor::Exclusive scope(ex);
-  for (size_t w = 0; w < ex.num_workspaces(); ++w) {
-    CritScratch& sc = ex.workspace(w).get<CritScratch>();
-    sc.cm.assign(g.num_edge_slots(), 0.0);
+
+  if (timing::use_level_parallel(*ls, ex.concurrency(), opts.level_parallel,
+                                 ins.size())) {
+    // Serial input loop; propagation, tightness and the batched backward
+    // pass each fan a level's vertices out across the executor. cm entries
+    // are written by their edge's unique source vertex, so the fold lands
+    // directly in the result.
+    CritScratch& sc = ex.workspace(0).get<CritScratch>();
     sc.diag = MaxDiagnostics{};
-  }
-
-  // One work item per input port: forward canonical propagation + fanin
-  // tightness, then a scalar backward pass per output. Each worker folds
-  // into its own cm accumulator; io_delays rows are per-input, so they are
-  // written without synchronization.
-  ex.parallel_for(ins.size(), [&](size_t i, exec::Workspace& ws) {
-    CritScratch& sc = ws.get<CritScratch>();
-    const VertexId sources[] = {ins[i]};
-    timing::propagate_arrivals_into(g, sources, sc.prop);
-    sc.diag += sc.prop.diagnostics;
-    fanin_tightness_into(g, sc.prop, &sc.diag, sc);
-
-    for (size_t j = 0; j < outs.size(); ++j) {
-      backward_pass(g, reverse_order, sc.prop, outs[j], opts.prune_epsilon,
-                    sc, [&](EdgeId e, double c) {
-                      if (c > sc.cm[e]) sc.cm[e] = c;
-                    });
+    for (size_t i = 0; i < ins.size(); ++i) {
+      const VertexId sources[] = {ins[i]};
+      timing::propagate_arrivals_into(g, sources, sc.prop, ex,
+                                      timing::LevelParallel::kOn);
+      sc.diag += sc.prop.diagnostics;
+      fanin_tightness_level(g, sc.prop, *ls, ex, sc.tp, sc.diag);
+      batched_backward_level(g, plan, *ls, outs, sc.prop, opts.prune_epsilon,
+                             ex, sc, [&](EdgeId e, double c) {
+                               if (c > res.max_criticality[e])
+                                 res.max_criticality[e] = c;
+                             });
+      if (opts.with_io_delays) {
+        for (size_t j = 0; j < outs.size(); ++j)
+          if (sc.prop.valid[outs[j]])
+            res.io_delays.set(i, j, sc.prop.time[outs[j]]);
+      }
     }
-
-    if (opts.with_io_delays) {
-      for (size_t j = 0; j < outs.size(); ++j)
-        if (sc.prop.valid[outs[j]])
-          res.io_delays.set(i, j, sc.prop.time[outs[j]]);
-    }
-  });
-
-  // Merge the per-worker accumulators. max over doubles and integer sums
-  // are order-insensitive, so this equals the serial fold bit-for-bit.
-  for (size_t w = 0; w < ex.num_workspaces(); ++w) {
-    const CritScratch& sc = ex.workspace(w).get<CritScratch>();
     res.diagnostics += sc.diag;
-    for (size_t e = 0; e < res.max_criticality.size(); ++e)
-      if (sc.cm[e] > res.max_criticality[e])
-        res.max_criticality[e] = sc.cm[e];
+  } else {
+    for (size_t w = 0; w < ex.num_workspaces(); ++w) {
+      CritScratch& sc = ex.workspace(w).get<CritScratch>();
+      sc.cm.assign(g.num_edge_slots(), 0.0);
+      sc.diag = MaxDiagnostics{};
+    }
+
+    // One work item per input port: forward canonical propagation + fanin
+    // tightness, then one batched backward pass over all outputs. Each
+    // worker folds into its own cm accumulator; io_delays rows are
+    // per-input, so they are written without synchronization.
+    ex.parallel_for(ins.size(), [&](size_t i, exec::Workspace& ws) {
+      CritScratch& sc = ws.get<CritScratch>();
+      const VertexId sources[] = {ins[i]};
+      timing::propagate_arrivals_into(g, sources, sc.prop);
+      sc.diag += sc.prop.diagnostics;
+      fanin_tightness_into(g, sc.prop, &sc.diag, sc);
+
+      batched_backward(g, plan, outs, sc.prop, opts.prune_epsilon, sc,
+                       [&](EdgeId e, double c) {
+                         if (c > sc.cm[e]) sc.cm[e] = c;
+                       });
+
+      if (opts.with_io_delays) {
+        for (size_t j = 0; j < outs.size(); ++j)
+          if (sc.prop.valid[outs[j]])
+            res.io_delays.set(i, j, sc.prop.time[outs[j]]);
+      }
+    });
+
+    // Merge the per-worker accumulators. max over doubles and integer sums
+    // are order-insensitive, so this equals the serial fold bit-for-bit.
+    for (size_t w = 0; w < ex.num_workspaces(); ++w) {
+      const CritScratch& sc = ex.workspace(w).get<CritScratch>();
+      res.diagnostics += sc.diag;
+      for (size_t e = 0; e < res.max_criticality.size(); ++e)
+        if (sc.cm[e] > res.max_criticality[e])
+          res.max_criticality[e] = sc.cm[e];
+    }
   }
   // Reconvergence can push the tp partition marginally above 1; clamp.
   for (double& c : res.max_criticality) c = std::min(c, 1.0);
@@ -164,8 +359,9 @@ std::vector<double> pair_criticalities(const TimingGraph& g, size_t input,
   timing::propagate_arrivals_into(g, sources, sc.prop);
   fanin_tightness_into(g, sc.prop, nullptr, sc);
   std::vector<double> c(g.num_edge_slots(), 0.0);
-  backward_pass(g, reverse_order, sc.prop, g.outputs()[output], 0.0, sc,
-                [&](EdgeId e, double value) { c[e] += value; });
+  std::vector<double> vc;
+  backward_pass(g, reverse_order, sc.prop, g.outputs()[output], 0.0, vc,
+                sc.tp, [&](EdgeId e, double value) { c[e] += value; });
   return c;
 }
 

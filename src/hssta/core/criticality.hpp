@@ -15,17 +15,26 @@
 ///     vertex v, the tightness probability tp_i(e) that e carries the
 ///     maximal fanin arrival of v. The common remaining delay to any output
 ///     cancels in that comparison, so tp is independent of j.
-///   * Backward, per output j: vertex criticality vc_ij(v) seeded at 1 for
-///     j, distributed over fanin edges as c_ij(e) = vc_ij(v) * tp_i(e) and
-///     accumulated into the edge sources — plain scalar work.
+///   * Backward, per input i: ONE batched pass over all outputs at once.
+///     The vertex criticality vc_ij(v) (seeded at 1 for output j) lives in
+///     a shared frontier — one row of |outputs| masses per vertex — and is
+///     gathered source-side: visiting u in reverse topological order pulls
+///     vc_ij(to(e)) * tp_i(e) over u's fanout edges for every j in one
+///     sweep, folding c_ij(e) into cm(e) on the way. The gather order is
+///     arranged to reproduce the scalar per-(i, j) scatter pass's
+///     floating-point accumulation exactly (see gather_plan in the .cpp),
+///     so batching is a pure speedup: one traversal instead of |outputs|,
+///     and each vertex writes only its own row, which is what lets the
+///     level-synchronous schedule fan a level's vertices out race-free.
 ///
 /// By construction the criticalities of any input-output cut sum to 1
 /// (leave-one-out tightness probabilities are renormalized per vertex), a
 /// chain edge gets exactly 1, and a dominated branch tends to 0.
 ///
-/// Cost: one canonical propagation + tp pass per input, one scalar backward
-/// pass per (input, output) pair — the #inputs * #outputs scaling the paper
-/// reports, with the heavy canonical work amortized per input.
+/// Cost: one canonical propagation + tp pass per input, one batched scalar
+/// backward pass per input covering all outputs — same #inputs * #outputs
+/// work as the paper reports, but traversal and frontier state amortized
+/// across outputs, with the heavy canonical work amortized per input.
 
 #pragma once
 
@@ -44,6 +53,12 @@ struct CriticalityOptions {
   /// Also compute the all-pairs IO delay matrix and return it (the
   /// extraction pipeline wants both; switch off when only cm is needed).
   bool with_io_delays = true;
+  /// Parallel schedule (never changes any result bit): per-input fan-out
+  /// across the executor, or — when the input count cannot occupy it — a
+  /// serial input loop whose propagation / tightness / batched backward
+  /// passes are each level-synchronous. kAuto picks by input count and
+  /// graph width (timing::use_level_parallel).
+  timing::LevelParallel level_parallel = timing::LevelParallel::kAuto;
 };
 
 struct CriticalityResult {
@@ -66,14 +81,16 @@ struct CriticalityResult {
 [[nodiscard]] CriticalityResult compute_criticality(
     const timing::TimingGraph& g, const CriticalityOptions& opts = {});
 
-/// Criticality of one edge for one IO pair (single-pair run of the same
-/// algorithm; used by tests and incremental queries).
+/// Criticality of one edge for one IO pair (single-pair run of the
+/// reference scalar scatter pass; used by tests and incremental queries).
 [[nodiscard]] double edge_pair_criticality(const timing::TimingGraph& g,
                                            timing::EdgeId e, size_t input,
                                            size_t output);
 
 /// All per-edge criticalities for one IO pair (one forward + one backward
-/// pass). Entries of dead edges are 0.
+/// pass). Entries of dead edges are 0. This deliberately keeps the legacy
+/// per-(i, j) scalar scatter implementation: it is the reference the
+/// differential tests pin the batched gather pass against, bit for bit.
 [[nodiscard]] std::vector<double> pair_criticalities(
     const timing::TimingGraph& g, size_t input, size_t output);
 

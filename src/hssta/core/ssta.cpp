@@ -8,10 +8,43 @@
 namespace hssta::core {
 
 using timing::CanonicalForm;
-using timing::EdgeId;
 using timing::PropagationResult;
 using timing::TimingGraph;
 using timing::VertexId;
+
+namespace {
+
+/// slack(v) = required - (arrival(v) + remaining(v)); the variability
+/// coefficients flip sign, the private random magnitude is unchanged.
+/// Shared per-vertex assembly of the serial and parallel overloads.
+inline void assemble_slack(const TimingGraph& g, VertexId v,
+                           const PropagationResult& arrivals,
+                           const PropagationResult& remaining,
+                           double required_at_outputs, SlackResult& out) {
+  if (!g.vertex_alive(v) || !arrivals.valid[v] || !remaining.valid[v]) return;
+  CanonicalForm through = arrivals.time[v];
+  through += remaining.time[v];
+  CanonicalForm& s = out.slack[v];
+  s = CanonicalForm(g.dim());
+  s.set_nominal(required_at_outputs - through.nominal());
+  for (size_t k = 0; k < g.dim(); ++k) s.corr()[k] = -through.corr()[k];
+  s.set_random(through.random());
+  out.valid[v] = 1;
+}
+
+SlackResult slack_from_passes(const TimingGraph& g,
+                              const PropagationResult& arrivals,
+                              const PropagationResult& remaining,
+                              double required_at_outputs) {
+  SlackResult out;
+  out.slack.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
+  out.valid.assign(g.num_vertex_slots(), 0);
+  for (VertexId v = 0; v < g.num_vertex_slots(); ++v)
+    assemble_slack(g, v, arrivals, remaining, required_at_outputs, out);
+  return out;
+}
+
+}  // namespace
 
 SstaResult run_ssta(const TimingGraph& g) {
   SstaResult r{timing::propagate_arrivals(g), CanonicalForm(g.dim())};
@@ -19,55 +52,48 @@ SstaResult run_ssta(const TimingGraph& g) {
   return r;
 }
 
+SstaResult run_ssta(const TimingGraph& g, exec::Executor& ex,
+                    timing::LevelParallel mode) {
+  SstaResult r{PropagationResult{}, CanonicalForm(g.dim())};
+  timing::propagate_arrivals_into(g, {}, r.arrivals, ex, mode);
+  r.delay = timing::circuit_delay(g, r.arrivals, &r.arrivals.diagnostics);
+  return r;
+}
+
 SlackResult compute_slack(const TimingGraph& g, double required_at_outputs) {
   const PropagationResult arrivals = timing::propagate_arrivals(g);
-
   // Backward sweep from all output ports at remaining time 0: remaining[v]
   // is the statistical max delay from v to any output.
   PropagationResult remaining;
-  remaining.time.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
-  remaining.valid.assign(g.num_vertex_slots(), 0);
-  for (VertexId v : g.outputs()) remaining.valid[v] = 1;
+  timing::propagate_required_into(g, {}, remaining);
+  return slack_from_passes(g, arrivals, remaining, required_at_outputs);
+}
 
-  std::vector<VertexId> order = g.topo_order();
-  std::reverse(order.begin(), order.end());
-  CanonicalForm candidate(g.dim());
-  for (VertexId v : order) {
-    bool has = remaining.valid[v] != 0;
-    for (EdgeId e : g.vertex(v).fanout) {
-      const timing::TimingEdge& te = g.edge(e);
-      if (!remaining.valid[te.to]) continue;
-      candidate = remaining.time[te.to];
-      candidate += te.delay;
-      if (!has) {
-        remaining.time[v] = std::move(candidate);
-        candidate = CanonicalForm(g.dim());
-        has = true;
-      } else {
-        remaining.time[v] = timing::statistical_max(
-            remaining.time[v], candidate, &remaining.diagnostics);
-      }
-    }
-    remaining.valid[v] = has ? 1 : 0;
-  }
+SlackResult compute_slack(const TimingGraph& g, double required_at_outputs,
+                          exec::Executor& ex, timing::LevelParallel mode) {
+  // Honor the mode for the assembly loop too: kOff promises not to occupy
+  // the executor from within a sweep.
+  if (!timing::use_level_parallel(g, ex.concurrency(), mode))
+    return compute_slack(g, required_at_outputs);
+  PropagationResult arrivals;
+  timing::propagate_arrivals_into(g, {}, arrivals, ex,
+                                  timing::LevelParallel::kOn);
+  PropagationResult remaining;
+  timing::propagate_required_into(g, {}, remaining, ex,
+                                  timing::LevelParallel::kOn);
 
-  // slack(v) = required - (arrival(v) + remaining(v)); the variability
-  // coefficients flip sign, the private random magnitude is unchanged.
   SlackResult out;
   out.slack.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
   out.valid.assign(g.num_vertex_slots(), 0);
-  for (VertexId v = 0; v < g.num_vertex_slots(); ++v) {
-    if (!g.vertex_alive(v) || !arrivals.valid[v] || !remaining.valid[v])
-      continue;
-    CanonicalForm through = arrivals.time[v];
-    through += remaining.time[v];
-    CanonicalForm& s = out.slack[v];
-    s = CanonicalForm(g.dim());
-    s.set_nominal(required_at_outputs - through.nominal());
-    for (size_t k = 0; k < g.dim(); ++k) s.corr()[k] = -through.corr()[k];
-    s.set_random(through.random());
-    out.valid[v] = 1;
-  }
+  // Per-slot writes are disjoint, so the assembly is a flat parallel loop.
+  const exec::Executor::Exclusive scope(ex);
+  exec::run_maybe_parallel(ex, g.num_vertex_slots(),
+                           timing::kMinLevelFanOut,
+                           [&](size_t v, exec::Workspace&) {
+                             assemble_slack(g, static_cast<VertexId>(v),
+                                            arrivals, remaining,
+                                            required_at_outputs, out);
+                           });
   return out;
 }
 

@@ -187,4 +187,20 @@ std::shared_ptr<Executor> make_executor(size_t threads) {
   return std::make_shared<ThreadPoolExecutor>(t);
 }
 
+void run_maybe_parallel(Executor& ex, size_t n, size_t min_parallel,
+                        const Executor::Task& task) {
+  if (ex.concurrency() > 1 && n >= min_parallel) {
+    ex.parallel_for(n, task);
+    return;
+  }
+  require_not_active(&ex);
+  const Executor::Exclusive scope(ex);
+  // The inline path is a region too: nested submission on this executor
+  // must throw, exactly as parallel_for promises, instead of re-entering
+  // workspace slot 0 mid-iteration.
+  const ActiveRegion region(&ex);
+  Workspace& ws = ex.workspace(0);
+  for (size_t i = 0; i < n; ++i) task(i, ws);
+}
+
 }  // namespace hssta::exec

@@ -126,4 +126,17 @@ class ThreadPoolExecutor final : public Executor {
 /// effective_threads resolution).
 [[nodiscard]] std::shared_ptr<Executor> make_executor(size_t threads = 0);
 
+/// parallel_for with an inline fast path: when `n < min_parallel` (or the
+/// executor is serial anyway) the loop runs directly on the calling thread
+/// against workspace slot 0, skipping the region wake-up/barrier. The
+/// level-synchronous sweeps issue one region per topological level; most
+/// levels of a real circuit are far too small to pay a pool round-trip, and
+/// because library tasks only combine per-worker state with order-
+/// insensitive merges, collapsing all of them onto slot 0 changes no result
+/// bit. Callers sharing the executor across threads must hold an
+/// Executor::Exclusive around the surrounding reset/region/merge sequence,
+/// exactly as for parallel_for itself.
+void run_maybe_parallel(Executor& ex, size_t n, size_t min_parallel,
+                        const Executor::Task& task);
+
 }  // namespace hssta::exec

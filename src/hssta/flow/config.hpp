@@ -85,6 +85,14 @@ struct Config {
   /// extraction / criticality, all-pairs IO delays, Monte Carlo batches and
   /// per-instance design analysis — without changing any result bit.
   size_t threads = default_threads();
+  /// Whether sweeps parallelize *within* one propagation, fanning each
+  /// topological level's vertices across the executor, instead of across
+  /// outer work units ([exec] level_parallel, or the bare key
+  /// "level_parallel"; values auto / on / off). auto level-parallelizes
+  /// when the outer fan-out cannot occupy the executor and the graph is
+  /// wide enough — the win case is few-input modules, where the per-input
+  /// fan-out has nothing to fan out. Never changes any result bit.
+  timing::LevelParallel level_parallel = timing::LevelParallel::kAuto;
 
   /// Apply one "section.key" (or bare "key") assignment; throws
   /// hssta::Error on unknown keys or malformed values.

@@ -141,7 +141,8 @@ const timing::TimingGraph& Module::graph() const { return built().graph; }
 const core::SstaResult& Module::ssta() const {
   State& s = *state_;
   const StateLock lock(s.mu);
-  if (!s.ssta) s.ssta = core::run_ssta(built().graph);
+  if (!s.ssta)
+    s.ssta = core::run_ssta(built().graph, s.executor(), s.cfg.level_parallel);
   return *s.ssta;
 }
 
@@ -154,7 +155,8 @@ const core::SlackResult& Module::slack(double required_at_outputs) const {
   if (it == s.slack.end())
     it = s.slack
              .emplace(required_at_outputs,
-                      core::compute_slack(built().graph, required_at_outputs))
+                      core::compute_slack(built().graph, required_at_outputs,
+                                          s.executor(), s.cfg.level_parallel))
              .first;
   return it->second;
 }
@@ -170,7 +172,12 @@ const std::vector<core::CriticalPath>& Module::critical_paths(size_t k) const {
 }
 
 const model::Extraction& Module::extract_model() const {
-  return extract_model(state_->cfg.extract);
+  // The config-wide level_parallel knob rides along into the criticality
+  // step; it is not part of the extraction cache key (results are
+  // bit-identical either way).
+  model::ExtractOptions opts = state_->cfg.extract;
+  opts.level_parallel = state_->cfg.level_parallel;
+  return extract_model(opts);
 }
 
 const model::Extraction& Module::extract_model(

@@ -85,8 +85,12 @@ Extraction extract_timing_model(const timing::BuiltGraph& built,
   stats.original_edges = original.num_live_edges();
 
   // Step 1 (paper Fig. 3): maximum criticality per edge — the dominant
-  // cost, fanned out per input port across the executor.
-  const core::CriticalityResult crit = core::compute_criticality(original, ex);
+  // cost, parallelized across the executor per input port or (for
+  // input-poor graphs) level-synchronously within each pass.
+  core::CriticalityOptions copts;
+  copts.level_parallel = opts.level_parallel;
+  const core::CriticalityResult crit =
+      core::compute_criticality(original, ex, copts);
   stats.criticalities.reserve(stats.original_edges);
   for (EdgeId e = 0; e < original.num_edge_slots(); ++e)
     if (original.edge_alive(e))

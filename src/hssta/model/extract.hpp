@@ -28,6 +28,10 @@ struct ExtractOptions {
   double criticality_threshold = 0.05;
   /// Restore a path for IO pairs disconnected by pruning.
   bool repair_connectivity = true;
+  /// Parallel schedule of the criticality step (forwarded to
+  /// core::CriticalityOptions). Purely a speed knob — extraction results
+  /// are bit-identical either way, so it takes no part in any cache key.
+  timing::LevelParallel level_parallel = timing::LevelParallel::kAuto;
 };
 
 struct ExtractionStats {

@@ -6,6 +6,19 @@
 
 namespace hssta::timing {
 
+size_t LevelStructure::max_width() const {
+  size_t best = 0;
+  for (size_t l = 0; l < num_levels(); ++l)
+    best = std::max(best, offsets[l + 1] - offsets[l]);
+  return best;
+}
+
+double LevelStructure::mean_width() const {
+  const size_t n = num_levels();
+  return n == 0 ? 0.0
+               : static_cast<double>(order.size()) / static_cast<double>(n);
+}
+
 TimingGraph::TimingGraph(
     std::shared_ptr<const variation::VariationSpace> space)
     : space_(std::move(space)) {
@@ -14,6 +27,69 @@ TimingGraph::TimingGraph(
 }
 
 TimingGraph::TimingGraph(size_t dim) : dim_(dim) {}
+
+TimingGraph::TimingGraph(const TimingGraph& other)
+    : space_(other.space_),
+      dim_(other.dim_),
+      vertices_(other.vertices_),
+      edges_(other.edges_),
+      vertex_alive_(other.vertex_alive_),
+      edge_alive_(other.edge_alive_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_),
+      live_vertices_(other.live_vertices_),
+      live_edges_(other.live_edges_),
+      levels_(other.cached_levels()) {}
+
+TimingGraph& TimingGraph::operator=(const TimingGraph& other) {
+  if (this == &other) return *this;
+  space_ = other.space_;
+  dim_ = other.dim_;
+  vertices_ = other.vertices_;
+  edges_ = other.edges_;
+  vertex_alive_ = other.vertex_alive_;
+  edge_alive_ = other.edge_alive_;
+  inputs_ = other.inputs_;
+  outputs_ = other.outputs_;
+  live_vertices_ = other.live_vertices_;
+  live_edges_ = other.live_edges_;
+  levels_ = other.cached_levels();
+  return *this;
+}
+
+TimingGraph::TimingGraph(TimingGraph&& other) noexcept
+    : space_(std::move(other.space_)),
+      dim_(other.dim_),
+      vertices_(std::move(other.vertices_)),
+      edges_(std::move(other.edges_)),
+      vertex_alive_(std::move(other.vertex_alive_)),
+      edge_alive_(std::move(other.edge_alive_)),
+      inputs_(std::move(other.inputs_)),
+      outputs_(std::move(other.outputs_)),
+      live_vertices_(other.live_vertices_),
+      live_edges_(other.live_edges_),
+      levels_(std::move(other.levels_)) {}
+
+TimingGraph& TimingGraph::operator=(TimingGraph&& other) noexcept {
+  if (this == &other) return *this;
+  space_ = std::move(other.space_);
+  dim_ = other.dim_;
+  vertices_ = std::move(other.vertices_);
+  edges_ = std::move(other.edges_);
+  vertex_alive_ = std::move(other.vertex_alive_);
+  edge_alive_ = std::move(other.edge_alive_);
+  inputs_ = std::move(other.inputs_);
+  outputs_ = std::move(other.outputs_);
+  live_vertices_ = other.live_vertices_;
+  live_edges_ = other.live_edges_;
+  levels_ = std::move(other.levels_);
+  return *this;
+}
+
+void TimingGraph::invalidate_levels() {
+  const std::lock_guard<std::mutex> lock(levels_mu_);
+  levels_.reset();
+}
 
 VertexId TimingGraph::add_vertex(std::string name, bool is_input,
                                  bool is_output) {
@@ -24,6 +100,7 @@ VertexId TimingGraph::add_vertex(std::string name, bool is_input,
   ++live_vertices_;
   if (is_input) inputs_.push_back(v);
   if (is_output) outputs_.push_back(v);
+  invalidate_levels();
   return v;
 }
 
@@ -39,6 +116,7 @@ EdgeId TimingGraph::add_edge(VertexId from, VertexId to, CanonicalForm delay) {
   ++live_edges_;
   vertices_[from].fanout.push_back(e);
   vertices_[to].fanin.push_back(e);
+  invalidate_levels();
   return e;
 }
 
@@ -54,6 +132,7 @@ void TimingGraph::remove_edge(EdgeId e) {
   detach(vertices_[te.to].fanin);
   edge_alive_[e] = 0;
   --live_edges_;
+  invalidate_levels();
 }
 
 void TimingGraph::remove_vertex(VertexId v) {
@@ -64,6 +143,7 @@ void TimingGraph::remove_vertex(VertexId v) {
                 "vertex still has live edges");
   vertex_alive_[v] = 0;
   --live_vertices_;
+  invalidate_levels();
 }
 
 bool TimingGraph::vertex_alive(VertexId v) const {
@@ -123,6 +203,43 @@ std::vector<VertexId> TimingGraph::topo_order() const {
   HSSTA_REQUIRE(order.size() == live_vertices_,
                 "timing graph contains a cycle");
   return order;
+}
+
+std::shared_ptr<const LevelStructure> TimingGraph::cached_levels() const {
+  const std::lock_guard<std::mutex> lock(levels_mu_);
+  return levels_;
+}
+
+std::shared_ptr<const LevelStructure> TimingGraph::levels() const {
+  const std::lock_guard<std::mutex> lock(levels_mu_);
+  if (levels_) return levels_;
+
+  auto ls = std::make_shared<LevelStructure>();
+  ls->order = topo_order();  // throws on cycles before any state is touched
+  ls->level_of.assign(vertices_.size(), kNoLevel);
+  for (VertexId v : ls->order) {
+    uint32_t level = 0;
+    for (EdgeId e : vertices_[v].fanin) {
+      const uint32_t from_level = ls->level_of[edges_[e].from];
+      HSSTA_ASSERT(from_level != kNoLevel, "levelization out of order");
+      level = std::max(level, from_level + 1);
+    }
+    ls->level_of[v] = level;
+  }
+  // Kahn's ready queue pops levels in nondecreasing order (a vertex of
+  // level l+1 is enqueued while level <= l pops are still draining), so the
+  // buckets are contiguous runs of `order`.
+  ls->offsets.push_back(0);
+  for (size_t k = 1; k < ls->order.size(); ++k) {
+    const uint32_t prev = ls->level_of[ls->order[k - 1]];
+    const uint32_t cur = ls->level_of[ls->order[k]];
+    HSSTA_ASSERT(cur >= prev, "topo order not level-sorted");
+    if (cur != prev) ls->offsets.push_back(k);
+  }
+  if (!ls->order.empty()) ls->offsets.push_back(ls->order.size());
+
+  levels_ = std::move(ls);
+  return levels_;
 }
 
 std::vector<uint8_t> TimingGraph::reachable_from(VertexId v) const {

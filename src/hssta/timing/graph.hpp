@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,41 @@ using VertexId = uint32_t;
 using EdgeId = uint32_t;
 inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
 inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr uint32_t kNoLevel = std::numeric_limits<uint32_t>::max();
+
+/// How a sweep decides to fan out *within* one propagation (across the
+/// vertices of each topological level) instead of across outer work units:
+///  * kAuto — level-parallel when the outer fan-out cannot saturate the
+///    executor and the graph is wide enough to amortize per-level barriers;
+///  * kOn   — always level-parallel (given a concurrent executor);
+///  * kOff  — always the outer fan-out / serial sweep.
+/// The choice never changes any result bit; it is purely a speed knob.
+enum class LevelParallel { kAuto, kOn, kOff };
+
+/// Levelization of the live graph: level(v) = 0 for fanin-free vertices,
+/// otherwise 1 + max level over fanin sources, so every live edge goes to a
+/// strictly higher level. `order` equals topo_order() exactly (Kahn's ready
+/// queue pops levels in nondecreasing order), and the buckets partition it
+/// contiguously — bucket l is the span order[offsets[l], offsets[l+1]).
+/// Vertices within one level share no edges, which is what makes the
+/// level-synchronous sweeps race-free and bit-identical to the serial order.
+struct LevelStructure {
+  std::vector<VertexId> order;    ///< == topo_order(), grouped by level
+  std::vector<size_t> offsets;    ///< bucket boundaries; size num_levels()+1
+  std::vector<uint32_t> level_of; ///< per vertex slot; kNoLevel when dead
+
+  [[nodiscard]] size_t num_levels() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  [[nodiscard]] std::span<const VertexId> bucket(size_t level) const {
+    return std::span<const VertexId>(order).subspan(
+        offsets[level], offsets[level + 1] - offsets[level]);
+  }
+  /// Widest bucket (0 for an empty graph).
+  [[nodiscard]] size_t max_width() const;
+  /// Live vertices per level (0.0 for an empty graph).
+  [[nodiscard]] double mean_width() const;
+};
 
 struct TimingVertex {
   std::string name;
@@ -46,6 +83,13 @@ class TimingGraph {
   /// Space-less graph of a given coefficient dimension (tests, synthetic
   /// fixtures).
   explicit TimingGraph(size_t dim);
+
+  /// Copies share the (immutable) levelization cache; moves transfer it.
+  /// Spelled out because the cache guard mutex is neither.
+  TimingGraph(const TimingGraph& other);
+  TimingGraph& operator=(const TimingGraph& other);
+  TimingGraph(TimingGraph&& other) noexcept;
+  TimingGraph& operator=(TimingGraph&& other) noexcept;
 
   /// --- construction / mutation -------------------------------------------
 
@@ -93,6 +137,14 @@ class TimingGraph {
   /// Live vertices in topological order; throws on cycles.
   [[nodiscard]] std::vector<VertexId> topo_order() const;
 
+  /// Cached levelization (see LevelStructure); built on first use, shared
+  /// until the next mutation invalidates it, throws on cycles. The returned
+  /// snapshot stays valid (and consistent) even if the graph is mutated
+  /// afterwards — callers hold the shared_ptr for as long as they sweep.
+  /// Thread-safe against concurrent levels()/topo_order() readers; like
+  /// every other accessor it must not race with mutation.
+  [[nodiscard]] std::shared_ptr<const LevelStructure> levels() const;
+
   /// vertex-indexed flags: reachable from `v` along live edges (v included).
   [[nodiscard]] std::vector<uint8_t> reachable_from(VertexId v) const;
   /// vertex-indexed flags: can reach `v` along live edges (v included).
@@ -103,6 +155,12 @@ class TimingGraph {
   void validate() const;
 
  private:
+  /// Drop the cached levelization (called by every mutation).
+  void invalidate_levels();
+  /// The current cache, possibly null — copies share it without forcing a
+  /// build.
+  [[nodiscard]] std::shared_ptr<const LevelStructure> cached_levels() const;
+
   std::shared_ptr<const variation::VariationSpace> space_;
   size_t dim_ = 0;
   std::vector<TimingVertex> vertices_;
@@ -113,6 +171,12 @@ class TimingGraph {
   std::vector<VertexId> outputs_;
   size_t live_vertices_ = 0;
   size_t live_edges_ = 0;
+
+  /// Lazily built levelization; guarded so concurrent const readers share
+  /// one build. An immutable snapshot: mutation replaces the pointer, never
+  /// the pointed-to structure.
+  mutable std::mutex levels_mu_;
+  mutable std::shared_ptr<const LevelStructure> levels_;
 };
 
 }  // namespace hssta::timing

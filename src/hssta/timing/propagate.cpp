@@ -6,6 +6,116 @@
 
 namespace hssta::timing {
 
+namespace {
+
+/// Per-worker scratch of the level-synchronous sweeps: the fold candidate
+/// plus this worker's share of the diagnostics counters (merged by integer
+/// sum after the sweep, so totals equal the serial sweep's exactly).
+struct SweepScratch {
+  CanonicalForm candidate;
+  MaxDiagnostics diag;
+};
+
+/// Fold the fanin of `v` into r.time[v] / r.valid[v]. Shared by the serial
+/// and the level-synchronous sweeps so both run the exact same arithmetic
+/// on every vertex.
+inline void relax_fanin(const TimingGraph& g, VertexId v, PropagationResult& r,
+                        CanonicalForm& candidate, MaxDiagnostics& diag) {
+  bool has = r.valid[v] != 0;  // sources carry arrival 0
+  for (EdgeId e : g.vertex(v).fanin) {
+    const TimingEdge& te = g.edge(e);
+    if (!r.valid[te.from]) continue;
+    candidate = r.time[te.from];
+    candidate += te.delay;
+    if (!has) {
+      r.time[v] = candidate;
+      has = true;
+    } else {
+      r.time[v] = statistical_max(r.time[v], candidate, &diag);
+    }
+  }
+  r.valid[v] = has ? 1 : 0;
+}
+
+/// Backward twin: fold the fanout of `v` (remaining delay to the seeded
+/// sinks) into r.time[v] / r.valid[v].
+inline void relax_fanout(const TimingGraph& g, VertexId v,
+                         PropagationResult& r, CanonicalForm& candidate,
+                         MaxDiagnostics& diag) {
+  bool has = r.valid[v] != 0;  // sinks carry remaining delay 0
+  for (EdgeId e : g.vertex(v).fanout) {
+    const TimingEdge& te = g.edge(e);
+    if (!r.valid[te.to]) continue;
+    candidate = r.time[te.to];
+    candidate += te.delay;
+    if (!has) {
+      r.time[v] = candidate;
+      has = true;
+    } else {
+      r.time[v] = statistical_max(r.time[v], candidate, &diag);
+    }
+  }
+  r.valid[v] = has ? 1 : 0;
+}
+
+/// Shared initialization: recycle r's buffers, seed `seeds` (or `ports`
+/// when the span is empty) at time 0.
+void reset_result(const TimingGraph& g, PropagationResult& r,
+                  std::span<const VertexId> seeds,
+                  const std::vector<VertexId>& ports, const char* what) {
+  r.diagnostics = MaxDiagnostics{};
+  // assign() recycles both the vertex vector and (by element-wise copy
+  // assignment) each entry's coefficient buffer, so a reused result does
+  // not reallocate.
+  const CanonicalForm zero(g.dim());
+  r.time.assign(g.num_vertex_slots(), zero);
+  r.valid.assign(g.num_vertex_slots(), 0);
+  if (seeds.empty()) {
+    for (VertexId v : ports) r.valid[v] = 1;
+  } else {
+    for (VertexId v : seeds) {
+      HSSTA_REQUIRE(g.vertex_alive(v), what);
+      r.valid[v] = 1;
+    }
+  }
+}
+
+/// Level-synchronous driver shared by the forward and backward sweeps:
+/// iterate the buckets in `front_to_back` or reverse order, fan each level
+/// out across `ex`, then merge the per-worker diagnostics.
+template <typename Relax>
+void level_sweep(const TimingGraph& g, PropagationResult& r,
+                 exec::Executor& ex, bool front_to_back, Relax&& relax) {
+  const std::shared_ptr<const LevelStructure> ls = g.levels();
+  const exec::Executor::Exclusive scope(ex);
+  for (size_t w = 0; w < ex.num_workspaces(); ++w)
+    ex.workspace(w).get<SweepScratch>().diag = MaxDiagnostics{};
+  for_each_level(*ls, ex, front_to_back,
+                 [&](VertexId v, exec::Workspace& ws) {
+                   SweepScratch& sc = ws.get<SweepScratch>();
+                   relax(v, sc.candidate, sc.diag);
+                 });
+  for (size_t w = 0; w < ex.num_workspaces(); ++w)
+    r.diagnostics += ex.workspace(w).get<SweepScratch>().diag;
+}
+
+}  // namespace
+
+bool use_level_parallel(const LevelStructure& ls, size_t concurrency,
+                        LevelParallel mode, size_t outer_items) {
+  if (concurrency <= 1 || mode == LevelParallel::kOff) return false;
+  if (mode == LevelParallel::kOn) return true;
+  return outer_items < 2 * concurrency && ls.mean_width() >= 16.0;
+}
+
+bool use_level_parallel(const TimingGraph& g, size_t concurrency,
+                        LevelParallel mode, size_t outer_items) {
+  if (concurrency <= 1 || mode == LevelParallel::kOff) return false;
+  if (mode == LevelParallel::kOn) return true;
+  if (outer_items >= 2 * concurrency) return false;  // no levelization cost
+  return use_level_parallel(*g.levels(), concurrency, mode, outer_items);
+}
+
 const CanonicalForm& PropagationResult::at(VertexId v) const {
   HSSTA_REQUIRE(v < time.size() && valid[v], "time of unreached vertex");
   return time[v];
@@ -21,69 +131,56 @@ PropagationResult propagate_arrivals(const TimingGraph& g,
 void propagate_arrivals_into(const TimingGraph& g,
                              std::span<const VertexId> sources,
                              PropagationResult& r) {
-  r.diagnostics = MaxDiagnostics{};
-  // assign() recycles both the vertex vector and (by element-wise copy
-  // assignment) each entry's coefficient buffer, so a reused result does
-  // not reallocate.
-  const CanonicalForm zero(g.dim());
-  r.time.assign(g.num_vertex_slots(), zero);
-  r.valid.assign(g.num_vertex_slots(), 0);
-
-  if (sources.empty()) {
-    for (VertexId v : g.inputs()) r.valid[v] = 1;
-  } else {
-    for (VertexId v : sources) {
-      HSSTA_REQUIRE(g.vertex_alive(v), "propagation source is dead");
-      r.valid[v] = 1;
-    }
-  }
-
+  reset_result(g, r, sources, g.inputs(), "propagation source is dead");
   CanonicalForm candidate(g.dim());
-  for (VertexId v : g.topo_order()) {
-    bool has = r.valid[v] != 0;  // sources carry arrival 0
-    for (EdgeId e : g.vertex(v).fanin) {
-      const TimingEdge& te = g.edge(e);
-      if (!r.valid[te.from]) continue;
-      candidate = r.time[te.from];
-      candidate += te.delay;
-      if (!has) {
-        r.time[v] = candidate;
-        has = true;
-      } else {
-        r.time[v] = statistical_max(r.time[v], candidate, &r.diagnostics);
-      }
-    }
-    r.valid[v] = has ? 1 : 0;
-  }
+  for (VertexId v : g.topo_order())
+    relax_fanin(g, v, r, candidate, r.diagnostics);
 }
 
-PropagationResult propagate_to_sink(const TimingGraph& g, VertexId sink) {
-  HSSTA_REQUIRE(g.vertex_alive(sink), "sink is dead");
-  PropagationResult r;
-  r.time.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
-  r.valid.assign(g.num_vertex_slots(), 0);
-  r.valid[sink] = 1;
+void propagate_arrivals_into(const TimingGraph& g,
+                             std::span<const VertexId> sources,
+                             PropagationResult& r, exec::Executor& ex,
+                             LevelParallel mode) {
+  if (!use_level_parallel(g, ex.concurrency(), mode)) {
+    propagate_arrivals_into(g, sources, r);
+    return;
+  }
+  reset_result(g, r, sources, g.inputs(), "propagation source is dead");
+  level_sweep(g, r, ex, /*front_to_back=*/true,
+              [&](VertexId v, CanonicalForm& candidate, MaxDiagnostics& diag) {
+                relax_fanin(g, v, r, candidate, diag);
+              });
+}
 
+void propagate_required_into(const TimingGraph& g,
+                             std::span<const VertexId> sinks,
+                             PropagationResult& r) {
+  reset_result(g, r, sinks, g.outputs(), "propagation sink is dead");
   std::vector<VertexId> order = g.topo_order();
   std::reverse(order.begin(), order.end());
   CanonicalForm candidate(g.dim());
-  for (VertexId v : order) {
-    bool has = v == sink;
-    for (EdgeId e : g.vertex(v).fanout) {
-      const TimingEdge& te = g.edge(e);
-      if (!r.valid[te.to]) continue;
-      candidate = r.time[te.to];
-      candidate += te.delay;
-      if (!has) {
-        r.time[v] = std::move(candidate);
-        candidate = CanonicalForm(g.dim());
-        has = true;
-      } else {
-        r.time[v] = statistical_max(r.time[v], candidate, &r.diagnostics);
-      }
-    }
-    r.valid[v] = has ? 1 : 0;
+  for (VertexId v : order) relax_fanout(g, v, r, candidate, r.diagnostics);
+}
+
+void propagate_required_into(const TimingGraph& g,
+                             std::span<const VertexId> sinks,
+                             PropagationResult& r, exec::Executor& ex,
+                             LevelParallel mode) {
+  if (!use_level_parallel(g, ex.concurrency(), mode)) {
+    propagate_required_into(g, sinks, r);
+    return;
   }
+  reset_result(g, r, sinks, g.outputs(), "propagation sink is dead");
+  level_sweep(g, r, ex, /*front_to_back=*/false,
+              [&](VertexId v, CanonicalForm& candidate, MaxDiagnostics& diag) {
+                relax_fanout(g, v, r, candidate, diag);
+              });
+}
+
+PropagationResult propagate_to_sink(const TimingGraph& g, VertexId sink) {
+  const VertexId sinks[] = {sink};
+  PropagationResult r;
+  propagate_required_into(g, sinks, r);
   return r;
 }
 

@@ -10,10 +10,55 @@
 #include <span>
 #include <vector>
 
+#include "hssta/exec/executor.hpp"
 #include "hssta/timing/graph.hpp"
 #include "hssta/timing/statops.hpp"
 
 namespace hssta::timing {
+
+/// Decide whether a sweep should fan out across the vertices of each level
+/// instead of leaving the parallelism to `outer_items` independent outer
+/// work units (per-input propagations, per-sample evaluations, ...).
+///  * kOff, or a serial executor, never level-parallelizes;
+///  * kOn always does;
+///  * kAuto does when the outer fan-out cannot occupy the executor
+///    (outer_items < 2 * concurrency) and the graph is wide enough for
+///    per-level regions to pay off (mean level width >= 16).
+[[nodiscard]] bool use_level_parallel(const LevelStructure& ls,
+                                      size_t concurrency, LevelParallel mode,
+                                      size_t outer_items = 1);
+
+/// Same decision from the graph. Builds the levelization only when the
+/// answer can depend on it (kAuto with a concurrent executor), so kOff /
+/// serial callers pay nothing for asking.
+[[nodiscard]] bool use_level_parallel(const TimingGraph& g,
+                                      size_t concurrency, LevelParallel mode,
+                                      size_t outer_items = 1);
+
+/// Levels narrower than this run inline on the calling thread even in a
+/// level-parallel sweep (see exec::run_maybe_parallel) — identical results,
+/// no pool round-trip for the long skinny head/tail of a circuit.
+inline constexpr size_t kMinLevelFanOut = 16;
+
+/// Drive one level-synchronous sweep: iterate the buckets front to back
+/// (forward sweeps) or back to front (backward sweeps) and fan each level
+/// out across `ex`; levels narrower than kMinLevelFanOut run inline.
+/// `fn(v, ws)` must only write state owned by vertex v — within-level
+/// vertices share no edges, so that makes the schedule race-free. The one
+/// place every sweep's bucket iteration lives, so schedule changes (e.g.
+/// cost-based chunking) land everywhere at once.
+template <typename Fn>
+void for_each_level(const LevelStructure& ls, exec::Executor& ex,
+                    bool front_to_back, Fn&& fn) {
+  const size_t num_levels = ls.num_levels();
+  for (size_t step = 0; step < num_levels; ++step) {
+    const std::span<const VertexId> bucket =
+        ls.bucket(front_to_back ? step : num_levels - 1 - step);
+    exec::run_maybe_parallel(
+        ex, bucket.size(), kMinLevelFanOut,
+        [&](size_t k, exec::Workspace& ws) { fn(bucket[k], ws); });
+  }
+}
 
 /// Per-vertex canonical times; `valid[v]` is false for vertices that no
 /// source reaches (forward) or that cannot reach the sink (backward).
@@ -39,6 +84,33 @@ struct PropagationResult {
 void propagate_arrivals_into(const TimingGraph& g,
                              std::span<const VertexId> sources,
                              PropagationResult& r);
+
+/// Level-synchronous variant: sweeps g.levels() front to back and fans the
+/// vertices of each level out across `ex` (within-level vertices share no
+/// edges, so each one folds its fanin independently). Bit-identical to the
+/// serial sweep at every thread count — per-vertex arithmetic is unchanged
+/// and the diagnostics counters merge by integer sum. `mode` kAuto falls
+/// back to the serial sweep for narrow graphs or serial executors.
+void propagate_arrivals_into(const TimingGraph& g,
+                             std::span<const VertexId> sources,
+                             PropagationResult& r, exec::Executor& ex,
+                             LevelParallel mode = LevelParallel::kAuto);
+
+/// Backward "required time" ingredient: time[v] = statistical max delay
+/// from v to any of `sinks` over all live paths (an empty span means "all
+/// output ports"); time[sink] = 0, valid[v] false when v reaches no sink.
+/// This is the remaining-delay pass of compute_slack and of the per-sink
+/// criticality machinery.
+void propagate_required_into(const TimingGraph& g,
+                             std::span<const VertexId> sinks,
+                             PropagationResult& r);
+
+/// Level-synchronous variant of the backward pass (levels back to front);
+/// same bit-identity contract as the forward overload.
+void propagate_required_into(const TimingGraph& g,
+                             std::span<const VertexId> sinks,
+                             PropagationResult& r, exec::Executor& ex,
+                             LevelParallel mode = LevelParallel::kAuto);
 
 /// Backward propagation: time[v] = statistical max delay from v to `sink`
 /// over all live paths; time[sink] = 0.

@@ -316,5 +316,48 @@ TEST(FlowThreads, ConfigParsesThreadsKey) {
   EXPECT_THROW((void)flow::Config::from_string("threads = -2\n"), Error);
 }
 
+TEST(FlowThreads, ConfigParsesLevelParallelKey) {
+  using timing::LevelParallel;
+  EXPECT_EQ(flow::Config{}.level_parallel, LevelParallel::kAuto);
+  EXPECT_EQ(flow::Config::from_string("level_parallel = on\n").level_parallel,
+            LevelParallel::kOn);
+  EXPECT_EQ(
+      flow::Config::from_string("[exec]\nlevel_parallel = off\n")
+          .level_parallel,
+      LevelParallel::kOff);
+  EXPECT_EQ(
+      flow::Config::from_string("level_parallel = auto\n").level_parallel,
+      LevelParallel::kAuto);
+  EXPECT_THROW((void)flow::Config::from_string("level_parallel = maybe\n"),
+               Error);
+}
+
+TEST(Executor, RunMaybeParallelCoversAndRejectsNesting) {
+  exec::ThreadPoolExecutor pool(3);
+  // Inline path (n below the threshold): every index exactly once, on the
+  // calling thread's workspace slot 0.
+  std::vector<int> hits(8, 0);
+  exec::run_maybe_parallel(pool, hits.size(), 100,
+                           [&](size_t i, exec::Workspace& ws) {
+                             EXPECT_EQ(&ws, &pool.workspace(0));
+                             ++hits[i];
+                           });
+  EXPECT_EQ(hits, std::vector<int>(8, 1));
+  // Parallel path (n at/above the threshold): still exactly once each.
+  std::vector<std::atomic<int>> phits(64);
+  exec::run_maybe_parallel(pool, phits.size(), 4,
+                           [&](size_t i, exec::Workspace&) { ++phits[i]; });
+  for (const auto& h : phits) EXPECT_EQ(h.load(), 1);
+  // Both paths are regions: nested submission on the same executor throws.
+  exec::run_maybe_parallel(pool, 1, 100, [&](size_t, exec::Workspace&) {
+    EXPECT_THROW(
+        exec::run_maybe_parallel(pool, 1, 100,
+                                 [](size_t, exec::Workspace&) {}),
+        Error);
+    EXPECT_THROW(pool.parallel_for(1, [](size_t, exec::Workspace&) {}),
+                 Error);
+  });
+}
+
 }  // namespace
 }  // namespace hssta

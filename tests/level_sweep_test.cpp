@@ -1,0 +1,208 @@
+// Differential fuzz harness for the level-synchronous sweeps: across ~50
+// random DAG shapes (varying width / depth / fanin, seeded via stats::Rng)
+// the level-parallel schedules at 1 / 2 / 4 threads must be BIT-identical
+// to the legacy serial sweeps — for arrivals, requireds, slacks, scalar
+// longest-path / required-time passes, IO delay matrices, and
+// criticalities. The criticality oracle is the per-(i, j) scalar scatter
+// pass (pair_criticalities), which the batched gather pass replaces in
+// production; any rounding difference between the two is a bug, not noise.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hssta/core/criticality.hpp"
+#include "hssta/core/io_delays.hpp"
+#include "hssta/core/ssta.hpp"
+#include "hssta/exec/executor.hpp"
+#include "hssta/timing/propagate.hpp"
+#include "hssta/timing/sta.hpp"
+#include "synthetic_graphs.hpp"
+
+namespace hssta {
+namespace {
+
+using core::CriticalityOptions;
+using core::CriticalityResult;
+using core::DelayMatrix;
+using timing::CanonicalForm;
+using timing::EdgeId;
+using timing::LevelParallel;
+using timing::MaxDiagnostics;
+using timing::PropagationResult;
+using timing::TimingGraph;
+using timing::VertexId;
+
+void expect_same_diag(const MaxDiagnostics& a, const MaxDiagnostics& b) {
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.variance_clamped, b.variance_clamped);
+  EXPECT_EQ(a.degenerate_theta, b.degenerate_theta);
+}
+
+void expect_same_propagation(const PropagationResult& a,
+                             const PropagationResult& b) {
+  EXPECT_EQ(a.valid, b.valid);
+  ASSERT_EQ(a.time.size(), b.time.size());
+  for (size_t v = 0; v < a.time.size(); ++v)
+    if (a.valid[v]) EXPECT_EQ(a.time[v], b.time[v]) << "vertex " << v;
+  expect_same_diag(a.diagnostics, b.diagnostics);
+}
+
+void expect_same_matrix(const DelayMatrix& a, const DelayMatrix& b) {
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  ASSERT_EQ(a.num_outputs(), b.num_outputs());
+  for (size_t i = 0; i < a.num_inputs(); ++i) {
+    for (size_t j = 0; j < a.num_outputs(); ++j) {
+      ASSERT_EQ(a.is_valid(i, j), b.is_valid(i, j)) << i << "," << j;
+      if (a.is_valid(i, j)) EXPECT_EQ(a.at(i, j), b.at(i, j)) << i << "," << j;
+    }
+  }
+}
+
+/// The legacy criticality oracle: cm(e) = max over all (i, j) pairs of the
+/// reference scalar scatter pass, clamped at 1 like the production fold.
+std::vector<double> scatter_reference_cm(const TimingGraph& g) {
+  std::vector<double> cm(g.num_edge_slots(), 0.0);
+  for (size_t i = 0; i < g.inputs().size(); ++i) {
+    for (size_t j = 0; j < g.outputs().size(); ++j) {
+      const std::vector<double> c = core::pair_criticalities(g, i, j);
+      for (size_t e = 0; e < cm.size(); ++e) cm[e] = std::max(cm[e], c[e]);
+    }
+  }
+  for (double& c : cm) c = std::min(c, 1.0);
+  return cm;
+}
+
+TEST(LevelSweepDifferential, BitIdenticalAcrossSchedulesAndThreads) {
+  stats::Rng rng(0x5557A5EEDull);
+  const size_t kGraphs = 50;
+  size_t wide_graphs = 0;
+
+  for (size_t t = 0; t < kGraphs; ++t) {
+    const testing::SyntheticGraphSpec spec = testing::random_spec(rng);
+    const TimingGraph g = testing::make_synthetic_graph(spec, rng);
+    SCOPED_TRACE("graph " + std::to_string(t) + ": inputs=" +
+                 std::to_string(spec.num_inputs) + " outputs=" +
+                 std::to_string(spec.num_outputs) + " width=" +
+                 std::to_string(spec.width) + " depth=" +
+                 std::to_string(spec.depth) + " fanin=" +
+                 std::to_string(spec.max_fanin) + " dim=" +
+                 std::to_string(spec.dim));
+    if (g.levels()->max_width() >= timing::kMinLevelFanOut) ++wide_graphs;
+
+    // Serial references (the legacy sweeps).
+    const PropagationResult arrivals_ref = timing::propagate_arrivals(g);
+    PropagationResult required_ref;
+    timing::propagate_required_into(g, {}, required_ref);
+    const double deadline = 10.0;
+    const core::SlackResult slack_ref = core::compute_slack(g, deadline);
+    const std::vector<double> delays = timing::corner_edge_delays(g, 0.0);
+    const timing::ScalarArrivals lp_ref = timing::longest_path(g, delays);
+    const timing::ScalarArrivals rt_ref =
+        timing::required_times(g, delays, deadline);
+    const std::vector<double> cm_ref = scatter_reference_cm(g);
+    const DelayMatrix io_ref = core::all_pairs_io_delays(g);
+
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      const std::shared_ptr<exec::Executor> ex = exec::make_executor(threads);
+
+      PropagationResult arr;
+      timing::propagate_arrivals_into(g, {}, arr, *ex, LevelParallel::kOn);
+      expect_same_propagation(arrivals_ref, arr);
+
+      PropagationResult req;
+      timing::propagate_required_into(g, {}, req, *ex, LevelParallel::kOn);
+      expect_same_propagation(required_ref, req);
+
+      const core::SlackResult slack =
+          core::compute_slack(g, deadline, *ex, LevelParallel::kOn);
+      EXPECT_EQ(slack_ref.valid, slack.valid);
+      for (size_t v = 0; v < slack.slack.size(); ++v)
+        if (slack.valid[v]) EXPECT_EQ(slack_ref.slack[v], slack.slack[v]);
+
+      const timing::ScalarArrivals lp =
+          timing::longest_path(g, delays, {}, *ex, LevelParallel::kOn);
+      EXPECT_EQ(lp_ref.valid, lp.valid);
+      EXPECT_EQ(lp_ref.time, lp.time);
+
+      const timing::ScalarArrivals rt =
+          timing::required_times(g, delays, deadline, *ex,
+                                 LevelParallel::kOn);
+      EXPECT_EQ(rt_ref.valid, rt.valid);
+      EXPECT_EQ(rt_ref.time, rt.time);
+
+      expect_same_matrix(io_ref,
+                         core::all_pairs_io_delays(g, *ex, nullptr,
+                                                   LevelParallel::kOn));
+
+      // Criticality: both schedules (per-input fan-out and level-parallel)
+      // against the scatter oracle. prune_epsilon 0 matches the oracle's.
+      for (const LevelParallel mode :
+           {LevelParallel::kOff, LevelParallel::kOn}) {
+        CriticalityOptions opts;
+        opts.prune_epsilon = 0.0;
+        opts.level_parallel = mode;
+        const CriticalityResult crit = core::compute_criticality(g, *ex, opts);
+        EXPECT_EQ(crit.max_criticality, cm_ref)
+            << "mode " << (mode == LevelParallel::kOn ? "on" : "off");
+        expect_same_matrix(io_ref, crit.io_delays);
+      }
+    }
+  }
+  // The fuzz corpus must actually exercise the parallel bucket path, not
+  // only the narrow-level inline fallback.
+  EXPECT_GE(wide_graphs, kGraphs / 4);
+}
+
+TEST(LevelSweepDifferential, CriticalityDiagnosticsMatchAcrossSchedules) {
+  stats::Rng rng(99);
+  testing::SyntheticGraphSpec spec;
+  spec.num_inputs = 3;
+  spec.num_outputs = 4;
+  spec.width = 24;
+  spec.depth = 5;
+  const TimingGraph g = testing::make_synthetic_graph(spec, rng);
+
+  CriticalityOptions off;
+  off.level_parallel = LevelParallel::kOff;
+  const CriticalityResult serial = core::compute_criticality(g, off);
+  for (const size_t threads : {size_t{2}, size_t{4}}) {
+    const std::shared_ptr<exec::Executor> ex = exec::make_executor(threads);
+    for (const LevelParallel mode :
+         {LevelParallel::kOff, LevelParallel::kOn, LevelParallel::kAuto}) {
+      CriticalityOptions opts;
+      opts.level_parallel = mode;
+      const CriticalityResult crit = core::compute_criticality(g, *ex, opts);
+      EXPECT_EQ(serial.max_criticality, crit.max_criticality);
+      expect_same_diag(serial.diagnostics, crit.diagnostics);
+    }
+  }
+}
+
+TEST(LevelSweepDifferential, ScalarRequiredTimesAreConsistent) {
+  // With deadline = the longest-path delay, every reached vertex has
+  // non-negative scalar slack and some input-to-output chain sits at 0.
+  stats::Rng rng(5);
+  testing::SyntheticGraphSpec spec;
+  spec.width = 12;
+  spec.depth = 6;
+  const TimingGraph g = testing::make_synthetic_graph(spec, rng);
+  const std::vector<double> delays = timing::corner_edge_delays(g, 0.0);
+  const timing::ScalarArrivals arr = timing::longest_path(g, delays);
+  const double deadline = arr.max_over_outputs(g);
+  const timing::ScalarArrivals req =
+      timing::required_times(g, delays, deadline);
+  double min_slack = 1e30;
+  for (VertexId v = 0; v < g.num_vertex_slots(); ++v) {
+    if (!arr.valid[v] || !req.valid[v]) continue;
+    const double slack = req.time[v] - arr.time[v];
+    EXPECT_GE(slack, -1e-12);
+    min_slack = std::min(min_slack, slack);
+  }
+  EXPECT_NEAR(min_slack, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hssta

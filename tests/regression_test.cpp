@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "fixtures.hpp"
 #include "hssta/util/error.hpp"
 #include "hssta/core/ssta.hpp"
@@ -57,6 +61,44 @@ TEST(Regression, MultiplierStructureConstants) {
   EXPECT_EQ(nl.num_pins(), 4704u);
   EXPECT_EQ(nl.depth(), 148u);
 }
+
+// Golden cross-mode regression: every ISCAS fixture runs the full pipeline
+// through flow::Module under both sweep schedules — the per-input fan-out
+// (level_parallel = off) and the level-synchronous sweeps (on) — at two
+// worker threads, and the complete .hstm extraction output must match byte
+// for byte. Models serialize doubles as hex-floats, so this pins every
+// canonical coefficient of the extracted model, not just summary stats.
+class IscasSweepModes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IscasSweepModes, HstmBytesIdenticalAcrossSweepModes) {
+  const std::string& name = GetParam();
+  auto extract_with = [&](timing::LevelParallel mode) {
+    flow::Config cfg;
+    cfg.threads = 2;
+    cfg.level_parallel = mode;
+    const flow::Module m = flow::Module::from_iscas(name, cfg);
+    std::ostringstream os;
+    m.model().save(os);
+    return os.str();
+  };
+  const std::string fan_out = extract_with(timing::LevelParallel::kOff);
+  const std::string level = extract_with(timing::LevelParallel::kOn);
+  EXPECT_FALSE(fan_out.empty());
+  EXPECT_EQ(fan_out, level);
+}
+
+std::vector<std::string> iscas_names() {
+  std::vector<std::string> names;
+  for (const netlist::IscasProfile& p : netlist::iscas85_profiles())
+    names.push_back(p.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Regression, IscasSweepModes,
+                         ::testing::ValuesIn(iscas_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
 
 TEST(TightnessSplit, PartitionProperties) {
   auto make = [](double nom, double rnd) {
