@@ -4,14 +4,19 @@
 // Fig. 7 design's analysis time against flat MC across sample counts, then
 // sweeps the executor thread count (1/2/4/8) over the three hot parallel
 // paths — all-pairs IO delays, criticality, flat MC — and lands the
-// speedup trajectory in bench_out/BENCH_threads.json.
+// speedup trajectory in bench_out/BENCH_threads.json. A final section
+// measures the persistent model cache: one cold extraction (miss + store)
+// against a warm re-run (hit) of the same module, verifying byte-identity,
+// and lands the delta in bench_out/BENCH_cache.json.
 //
 // Flags: --samples N caps the largest MC run (default 10000).
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 
 #include "common.hpp"
 #include "hssta/core/criticality.hpp"
@@ -37,7 +42,7 @@ int main(int argc, char** argv) {
   const flow::Module module = bench::module_for_iscas("c6288", 100,
                                                       args.delta);
   WallTimer extract_timer;
-  module.extract_model();
+  (void)module.extract_model();
   const double t_extract = extract_timer.seconds();
   const flow::Design design = bench::make_fig7_design(module);
 
@@ -139,5 +144,61 @@ int main(int argc, char** argv) {
   json << "\n]\n";
   sweep.print(std::cout);
   std::printf("\nJSON: %s\n", bench::out_path("BENCH_threads.json").c_str());
-  return 0;
+
+  // --- persistent model cache: cold vs warm ---------------------------------
+  // One full extraction into an empty cache directory (miss + store) against
+  // a warm re-run from a fresh Module handle over the same netlist and
+  // configuration (hit — the whole placement/variation/criticality pipeline
+  // is skipped). The hit must reproduce the cold model byte for byte.
+  const std::string cache_dir = bench::out_path("model_cache");
+  std::filesystem::remove_all(cache_dir);
+  flow::Config ccfg = bench::bench_config(100, args.delta);
+  ccfg.cache.dir = cache_dir;
+  ccfg.cache.enabled = true;
+
+  const auto model_bytes = [](const flow::Module& m) {
+    std::ostringstream os;
+    m.model().save(os);
+    return os.str();
+  };
+  WallTimer cold_timer;
+  const flow::Module cold = flow::Module::from_iscas("c6288", ccfg);
+  const std::string cold_bytes = model_bytes(cold);
+  const double t_cold = cold_timer.seconds();
+
+  WallTimer warm_timer;
+  const flow::Module warm = flow::Module::from_iscas("c6288", ccfg);
+  const std::string warm_bytes = model_bytes(warm);
+  const double t_warm = warm_timer.seconds();
+
+  const cache::CacheStats cold_stats = cold.cache_stats();
+  const cache::CacheStats warm_stats = warm.cache_stats();
+  const bool identical = cold_bytes == warm_bytes;
+  const double cache_speedup = t_warm > 0.0 ? t_cold / t_warm : 0.0;
+  std::printf(
+      "\nmodel cache (c6288, dir %s):\n"
+      "  cold extraction %.3f s (%llu miss, %llu store) vs warm load %.3f s "
+      "(%llu hit) -> %.0fx\n  warm model byte-identical: %s\n",
+      cache_dir.c_str(), t_cold,
+      static_cast<unsigned long long>(cold_stats.misses),
+      static_cast<unsigned long long>(cold_stats.stores), t_warm,
+      static_cast<unsigned long long>(warm_stats.hits), cache_speedup,
+      identical ? "yes" : "NO — CACHE BROKEN");
+
+  std::ofstream cache_json(bench::out_path("BENCH_cache.json"));
+  cache_json << "{\n"
+             << "  \"circuit\": \"c6288\",\n"
+             << "  \"cold_seconds\": " << t_cold << ",\n"
+             << "  \"warm_seconds\": " << t_warm << ",\n"
+             << "  \"speedup\": " << cache_speedup << ",\n"
+             << "  \"cold\": {\"hits\": " << cold_stats.hits
+             << ", \"misses\": " << cold_stats.misses
+             << ", \"stores\": " << cold_stats.stores << "},\n"
+             << "  \"warm\": {\"hits\": " << warm_stats.hits
+             << ", \"misses\": " << warm_stats.misses
+             << ", \"stores\": " << warm_stats.stores << "},\n"
+             << "  \"byte_identical\": " << (identical ? "true" : "false")
+             << "\n}\n";
+  std::printf("JSON: %s\n", bench::out_path("BENCH_cache.json").c_str());
+  return identical ? 0 : 1;
 }

@@ -1,0 +1,88 @@
+/// \file model_cache.hpp
+/// Persistent .hstm model cache keyed by 64-bit content fingerprints.
+///
+/// The paper's central economy is that a module's gray-box timing model is
+/// extracted once and reused across every hierarchical context (Sections
+/// III-V) — but within one process lifetime only, until now. ModelCache
+/// extends the reuse across processes: a cache directory maps the
+/// fingerprint of everything an extraction depends on — netlist structure,
+/// cell library, pipeline configuration, extraction options (see
+/// netlist::fingerprint, library::fingerprint, flow::extraction_fingerprint,
+/// model::fingerprint) — to the extracted model's .hstm serialization.
+/// Because the serializer round-trips bit-exactly (hex-float doubles), a
+/// cache hit is *byte-identical* to a fresh extraction, so caching never
+/// changes a result.
+///
+/// Storage contract:
+///  * one file per entry, `<dir>/<16-hex-digit-fingerprint>.hstm`;
+///  * the first line is a `# hstm-cache v1 fingerprint <hex>` comment,
+///    re-verified on load (a renamed or cross-copied file misses instead of
+///    silently loading the wrong model); the remainder is a plain .hstm
+///    body, byte-identical to TimingModel::save output;
+///  * writes go to a unique temp file in the same directory and are
+///    published with an atomic rename, so concurrent processes and threads
+///    sharing one cache directory never observe a partial entry;
+///  * corrupt, truncated or mismatched entries are evicted (deleted) and
+///    reported as misses — the cache trusts nothing it cannot re-verify.
+///
+/// Thread safety: all methods are safe to call concurrently on one
+/// ModelCache and across ModelCache instances sharing a directory.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "hssta/model/timing_model.hpp"
+
+namespace hssta::cache {
+
+/// Hit/miss accounting. A failed verification counts one eviction *and* one
+/// miss (the caller re-extracts either way); a store after a miss is
+/// counted separately so `stores <= misses` flags write failures.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stores = 0;
+  uint64_t evictions = 0;
+
+  CacheStats& operator+=(const CacheStats& o);
+  bool operator==(const CacheStats&) const = default;
+};
+
+class ModelCache {
+ public:
+  /// Opens (and creates, including parents) the cache directory; throws
+  /// hssta::Error if the directory cannot be created. Temp files orphaned
+  /// by a crashed writer (older than one hour, so live writers are never
+  /// raced) are swept on open.
+  explicit ModelCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Entry file path for a fingerprint (exists or not).
+  [[nodiscard]] std::string entry_path(uint64_t fingerprint) const;
+
+  /// Look up a fingerprint: nullopt on a miss. An unreadable, corrupt or
+  /// wrongly-fingerprinted entry is evicted and reported as a miss.
+  [[nodiscard]] std::optional<model::TimingModel> load(uint64_t fingerprint);
+
+  /// Publish a model under a fingerprint (write-temp-then-rename, atomic).
+  /// Throws hssta::Error on I/O failure — a misconfigured cache directory
+  /// should fail loudly, not silently stop caching.
+  void store(uint64_t fingerprint, const model::TimingModel& m);
+
+  /// This instance's counters (snapshot).
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  void account(const CacheStats& delta);
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  CacheStats stats_;
+};
+
+}  // namespace hssta::cache

@@ -1,10 +1,13 @@
 #include "hssta/flow/config.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "hssta/util/error.hpp"
+#include "hssta/util/hash.hpp"
 #include "hssta/util/strings.hpp"
 
 namespace hssta::flow {
@@ -35,13 +38,40 @@ size_t default_threads() {
   if (const char* env = std::getenv("HSSTA_THREADS")) {
     try {
       return static_cast<size_t>(parse_count("HSSTA_THREADS", env));
-    } catch (const Error&) {
+    } catch (const Error& e) {
       // A malformed environment value must not make every default-
-      // constructed Config throw; fall back to serial.
+      // constructed Config throw; fall back to serial — but say so once,
+      // so a misconfigured CI job does not silently lose parallelism.
+      static std::once_flag warned;
+      std::call_once(warned, [&] {
+        std::fprintf(stderr,
+                     "hssta: warning: %s; ignoring HSSTA_THREADS and "
+                     "running serial\n",
+                     e.what());
+      });
       return 1;
     }
   }
   return 1;
+}
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("HSSTA_CACHE_DIR")) {
+    const std::string dir(trim(env));
+    if (dir.empty()) {
+      // Same policy as HSSTA_THREADS: a blank value is almost certainly a
+      // broken export; warn once instead of silently not caching.
+      static std::once_flag warned;
+      std::call_once(warned, [] {
+        std::fprintf(stderr,
+                     "hssta: warning: HSSTA_CACHE_DIR is set but blank; "
+                     "ignoring it (model caching stays off)\n");
+      });
+      return "";
+    }
+    return dir;
+  }
+  return "";
 }
 
 void Config::set(const std::string& key, const std::string& value) {
@@ -105,7 +135,11 @@ void Config::set(const std::string& key, const std::string& value) {
       throw Error(
           "config: level_parallel must be 'auto', 'on' or 'off', got: " +
           value);
-  } else
+  } else if (key == "cache.dir")
+    cache.dir = value;
+  else if (key == "cache.enabled")
+    cache.enabled = parse_bool(key, value);
+  else
     throw Error("config: unknown key '" + key + "'");
 }
 
@@ -155,6 +189,49 @@ Config Config::from_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw Error("cannot open config file: " + path);
   return from_stream(is, path);
+}
+
+// Compile-time tripwire for the hand-enumerated fingerprint below: adding
+// a field to any hashed struct changes its size and fails this assert, so
+// the author is forced to extend the hash (and bump the version tag) —
+// otherwise existing cache directories would serve models extracted under
+// the old field set. Checked on the primary LP64 libstdc++ platform only;
+// other ABIs change every size at once without changing the field sets.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(placement::PlaceOptions) == 24 &&
+                  sizeof(variation::SpatialCorrelationConfig) == 24 &&
+                  sizeof(linalg::PcaOptions) == 24 &&
+                  sizeof(timing::BuildOptions) == 8 &&
+                  sizeof(variation::ProcessParameter) == 64 &&
+                  sizeof(variation::ParameterSet) == 32,
+              "a struct hashed by extraction_fingerprint() changed: hash the "
+              "new field(s), bump the version tag, then update this size");
+#endif
+
+uint64_t extraction_fingerprint(const Config& cfg) {
+  util::Fnv1a h;
+  h.str("hssta.flow_config.v1");
+  h.f64(cfg.place.row_height);
+  h.f64(cfg.place.target_aspect);
+  h.f64(cfg.place.utilization);
+  h.f64(cfg.parameters.load_sigma_rel);
+  h.u64(cfg.parameters.size());
+  for (const variation::ProcessParameter& p : cfg.parameters.params) {
+    h.str(p.name);
+    h.f64(p.sigma_rel);
+    h.f64(p.global_frac);
+    h.f64(p.local_frac);
+    h.f64(p.random_frac);
+  }
+  h.f64(cfg.correlation.rho_neighbor);
+  h.f64(cfg.correlation.rho_global);
+  h.f64(cfg.correlation.cutoff);
+  h.u64(cfg.max_cells_per_grid);
+  h.f64(cfg.pca.min_explained);
+  h.f64(cfg.pca.rel_tol);
+  h.u64(cfg.pca.max_components);
+  h.f64(cfg.build.output_port_cap);
+  return h.value();
 }
 
 }  // namespace hssta::flow

@@ -42,8 +42,27 @@ namespace hssta::flow {
 /// The default for Config::threads: the HSSTA_THREADS environment variable
 /// when set (0 there means "hardware concurrency"), otherwise 1 (serial).
 /// Results are bit-identical at every thread count, so the knob is purely
-/// about speed.
+/// about speed. A malformed value falls back to serial with a one-time
+/// stderr warning (a misconfigured CI job should not silently lose its
+/// parallelism).
 [[nodiscard]] size_t default_threads();
+
+/// The default for CacheOptions::dir: the HSSTA_CACHE_DIR environment
+/// variable when set, otherwise "" (caching off). A blank value is treated
+/// as unset with a one-time stderr warning.
+[[nodiscard]] std::string default_cache_dir();
+
+/// Persistent model cache controls ([cache] dir, enabled). The cache is
+/// active when `enabled` and `dir` is non-empty; extracted .hstm models are
+/// then reused across processes, keyed by the (netlist, library, config,
+/// extraction options) fingerprint — see cache::ModelCache.
+struct CacheOptions {
+  std::string dir = default_cache_dir();
+  bool enabled = true;
+
+  [[nodiscard]] bool active() const { return enabled && !dir.empty(); }
+  bool operator==(const CacheOptions&) const = default;
+};
 
 /// Monte Carlo controls shared by module- and design-level sampling.
 struct McOptions {
@@ -93,6 +112,10 @@ struct Config {
   /// wide enough — the win case is few-input modules, where the per-input
   /// fan-out has nothing to fan out. Never changes any result bit.
   timing::LevelParallel level_parallel = timing::LevelParallel::kAuto;
+  /// Persistent .hstm model cache ([cache] dir, enabled; dir defaults to
+  /// HSSTA_CACHE_DIR). Purely a speed knob: a hit loads a byte-identical
+  /// model, so results never depend on cache state.
+  CacheOptions cache;
 
   /// Apply one "section.key" (or bare "key") assignment; throws
   /// hssta::Error on unknown keys or malformed values.
@@ -105,5 +128,15 @@ struct Config {
   static Config from_string(const std::string& text);
   static Config from_file(const std::string& path);
 };
+
+/// Stable 64-bit fingerprint of every Config field that influences a
+/// module's *extracted timing model*: placement, process parameters,
+/// correlation, grid bound, module PCA truncation and graph construction.
+/// Excluded by design: extract options (hashed separately per extraction
+/// via model::fingerprint), hier/mc options (downstream of the model) and
+/// the speed knobs threads / level_parallel / cache (bit-identical
+/// results). One third of the model cache key, next to the netlist and
+/// library fingerprints.
+[[nodiscard]] uint64_t extraction_fingerprint(const Config& cfg);
 
 }  // namespace hssta::flow

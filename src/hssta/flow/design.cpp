@@ -148,6 +148,17 @@ bool Design::can_monte_carlo() const {
                      [](const Instance& i) { return i.module.has_value(); });
 }
 
+cache::CacheStats Design::cache_stats() const {
+  cache::CacheStats total;
+  std::set<const void*> seen;
+  for (const Instance& inst : instances_) {
+    if (!inst.module) continue;
+    if (seen.insert(inst.module->state_.get()).second)
+      total += inst.module->cache_stats();
+  }
+  return total;
+}
+
 void Design::invalidate() {
   const StateLock lock(mu_);
   hier_.reset();

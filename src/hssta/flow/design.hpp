@@ -116,6 +116,11 @@ class Design {
   /// True when every instance carries its source netlist, i.e. flattened
   /// Monte Carlo is possible.
   [[nodiscard]] bool can_monte_carlo() const;
+  /// Persistent model-cache hit/miss counters summed over the distinct
+  /// modules backing this design's instances (shared handles counted
+  /// once; all zero when no module caches). Model-file instances never
+  /// touch the cache.
+  [[nodiscard]] cache::CacheStats cache_stats() const;
 
   /// --- pipeline stages (lazy, cached) -------------------------------------
 

@@ -10,6 +10,8 @@
 #include "hssta/placement/placement.hpp"
 #include "hssta/stats/rng.hpp"
 #include "hssta/util/error.hpp"
+#include "hssta/util/hash.hpp"
+#include "hssta/util/timer.hpp"
 
 namespace hssta::flow {
 
@@ -48,6 +50,9 @@ struct Module::State {
   std::optional<mc::FlatCircuit> flat;
   std::map<std::pair<size_t, uint64_t>, stats::EmpiricalDistribution> mc;
 
+  std::optional<cache::ModelCache> model_cache;
+  std::optional<uint64_t> base_fp;
+
   State(Config c, std::shared_ptr<const library::CellLibrary> l,
         netlist::Netlist n)
       : cfg(std::move(c)), lib(std::move(l)), nl(std::move(n)) {}
@@ -57,6 +62,26 @@ struct Module::State {
   exec::Executor& executor() {
     if (!exec) exec = exec::make_executor(cfg.threads);
     return *exec;
+  }
+
+  /// The persistent model cache (config cache.dir), opened on first use.
+  /// Only call when cfg.cache.active(); call with `mu` held.
+  cache::ModelCache& cache() {
+    if (!model_cache) model_cache.emplace(cfg.cache.dir);
+    return *model_cache;
+  }
+
+  /// Fingerprint of everything an extraction depends on except the
+  /// extraction options: netlist, cell library, config. Computed once.
+  /// Call with `mu` held.
+  uint64_t base_fingerprint() {
+    if (!base_fp)
+      base_fp = util::Fnv1a()
+                    .u64(netlist::fingerprint(nl))
+                    .u64(library::fingerprint(*lib))
+                    .u64(extraction_fingerprint(cfg))
+                    .value();
+    return *base_fp;
   }
 };
 
@@ -194,13 +219,47 @@ const model::Extraction& Module::extract_model(
   const std::pair<double, bool> key{opts.criticality_threshold,
                                     opts.repair_connectivity};
   auto it = s.extractions.find(key);
-  if (it == s.extractions.end())
-    it = s.extractions
-             .emplace(key, model::extract_timing_model(
-                               built(), variation(), s.nl.name(),
-                               model::compute_boundary(s.nl), ex, opts))
-             .first;
+  if (it != s.extractions.end()) return it->second;
+
+  // Consult the persistent cache before extracting. A hit skips the whole
+  // placement -> variation -> graph -> criticality pipeline (the loader
+  // re-derives the model's own PCA space from the stored geometry) and is
+  // byte-identical to a fresh extraction by the serializer's round-trip
+  // guarantee.
+  const bool cached = s.cfg.cache.active();
+  uint64_t fp = 0;
+  if (cached) {
+    fp = util::Fnv1a()
+             .u64(s.base_fingerprint())
+             .u64(model::fingerprint(opts))
+             .value();
+    WallTimer timer;
+    if (std::optional<model::TimingModel> m = s.cache().load(fp)) {
+      model::ExtractionStats stats;
+      stats.from_cache = true;
+      stats.model_vertices = m->graph().num_live_vertices();
+      stats.model_edges = m->graph().num_live_edges();
+      stats.seconds = timer.seconds();
+      return s.extractions
+          .emplace(key,
+                   model::Extraction{std::move(*m), std::move(stats)})
+          .first->second;
+    }
+  }
+
+  it = s.extractions
+           .emplace(key, model::extract_timing_model(
+                             built(), variation(), s.nl.name(),
+                             model::compute_boundary(s.nl), ex, opts))
+           .first;
+  if (cached) s.cache().store(fp, it->second.model);
   return it->second;
+}
+
+cache::CacheStats Module::cache_stats() const {
+  State& s = *state_;
+  const StateLock lock(s.mu);
+  return s.model_cache ? s.model_cache->stats() : cache::CacheStats{};
 }
 
 const model::TimingModel& Module::model() const {

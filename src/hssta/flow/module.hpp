@@ -43,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hssta/cache/model_cache.hpp"
 #include "hssta/core/paths.hpp"
 #include "hssta/core/ssta.hpp"
 #include "hssta/exec/executor.hpp"
@@ -117,7 +118,10 @@ class Module {
   /// in the key — results are bit-identical at every thread count). The
   /// two-argument form runs on `ex` instead of the module's executor,
   /// letting an outer scheduler (e.g. flow::Design instance sharding)
-  /// control the fan-out.
+  /// control the fan-out. When config().cache is active, the persistent
+  /// .hstm cache is consulted first — a hit loads a byte-identical model
+  /// without running the pipeline — and populated after a fresh
+  /// extraction; see cache::ModelCache for the key and storage contract.
   [[nodiscard]] const model::Extraction& extract_model() const;
   [[nodiscard]] const model::Extraction& extract_model(
       const model::ExtractOptions& opts) const;
@@ -132,6 +136,10 @@ class Module {
   [[nodiscard]] const stats::EmpiricalDistribution& monte_carlo() const;
   [[nodiscard]] const stats::EmpiricalDistribution& monte_carlo(
       const McOptions& opts) const;
+
+  /// Hit/miss counters of this module's persistent model cache (all zero
+  /// when the cache is inactive or no extraction has run yet).
+  [[nodiscard]] cache::CacheStats cache_stats() const;
 
  private:
   friend class Design;

@@ -22,6 +22,7 @@
 
 #include "hssta/flow/flow.hpp"
 
+#include "hssta/cache/model_cache.hpp"
 #include "hssta/core/criticality.hpp"
 #include "hssta/core/io_delays.hpp"
 #include "hssta/core/paths.hpp"

@@ -1,6 +1,7 @@
 #include "hssta/library/cell_library.hpp"
 
 #include "hssta/util/error.hpp"
+#include "hssta/util/hash.hpp"
 
 namespace hssta::library {
 
@@ -95,6 +96,35 @@ CellLibrary default_90nm() {
   lib.add(make("XOR2", GF::kXor, 2, 0.045, 0.0042, 2.6, 2.4, 0.98, 0.40, 0.58));
   lib.add(make("XNOR2", GF::kXnor, 2, 0.047, 0.0042, 2.6, 2.4, 0.98, 0.40, 0.58));
   return lib;
+}
+
+// Tripwire (see flow/config.cpp): a new CellType/Sensitivity field must be
+// added to the hash below and the version tag bumped.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(CellType) == 120 && sizeof(Sensitivity) == 40,
+              "CellType changed: update fingerprint() and its tag");
+#endif
+
+uint64_t fingerprint(const CellLibrary& lib) {
+  util::Fnv1a h;
+  h.str("hssta.library.v1");
+  h.u64(lib.size());
+  for (const CellType* c : lib.all()) {
+    h.str(c->name);
+    h.u64(static_cast<uint64_t>(c->func));
+    h.u64(c->num_inputs);
+    h.u64(c->intrinsic.size());
+    for (double d : c->intrinsic) h.f64(d);
+    h.f64(c->drive_res);
+    h.f64(c->input_cap);
+    h.f64(c->width);
+    h.u64(c->sensitivities.size());
+    for (const Sensitivity& s : c->sensitivities) {
+      h.str(s.parameter);
+      h.f64(s.value);
+    }
+  }
+  return h.value();
 }
 
 }  // namespace hssta::library

@@ -53,4 +53,10 @@ class CellLibrary {
 /// variation::default_90nm_parameters(): "Leff", "Tox", "Vth".
 [[nodiscard]] CellLibrary default_90nm();
 
+/// Stable 64-bit content fingerprint of a library: every cell's name,
+/// function, arity, timing/electrical parameters and sensitivities, in
+/// registration order. The library half of the model cache key — a changed
+/// cell delay must invalidate every cached model extracted against it.
+[[nodiscard]] uint64_t fingerprint(const CellLibrary& lib);
+
 }  // namespace hssta::library

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hssta/util/error.hpp"
+#include "hssta/util/hash.hpp"
 #include "hssta/util/timer.hpp"
 
 namespace hssta::model {
@@ -45,6 +46,22 @@ std::vector<EdgeId> widest_path(const TimingGraph& g,
 }
 
 }  // namespace
+
+// Tripwire (see flow/config.cpp): a new ExtractOptions field must be added
+// to the hash below (or explicitly excluded as a pure speed knob) and the
+// version tag bumped.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(ExtractOptions) == 16,
+              "ExtractOptions changed: update fingerprint() and its tag");
+#endif
+
+uint64_t fingerprint(const ExtractOptions& opts) {
+  return util::Fnv1a()
+      .str("hssta.extract_options.v1")
+      .f64(opts.criticality_threshold)
+      .b(opts.repair_connectivity)
+      .value();
+}
 
 double ExtractionStats::edge_ratio() const {
   return original_edges

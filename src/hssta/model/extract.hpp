@@ -34,6 +34,12 @@ struct ExtractOptions {
   timing::LevelParallel level_parallel = timing::LevelParallel::kAuto;
 };
 
+/// Stable 64-bit fingerprint of the result-affecting extraction options:
+/// criticality_threshold and repair_connectivity. level_parallel is a pure
+/// speed knob (bit-identical results) and deliberately excluded, so cached
+/// models are shared across schedules and thread counts.
+[[nodiscard]] uint64_t fingerprint(const ExtractOptions& opts);
+
 struct ExtractionStats {
   size_t original_vertices = 0;  ///< Vo (live vertices before extraction)
   size_t original_edges = 0;     ///< Eo
@@ -42,9 +48,13 @@ struct ExtractionStats {
   size_t edges_pruned = 0;
   size_t pairs_repaired = 0;
   ReduceStats reduce;
-  double seconds = 0.0;          ///< wall-clock extraction time (T)
+  double seconds = 0.0;          ///< wall-clock extraction (or cache load) time
   /// cm of every originally live edge (the paper's Fig. 6 histogram data).
   std::vector<double> criticalities;
+  /// True when the model came from a cache::ModelCache hit instead of a
+  /// fresh extraction; original_* counts and criticalities are then unknown
+  /// (zero/empty) — only the model_* counts describe the loaded graph.
+  bool from_cache = false;
 
   [[nodiscard]] double edge_ratio() const;    ///< pe = Em / Eo
   [[nodiscard]] double vertex_ratio() const;  ///< pv = Vm / Vo

@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "hssta/util/error.hpp"
+#include "hssta/util/strings.hpp"
 
 namespace hssta::model {
 
@@ -87,6 +89,15 @@ void expect_keyword(std::istream& is, const std::string& kw) {
                                "'");
 }
 
+/// Strict count parsing (no signs, no trailing garbage, overflow rejected),
+/// shared with every other parser via util::parse_count; `what` names the
+/// field in the error.
+size_t parse_size(std::istream& is, const char* what) {
+  return static_cast<size_t>(
+      parse_count(std::string("model file field '") + what + "'",
+                  checked_token(is, what)));
+}
+
 }  // namespace
 
 void TimingModel::save(std::ostream& os) const {
@@ -151,12 +162,21 @@ void TimingModel::save(std::ostream& os) const {
     os << '\n';
   }
   os << "end\n";
+
+  // A full disk or closed sink fails silently on operator<<; flush and
+  // check once here so a truncated model can never pass for a saved one.
+  os.flush();
+  HSSTA_REQUIRE(os.good(),
+                "model serialization failed: output stream entered an error "
+                "state (disk full or sink closed?)");
 }
 
 void TimingModel::save_file(const std::string& path) const {
   std::ofstream os(path);
   if (!os) throw Error("cannot open model file for writing: " + path);
   save(os);
+  os.close();
+  if (!os) throw Error("write to model file failed: " + path);
 }
 
 TimingModel TimingModel::load(std::istream& is) {
@@ -171,9 +191,9 @@ TimingModel TimingModel::load(std::istream& is) {
   const double w = parse_double(checked_token(is, "die width"));
   const double h = parse_double(checked_token(is, "die height"));
   expect_keyword(is, "grid");
-  size_t nx = 0, ny = 0;
-  is >> nx >> ny;
-  HSSTA_REQUIRE(is.good() && nx > 0 && ny > 0, "bad grid line in model file");
+  const size_t nx = parse_size(is, "grid nx");
+  const size_t ny = parse_size(is, "grid ny");
+  HSSTA_REQUIRE(nx > 0 && ny > 0, "bad grid line in model file");
 
   expect_keyword(is, "corr");
   variation::SpatialCorrelationConfig corr;
@@ -185,9 +205,8 @@ TimingModel TimingModel::load(std::istream& is) {
   variation::ParameterSet params;
   params.load_sigma_rel = parse_double(checked_token(is, "load_sigma"));
   expect_keyword(is, "params");
-  size_t n_params = 0;
-  is >> n_params;
-  HSSTA_REQUIRE(is.good() && n_params > 0, "bad params count");
+  const size_t n_params = parse_size(is, "params count");
+  HSSTA_REQUIRE(n_params > 0, "bad params count");
   for (size_t k = 0; k < n_params; ++k) {
     expect_keyword(is, "param");
     variation::ProcessParameter p;
@@ -200,9 +219,8 @@ TimingModel TimingModel::load(std::istream& is) {
   }
 
   expect_keyword(is, "pca");
-  size_t retained = 0;
-  is >> retained;
-  HSSTA_REQUIRE(is.good() && retained > 0, "bad pca line");
+  const size_t retained = parse_size(is, "pca components");
+  HSSTA_REQUIRE(retained > 0, "bad pca line");
 
   variation::GridPartition partition(placement::Die{w, h}, nx, ny);
   linalg::PcaOptions pca_opts;
@@ -214,9 +232,8 @@ TimingModel TimingModel::load(std::istream& is) {
   variation::ModuleVariation mv{partition, space};
 
   expect_keyword(is, "ports");
-  size_t ni = 0, no = 0;
-  is >> ni >> no;
-  HSSTA_REQUIRE(is.good(), "bad ports line");
+  const size_t ni = parse_size(is, "ports inputs");
+  const size_t no = parse_size(is, "ports outputs");
   BoundaryData boundary;
   std::vector<std::pair<std::string, bool>> input_ports;  // name, also-output
   std::vector<std::string> output_ports;
@@ -233,15 +250,16 @@ TimingModel TimingModel::load(std::istream& is) {
   }
 
   expect_keyword(is, "vertices");
-  size_t nv = 0;
-  is >> nv;
-  HSSTA_REQUIRE(is.good(), "bad vertex count");
+  const size_t nv = parse_size(is, "vertices count");
   TimingGraph graph(space);
   std::vector<VertexId> dense_to_slot;
+  std::unordered_set<std::string> vertex_names;
   size_t seen_inputs = 0, seen_outputs = 0;
   for (size_t k = 0; k < nv; ++k) {
     expect_keyword(is, "v");
     const std::string vname = checked_token(is, "vertex name");
+    HSSTA_REQUIRE(vertex_names.insert(vname).second,
+                  "model file: duplicate vertex name '" + vname + "'");
     const std::string kind = checked_token(is, "vertex kind");
     const bool is_in = kind == "i" || kind == "io";
     const bool is_out = kind == "o" || kind == "io";
@@ -265,15 +283,13 @@ TimingModel TimingModel::load(std::istream& is) {
                 "model file port/vertex mismatch");
 
   expect_keyword(is, "edges");
-  size_t ne = 0;
-  is >> ne;
-  HSSTA_REQUIRE(is.good(), "bad edge count");
+  const size_t ne = parse_size(is, "edges count");
   const size_t dim = space->dim();
   for (size_t k = 0; k < ne; ++k) {
     expect_keyword(is, "e");
-    size_t from = 0, to = 0;
-    is >> from >> to;
-    HSSTA_REQUIRE(is.good() && from < nv && to < nv, "bad edge endpoints");
+    const size_t from = parse_size(is, "edge from");
+    const size_t to = parse_size(is, "edge to");
+    HSSTA_REQUIRE(from < nv && to < nv, "bad edge endpoints");
     CanonicalForm d(dim);
     d.set_nominal(parse_double(checked_token(is, "edge nominal")));
     d.set_random(parse_double(checked_token(is, "edge random")));
@@ -282,6 +298,11 @@ TimingModel TimingModel::load(std::istream& is) {
     graph.add_edge(dense_to_slot[from], dense_to_slot[to], std::move(d));
   }
   expect_keyword(is, "end");
+  // A concatenated or corrupted file must not load "successfully" with its
+  // tail silently ignored; 'end' is the final token.
+  std::string extra;
+  if (is >> extra)
+    throw Error("model file: trailing content after 'end': '" + extra + "'");
 
   graph.validate();
   return TimingModel(name, std::move(graph), std::move(mv),

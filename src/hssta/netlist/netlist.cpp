@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "hssta/util/error.hpp"
+#include "hssta/util/hash.hpp"
 
 namespace hssta::netlist {
 
@@ -169,6 +170,40 @@ std::vector<bool> Netlist::simulate(const std::vector<bool>& pi_values) const {
         gate.type->func, std::span<const bool>(ins, gate.fanins.size()));
   }
   return {value.begin(), value.end()};
+}
+
+// Tripwire (see flow/config.cpp): a new Gate field must be added to the
+// hash below and the version tag bumped.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(Gate) == 72,
+              "Gate changed: update fingerprint() and its tag");
+#endif
+
+uint64_t fingerprint(const Netlist& nl) {
+  util::Fnv1a h;
+  h.str("hssta.netlist.v1");
+  h.str(nl.name());
+  h.u64(nl.num_nets());
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    h.str(nl.net_name(n));
+    h.b(nl.is_primary_input(n));
+    h.b(nl.is_primary_output(n));
+  }
+  // PI/PO *orders* matter: ports are positional everywhere downstream.
+  h.u64(nl.primary_inputs().size());
+  for (NetId n : nl.primary_inputs()) h.u64(n);
+  h.u64(nl.primary_outputs().size());
+  for (NetId n : nl.primary_outputs()) h.u64(n);
+  h.u64(nl.num_gates());
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    h.str(gate.name);
+    h.str(gate.type->name);
+    h.u64(gate.fanins.size());
+    for (NetId f : gate.fanins) h.u64(f);
+    h.u64(gate.output);
+  }
+  return h.value();
 }
 
 }  // namespace hssta::netlist

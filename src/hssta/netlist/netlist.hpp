@@ -118,4 +118,12 @@ class Netlist {
   mutable bool sinks_valid_ = false;
 };
 
+/// Stable 64-bit content fingerprint of a netlist: name, every net (name,
+/// PI/PO marks), every gate (name, cell type name, fanins, output) and the
+/// PI/PO declaration orders. Two netlists fingerprint equal iff they are
+/// structurally identical against same-named cell types — the netlist half
+/// of the model cache key (cell parameters are covered separately by
+/// library::fingerprint).
+[[nodiscard]] uint64_t fingerprint(const Netlist& nl);
+
 }  // namespace hssta::netlist

@@ -1,0 +1,81 @@
+/// \file hash.hpp
+/// Stable 64-bit content fingerprints (FNV-1a) for cache keys.
+///
+/// The model cache keys persistent .hstm artifacts by the fingerprint of
+/// everything the extraction result depends on, so the hash must be stable
+/// across processes, platforms and library versions: every value is fed to
+/// the accumulator as an explicit canonical byte stream (integers as eight
+/// little-endian bytes regardless of host endianness, doubles as their IEEE
+/// bit pattern, strings length-prefixed so concatenations cannot collide).
+/// FNV-1a is not cryptographic — a collision corrupts nothing, it merely
+/// loads a model extracted from equivalent inputs — but it is deterministic,
+/// fast and has no seed to drift.
+
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hssta::util {
+
+/// Streaming FNV-1a (64-bit) accumulator with canonical encodings for the
+/// primitive types fingerprint() functions need. Calls chain:
+///
+///   const uint64_t fp = Fnv1a().str(name).f64(delta).u64(count).value();
+class Fnv1a {
+ public:
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  /// Raw bytes, as-is.
+  Fnv1a& bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) h_ = (h_ ^ p[i]) * kPrime;
+    return *this;
+  }
+
+  /// Unsigned integer as eight little-endian bytes (host-endian agnostic).
+  Fnv1a& u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ static_cast<unsigned char>(v & 0xff)) * kPrime;
+      v >>= 8;
+    }
+    return *this;
+  }
+
+  /// Boolean as one byte.
+  Fnv1a& b(bool v) { return bytes(v ? "\1" : "\0", 1); }
+
+  /// Double as its IEEE-754 bit pattern (bit-exact; -0.0 != 0.0, every NaN
+  /// payload distinct — exactly the identity the serializer's hex-floats
+  /// preserve).
+  Fnv1a& f64(double v) { return u64(std::bit_cast<uint64_t>(v)); }
+
+  /// String, length-prefixed so ("ab","c") and ("a","bc") differ.
+  Fnv1a& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] uint64_t value() const { return h_; }
+
+  /// Fixed-width lower-case hex rendering (16 digits), used for cache file
+  /// names and header comments.
+  [[nodiscard]] static std::string hex(uint64_t v) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<size_t>(i)] = digits[v & 0xf];
+      v >>= 4;
+    }
+    return out;
+  }
+
+ private:
+  uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace hssta::util

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "hssta/core/io_delays.hpp"
 #include "hssta/library/cell_library.hpp"
@@ -312,6 +315,124 @@ TEST(TimingModelIo, LoadRejectsCorruptFiles) {
   EXPECT_THROW((void)TimingModel::load(bad2), Error);
   std::istringstream truncated("hstm 1\nname m\ndie 0x1p+5 0x1p+5\n");
   EXPECT_THROW((void)TimingModel::load(truncated), Error);
+}
+
+/// A four-vertex diamond model small enough to text-edit in tests.
+TimingModel tiny_model() {
+  auto space = std::make_shared<const variation::VariationSpace>(
+      variation::default_90nm_parameters(),
+      variation::GridPartition(placement::Die{10, 10}, 1, 1).geometry(),
+      variation::SpatialCorrelationConfig{});
+  variation::ModuleVariation mv{
+      variation::GridPartition(placement::Die{10, 10}, 1, 1), space};
+  TimingGraph g(space);
+  const VertexId a = g.add_vertex("a", true);
+  const VertexId m1 = g.add_vertex("m1");
+  const VertexId m2 = g.add_vertex("m2");
+  const VertexId z = g.add_vertex("z", false, true);
+  const size_t dim = space->dim();
+  auto delay = [&](double nom) {
+    CanonicalForm d(dim);
+    d.set_nominal(nom);
+    d.set_random(0.05);
+    return d;
+  };
+  g.add_edge(a, m1, delay(1.0));
+  g.add_edge(m1, z, delay(1.5));
+  g.add_edge(a, m2, delay(2.0));
+  g.add_edge(m2, z, delay(0.5));
+  return TimingModel("tiny", std::move(g), std::move(mv),
+                     BoundaryData{{1.0}, {0.004}});
+}
+
+std::string tiny_model_text() {
+  std::ostringstream os;
+  tiny_model().save(os);
+  return os.str();
+}
+
+/// Replace the first occurrence of `from` (must exist) with `to`.
+std::string patched(std::string text, const std::string& from,
+                    const std::string& to) {
+  const size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  text.replace(pos, from.size(), to);
+  return text;
+}
+
+TEST(TimingModelIo, SaveDetectsFailedStream) {
+  const TimingModel m = tiny_model();
+  std::ostringstream os;
+  os.setstate(std::ios::badbit);
+  EXPECT_THROW(m.save(os), Error);
+
+  // A stream that fails part-way (simulated via a tiny failbit trigger on
+  // overflow) must also throw rather than silently truncate.
+  std::ostringstream partial;
+  m.save(partial);  // healthy stream: fine
+  partial.setstate(std::ios::failbit);
+  EXPECT_THROW(m.save(partial), Error);
+}
+
+TEST(TimingModelIo, SaveFileToFullDeviceThrows) {
+  // /dev/full accepts the open and fails every flush with ENOSPC — the
+  // canonical "disk full" reproduction. Skip where it does not exist.
+  if (!std::filesystem::exists("/dev/full"))
+    GTEST_SKIP() << "/dev/full not available";
+  EXPECT_THROW(tiny_model().save_file("/dev/full"), Error);
+}
+
+TEST(TimingModelIo, RoundTripsTinyModel) {
+  const std::string text = tiny_model_text();
+  std::istringstream is(text);
+  const TimingModel loaded = TimingModel::load(is);
+  std::ostringstream os;
+  loaded.save(os);
+  EXPECT_EQ(os.str(), text);
+}
+
+TEST(TimingModelIo, LoadRejectsSignedOrMalformedCounts) {
+  // Counts must parse strictly — "+5" and friends are accepted by a raw
+  // `is >>` but rejected by util::parse_count.
+  const std::string text = tiny_model_text();
+  for (const auto& [from, to] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"grid 1 1", "grid +1 1"},
+           {"grid 1 1", "grid 0x1 1"},
+           {"params 3", "params +3"},
+           {"ports 1 1", "ports 1 -1"},
+           {"vertices 4", "vertices 4.0"},
+           {"edges 4", "edges +4"},
+           {"e 0 1", "e +0 1"}}) {
+    std::istringstream is(patched(text, from, to));
+    EXPECT_THROW((void)TimingModel::load(is), Error) << from << " -> " << to;
+  }
+}
+
+TEST(TimingModelIo, LoadRejectsTrailingGarbage) {
+  const std::string text = tiny_model_text();
+  std::istringstream junk(text + "junk\n");
+  EXPECT_THROW((void)TimingModel::load(junk), Error);
+  // Two concatenated models (a classic corrupt-cache shape) must not load
+  // as the first one.
+  std::istringstream doubled(text + text);
+  EXPECT_THROW((void)TimingModel::load(doubled), Error);
+  // Even a lone stray token counts.
+  std::istringstream stray(text + " x");
+  EXPECT_THROW((void)TimingModel::load(stray), Error);
+}
+
+TEST(TimingModelIo, LoadRejectsDuplicateVertexNames) {
+  const std::string text = patched(tiny_model_text(), "v m2 x", "v m1 x");
+  std::istringstream is(text);
+  try {
+    (void)TimingModel::load(is);
+    FAIL() << "duplicate vertex name must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate vertex name"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Boundary, ComputedFromNetlist) {

@@ -13,8 +13,10 @@
 // defaults are the paper's Section VI setup (90nm library, Leff/Tox/Vth,
 // 0.92-neighbour correlation, < 100 cells per grid, delta = 0.05). All
 // commands also accept --threads N (0 = all hardware threads) to fan the
-// compute layer out across an exec::ThreadPoolExecutor; results are
-// bit-identical at every thread count.
+// compute layer out across an exec::ThreadPoolExecutor, and --cache-dir D
+// to persist extracted .hstm models across runs (keyed by netlist/config
+// fingerprint; a hit loads a byte-identical model, so neither knob changes
+// any result bit).
 
 #include <cstdint>
 #include <cstdio>
@@ -39,6 +41,7 @@ struct Common {
   static constexpr uint64_t kThreadsUnset = UINT64_MAX;
 
   std::string config_file;
+  std::string cache_dir;
   uint64_t threads = kThreadsUnset;
 
   void register_flags(util::ArgParser& p) {
@@ -46,6 +49,9 @@ struct Common {
              "flow::Config key=value file");
     p.option("--threads", &threads, "N",
              "worker threads, 0 = all hardware threads (default: config)");
+    p.option("--cache-dir", &cache_dir, "dir",
+             "persistent .hstm model cache directory "
+             "(default: config / HSSTA_CACHE_DIR)");
   }
 
   [[nodiscard]] flow::Config load() const {
@@ -53,6 +59,10 @@ struct Common {
                            ? flow::Config{}
                            : flow::Config::from_file(config_file);
     if (threads != kThreadsUnset) cfg.threads = threads;
+    if (!cache_dir.empty()) {
+      cfg.cache.dir = cache_dir;
+      cfg.cache.enabled = true;
+    }
     return cfg;
   }
 };
@@ -113,13 +123,19 @@ int cmd_extract(int argc, const char* const* argv) {
   const flow::Module m = flow::Module::from_bench_file(in, cfg);
   const model::Extraction& ex = m.extract_model();
   ex.model.save_file(out);
-  std::printf(
-      "%s: %zu -> %zu edges (%.0f%%), %zu -> %zu vertices (%.0f%%), "
-      "%.3f s\nmodel written to %s\n",
-      m.name().c_str(), ex.stats.original_edges, ex.stats.model_edges,
-      100.0 * ex.stats.edge_ratio(), ex.stats.original_vertices,
-      ex.stats.model_vertices, 100.0 * ex.stats.vertex_ratio(),
-      ex.stats.seconds, out.c_str());
+  if (ex.stats.from_cache)
+    std::printf("%s: %zu vertices, %zu edges (model cache hit, %.3f s)\n"
+                "model written to %s\n",
+                m.name().c_str(), ex.stats.model_vertices,
+                ex.stats.model_edges, ex.stats.seconds, out.c_str());
+  else
+    std::printf(
+        "%s: %zu -> %zu edges (%.0f%%), %zu -> %zu vertices (%.0f%%), "
+        "%.3f s\nmodel written to %s\n",
+        m.name().c_str(), ex.stats.original_edges, ex.stats.model_edges,
+        100.0 * ex.stats.edge_ratio(), ex.stats.original_vertices,
+        ex.stats.model_vertices, 100.0 * ex.stats.vertex_ratio(),
+        ex.stats.seconds, out.c_str());
   return 0;
 }
 
@@ -215,6 +231,19 @@ int cmd_hier(int argc, const char* const* argv) {
               exec::effective_threads(cfg.threads),
               exec::effective_threads(cfg.threads) == 1 ? "" : "s",
               r.build_seconds, r.analysis_seconds);
+  if (cfg.cache.active()) {
+    const cache::CacheStats cs = design.cache_stats();
+    std::printf("model cache: %llu hit%s, %llu miss%s, %llu store%s, "
+                "%llu evicted (%s)\n",
+                static_cast<unsigned long long>(cs.hits),
+                cs.hits == 1 ? "" : "s",
+                static_cast<unsigned long long>(cs.misses),
+                cs.misses == 1 ? "" : "es",
+                static_cast<unsigned long long>(cs.stores),
+                cs.stores == 1 ? "" : "s",
+                static_cast<unsigned long long>(cs.evictions),
+                cfg.cache.dir.c_str());
+  }
   print_distribution("stitched design delay", r.delay());
 
   if (run_mc && !design.can_monte_carlo()) {
