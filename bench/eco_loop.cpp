@@ -1,0 +1,183 @@
+// eco_loop — incremental vs full re-analysis for ECO module swaps.
+//
+// Builds an 8-instance star design of the synthetic ISCAS85 c1908 (7 leaf
+// IPs feeding a combiner), then swaps each instance in turn for a
+// geometry-identical variant (same footprint, delays scaled by 0.95 — the
+// classic drop-in IP respin) and re-analyzes the design both ways:
+//   * full:        a from-scratch stitch + propagate (grid, design PCA,
+//                  every instance re-remapped) of the changed design;
+//   * incremental: incr::DesignState::replace_module + analyze() — one
+//                  instance restitched, only the downstream cone
+//                  re-propagated, grid/PCA/other instances reused.
+// Delays are asserted bit-identical; per-swap wall times land in
+// bench_out/BENCH_incremental.json. The acceptance bar for this artifact
+// is a >= 5x mean speedup for a 1-of-8 swap.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "hssta/incr/design_state.hpp"
+#include "hssta/util/json.hpp"
+#include "hssta/util/timer.hpp"
+
+namespace {
+
+using namespace hssta;
+
+constexpr size_t kInstances = 8;
+
+/// Geometry-identical drop-in variant: same ports/die/grids/boundary,
+/// every edge delay scaled.
+std::shared_ptr<const model::TimingModel> make_variant(
+    const model::TimingModel& base, double factor) {
+  timing::TimingGraph g = base.graph();
+  for (timing::EdgeId e = 0; e < g.num_edge_slots(); ++e)
+    if (g.edge_alive(e)) g.edge(e).delay.scale(factor);
+  return std::make_shared<const model::TimingModel>(
+      base.name() + "_v2", std::move(g), base.variation(), base.boundary());
+}
+
+/// The SoC-style star: instances 0..6 are leaf IPs whose outputs feed the
+/// combiner instance 7 round-robin — the common flat-SoC shape where an
+/// ECO on one IP touches that IP and the blocks it drives, not the whole
+/// die. `variant_at` swaps one instance's model in (SIZE_MAX = none),
+/// giving the from-scratch reference of the changed design.
+flow::Design make_star(
+    const flow::Module& m,
+    const std::shared_ptr<const model::TimingModel>& variant,
+    size_t variant_at) {
+  flow::Design d("eco_star", m.config());
+  const double w = m.model().die().width;
+  const double h = m.model().die().height;
+  for (size_t i = 0; i < kInstances; ++i) {
+    const double x = static_cast<double>(i % 4) * w;
+    const double y = static_cast<double>(i / 4) * h;
+    if (i == variant_at)
+      d.add_instance(variant, x, y);
+    else
+      d.add_instance(m, x, y);
+  }
+  const size_t sink = kInstances - 1;
+  const size_t ni = d.num_inputs(sink);
+  const size_t no = d.num_outputs(0);
+  for (size_t k = 0; k < ni; ++k)
+    d.connect(k % (kInstances - 1), k % no, sink, k);
+  d.expose_unconnected_ports();
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv,
+                                                       "eco_loop");
+  const flow::Module m = bench::module_for_iscas("c1908", 100, args.delta);
+  const std::shared_ptr<const model::TimingModel> variant =
+      make_variant(m.model(), 0.95);
+
+  std::printf("eco_loop: %zu x %s star (model %zu vertices, %zu edges)\n",
+              kInstances, m.name().c_str(),
+              m.model().graph().num_live_vertices(),
+              m.model().graph().num_live_edges());
+
+  // Base design + incremental engine (first build not measured).
+  const flow::Design base = make_star(m, variant, SIZE_MAX);
+  incr::DesignState& st = base.incremental();
+
+  const int reps = args.quick ? 1 : 3;
+  struct Row {
+    size_t instance;
+    double full_seconds;
+    double incremental_seconds;
+    uint64_t vertices_recomputed;
+    uint64_t vertices_live;
+    bool identical;
+  };
+  std::vector<Row> rows;
+
+  for (size_t i = 0; i < kInstances; ++i) {
+    // Full: from-scratch stitch + propagate of the changed design (model
+    // extraction is shared and excluded on both sides; flow::Design caches
+    // analyses, so each rep times a fresh handle). Best of `reps`.
+    double full = 0.0;
+    timing::CanonicalForm full_delay;
+    for (int rep = 0; rep < reps; ++rep) {
+      const flow::Design fresh = make_star(m, variant, i);
+      const hier::HierResult& rr = fresh.analyze();
+      const double t = rr.build_seconds + rr.analysis_seconds;
+      full_delay = rr.delay();
+      full = rep == 0 ? t : std::min(full, t);
+    }
+
+    // Incremental: swap + analyze, then revert (revert unmeasured).
+    double incr_s = 0.0;
+    timing::CanonicalForm incr_delay;
+    Row row{};
+    for (int rep = 0; rep < reps; ++rep) {
+      st.replace_module(i, variant);
+      incr_delay = st.analyze();
+      const double t = st.stats().last_seconds;
+      incr_s = rep == 0 ? t : std::min(incr_s, t);
+      row.vertices_recomputed = st.stats().vertices_recomputed;
+      row.vertices_live = st.stats().vertices_live;
+      st.replace_module(i, m.model_ptr());
+      (void)st.analyze();
+    }
+
+    row.instance = i;
+    row.full_seconds = full;
+    row.incremental_seconds = incr_s;
+    row.identical = incr_delay == full_delay;
+    rows.push_back(row);
+    std::printf(
+        "  swap u%zu: full %8.4f ms, incremental %8.4f ms (%5.1fx, %llu/%llu "
+        "vertices)%s\n",
+        i, 1e3 * full, 1e3 * incr_s, incr_s > 0 ? full / incr_s : 0.0,
+        static_cast<unsigned long long>(row.vertices_recomputed),
+        static_cast<unsigned long long>(row.vertices_live),
+        row.identical ? "" : "  DELAY MISMATCH");
+  }
+
+  double mean_speedup = 0.0;
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    mean_speedup +=
+        r.incremental_seconds > 0 ? r.full_seconds / r.incremental_seconds
+                                  : 0.0;
+    all_identical = all_identical && r.identical;
+  }
+  mean_speedup /= static_cast<double>(rows.size());
+  std::printf("mean speedup %.1fx, results %s\n", mean_speedup,
+              all_identical ? "bit-identical" : "MISMATCHED");
+
+  std::ofstream os(bench::out_path("BENCH_incremental.json"));
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("bench").value("eco_loop");
+  w.key("circuit").value(m.name());
+  w.key("instances").value(kInstances);
+  w.key("mean_speedup").value(mean_speedup);
+  w.key("all_identical").value(all_identical);
+  w.key("swaps").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("instance").value(r.instance);
+    w.key("full_seconds").value(r.full_seconds);
+    w.key("incremental_seconds").value(r.incremental_seconds);
+    w.key("speedup").value(r.incremental_seconds > 0
+                               ? r.full_seconds / r.incremental_seconds
+                               : 0.0);
+    w.key("vertices_recomputed").value(r.vertices_recomputed);
+    w.key("vertices_live").value(r.vertices_live);
+    w.key("identical").value(r.identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("JSON: %s\n",
+              bench::out_path("BENCH_incremental.json").c_str());
+  return all_identical ? 0 : 1;
+}

@@ -87,6 +87,9 @@ void fanin_tightness_level(const TimingGraph& g,
   for (size_t w = 0; w < ex.num_workspaces(); ++w)
     ex.workspace(w).get<TightnessScratch>().diag = MaxDiagnostics{};
   timing::for_each_level(ls, ex, /*front_to_back=*/true,
+                         [&](VertexId v) {
+                           return 1 + g.vertex(v).fanin.size() * g.dim();
+                         },
                          [&](VertexId v, exec::Workspace& ws) {
                            TightnessScratch& ts = ws.get<TightnessScratch>();
                            tightness_vertex(g, arrival, v, tp, ts.cand,
@@ -218,6 +221,12 @@ void batched_backward_level(const TimingGraph& g, const BackwardPlan& plan,
   reset_frontier(g, num_outs, sc);
   seed_frontier(outs, arrival, num_outs, sc);
   timing::for_each_level(ls, ex, /*front_to_back=*/false,
+                         [&](VertexId v) {
+                           // Gather cost: one row combine per fanout edge
+                           // per output column.
+                           return 1 + (plan.offsets[v + 1] - plan.offsets[v]) *
+                                          num_outs;
+                         },
                          [&](VertexId v, exec::Workspace&) {
                            gather_vertex(g, plan, v, num_outs, prune_epsilon,
                                          sc.tp, sc, combine);

@@ -114,7 +114,17 @@ void Config::set(const std::string& key, const std::string& value) {
     hier.load_aware_boundary = parse_bool(key, value);
   else if (key == "hier.interconnect_delay")
     hier.interconnect_delay = parse_num(key, value);
-  else if (key == "hier.pca.min_explained")
+  else if (key == "hier.sigma_scale") {
+    // Comma-separated per-parameter scale factors, e.g. "1,0.8,1.2"
+    // (order matches the configured parameter set; see
+    // HierOptions::param_sigma_scale).
+    std::vector<double> scales;
+    for (const std::string& part : split(value, ','))
+      scales.push_back(parse_num(key, trimmed(part)));
+    if (scales.empty())
+      throw Error("config: hier.sigma_scale needs at least one factor");
+    hier.param_sigma_scale = std::move(scales);
+  } else if (key == "hier.pca.min_explained")
     hier.pca.min_explained = parse_num(key, value);
   else if (key == "hier.pca.max_components")
     hier.pca.max_components = parse_cnt(key, value);

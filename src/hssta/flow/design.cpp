@@ -34,7 +34,8 @@ Design::Design(Design&& other) noexcept
       hier_(std::move(other.hier_)),
       results_(std::move(other.results_)),
       flat_(std::move(other.flat_)),
-      mc_(std::move(other.mc_)) {}
+      mc_(std::move(other.mc_)),
+      incr_(std::move(other.incr_)) {}
 
 size_t Design::add_instance(const Module& module, double x, double y,
                             std::string name) {
@@ -165,6 +166,7 @@ void Design::invalidate() {
   results_.clear();
   flat_.reset();
   mc_.clear();
+  incr_.reset();
 }
 
 exec::Executor& Design::executor() const {
@@ -239,7 +241,8 @@ const hier::HierResult& Design::analyze(const hier::HierOptions& opts) const {
   const StateLock lock(mu_);
   const HierKey key{static_cast<int>(opts.mode), opts.load_aware_boundary,
                     opts.interconnect_delay, opts.pca.min_explained,
-                    opts.pca.rel_tol, opts.pca.max_components};
+                    opts.pca.rel_tol, opts.pca.max_components,
+                    opts.param_sigma_scale};
   auto it = results_.find(key);
   if (it == results_.end())
     // hier() shards the per-instance model extraction across the design
@@ -272,6 +275,46 @@ const mc::FlatCircuit& Design::flat_circuit() const {
 
 const stats::EmpiricalDistribution& Design::monte_carlo() const {
   return monte_carlo(cfg_.mc);
+}
+
+incr::DesignState& Design::incremental() const {
+  const StateLock lock(mu_);
+  if (incr_) return *incr_;
+  (void)hier();  // prefill models and validate the assembled structure
+  incr::DesignInputs in;
+  in.name = name_;
+  in.fixed_die = fixed_die_;
+  for (const Instance& inst : instances_) {
+    // Module-backed instances hand out an aliasing pointer into the module
+    // state, so the engine keeps the module (and its model) alive.
+    std::shared_ptr<const model::TimingModel> m =
+        inst.module ? std::shared_ptr<const model::TimingModel>(
+                          inst.module->state_, &inst.module->model())
+                    : inst.model;
+    in.instances.push_back(
+        incr::InstanceSpec{inst.name, std::move(m), inst.origin});
+  }
+  in.connections = connections_;
+  in.primary_inputs = inputs_;
+  in.primary_outputs = outputs_;
+  (void)executor();  // materialize exec_
+  incr_.emplace(std::move(in), cfg_.hier, exec_, cfg_.level_parallel);
+  (void)incr_->analyze();
+  return *incr_;
+}
+
+const timing::CanonicalForm& Design::analyze_incremental() const {
+  const StateLock lock(mu_);
+  return incremental().analyze();
+}
+
+std::vector<incr::ScenarioResult> Design::scenarios(
+    std::span<const incr::Scenario> list) const {
+  const StateLock lock(mu_);
+  incr::DesignState& base = incremental();
+  (void)base.analyze();  // flush user changes so the base is clean
+  const incr::ScenarioRunner runner(base);
+  return runner.run(list, executor());
 }
 
 const stats::EmpiricalDistribution& Design::monte_carlo(

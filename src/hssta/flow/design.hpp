@@ -40,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -49,6 +50,8 @@
 #include "hssta/flow/module.hpp"
 #include "hssta/hier/design.hpp"
 #include "hssta/hier/hier_ssta.hpp"
+#include "hssta/incr/design_state.hpp"
+#include "hssta/incr/scenario.hpp"
 #include "hssta/mc/hier_mc.hpp"
 #include "hssta/stats/empirical.hpp"
 
@@ -141,6 +144,26 @@ class Design {
   /// The flattened scalar-evaluable circuit backing monte_carlo().
   [[nodiscard]] const mc::FlatCircuit& flat_circuit() const;
 
+  /// --- incremental re-analysis (ECO / what-if) ----------------------------
+
+  /// The incremental engine bound to this design's current structure and
+  /// config().hier options, built (and fully analyzed) on first use.
+  /// Apply changes through its API (replace_module / move_instance /
+  /// rewire_connection / set_parameter_sigma), then analyze_incremental()
+  /// — only the affected cone recomputes, bit-identical to a from-scratch
+  /// analyze() of the changed design. Structural mutation of the Design
+  /// itself discards the engine (it re-derives from the new structure).
+  /// Unlike the read-only stages, the returned reference is mutable state:
+  /// do not share it across threads without external synchronization.
+  [[nodiscard]] incr::DesignState& incremental() const;
+  /// incremental().analyze(): flush pending incremental changes (or run
+  /// the first build) and return the design delay distribution.
+  const timing::CanonicalForm& analyze_incremental() const;
+  /// Batched what-if scenarios over the analyzed base state, fanned out
+  /// across the design executor; see incr::ScenarioRunner.
+  [[nodiscard]] std::vector<incr::ScenarioResult> scenarios(
+      std::span<const incr::Scenario> list) const;
+
  private:
   struct Instance {
     std::string name;
@@ -172,7 +195,8 @@ class Design {
   /// Cache keys for the parameterized stages (std::map nodes are
   /// address-stable, so references returned earlier survive later calls
   /// with different options).
-  using HierKey = std::tuple<int, bool, double, double, double, size_t>;
+  using HierKey = std::tuple<int, bool, double, double, double, size_t,
+                             std::vector<double>>;
   using McKey = std::pair<size_t, uint64_t>;
 
   mutable std::recursive_mutex mu_;
@@ -181,6 +205,7 @@ class Design {
   mutable std::map<HierKey, hier::HierResult> results_;
   mutable std::optional<mc::FlatCircuit> flat_;
   mutable std::map<McKey, stats::EmpiricalDistribution> mc_;
+  mutable std::optional<incr::DesignState> incr_;
 };
 
 }  // namespace hssta::flow

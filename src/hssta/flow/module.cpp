@@ -3,6 +3,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <utility>
 
 #include "hssta/netlist/bench_io.hpp"
@@ -26,17 +27,21 @@ std::shared_ptr<const library::CellLibrary> default_library() {
 /// argument (map nodes are address-stable, so references returned earlier
 /// survive later calls with different arguments).
 ///
-/// Thread safety: every stage getter holds `mu` (recursive, because stages
-/// build on upstream stages) for the whole lookup-or-compute, giving
-/// once-per-stage semantics for concurrently shared handles. Cached objects
-/// are never moved or destroyed while the State lives, so references handed
-/// out remain valid without the lock.
+/// Thread safety: getters take `mu` shared to *check* a cache and unique
+/// to *fill* it (double-checked: a second writer that lost the race finds
+/// the stage filled and returns it). Cache hits from any number of threads
+/// therefore proceed concurrently — a many-reader incremental sweep no
+/// longer serializes on the handle — while a stage still computes exactly
+/// once. The ensure_* helpers run with the unique lock held and call only
+/// each other (never the public getters), so the non-recursive lock is
+/// never re-entered. Cached objects are never moved or destroyed while the
+/// State lives, so references handed out remain valid without any lock.
 struct Module::State {
   Config cfg;
   std::shared_ptr<const library::CellLibrary> lib;
   netlist::Netlist nl;
 
-  mutable std::recursive_mutex mu;
+  mutable std::shared_mutex mu;
   std::shared_ptr<exec::Executor> exec;
 
   std::optional<placement::Placement> placement;
@@ -57,15 +62,15 @@ struct Module::State {
         netlist::Netlist n)
       : cfg(std::move(c)), lib(std::move(l)), nl(std::move(n)) {}
 
-  /// The module's executor (config threads), created on first use.
-  /// Call with `mu` held.
+  /// --- compute paths; all called with `mu` held unique ------------------
+
   exec::Executor& executor() {
     if (!exec) exec = exec::make_executor(cfg.threads);
     return *exec;
   }
 
   /// The persistent model cache (config cache.dir), opened on first use.
-  /// Only call when cfg.cache.active(); call with `mu` held.
+  /// Only call when cfg.cache.active().
   cache::ModelCache& cache() {
     if (!model_cache) model_cache.emplace(cfg.cache.dir);
     return *model_cache;
@@ -73,7 +78,6 @@ struct Module::State {
 
   /// Fingerprint of everything an extraction depends on except the
   /// extraction options: netlist, cell library, config. Computed once.
-  /// Call with `mu` held.
   uint64_t base_fingerprint() {
     if (!base_fp)
       base_fp = util::Fnv1a()
@@ -83,10 +87,117 @@ struct Module::State {
                     .value();
     return *base_fp;
   }
+
+  const placement::Placement& ensure_placement() {
+    if (!placement) placement = placement::place_rows(nl, cfg.place);
+    return *placement;
+  }
+
+  const variation::ModuleVariation& ensure_variation() {
+    if (!variation)
+      variation = variation::make_module_variation(
+          ensure_placement(), nl.num_gates(), cfg.parameters, cfg.correlation,
+          cfg.max_cells_per_grid, cfg.pca);
+    return *variation;
+  }
+
+  const timing::BuiltGraph& ensure_built() {
+    if (!built)
+      built = timing::build_timing_graph(nl, ensure_placement(),
+                                         ensure_variation(), cfg.build);
+    return *built;
+  }
+
+  const core::SstaResult& ensure_ssta() {
+    if (!ssta)
+      ssta = core::run_ssta(ensure_built().graph, executor(),
+                            cfg.level_parallel);
+    return *ssta;
+  }
+
+  const core::SlackResult& ensure_slack(double required_at_outputs) {
+    auto it = slack.find(required_at_outputs);
+    if (it == slack.end())
+      it = slack
+               .emplace(required_at_outputs,
+                        core::compute_slack(ensure_built().graph,
+                                            required_at_outputs, executor(),
+                                            cfg.level_parallel))
+               .first;
+    return it->second;
+  }
+
+  const std::vector<core::CriticalPath>& ensure_paths(size_t k) {
+    auto it = paths.find(k);
+    if (it == paths.end())
+      it = paths.emplace(k, core::report_critical_paths(ensure_built().graph,
+                                                        k))
+               .first;
+    return it->second;
+  }
+
+  const model::Extraction& ensure_extraction(const model::ExtractOptions& opts,
+                                             exec::Executor& ex) {
+    const std::pair<double, bool> key{opts.criticality_threshold,
+                                      opts.repair_connectivity};
+    auto it = extractions.find(key);
+    if (it != extractions.end()) return it->second;
+
+    // Consult the persistent cache before extracting. A hit skips the
+    // whole placement -> variation -> graph -> criticality pipeline (the
+    // loader re-derives the model's own PCA space from the stored
+    // geometry) and is byte-identical to a fresh extraction by the
+    // serializer's round-trip guarantee.
+    const bool cached = cfg.cache.active();
+    uint64_t fp = 0;
+    if (cached) {
+      fp = util::Fnv1a()
+               .u64(base_fingerprint())
+               .u64(model::fingerprint(opts))
+               .value();
+      WallTimer timer;
+      if (std::optional<model::TimingModel> m = cache().load(fp)) {
+        model::ExtractionStats stats;
+        stats.from_cache = true;
+        stats.model_vertices = m->graph().num_live_vertices();
+        stats.model_edges = m->graph().num_live_edges();
+        stats.seconds = timer.seconds();
+        return extractions
+            .emplace(key, model::Extraction{std::move(*m), std::move(stats)})
+            .first->second;
+      }
+    }
+
+    it = extractions
+             .emplace(key, model::extract_timing_model(
+                               ensure_built(), ensure_variation(), nl.name(),
+                               model::compute_boundary(nl), ex, opts))
+             .first;
+    if (cached) cache().store(fp, it->second.model);
+    return it->second;
+  }
+
+  const mc::FlatCircuit& ensure_flat() {
+    if (!flat)
+      flat = mc::FlatCircuit::from_module(ensure_built(), nl,
+                                          ensure_variation());
+    return *flat;
+  }
+
+  const stats::EmpiricalDistribution& ensure_mc(const McOptions& opts) {
+    const std::pair<size_t, uint64_t> key{opts.samples, opts.seed};
+    auto it = mc.find(key);
+    if (it == mc.end())
+      it = mc.emplace(key, ensure_flat().sample_delay(opts.samples, opts.seed,
+                                                      executor()))
+               .first;
+    return it->second;
+  }
 };
 
 namespace {
-using StateLock = std::lock_guard<std::recursive_mutex>;
+using ReadLock = std::shared_lock<std::shared_mutex>;
+using WriteLock = std::unique_lock<std::shared_mutex>;
 }  // namespace
 
 Module Module::from_netlist(netlist::Netlist nl, Config cfg,
@@ -137,63 +248,68 @@ const netlist::Netlist& Module::netlist() const { return state_->nl; }
 
 const placement::Placement& Module::placement() const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  if (!s.placement) s.placement = placement::place_rows(s.nl, s.cfg.place);
-  return *s.placement;
+  {
+    const ReadLock lock(s.mu);
+    if (s.placement) return *s.placement;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_placement();
 }
 
 const variation::ModuleVariation& Module::variation() const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  if (!s.variation)
-    s.variation = variation::make_module_variation(
-        placement(), s.nl.num_gates(), s.cfg.parameters, s.cfg.correlation,
-        s.cfg.max_cells_per_grid, s.cfg.pca);
-  return *s.variation;
+  {
+    const ReadLock lock(s.mu);
+    if (s.variation) return *s.variation;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_variation();
 }
 
 const timing::BuiltGraph& Module::built() const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  if (!s.built)
-    s.built = timing::build_timing_graph(s.nl, placement(), variation(),
-                                         s.cfg.build);
-  return *s.built;
+  {
+    const ReadLock lock(s.mu);
+    if (s.built) return *s.built;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_built();
 }
 
 const timing::TimingGraph& Module::graph() const { return built().graph; }
 
 const core::SstaResult& Module::ssta() const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  if (!s.ssta)
-    s.ssta = core::run_ssta(built().graph, s.executor(), s.cfg.level_parallel);
-  return *s.ssta;
+  {
+    const ReadLock lock(s.mu);
+    if (s.ssta) return *s.ssta;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_ssta();
 }
 
 const timing::CanonicalForm& Module::delay() const { return ssta().delay; }
 
 const core::SlackResult& Module::slack(double required_at_outputs) const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  auto it = s.slack.find(required_at_outputs);
-  if (it == s.slack.end())
-    it = s.slack
-             .emplace(required_at_outputs,
-                      core::compute_slack(built().graph, required_at_outputs,
-                                          s.executor(), s.cfg.level_parallel))
-             .first;
-  return it->second;
+  {
+    const ReadLock lock(s.mu);
+    const auto it = s.slack.find(required_at_outputs);
+    if (it != s.slack.end()) return it->second;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_slack(required_at_outputs);
 }
 
 const std::vector<core::CriticalPath>& Module::critical_paths(size_t k) const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  auto it = s.paths.find(k);
-  if (it == s.paths.end())
-    it = s.paths.emplace(k, core::report_critical_paths(built().graph, k))
-             .first;
-  return it->second;
+  {
+    const ReadLock lock(s.mu);
+    const auto it = s.paths.find(k);
+    if (it != s.paths.end()) return it->second;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_paths(k);
 }
 
 const model::Extraction& Module::extract_model() const {
@@ -208,57 +324,34 @@ const model::Extraction& Module::extract_model() const {
 const model::Extraction& Module::extract_model(
     const model::ExtractOptions& opts) const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  return extract_model(opts, s.executor());
+  {
+    const ReadLock lock(s.mu);
+    const std::pair<double, bool> key{opts.criticality_threshold,
+                                      opts.repair_connectivity};
+    const auto it = s.extractions.find(key);
+    if (it != s.extractions.end()) return it->second;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_extraction(opts, s.executor());
 }
 
 const model::Extraction& Module::extract_model(
     const model::ExtractOptions& opts, exec::Executor& ex) const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  const std::pair<double, bool> key{opts.criticality_threshold,
-                                    opts.repair_connectivity};
-  auto it = s.extractions.find(key);
-  if (it != s.extractions.end()) return it->second;
-
-  // Consult the persistent cache before extracting. A hit skips the whole
-  // placement -> variation -> graph -> criticality pipeline (the loader
-  // re-derives the model's own PCA space from the stored geometry) and is
-  // byte-identical to a fresh extraction by the serializer's round-trip
-  // guarantee.
-  const bool cached = s.cfg.cache.active();
-  uint64_t fp = 0;
-  if (cached) {
-    fp = util::Fnv1a()
-             .u64(s.base_fingerprint())
-             .u64(model::fingerprint(opts))
-             .value();
-    WallTimer timer;
-    if (std::optional<model::TimingModel> m = s.cache().load(fp)) {
-      model::ExtractionStats stats;
-      stats.from_cache = true;
-      stats.model_vertices = m->graph().num_live_vertices();
-      stats.model_edges = m->graph().num_live_edges();
-      stats.seconds = timer.seconds();
-      return s.extractions
-          .emplace(key,
-                   model::Extraction{std::move(*m), std::move(stats)})
-          .first->second;
-    }
+  {
+    const ReadLock lock(s.mu);
+    const std::pair<double, bool> key{opts.criticality_threshold,
+                                      opts.repair_connectivity};
+    const auto it = s.extractions.find(key);
+    if (it != s.extractions.end()) return it->second;
   }
-
-  it = s.extractions
-           .emplace(key, model::extract_timing_model(
-                             built(), variation(), s.nl.name(),
-                             model::compute_boundary(s.nl), ex, opts))
-           .first;
-  if (cached) s.cache().store(fp, it->second.model);
-  return it->second;
+  const WriteLock lock(s.mu);
+  return s.ensure_extraction(opts, ex);
 }
 
 cache::CacheStats Module::cache_stats() const {
   State& s = *state_;
-  const StateLock lock(s.mu);
+  const ReadLock lock(s.mu);
   return s.model_cache ? s.model_cache->stats() : cache::CacheStats{};
 }
 
@@ -266,12 +359,18 @@ const model::TimingModel& Module::model() const {
   return extract_model().model;
 }
 
+std::shared_ptr<const model::TimingModel> Module::model_ptr() const {
+  return std::shared_ptr<const model::TimingModel>(state_, &model());
+}
+
 const mc::FlatCircuit& Module::flat_circuit() const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  if (!s.flat)
-    s.flat = mc::FlatCircuit::from_module(built(), s.nl, variation());
-  return *s.flat;
+  {
+    const ReadLock lock(s.mu);
+    if (s.flat) return *s.flat;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_flat();
 }
 
 const stats::EmpiricalDistribution& Module::monte_carlo() const {
@@ -281,15 +380,14 @@ const stats::EmpiricalDistribution& Module::monte_carlo() const {
 const stats::EmpiricalDistribution& Module::monte_carlo(
     const McOptions& opts) const {
   State& s = *state_;
-  const StateLock lock(s.mu);
-  const std::pair<size_t, uint64_t> key{opts.samples, opts.seed};
-  auto it = s.mc.find(key);
-  if (it == s.mc.end())
-    it = s.mc
-             .emplace(key, flat_circuit().sample_delay(opts.samples, opts.seed,
-                                                       s.executor()))
-             .first;
-  return it->second;
+  {
+    const ReadLock lock(s.mu);
+    const std::pair<size_t, uint64_t> key{opts.samples, opts.seed};
+    const auto it = s.mc.find(key);
+    if (it != s.mc.end()) return it->second;
+  }
+  const WriteLock lock(s.mu);
+  return s.ensure_mc(opts);
 }
 
 }  // namespace hssta::flow

@@ -22,18 +22,19 @@
 /// options, MC options) cache per argument value; calling with the same
 /// arguments again returns the cached object.
 ///
-/// Module handles are **thread-safe**: all stage getters serialize on one
-/// internal mutex with once-per-stage semantics, so any number of threads
-/// (including a flow::Design sharding its instances across an executor)
-/// may share one handle — a stage is computed exactly once and every
-/// caller receives the same object. Returned references are stable and
-/// may be used without holding any lock. Because the lock is handle-wide,
-/// a getter issued while another thread computes an expensive stage
-/// (extraction, Monte Carlo) blocks until that computation finishes, even
-/// if its own stage is already cached — thread-safety here buys
-/// correctness and deduplication, not intra-module getter concurrency.
-/// Compute-heavy stages run on the module's executor (config().threads)
-/// unless an explicit executor is passed.
+/// Module handles are **thread-safe**: stage getters take a shared lock to
+/// check the cache and upgrade to an exclusive lock (double-checked) only
+/// to compute, so any number of threads (including a flow::Design sharding
+/// its instances across an executor, or an incremental scenario sweep
+/// hammering cached stages) may share one handle — a stage is computed
+/// exactly once, every caller receives the same object, and **cache hits
+/// never serialize**: readers of already-computed stages proceed
+/// concurrently even while another thread computes a different stage...
+/// except during that computation's exclusive section, which is exactly
+/// the once-per-stage window. Returned references are stable and may be
+/// used without holding any lock. Compute-heavy stages run on the
+/// module's executor (config().threads) unless an explicit executor is
+/// passed.
 
 #pragma once
 
@@ -129,6 +130,12 @@ class Module {
       const model::ExtractOptions& opts, exec::Executor& ex) const;
   /// The extracted model (= extract_model().model).
   [[nodiscard]] const model::TimingModel& model() const;
+  /// The extracted model as a shared handle: aliases this module's state,
+  /// so the model stays alive for as long as the pointer does. The natural
+  /// way to hand a module's model to incr::DesignState::replace_module or
+  /// an incr::ReplaceModule scenario — extraction (cache-consulting, like
+  /// model()) runs on first use.
+  [[nodiscard]] std::shared_ptr<const model::TimingModel> model_ptr() const;
   /// The scalar-evaluable physical view used by Monte Carlo.
   [[nodiscard]] const mc::FlatCircuit& flat_circuit() const;
   /// Physical Monte Carlo of the module delay with config().mc options;

@@ -1,0 +1,130 @@
+#include "hssta/flow/report.hpp"
+
+#include <sstream>
+
+namespace hssta::flow {
+
+namespace {
+
+void stats_json(util::JsonWriter& w, const incr::IncrementalStats& s) {
+  w.begin_object();
+  w.key("analyses").value(s.analyses);
+  w.key("full_builds").value(s.full_builds);
+  w.key("coefficient_refreshes").value(s.coefficient_refreshes);
+  w.key("instances_restitched").value(s.instances_restitched);
+  w.key("connections_restitched").value(s.connections_restitched);
+  w.key("vertices_recomputed").value(s.vertices_recomputed);
+  w.key("vertices_live").value(s.vertices_live);
+  w.end_object();
+}
+
+}  // namespace
+
+void delay_json(util::JsonWriter& w, const timing::CanonicalForm& d) {
+  w.begin_object();
+  w.key("mean").value(d.nominal());
+  w.key("sigma").value(d.sigma());
+  w.key("q90").value(d.quantile(0.90));
+  w.key("q99").value(d.quantile(0.99));
+  w.key("q9987").value(d.quantile(0.9987));
+  w.end_object();
+}
+
+std::string hier_report_json(const Design& d, const hier::HierResult& r) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("design").value(d.name());
+  w.key("mode").value(d.config().hier.mode ==
+                              hier::CorrelationMode::kReplacement
+                          ? "replacement"
+                          : "global_only");
+  w.key("threads").value(exec::effective_threads(d.config().threads));
+  w.key("instances").begin_array();
+  for (size_t i = 0; i < d.num_instances(); ++i) {
+    const model::TimingModel& m = d.instance_model(i);
+    w.begin_object();
+    w.key("name").value(d.instance_name(i));
+    w.key("model").value(m.name());
+    w.key("inputs").value(d.num_inputs(i));
+    w.key("outputs").value(d.num_outputs(i));
+    w.key("die").begin_object();
+    w.key("width").value(m.die().width);
+    w.key("height").value(m.die().height);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("connections").value(d.hier().connections().size());
+  w.key("build_seconds").value(r.build_seconds);
+  w.key("analysis_seconds").value(r.analysis_seconds);
+  w.key("delay");
+  delay_json(w, r.delay());
+  if (d.config().cache.active()) {
+    const cache::CacheStats cs = d.cache_stats();
+    w.key("cache").begin_object();
+    w.key("dir").value(d.config().cache.dir);
+    w.key("hits").value(cs.hits);
+    w.key("misses").value(cs.misses);
+    w.key("stores").value(cs.stores);
+    w.key("evictions").value(cs.evictions);
+    w.end_object();
+  }
+  w.end_object();
+  return os.str();
+}
+
+std::string eco_report_json(const Design& d, const EcoReport& r) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("design").value(d.name());
+  w.key("change").value(r.change);
+  w.key("full").begin_object();
+  w.key("delay");
+  delay_json(w, r.full_delay);
+  w.key("seconds").value(r.full_seconds);
+  w.end_object();
+  w.key("incremental").begin_object();
+  w.key("delay");
+  delay_json(w, r.incremental_delay);
+  w.key("seconds").value(r.incremental_seconds);
+  w.key("stats");
+  stats_json(w, r.stats);
+  w.end_object();
+  w.key("speedup").value(r.incremental_seconds > 0.0
+                             ? r.full_seconds / r.incremental_seconds
+                             : 0.0);
+  w.key("identical").value(r.identical);
+  w.end_object();
+  return os.str();
+}
+
+std::string sweep_report_json(const Design& d,
+                              std::span<const incr::ScenarioResult> results) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("design").value(d.name());
+  w.key("scenarios").begin_array();
+  for (const incr::ScenarioResult& r : results) {
+    w.begin_object();
+    w.key("label").value(r.label);
+    w.key("ok").value(r.ok());
+    w.key("seconds").value(r.seconds);
+    if (r.ok()) {
+      w.key("delay");
+      delay_json(w, r.delay);
+      w.key("stats");
+      stats_json(w, r.stats);
+    } else {
+      w.key("error").value(r.error);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace hssta::flow

@@ -1,0 +1,49 @@
+/// \file report.hpp
+/// Machine-readable (JSON) reports for the CLI: the `hier` design
+/// analysis, the `eco` full-vs-incremental comparison and the `sweep`
+/// scenario batch. Kept in the library (not the CLI) so the schema is
+/// testable: tests/report_test.cpp pins the field set.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "hssta/flow/design.hpp"
+#include "hssta/incr/scenario.hpp"
+#include "hssta/util/json.hpp"
+
+namespace hssta::flow {
+
+/// Emit {"mean":..,"sigma":..,"q90":..,"q99":..,"q9987":..} for a delay
+/// distribution (shared by every report).
+void delay_json(util::JsonWriter& w, const timing::CanonicalForm& d);
+
+/// `hssta_cli hier --json`: design summary, per-instance table, timing
+/// and delay distribution; a "cache" object when the model cache is
+/// active.
+[[nodiscard]] std::string hier_report_json(const Design& d,
+                                           const hier::HierResult& r);
+
+/// One ECO comparison for eco_report_json.
+struct EcoReport {
+  std::string change;  ///< human-readable description of the change
+  timing::CanonicalForm full_delay;
+  double full_seconds = 0.0;
+  timing::CanonicalForm incremental_delay;
+  double incremental_seconds = 0.0;
+  incr::IncrementalStats stats;  ///< engine counters after the change
+  bool identical = false;        ///< full and incremental delays bit-equal
+};
+
+/// `hssta_cli eco --json`: the change, both analyses, engine work
+/// counters and the measured speedup.
+[[nodiscard]] std::string eco_report_json(const Design& d,
+                                          const EcoReport& r);
+
+/// `hssta_cli sweep --json`: one entry per scenario (delay + stats, or an
+/// error for scenarios that failed).
+[[nodiscard]] std::string sweep_report_json(
+    const Design& d, std::span<const incr::ScenarioResult> results);
+
+}  // namespace hssta::flow

@@ -1,171 +1,24 @@
 #include "hssta/hier/hier_ssta.hpp"
 
-#include <cmath>
-
-#include "hssta/hier/replace.hpp"
-#include "hssta/util/error.hpp"
+#include "hssta/hier/stitch.hpp"
 #include "hssta/util/timer.hpp"
 
 namespace hssta::hier {
 
-using timing::CanonicalForm;
-using timing::EdgeId;
-using timing::TimingGraph;
-using timing::VertexId;
-
-namespace {
-
-/// Per-instance coefficient remapper for the two correlation modes.
-class Remapper {
- public:
-  /// Replacement mode: module space -> design space through R.
-  Remapper(const variation::VariationSpace& module_space,
-           const variation::VariationSpace& design_space,
-           std::span<const size_t> design_grids)
-      : module_space_(&module_space),
-        design_space_(&design_space),
-        r_(replacement_matrix(module_space, design_space, design_grids)) {}
-
-  /// Global-only mode: copy the spatial block to a private slot range.
-  Remapper(const variation::VariationSpace& module_space, size_t total_dim,
-           size_t num_params, size_t spatial_slot)
-      : module_space_(&module_space),
-        total_dim_(total_dim),
-        num_params_(num_params),
-        spatial_slot_(spatial_slot) {}
-
-  [[nodiscard]] CanonicalForm operator()(const CanonicalForm& form) const {
-    if (design_space_)
-      return remap_canonical(form, *module_space_, *design_space_, r_);
-    // Global-only: globals to the shared head, spatial blocks to this
-    // instance's private range.
-    CanonicalForm out(total_dim_);
-    out.set_nominal(form.nominal());
-    out.set_random(form.random());
-    const size_t k = module_space_->num_components();
-    for (size_t p = 0; p < num_params_; ++p) {
-      out.corr()[p] = form.corr()[module_space_->global_index(p)];
-      for (size_t j = 0; j < k; ++j)
-        out.corr()[spatial_slot_ + p * k + j] =
-            form.corr()[module_space_->spatial_offset(p) + j];
-    }
-    return out;
-  }
-
- private:
-  const variation::VariationSpace* module_space_;
-  const variation::VariationSpace* design_space_ = nullptr;
-  linalg::Matrix r_;
-  size_t total_dim_ = 0;
-  size_t num_params_ = 0;
-  size_t spatial_slot_ = 0;
-};
-
-}  // namespace
-
 HierResult analyze_hierarchical(const HierDesign& design,
                                 const HierOptions& opts) {
-  design.validate();
   WallTimer build_timer;
-
-  DesignGrid grid = build_design_grid(design);
-  const auto& instances = design.instances();
-  const size_t num_params =
-      instances.front().model->variation().space->num_params();
-
-  // Design coefficient space.
-  std::shared_ptr<const variation::VariationSpace> design_space;
-  size_t total_dim = 0;
-  std::vector<size_t> private_slot(instances.size(), 0);
-  if (opts.mode == CorrelationMode::kReplacement) {
-    design_space = build_design_space(design, grid, opts.pca);
-    total_dim = design_space->dim();
-  } else {
-    // Shared globals followed by per-instance private spatial blocks.
-    total_dim = num_params;
-    for (size_t t = 0; t < instances.size(); ++t) {
-      private_slot[t] = total_dim;
-      total_dim += num_params *
-                   instances[t].model->variation().space->num_components();
-    }
-  }
-
-  TimingGraph g = design_space
-                      ? TimingGraph(design_space)
-                      : TimingGraph(total_dim);
-
-  // Instance subgraphs with remapped coefficients.
-  std::vector<std::vector<VertexId>> inst_vertex(instances.size());
-  for (size_t t = 0; t < instances.size(); ++t) {
-    const ModuleInstance& inst = instances[t];
-    const TimingGraph& mg = inst.model->graph();
-    const variation::VariationSpace& mspace = *inst.model->variation().space;
-    const Remapper remap =
-        opts.mode == CorrelationMode::kReplacement
-            ? Remapper(mspace, *design_space, grid.instance_grids[t])
-            : Remapper(mspace, total_dim, num_params, private_slot[t]);
-
-    std::vector<VertexId>& vmap = inst_vertex[t];
-    vmap.assign(mg.num_vertex_slots(), timing::kNoVertex);
-    for (VertexId v = 0; v < mg.num_vertex_slots(); ++v) {
-      if (!mg.vertex_alive(v)) continue;
-      vmap[v] = g.add_vertex(inst.name + "/" + mg.vertex(v).name);
-    }
-    for (EdgeId e = 0; e < mg.num_edge_slots(); ++e) {
-      if (!mg.edge_alive(e)) continue;
-      const timing::TimingEdge& te = mg.edge(e);
-      g.add_edge(vmap[te.from], vmap[te.to], remap(te.delay));
-    }
-  }
-
-  auto input_vertex = [&](const PortRef& r) {
-    const TimingGraph& mg = instances[r.instance].model->graph();
-    return inst_vertex[r.instance][mg.inputs()[r.port]];
-  };
-  auto output_vertex = [&](const PortRef& r) {
-    const TimingGraph& mg = instances[r.instance].model->graph();
-    return inst_vertex[r.instance][mg.outputs()[r.port]];
-  };
-
-  // Top-level connections.
-  for (const Connection& c : design.connections()) {
-    CanonicalForm d = CanonicalForm::constant(opts.interconnect_delay,
-                                              total_dim);
-    if (opts.load_aware_boundary) {
-      const ModuleInstance& src = instances[c.from_output.instance];
-      const ModuleInstance& dst = instances[c.to_input.instance];
-      const double drive = src.model->boundary()
-                               .output_drive_res[c.from_output.port];
-      const double cap = dst.model->boundary().input_cap[c.to_input.port];
-      const double extra = drive * cap;
-      d.add_nominal(extra);
-      const double load_sigma = src.model->variation()
-                                    .space->parameters()
-                                    .load_sigma_rel;
-      d.set_random(extra * load_sigma);
-    }
-    g.add_edge(output_vertex(c.from_output), input_vertex(c.to_input),
-               std::move(d));
-  }
-
-  // Design ports: dedicated port vertices wired with zero-delay edges.
-  for (const PrimaryInput& pi : design.primary_inputs()) {
-    const VertexId v = g.add_vertex(pi.name, /*is_input=*/true);
-    for (const PortRef& r : pi.sinks)
-      g.add_edge(v, input_vertex(r), CanonicalForm(total_dim));
-  }
-  for (const PrimaryOutput& po : design.primary_outputs()) {
-    const VertexId v = g.add_vertex(po.name, false, /*is_output=*/true);
-    g.add_edge(output_vertex(po.source), v, CanonicalForm(total_dim));
-  }
+  StitchedDesign stitched = stitch_design(design, opts);
   const double build_seconds = build_timer.seconds();
 
   WallTimer analysis_timer;
-  core::SstaResult ssta = core::run_ssta(g);
+  core::SstaResult ssta = core::run_ssta(stitched.graph);
   const double analysis_seconds = analysis_timer.seconds();
 
-  return HierResult{std::move(g), std::move(ssta), std::move(design_space),
-                    std::move(grid), build_seconds, analysis_seconds};
+  return HierResult{std::move(stitched.graph), std::move(ssta),
+                    std::move(stitched.design_space),
+                    std::move(stitched.grid), build_seconds,
+                    analysis_seconds};
 }
 
 }  // namespace hssta::hier

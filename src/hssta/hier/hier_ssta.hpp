@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "hssta/core/ssta.hpp"
 #include "hssta/hier/design.hpp"
@@ -36,6 +37,13 @@ struct HierOptions {
   double interconnect_delay = 0.0;
   /// PCA truncation for the design space (ablations).
   linalg::PcaOptions pca;
+  /// Corner-like what-if scaling of process variation: entry p multiplies
+  /// parameter p's correlated coefficients (global variable + spatial
+  /// block) on every instance-derived edge after the module->design remap.
+  /// Empty (or all-1) means no scaling — the ordinary analysis. Connection
+  /// edges (whose correlated coefficients are zero) and the edge-private
+  /// random parts (not attributable to one parameter) are unscaled.
+  std::vector<double> param_sigma_scale;
 };
 
 struct HierResult {

@@ -33,6 +33,9 @@
 #include "hssta/hier/design_grid.hpp"
 #include "hssta/hier/hier_ssta.hpp"
 #include "hssta/hier/replace.hpp"
+#include "hssta/hier/stitch.hpp"
+#include "hssta/incr/design_state.hpp"
+#include "hssta/incr/scenario.hpp"
 #include "hssta/library/cell_library.hpp"
 #include "hssta/linalg/cholesky.hpp"
 #include "hssta/linalg/eigen.hpp"

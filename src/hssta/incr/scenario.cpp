@@ -1,0 +1,63 @@
+#include "hssta/incr/scenario.hpp"
+
+#include "hssta/util/error.hpp"
+#include "hssta/util/timer.hpp"
+
+namespace hssta::incr {
+
+void apply_change(DesignState& state, const Change& change) {
+  std::visit(
+      [&](const auto& c) {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, ReplaceModule>) {
+          state.replace_module(c.inst, c.model);
+        } else if constexpr (std::is_same_v<T, MoveInstance>) {
+          state.move_instance(c.inst, c.x, c.y);
+        } else if constexpr (std::is_same_v<T, RewireConnection>) {
+          state.rewire_connection(c.conn, c.from_output, c.to_input);
+        } else {
+          state.set_parameter_sigma(c.param, c.scale);
+        }
+      },
+      change);
+}
+
+ScenarioRunner::ScenarioRunner(const DesignState& base) : base_(&base) {
+  HSSTA_REQUIRE(!base.pending(),
+                "scenario base has pending changes; analyze() it first");
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run(
+    std::span<const Scenario> scenarios) const {
+  exec::SerialExecutor ex;
+  return run(scenarios, ex);
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run(
+    std::span<const Scenario> scenarios, exec::Executor& ex) const {
+  std::vector<ScenarioResult> out(scenarios.size());
+  if (scenarios.empty()) return out;
+  // Each slot writes only its own result; per-scenario analysis runs on a
+  // private serial executor, so the fan-out never nests regions and the
+  // results do not depend on the runner's thread count.
+  const exec::Executor::Exclusive scope(ex);
+  ex.parallel_for(scenarios.size(), [&](size_t i, exec::Workspace&) {
+    const Scenario& sc = scenarios[i];
+    ScenarioResult& r = out[i];
+    r.label = sc.label;
+    WallTimer timer;
+    try {
+      DesignState state(*base_);  // shares the clean prefix by copy
+      state.set_executor(std::make_shared<exec::SerialExecutor>());
+      for (const Change& c : sc.changes) apply_change(state, c);
+      r.delay = state.analyze();
+      r.stats = state.stats();
+    } catch (const std::exception& e) {
+      r.error = e.what();
+    }
+    r.seconds = timer.seconds();
+  });
+  return out;
+}
+
+}  // namespace hssta::incr

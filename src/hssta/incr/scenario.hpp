@@ -1,0 +1,95 @@
+/// \file scenario.hpp
+/// incr::ScenarioRunner — batched what-if sweeps over one analyzed design.
+///
+/// A Scenario is a labelled list of changes (module-variant swaps,
+/// placement perturbations, connection rewires, corner-like sigma
+/// scalings). The runner clones the analyzed base DesignState per scenario
+/// — sharing the clean prefix: stitched graph, provenance, design space
+/// and arrival state all copy, none of it recomputes — applies the changes
+/// incrementally, and fans the scenarios out across an executor. Each
+/// clone analyzes on a private serial executor (executor regions do not
+/// nest), so results are bit-identical at every runner thread count, and
+/// bit-identical to a from-scratch analysis of each changed design.
+///
+/// A scenario that fails (invalid rewire, off-die move, ...) reports its
+/// error instead of poisoning the batch.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hssta/incr/design_state.hpp"
+
+namespace hssta::incr {
+
+/// Swap instance `inst`'s model for `model`.
+struct ReplaceModule {
+  size_t inst = 0;
+  std::shared_ptr<const model::TimingModel> model;
+};
+
+/// Move instance `inst` to a new origin.
+struct MoveInstance {
+  size_t inst = 0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Re-route connection `conn` to new endpoints.
+struct RewireConnection {
+  size_t conn = 0;
+  hier::PortRef from_output;
+  hier::PortRef to_input;
+};
+
+/// Scale parameter `param`'s correlated sensitivity by `scale`.
+struct SigmaScale {
+  size_t param = 0;
+  double scale = 1.0;
+};
+
+using Change =
+    std::variant<ReplaceModule, MoveInstance, RewireConnection, SigmaScale>;
+
+struct Scenario {
+  std::string label;
+  std::vector<Change> changes;
+};
+
+struct ScenarioResult {
+  std::string label;
+  /// The design delay under the scenario (valid when ok()).
+  timing::CanonicalForm delay;
+  IncrementalStats stats;
+  double seconds = 0.0;
+  std::string error;  ///< non-empty when the scenario threw
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Apply one change to a state (the dispatch ScenarioRunner uses; exposed
+/// for callers driving a DesignState from parsed change lists).
+void apply_change(DesignState& state, const Change& change);
+
+class ScenarioRunner {
+ public:
+  /// `base` must have no pending changes (analyze() it first) and must
+  /// outlive the runner.
+  explicit ScenarioRunner(const DesignState& base);
+
+  /// Run every scenario, fanning out across `ex` (the overload without an
+  /// executor uses a serial loop). Results are positionally matched to the
+  /// scenarios and independent of the executor.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      std::span<const Scenario> scenarios) const;
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      std::span<const Scenario> scenarios, exec::Executor& ex) const;
+
+ private:
+  const DesignState* base_;
+};
+
+}  // namespace hssta::incr

@@ -110,6 +110,13 @@ class TimingGraph {
     return space_;
   }
 
+  /// Swap the variation-space annotation for another space of the *same*
+  /// dimension (checked). Used by the incremental design engine when a
+  /// geometry change rebuilds the design space but the coefficient layout
+  /// — and therefore every stored CanonicalForm — keeps its width; the
+  /// caller is responsible for refreshing the coefficients themselves.
+  void reset_space(std::shared_ptr<const variation::VariationSpace> space);
+
   [[nodiscard]] size_t num_vertex_slots() const { return vertices_.size(); }
   [[nodiscard]] size_t num_edge_slots() const { return edges_.size(); }
   [[nodiscard]] size_t num_live_vertices() const { return live_vertices_; }

@@ -82,7 +82,8 @@ void reset_result(const TimingGraph& g, PropagationResult& r,
 
 /// Level-synchronous driver shared by the forward and backward sweeps:
 /// iterate the buckets in `front_to_back` or reverse order, fan each level
-/// out across `ex`, then merge the per-worker diagnostics.
+/// out across `ex` (chunked by canonical-op cost: folded-edge count times
+/// the coefficient dimension), then merge the per-worker diagnostics.
 template <typename Relax>
 void level_sweep(const TimingGraph& g, PropagationResult& r,
                  exec::Executor& ex, bool front_to_back, Relax&& relax) {
@@ -90,7 +91,11 @@ void level_sweep(const TimingGraph& g, PropagationResult& r,
   const exec::Executor::Exclusive scope(ex);
   for (size_t w = 0; w < ex.num_workspaces(); ++w)
     ex.workspace(w).get<SweepScratch>().diag = MaxDiagnostics{};
-  for_each_level(*ls, ex, front_to_back,
+  const auto cost = [&](VertexId v) {
+    const TimingVertex& tv = g.vertex(v);
+    return 1 + (front_to_back ? tv.fanin.size() : tv.fanout.size()) * g.dim();
+  };
+  for_each_level(*ls, ex, front_to_back, cost,
                  [&](VertexId v, exec::Workspace& ws) {
                    SweepScratch& sc = ws.get<SweepScratch>();
                    relax(v, sc.candidate, sc.diag);

@@ -44,19 +44,36 @@ inline constexpr size_t kMinLevelFanOut = 16;
 /// (forward sweeps) or back to front (backward sweeps) and fan each level
 /// out across `ex`; levels narrower than kMinLevelFanOut run inline.
 /// `fn(v, ws)` must only write state owned by vertex v — within-level
-/// vertices share no edges, so that makes the schedule race-free. The one
-/// place every sweep's bucket iteration lives, so schedule changes (e.g.
-/// cost-based chunking) land everywhere at once.
-template <typename Fn>
+/// vertices share no edges, so that makes the schedule race-free.
+///
+/// `cost_of(v)` estimates the canonical-op cost of one vertex (a sweep
+/// typically charges fanin-or-fanout count x coefficient dimension); wide
+/// levels are chunked by that cost via exec::parallel_for_costed instead
+/// of by vertex count, so one heavy multi-fanin vertex no longer straggles
+/// its level behind a worker that also drew the rest of a uniform chunk.
+/// Chunking is a pure schedule choice — per-vertex arithmetic is
+/// untouched, so results stay bit-identical. The one place every sweep's
+/// bucket iteration lives, so schedule changes land everywhere at once.
+template <typename Cost, typename Fn>
 void for_each_level(const LevelStructure& ls, exec::Executor& ex,
-                    bool front_to_back, Fn&& fn) {
+                    bool front_to_back, Cost&& cost_of, Fn&& fn) {
   const size_t num_levels = ls.num_levels();
+  std::vector<uint64_t> costs;  // recycled across levels
   for (size_t step = 0; step < num_levels; ++step) {
     const std::span<const VertexId> bucket =
         ls.bucket(front_to_back ? step : num_levels - 1 - step);
-    exec::run_maybe_parallel(
-        ex, bucket.size(), kMinLevelFanOut,
-        [&](size_t k, exec::Workspace& ws) { fn(bucket[k], ws); });
+    const auto task = [&](size_t k, exec::Workspace& ws) {
+      fn(bucket[k], ws);
+    };
+    if (ex.concurrency() > 1 && bucket.size() >= kMinLevelFanOut) {
+      costs.clear();
+      costs.reserve(bucket.size());
+      for (const VertexId v : bucket)
+        costs.push_back(static_cast<uint64_t>(cost_of(v)));
+      exec::parallel_for_costed(ex, costs, task);
+    } else {
+      exec::run_maybe_parallel(ex, bucket.size(), kMinLevelFanOut, task);
+    }
   }
 }
 

@@ -109,6 +109,7 @@ ScalarArrivals longest_path(const TimingGraph& g,
   seed_sources(g, sources, r);
   const exec::Executor::Exclusive scope(ex);
   for_each_level(*ls, ex, /*front_to_back=*/true,
+                 [&](VertexId v) { return 1 + g.vertex(v).fanin.size(); },
                  [&](VertexId v, exec::Workspace&) {
                    relax_scalar_fanin(g, v, edge_delays, r);
                  });
@@ -143,6 +144,7 @@ ScalarArrivals required_times(const TimingGraph& g,
   seed_outputs(g, required_at_outputs, r);
   const exec::Executor::Exclusive scope(ex);
   for_each_level(*ls, ex, /*front_to_back=*/false,
+                 [&](VertexId v) { return 1 + g.vertex(v).fanout.size(); },
                  [&](VertexId v, exec::Workspace&) {
                    relax_scalar_fanout(g, v, edge_delays, r);
                  });

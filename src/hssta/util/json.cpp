@@ -1,0 +1,149 @@
+#include "hssta/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::util {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::before_value() {
+  HSSTA_REQUIRE(!done_, "json: document already complete");
+  if (stack_.empty()) return;  // the single top-level value
+  if (stack_.back() == Frame::kObject) {
+    HSSTA_REQUIRE(key_pending_, "json: object member needs a key first");
+    key_pending_ = false;
+  } else {
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  HSSTA_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObject &&
+                    !key_pending_,
+                "json: unbalanced end_object");
+  os_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  HSSTA_REQUIRE(!stack_.empty() && stack_.back() == Frame::kArray,
+                "json: unbalanced end_array");
+  os_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  HSSTA_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObject &&
+                    !key_pending_,
+                "json: key outside an object (or two keys in a row)");
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  os_ << escape(k) << ':';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  os_ << escape(s);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    os_ << "null";  // JSON has no NaN/Inf
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    os_ << buf;
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::integer(uint64_t u) {
+  before_value();
+  os_ << u;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::integer(int64_t i) {
+  before_value();
+  os_ << i;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+bool JsonWriter::complete() const { return done_ && stack_.empty(); }
+
+}  // namespace hssta::util

@@ -1,0 +1,84 @@
+/// \file json.hpp
+/// util::JsonWriter — a minimal streaming JSON emitter for the CLI's
+/// machine-readable reports (--json) and the bench artifacts.
+///
+/// The writer tracks the container stack and inserts commas and key
+/// separators itself, so emitting code reads linearly:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("design").value("soc");
+///   w.key("delay").begin_object();
+///   w.key("mean").value(1.25);
+///   w.end_object();
+///   w.end_object();  // {"design":"soc","delay":{"mean":1.25}}
+///
+/// Strings are escaped per RFC 8259 (quotes, backslashes, control
+/// characters); doubles print with enough digits to round-trip
+/// (%.17g), non-finite doubles as null. Structural misuse (a value
+/// with no pending key inside an object, unbalanced end_*) throws
+/// hssta::Error — a malformed report is a bug, not output.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace hssta::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  /// Containers. The top level accepts exactly one value/container.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be directly inside an object, before its value.
+  JsonWriter& key(std::string_view k);
+
+  /// Scalars. Integrals go through one template so every width and
+  /// signedness (int, size_t, uint64_t, ...) resolves unambiguously on
+  /// every platform — including those where size_t is a distinct type
+  /// from uint64_t.
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(bool b);
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return integer(static_cast<int64_t>(v));
+    else
+      return integer(static_cast<uint64_t>(v));
+  }
+  JsonWriter& null();
+
+  /// True once the single top-level value is complete and balanced.
+  [[nodiscard]] bool complete() const;
+
+  /// Escape one string as a quoted JSON string literal.
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame : uint8_t { kObject, kArray };
+
+  JsonWriter& integer(uint64_t u);
+  JsonWriter& integer(int64_t i);
+  void before_value();
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;   ///< per frame: no element emitted yet
+  bool key_pending_ = false;  ///< a key was emitted, its value is due
+  bool done_ = false;         ///< the top-level value is complete
+};
+
+}  // namespace hssta::util

@@ -193,6 +193,92 @@ TEST_F(HierFixture, ReplacementPreservesModuleCovarianceExactly) {
   }
 }
 
+TEST_F(HierFixture, ReplacementMatrixHandlesPermutedNonContiguousGrids) {
+  // A design geometry where the module's grids sit at *scattered, permuted*
+  // positions: reversed module order, a filler grid interleaved before
+  // every module center, and the whole block translated (distances are
+  // what the correlation profile sees, so translation must not matter).
+  // The replacement identities must hold exactly as for the contiguous
+  // front-of-list layout build_design_grid produces.
+  const variation::GridGeometry& mg = mv_.space->grids();
+  variation::GridGeometry dg;
+  dg.unit = mg.unit;
+  std::vector<size_t> indices(mg.size());
+  for (size_t i = 0; i < mg.size(); ++i) {
+    const size_t src = mg.size() - 1 - i;  // permuted: reverse order
+    dg.centers.push_back(placement::Point{  // non-contiguous: filler first
+        1e4 + static_cast<double>(i) * 50.0 * mg.unit, -1e4});
+    indices[src] = dg.centers.size();
+    dg.centers.push_back(placement::Point{mg.centers[src].x + 1000.0,
+                                          mg.centers[src].y + 500.0});
+  }
+  const variation::VariationSpace dspace(
+      mv_.space->parameters(), dg, mv_.space->correlation_model().config());
+
+  const Matrix r = replacement_matrix(*mv_.space, dspace, indices);
+  EXPECT_EQ(r.rows(), mv_.space->num_components());
+  EXPECT_EQ(r.cols(), dspace.num_components());
+  const Matrix rrt = r * r.transposed();
+  EXPECT_LT(rrt.max_abs_diff(Matrix::identity(r.rows())), 1e-6);
+
+  stats::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    CanonicalForm a(mv_.space->dim()), b(mv_.space->dim());
+    for (size_t k = 0; k < a.dim(); ++k) {
+      a.corr()[k] = rng.normal() * 0.05;
+      b.corr()[k] = rng.normal() * 0.05;
+    }
+    const CanonicalForm ra = remap_canonical(a, *mv_.space, dspace, r);
+    const CanonicalForm rb = remap_canonical(b, *mv_.space, dspace, r);
+    EXPECT_NEAR(ra.variance(), a.variance(), 1e-9 + 1e-6 * a.variance());
+    EXPECT_NEAR(ra.covariance(rb), a.covariance(b),
+                1e-9 + 1e-6 * std::abs(a.covariance(b)));
+  }
+
+  // Mismatched index count is rejected loudly.
+  const std::vector<size_t> short_indices(mg.size() - 1, 0);
+  EXPECT_THROW(replacement_matrix(*mv_.space, dspace, short_indices), Error);
+}
+
+TEST_F(HierFixture, RepeatedRemapIsDeterministicAndSelfRemapIsIdentity) {
+  HierDesign d = make_quad();
+  const DesignGrid grid = build_design_grid(d);
+  const auto dspace = build_design_space(d, grid);
+
+  // Determinism: recomputing R and re-remapping a form must reproduce the
+  // exact same bits — the property the incremental engine leans on when a
+  // geometry-compatible swap recomputes an instance's R from scratch.
+  const Matrix r1 =
+      replacement_matrix(*mv_.space, *dspace, grid.instance_grids[2]);
+  const Matrix r2 =
+      replacement_matrix(*mv_.space, *dspace, grid.instance_grids[2]);
+  EXPECT_EQ(r1.max_abs_diff(r2), 0.0);
+
+  stats::Rng rng(23);
+  CanonicalForm a(mv_.space->dim());
+  a.set_nominal(1.25);
+  for (size_t k = 0; k < a.dim(); ++k) a.corr()[k] = rng.normal() * 0.05;
+  a.set_random(0.03);
+  const CanonicalForm once = remap_canonical(a, *mv_.space, *dspace, r1);
+  const CanonicalForm again = remap_canonical(a, *mv_.space, *dspace, r2);
+  EXPECT_TRUE(once == again);
+
+  // Module -> module "round trip": remapping within the module's own space
+  // (identity grid mapping) is the identity transform up to PCA rounding —
+  // R = whitening * loadings ~= I — and exactly preserves nominal/random.
+  std::vector<size_t> self_indices(mv_.space->num_grids());
+  for (size_t i = 0; i < self_indices.size(); ++i) self_indices[i] = i;
+  const Matrix self_r =
+      replacement_matrix(*mv_.space, *mv_.space, self_indices);
+  EXPECT_LT(self_r.max_abs_diff(Matrix::identity(self_r.rows())), 1e-8);
+  const CanonicalForm same = remap_canonical(a, *mv_.space, *mv_.space,
+                                             self_r);
+  EXPECT_DOUBLE_EQ(same.nominal(), a.nominal());
+  EXPECT_DOUBLE_EQ(same.random(), a.random());
+  for (size_t k = 0; k < a.dim(); ++k)
+    EXPECT_NEAR(same.corr()[k], a.corr()[k], 1e-9) << k;
+}
+
 TEST_F(HierFixture, CrossInstanceCovarianceMatchesCorrelationModel) {
   // Two forms living in different instances: their design-space covariance
   // must equal the physical grid-to-grid correlation model value.

@@ -1,0 +1,165 @@
+// util::JsonWriter unit tests and schema pins for the CLI's --json
+// reports (flow::hier_report_json / eco_report_json / sweep_report_json).
+// The schema checks keep the machine-readable surface stable: a field
+// rename breaks consumers, so it must break a test first.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hssta/flow/flow.hpp"
+#include "hssta/flow/report.hpp"
+#include "hssta/incr/scenario.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/json.hpp"
+
+namespace hssta {
+namespace {
+
+// --- JsonWriter -------------------------------------------------------------
+
+TEST(JsonWriter, EmitsNestedStructureWithCommas) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("name").value("soc");
+  w.key("n").value(uint64_t{3});
+  w.key("ok").value(true);
+  w.key("list").begin_array();
+  w.value(1).value(2).value(2.5);
+  w.end_array();
+  w.key("nothing").null();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"soc\",\"n\":3,\"ok\":true,"
+            "\"list\":[1,2,2.5],\"nothing\":null}");
+}
+
+TEST(JsonWriter, EscapesStringsAndNonFiniteDoubles) {
+  EXPECT_EQ(util::JsonWriter::escape("a\"b\\c\nd\te\x01"),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.value(0.1);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null,0.10000000000000001]");
+}
+
+TEST(JsonWriter, RejectsStructuralMisuse) {
+  {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), Error);       // member without a key
+    EXPECT_THROW(w.end_array(), Error);    // wrong closer
+    w.key("k");
+    EXPECT_THROW(w.key("k2"), Error);      // two keys in a row
+  }
+  {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.value("done");
+    EXPECT_TRUE(w.complete());
+    EXPECT_THROW(w.value("again"), Error);  // two top-level values
+  }
+  {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    EXPECT_THROW(w.key("k"), Error);  // key outside any object
+    EXPECT_THROW(w.end_object(), Error);
+    EXPECT_FALSE(w.complete());
+  }
+}
+
+// --- report schemas ---------------------------------------------------------
+
+constexpr const char* kBench =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\n"
+    "g = NAND(a, b)\nx = AND(g, a)\ny = OR(g, b)\n";
+
+flow::Design make_report_design() {
+  flow::Config cfg;
+  const flow::Module m = flow::Module::from_bench_string(kBench, cfg);
+  flow::Design d("report", cfg);
+  const size_t a = d.add_instance(m, 0, 0);
+  const size_t b = d.add_instance(m, m.model().die().width, 0);
+  d.connect(a, 0, b, 0);
+  d.connect(a, 1, b, 1);
+  d.expose_unconnected_ports();
+  return d;
+}
+
+void expect_keys(const std::string& json,
+                 const std::vector<std::string>& keys) {
+  for (const std::string& k : keys)
+    EXPECT_NE(json.find("\"" + k + "\":"), std::string::npos)
+        << "missing key '" << k << "' in: " << json;
+}
+
+TEST(ReportJson, HierSchema) {
+  const flow::Design d = make_report_design();
+  const std::string json = flow::hier_report_json(d, d.analyze());
+  expect_keys(json,
+              {"design", "mode", "threads", "instances", "name", "model",
+               "inputs", "outputs", "die", "width", "height", "connections",
+               "build_seconds", "analysis_seconds", "delay", "mean", "sigma",
+               "q90", "q99", "q9987"});
+  EXPECT_EQ(json.find("\"cache\":"), std::string::npos)
+      << "cache block must only appear when a cache is configured";
+  // Structural sanity: balanced braces/brackets.
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ReportJson, EcoSchemaAndIdenticalFlag) {
+  const flow::Design d = make_report_design();
+  flow::EcoReport r;
+  r.change = "swap u0 -> variant";
+  r.full_delay = d.analyze().delay();
+  r.full_seconds = 0.5;
+  r.incremental_delay = r.full_delay;
+  r.incremental_seconds = 0.1;
+  r.stats.analyses = 2;
+  r.stats.full_builds = 1;
+  r.stats.vertices_recomputed = 7;
+  r.stats.vertices_live = 19;
+  r.identical = r.incremental_delay == r.full_delay;
+  const std::string json = flow::eco_report_json(d, r);
+  expect_keys(json, {"design", "change", "full", "incremental", "delay",
+                     "seconds", "stats", "analyses", "full_builds",
+                     "coefficient_refreshes", "instances_restitched",
+                     "connections_restitched", "vertices_recomputed",
+                     "vertices_live", "speedup", "identical"});
+  EXPECT_NE(json.find("\"identical\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\":5"), std::string::npos);
+}
+
+TEST(ReportJson, SweepSchemaIncludesErrorsAndResults) {
+  const flow::Design d = make_report_design();
+  const std::vector<incr::Scenario> scenarios{
+      {"sigma Leff", {incr::SigmaScale{0, 1.2}}},
+      {"broken", {incr::MoveInstance{99, 0, 0}}},
+  };
+  const std::vector<incr::ScenarioResult> results = d.scenarios(scenarios);
+  const std::string json = flow::sweep_report_json(d, results);
+  expect_keys(json, {"design", "scenarios", "label", "ok", "seconds",
+                     "delay", "stats", "error"});
+  EXPECT_NE(json.find("\"label\":\"sigma Leff\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hssta

@@ -1,0 +1,236 @@
+// Seeded random hierarchical designs for the incremental-engine
+// differential suites: a pool of small random-DAG modules (uniform port
+// counts, so any instance can swap to any pool module) and a generator
+// that wires a few placed instances with forward-only connections plus
+// explicitly declared primary ports.
+//
+// Primary ports are declared explicitly — not via expose_unconnected_ports
+// — so a changed design (rewired connection, swapped module) keeps the
+// *base* port list, exactly like the incremental engine does; some inputs
+// stay genuinely unconnected, giving rewires legal retarget candidates.
+
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hssta/flow/flow.hpp"
+#include "hssta/netlist/generate.hpp"
+
+namespace hssta::testing {
+
+/// Uniform port shape shared by every pool module.
+inline constexpr size_t kDesignModuleInputs = 6;
+inline constexpr size_t kDesignModuleOutputs = 5;
+
+/// Base config for the pool: small grids (so module spaces have several
+/// spatial components) and serial execution by default.
+inline flow::Config design_pool_config(size_t threads = 1) {
+  flow::Config cfg;
+  cfg.threads = threads;
+  cfg.max_cells_per_grid = 8;
+  return cfg;
+}
+
+/// The pool holds kPoolBases structurally distinct 40-gate modules. The
+/// design level requires all instances to share one grid pitch, so each
+/// module's placement utilization is normalized to put every netlist on an
+/// equal-area die (same grid partition shape, pitches equal to rounding).
+/// The dies are *bitwise* different, though — swapping an instance to a
+/// different pool module therefore exercises the engine's full-rebuild
+/// fallback, while scaled_variant() below provides bit-identical-footprint
+/// variants for the cheap-swap path. All pool modules share the port
+/// shape, so connections survive any swap.
+inline constexpr size_t kPoolBases = 4;
+
+inline std::vector<flow::Module> make_module_pool(const flow::Config& cfg) {
+  const std::shared_ptr<const library::CellLibrary> lib =
+      flow::default_library();
+  std::vector<netlist::Netlist> netlists;
+  for (size_t i = 0; i < kPoolBases; ++i) {
+    netlist::RandomDagSpec s;
+    s.name = "base" + std::to_string(i);
+    s.num_inputs = kDesignModuleInputs;
+    s.num_outputs = kDesignModuleOutputs;
+    s.num_gates = 40;
+    s.num_pins = 80;
+    s.depth = 6;
+    s.seed = 100 + i;
+    netlists.push_back(netlist::make_random_dag(s, *lib));
+  }
+  auto total_width = [](const netlist::Netlist& nl) {
+    double w = 0.0;
+    for (netlist::GateId g = 0; g < nl.num_gates(); ++g)
+      w += nl.gate(g).type->width;
+    return w;
+  };
+  double wmax = 0.0;
+  for (const netlist::Netlist& nl : netlists)
+    wmax = std::max(wmax, total_width(nl));
+
+  std::vector<flow::Module> pool;
+  for (netlist::Netlist& nl : netlists) {
+    flow::Config mcfg = cfg;
+    // area = total_width * row_height / utilization, so scaling the
+    // utilization by each netlist's cell width pins the die area (and with
+    // it the grid pitch) across the pool.
+    mcfg.place.utilization =
+        cfg.place.utilization * total_width(nl) / wmax;
+    pool.push_back(flow::Module::from_netlist(std::move(nl), mcfg, lib));
+  }
+  return pool;
+}
+
+/// A geometry-identical drop-in variant of a model: same ports, die, grid
+/// partition and boundary data; every edge delay scaled by `factor` (the
+/// "vendor ships a faster/slower IP with the same footprint" ECO). The
+/// engine's cheap-swap path applies to exactly this kind of variant.
+inline std::shared_ptr<const model::TimingModel> scaled_variant(
+    const model::TimingModel& base, double factor) {
+  timing::TimingGraph g = base.graph();
+  for (timing::EdgeId e = 0; e < g.num_edge_slots(); ++e)
+    if (g.edge_alive(e)) g.edge(e).delay.scale(factor);
+  return std::make_shared<const model::TimingModel>(
+      base.name() + "_x" + std::to_string(factor), std::move(g),
+      base.variation(), base.boundary());
+}
+
+/// A design description independent of the module handles, so a changed
+/// copy rebuilds into a fresh from-scratch flow::Design.
+struct DesignSpec {
+  struct Inst {
+    size_t module = 0;  ///< pool index
+    double x = 0.0, y = 0.0;
+  };
+  struct Conn {
+    size_t from = 0, from_port = 0, to = 0, to_port = 0;
+  };
+  struct Port {
+    std::string name;
+    size_t inst = 0, port = 0;
+  };
+  std::string name;
+  std::vector<Inst> instances;
+  std::vector<Conn> connections;
+  std::vector<Port> primary_inputs;
+  std::vector<Port> primary_outputs;
+};
+
+/// Deterministic random design over the pool: 2-5 instances placed left to
+/// right with a vertical jitter, chained plus extra forward connections,
+/// ports declared explicitly (instance 0's inputs and about half of the
+/// other undriven inputs; the last instance's outputs and about half of
+/// the other unread outputs).
+inline DesignSpec make_design_spec(uint64_t seed,
+                                   const std::vector<flow::Module>& pool) {
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ull ^ seed);
+  auto pick = [&](size_t n) { return static_cast<size_t>(rng() % n); };
+
+  DesignSpec spec;
+  spec.name = "fuzz" + std::to_string(seed);
+  const size_t n = 2 + pick(4);  // 2..5 instances
+
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Swappable structure needs uniform ports; geometry diversity comes
+    // from placement. Only the base modules participate in a base design.
+    const size_t m = pick(kPoolBases);
+    const double y = static_cast<double>(pick(3)) * 11.0;
+    spec.instances.push_back({m, x, y});
+    x += pool[m].model().die().width + static_cast<double>(pick(2)) * 5.0;
+  }
+
+  std::set<std::pair<size_t, size_t>> driven;
+  std::set<std::pair<size_t, size_t>> read;
+  auto connect = [&](size_t from, size_t fp, size_t to, size_t tp) {
+    if (!driven.insert({to, tp}).second) return;
+    spec.connections.push_back({from, fp, to, tp});
+    read.insert({from, fp});
+  };
+  // Chain consecutive instances on a couple of ports, then sprinkle random
+  // forward (acyclic) connections.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    connect(i, pick(kDesignModuleOutputs), i + 1, pick(kDesignModuleInputs));
+    connect(i, pick(kDesignModuleOutputs), i + 1, pick(kDesignModuleInputs));
+  }
+  const size_t extras = pick(2 * n);
+  for (size_t k = 0; k < extras && n >= 2; ++k) {
+    const size_t from = pick(n - 1);
+    const size_t to = from + 1 + pick(n - 1 - from);
+    connect(from, pick(kDesignModuleOutputs), to, pick(kDesignModuleInputs));
+  }
+
+  // Primary inputs: all of instance 0's undriven inputs, and roughly half
+  // of the other undriven inputs — the rest stay unconnected (legal) and
+  // give rewires somewhere to land.
+  for (size_t i = 0; i < n; ++i)
+    for (size_t p = 0; p < kDesignModuleInputs; ++p) {
+      if (driven.count({i, p})) continue;
+      if (i != 0 && rng() % 2 != 0) continue;
+      spec.primary_inputs.push_back(
+          {"pi_" + std::to_string(i) + "_" + std::to_string(p), i, p});
+      driven.insert({i, p});
+    }
+  // Primary outputs: the last instance's unread outputs plus half of the
+  // other unread ones.
+  for (size_t i = 0; i < n; ++i)
+    for (size_t p = 0; p < kDesignModuleOutputs; ++p) {
+      if (read.count({i, p})) continue;
+      if (i + 1 != n && rng() % 2 != 0) continue;
+      spec.primary_outputs.push_back(
+          {"po_" + std::to_string(i) + "_" + std::to_string(p), i, p});
+    }
+  return spec;
+}
+
+/// Instantiate a spec as a flow::Design over the pool; `model_overrides`
+/// replaces the listed instances' modules with stand-alone models (how the
+/// from-scratch reference of a swapped design is built).
+inline flow::Design build_design(
+    const DesignSpec& spec, const std::vector<flow::Module>& pool,
+    const flow::Config& cfg,
+    const std::map<size_t, std::shared_ptr<const model::TimingModel>>&
+        model_overrides = {}) {
+  flow::Design d(spec.name, cfg);
+  for (size_t i = 0; i < spec.instances.size(); ++i) {
+    const DesignSpec::Inst& in = spec.instances[i];
+    const auto it = model_overrides.find(i);
+    if (it != model_overrides.end())
+      d.add_instance(it->second, in.x, in.y);
+    else
+      d.add_instance(pool[in.module], in.x, in.y);
+  }
+  for (const DesignSpec::Conn& c : spec.connections)
+    d.connect(c.from, c.from_port, c.to, c.to_port);
+  for (const DesignSpec::Port& p : spec.primary_inputs)
+    d.primary_input(p.name, p.inst, p.port);
+  for (const DesignSpec::Port& p : spec.primary_outputs)
+    d.primary_output(p.name, p.inst, p.port);
+  return d;
+}
+
+/// An undriven, non-PI input port of some instance (rewire retarget
+/// candidate); returns false when the spec has none.
+inline bool find_free_input(const DesignSpec& spec, size_t* inst,
+                            size_t* port) {
+  std::set<std::pair<size_t, size_t>> driven;
+  for (const DesignSpec::Conn& c : spec.connections)
+    driven.insert({c.to, c.to_port});
+  for (const DesignSpec::Port& p : spec.primary_inputs)
+    driven.insert({p.inst, p.port});
+  for (size_t i = 0; i < spec.instances.size(); ++i)
+    for (size_t p = 0; p < kDesignModuleInputs; ++p)
+      if (!driven.count({i, p})) {
+        *inst = i;
+        *port = p;
+        return true;
+      }
+  return false;
+}
+
+}  // namespace hssta::testing

@@ -8,23 +8,39 @@
 //                                             is a .bench netlist (model
 //                                             extracted on the fly) or a
 //                                             pre-extracted .hstm model
+//   hssta_cli eco     <m1> <m2> [...]         one ECO (module swap, move,
+//                                             rewire, sigma scaling) on the
+//                                             chained design: full vs
+//                                             incremental re-analysis
+//   hssta_cli sweep   <m1> <m2> [...]         batched what-if scenarios
+//                                             over the chained design via
+//                                             the incremental engine
 //
-// All commands accept --config <file> (flow::Config key=value text); the
-// defaults are the paper's Section VI setup (90nm library, Leff/Tox/Vth,
-// 0.92-neighbour correlation, < 100 cells per grid, delta = 0.05). All
-// commands also accept --threads N (0 = all hardware threads) to fan the
-// compute layer out across an exec::ThreadPoolExecutor, and --cache-dir D
-// to persist extracted .hstm models across runs (keyed by netlist/config
-// fingerprint; a hit loads a byte-identical model, so neither knob changes
-// any result bit).
+// hier/eco/sweep accept --json for machine-readable output (schema pinned
+// by tests/report_test.cpp). All commands accept --config <file>
+// (flow::Config key=value text); the defaults are the paper's Section VI
+// setup (90nm library, Leff/Tox/Vth, 0.92-neighbour correlation, < 100
+// cells per grid, delta = 0.05). All commands also accept --threads N
+// (0 = all hardware threads) to fan the compute layer out across an
+// exec::ThreadPoolExecutor, and --cache-dir D to persist extracted .hstm
+// models across runs (keyed by netlist/config fingerprint; a hit loads a
+// byte-identical model, so neither knob changes any result bit —
+// swapped-in ECO variants consult the same cache).
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hssta/exec/executor.hpp"
 #include "hssta/flow/flow.hpp"
+#include "hssta/flow/report.hpp"
+#include "hssta/incr/design_state.hpp"
+#include "hssta/incr/scenario.hpp"
 #include "hssta/model/timing_model.hpp"
 #include "hssta/timing/sta.hpp"
 #include "hssta/util/argparse.hpp"
@@ -167,14 +183,116 @@ int cmd_mc(int argc, const char* const* argv) {
   return 0;
 }
 
-/// hier: load the modules, place them left-to-right in abutment and chain
-/// every consecutive pair (output k of stage i feeds input k of stage i+1,
-/// wrapping over the narrower port list). Unwired boundary ports become
-/// design primary ports, then the full hierarchical analysis runs.
+/// Serialized-model input (vs a .bench netlist to extract).
+bool is_hstm(const std::string& file) { return file.ends_with(".hstm"); }
+
+/// Overrides applied while assembling a chained design — the from-scratch
+/// side of an ECO: swapped-in models, moved instances, rewired chain
+/// connections.
+struct ChainOverrides {
+  std::map<size_t, std::shared_ptr<const model::TimingModel>> models;
+  std::map<size_t, placement::Point> origins;
+  std::map<size_t, hier::Connection> rewires;  ///< by chain-connection index
+};
+
+/// Load the modules, place them left-to-right in abutment and chain every
+/// consecutive pair (output k of stage i feeds input k of stage i+1,
+/// wrapping over the narrower port list). Boundary ports that the *base*
+/// chain leaves unwired become design primary ports — computed from the
+/// un-rewired connection list, so an ECO'd chain keeps the base port set
+/// (exactly like the incremental engine does).
+flow::Design build_chain(const std::vector<std::string>& files,
+                         const flow::Config& cfg, bool verbose,
+                         const ChainOverrides& overrides = {}) {
+  flow::Design design("chain", cfg);
+  double x = 0.0;
+  for (size_t idx = 0; idx < files.size(); ++idx) {
+    const std::string& file = files[idx];
+    const auto model_it = overrides.models.find(idx);
+    const auto origin_it = overrides.origins.find(idx);
+    const double ox = origin_it != overrides.origins.end()
+                          ? origin_it->second.x
+                          : x;
+    const double oy = origin_it != overrides.origins.end()
+                          ? origin_it->second.y
+                          : 0.0;
+    size_t got;
+    if (model_it != overrides.models.end())
+      got = design.add_instance(model_it->second, ox, oy);
+    else if (is_hstm(file))
+      got = design.add_instance_from_model_file(file, ox, oy,
+                                                "u" + std::to_string(idx));
+    else
+      got = design.add_instance(flow::Module::from_bench_file(file, cfg), ox,
+                                oy);
+    x += design.instance_model(got).die().width;
+    if (verbose)
+      std::printf("instance %zu '%s': %s (%zu in, %zu out, die %.1f x %.1f "
+                  "um)\n",
+                  got, design.instance_name(got).c_str(), file.c_str(),
+                  design.num_inputs(got), design.num_outputs(got),
+                  design.instance_model(got).die().width,
+                  design.instance_model(got).die().height);
+  }
+
+  // The base chain's connection list (deterministic), then any rewires.
+  std::vector<hier::Connection> base_conns;
+  for (size_t i = 0; i + 1 < design.num_instances(); ++i) {
+    const size_t no = design.num_outputs(i);
+    const size_t ni = design.num_inputs(i + 1);
+    if (no == 0)
+      throw Error("cannot chain: module '" + design.instance_name(i) +
+                  "' has no outputs");
+    for (size_t k = 0; k < ni; ++k)
+      base_conns.push_back(hier::Connection{hier::PortRef{i, k % no},
+                                            hier::PortRef{i + 1, k}});
+  }
+  for (size_t c = 0; c < base_conns.size(); ++c) {
+    const auto it = overrides.rewires.find(c);
+    const hier::Connection& cn =
+        it != overrides.rewires.end() ? it->second : base_conns[c];
+    design.connect(cn.from_output.instance, cn.from_output.port,
+                   cn.to_input.instance, cn.to_input.port);
+  }
+
+  // Primary ports from the *base* topology (expose_unconnected_ports
+  // naming), so rewired/unmodified chains share one port list.
+  std::set<std::pair<size_t, size_t>> driven, read;
+  for (const hier::Connection& cn : base_conns) {
+    driven.insert({cn.to_input.instance, cn.to_input.port});
+    read.insert({cn.from_output.instance, cn.from_output.port});
+  }
+  for (size_t i = 0; i < design.num_instances(); ++i) {
+    for (size_t k = 0; k < design.num_inputs(i); ++k)
+      if (!driven.count({i, k}))
+        design.primary_input(design.instance_name(i) + "_i" +
+                                 std::to_string(k),
+                             i, k);
+    for (size_t k = 0; k < design.num_outputs(i); ++k)
+      if (!read.count({i, k}))
+        design.primary_output(design.instance_name(i) + "_o" +
+                                  std::to_string(k),
+                              i, k);
+  }
+  return design;
+}
+
+/// Load an ECO variant model: a .hstm file directly, or a .bench netlist
+/// whose model extracts through the module pipeline (consulting the
+/// persistent model cache first when one is configured).
+std::shared_ptr<const model::TimingModel> load_variant(
+    const std::string& file, const flow::Config& cfg) {
+  if (is_hstm(file))
+    return std::make_shared<const model::TimingModel>(
+        model::TimingModel::load_file(file));
+  return flow::Module::from_bench_file(file, cfg).model_ptr();
+}
+
 int cmd_hier(int argc, const char* const* argv) {
   Common common;
   bool run_mc = false;
   bool global_only = false;
+  bool json = false;
   uint64_t samples = 0, seed = 0;
   std::vector<std::string> files;
   util::ArgParser p("hssta_cli hier",
@@ -185,6 +303,7 @@ int cmd_hier(int argc, const char* const* argv) {
          "cross-check with flattened Monte Carlo (.bench modules only)");
   p.flag("--global-only", &global_only,
          "baseline correlation mode instead of variable replacement");
+  p.flag("--json", &json, "machine-readable JSON report on stdout");
   p.option("--samples", &samples, "N", "MC sample count (default: config)");
   p.option("--seed", &seed, "S", "MC RNG seed (default: config)");
   common.register_flags(p);
@@ -195,35 +314,12 @@ int cmd_hier(int argc, const char* const* argv) {
   if (seed) cfg.mc.seed = seed;
   if (global_only) cfg.hier.mode = hier::CorrelationMode::kGlobalOnly;
 
-  flow::Design design("chain", cfg);
-  double x = 0.0;
-  for (const std::string& file : files) {
-    size_t idx;
-    if (file.size() > 5 && file.substr(file.size() - 5) == ".hstm")
-      idx = design.add_instance_from_model_file(file, x, 0.0);
-    else
-      idx = design.add_instance(flow::Module::from_bench_file(file, cfg), x,
-                                0.0);
-    x += design.instance_model(idx).die().width;
-    std::printf("instance %zu '%s': %s (%zu in, %zu out, die %.1f x %.1f "
-                "um)\n",
-                idx, design.instance_name(idx).c_str(), file.c_str(),
-                design.num_inputs(idx), design.num_outputs(idx),
-                design.instance_model(idx).die().width,
-                design.instance_model(idx).die().height);
-  }
-
-  for (size_t i = 0; i + 1 < design.num_instances(); ++i) {
-    const size_t no = design.num_outputs(i);
-    const size_t ni = design.num_inputs(i + 1);
-    if (no == 0)
-      throw Error("cannot chain: module '" + design.instance_name(i) +
-                  "' has no outputs");
-    for (size_t k = 0; k < ni; ++k) design.connect(i, k % no, i + 1, k);
-  }
-  design.expose_unconnected_ports();
-
+  const flow::Design design = build_chain(files, cfg, /*verbose=*/!json);
   const hier::HierResult& r = design.analyze();
+  if (json) {
+    std::printf("%s\n", flow::hier_report_json(design, r).c_str());
+    return 0;
+  }
   std::printf("\ndesign: %zu instances, %zu top-level nets, %s correlation, "
               "%zu thread%s (built %.3f s, analyzed %.3f s)\n",
               design.num_instances(), design.hier().connections().size(),
@@ -265,6 +361,254 @@ int cmd_hier(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Parse "I=rest" (e.g. --swap 1=variant.bench); returns {index, rest}.
+std::pair<size_t, std::string> parse_indexed(const std::string& flag,
+                                             const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos)
+    throw Error(flag + ": expected I=..., got: " + spec);
+  const size_t idx = parse_count(flag + " index", spec.substr(0, eq));
+  return {static_cast<size_t>(idx), spec.substr(eq + 1)};
+}
+
+/// Parse "FI.FP:TI.TP" into a connection.
+hier::Connection parse_endpoints(const std::string& flag,
+                                 const std::string& spec) {
+  const auto halves = split(spec, ':');
+  if (halves.size() != 2)
+    throw Error(flag + ": expected FI.FP:TI.TP, got: " + spec);
+  auto parse_ref = [&](const std::string& s) {
+    const auto parts = split(s, '.');
+    if (parts.size() != 2)
+      throw Error(flag + ": expected INST.PORT, got: " + s);
+    return hier::PortRef{
+        static_cast<size_t>(parse_count(flag + " instance", parts[0])),
+        static_cast<size_t>(parse_count(flag + " port", parts[1]))};
+  };
+  return hier::Connection{parse_ref(halves[0]), parse_ref(halves[1])};
+}
+
+/// eco: one engineering change order on the chained design, analyzed both
+/// ways — a from-scratch rebuild and the incremental engine — with the
+/// delays compared bit for bit and both wall times reported.
+int cmd_eco(int argc, const char* const* argv) {
+  Common common;
+  bool json = false;
+  std::string swap, move, rewire, sigma;
+  std::vector<std::string> files;
+  util::ArgParser p("hssta_cli eco",
+                    "incremental ECO re-analysis of a chained design");
+  p.positional_rest("module.bench|.hstm", &files,
+                    "module netlists or model files (>= 2)", 2);
+  p.option("--swap", &swap, "I=FILE",
+           "swap instance I's model for FILE (.bench or .hstm)");
+  p.option("--move", &move, "I=X,Y", "re-place instance I at (X, Y)");
+  p.option("--rewire", &rewire, "C=FI.FP:TI.TP",
+           "re-route chain connection C from output FP of instance FI to "
+           "input TP of instance TI");
+  p.option("--sigma", &sigma, "P=S",
+           "scale parameter P's correlated sigma by S");
+  p.flag("--json", &json, "machine-readable JSON report on stdout");
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 2)) return 0;
+
+  flow::Config cfg = common.load();
+  if (swap.empty() && move.empty() && rewire.empty() && sigma.empty())
+    throw Error("eco: need at least one of --swap/--move/--rewire/--sigma");
+
+  // Parse the change into (a) incremental-engine changes and (b) the
+  // overrides/config of the from-scratch reference build.
+  std::vector<incr::Change> changes;
+  ChainOverrides overrides;
+  flow::Config full_cfg = cfg;
+  std::string desc;
+  auto describe = [&](const std::string& what) {
+    desc += (desc.empty() ? "" : "; ") + what;
+  };
+  if (!swap.empty()) {
+    const auto [idx, file] = parse_indexed("--swap", swap);
+    const auto variant = load_variant(file, cfg);
+    changes.push_back(incr::ReplaceModule{idx, variant});
+    overrides.models[idx] = variant;
+    describe("swap u" + std::to_string(idx) + " -> " + file);
+  }
+  if (!move.empty()) {
+    const auto [idx, xy] = parse_indexed("--move", move);
+    const auto parts = split(xy, ',');
+    if (parts.size() != 2)
+      throw Error("--move: expected I=X,Y, got: " + move);
+    const double mx = parse_number("--move x", parts[0]);
+    const double my = parse_number("--move y", parts[1]);
+    changes.push_back(incr::MoveInstance{idx, mx, my});
+    overrides.origins[idx] = placement::Point{mx, my};
+    describe("move u" + std::to_string(idx) + " to (" + parts[0] + ", " +
+             parts[1] + ")");
+  }
+  if (!rewire.empty()) {
+    const auto [idx, spec] = parse_indexed("--rewire", rewire);
+    const hier::Connection cn = parse_endpoints("--rewire", spec);
+    changes.push_back(
+        incr::RewireConnection{idx, cn.from_output, cn.to_input});
+    overrides.rewires[idx] = cn;
+    describe("rewire connection " + std::to_string(idx));
+  }
+  if (!sigma.empty()) {
+    const auto [idx, s] = parse_indexed("--sigma", sigma);
+    const double scale = parse_number("--sigma scale", s);
+    if (idx >= cfg.parameters.size())
+      throw Error("--sigma: parameter index out of range");
+    changes.push_back(incr::SigmaScale{idx, scale});
+    full_cfg.hier.param_sigma_scale.assign(cfg.parameters.size(), 1.0);
+    full_cfg.hier.param_sigma_scale[idx] = scale;
+    describe("scale sigma(" + cfg.parameters.at(idx).name + ") by " + s);
+  }
+
+  // Base design + incremental engine (models extract once, shared).
+  const flow::Design base = build_chain(files, cfg, /*verbose=*/!json);
+  incr::DesignState& st = base.incremental();
+
+  // From-scratch analysis of the changed design (timed: stitch +
+  // propagate; model extraction is shared and excluded on both sides).
+  const flow::Design changed =
+      build_chain(files, full_cfg, /*verbose=*/false, overrides);
+  const hier::HierResult& full = changed.analyze();
+
+  // Incremental re-analysis of the same change.
+  for (const incr::Change& c : changes) incr::apply_change(st, c);
+  const timing::CanonicalForm& incr_delay = st.analyze();
+
+  flow::EcoReport report;
+  report.change = desc;
+  report.full_delay = full.delay();
+  report.full_seconds = full.build_seconds + full.analysis_seconds;
+  report.incremental_delay = incr_delay;
+  report.incremental_seconds = st.stats().last_seconds;
+  report.stats = st.stats();
+  report.identical = incr_delay == full.delay();
+
+  if (json) {
+    std::printf("%s\n", flow::eco_report_json(base, report).c_str());
+  } else {
+    std::printf("\nECO: %s\n", desc.c_str());
+    print_distribution("full re-analysis", report.full_delay);
+    std::printf("  stitched + analyzed in %.4f s\n\n", report.full_seconds);
+    print_distribution("incremental re-analysis", report.incremental_delay);
+    std::printf(
+        "  re-analyzed in %.4f s (%.1fx; %llu/%llu vertices recomputed, "
+        "%llu instance%s restitched, %llu full rebuild%s)\n",
+        report.incremental_seconds,
+        report.incremental_seconds > 0.0
+            ? report.full_seconds / report.incremental_seconds
+            : 0.0,
+        static_cast<unsigned long long>(report.stats.vertices_recomputed),
+        static_cast<unsigned long long>(report.stats.vertices_live),
+        static_cast<unsigned long long>(report.stats.instances_restitched),
+        report.stats.instances_restitched == 1 ? "" : "s",
+        static_cast<unsigned long long>(report.stats.full_builds - 1),
+        report.stats.full_builds - 1 == 1 ? "" : "s");
+    std::printf("results bit-identical: %s\n",
+                report.identical ? "yes" : "NO");
+  }
+  return report.identical ? 0 : 1;
+}
+
+/// sweep: batched what-if scenarios over the chained design, fanned across
+/// the executor by the incremental engine's ScenarioRunner.
+int cmd_sweep(int argc, const char* const* argv) {
+  Common common;
+  bool json = false;
+  std::string swap_each, move_each, sigma_each, rewire;
+  std::vector<std::string> files;
+  util::ArgParser p("hssta_cli sweep",
+                    "batched what-if scenario sweep of a chained design");
+  p.positional_rest("module.bench|.hstm", &files,
+                    "module netlists or model files (>= 2)", 2);
+  p.option("--swap-each", &swap_each, "FILE",
+           "one scenario per instance: swap it for FILE's model");
+  p.option("--move-each", &move_each, "DX,DY",
+           "one scenario per instance: shift its origin by (DX, DY)");
+  p.option("--sigma-each", &sigma_each, "S",
+           "one scenario per process parameter: scale its sigma by S");
+  p.option("--rewire", &rewire, "C=FI.FP:TI.TP",
+           "one scenario re-routing chain connection C");
+  p.flag("--json", &json, "machine-readable JSON report on stdout");
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 2)) return 0;
+
+  flow::Config cfg = common.load();
+  if (swap_each.empty() && move_each.empty() && sigma_each.empty() &&
+      rewire.empty())
+    throw Error(
+        "sweep: need at least one of --swap-each/--move-each/--sigma-each/"
+        "--rewire");
+
+  const flow::Design design = build_chain(files, cfg, /*verbose=*/!json);
+  const incr::DesignState& st = design.incremental();
+
+  std::vector<incr::Scenario> scenarios;
+  if (!swap_each.empty()) {
+    const auto variant = load_variant(swap_each, cfg);
+    for (size_t i = 0; i < design.num_instances(); ++i)
+      scenarios.push_back({"swap " + design.instance_name(i),
+                           {incr::ReplaceModule{i, variant}}});
+  }
+  if (!move_each.empty()) {
+    const auto parts = split(move_each, ',');
+    if (parts.size() != 2)
+      throw Error("--move-each: expected DX,DY, got: " + move_each);
+    const double dx = parse_number("--move-each dx", parts[0]);
+    const double dy = parse_number("--move-each dy", parts[1]);
+    for (size_t i = 0; i < design.num_instances(); ++i) {
+      const placement::Point& o = st.inputs().instances[i].origin;
+      scenarios.push_back({"move " + design.instance_name(i),
+                           {incr::MoveInstance{i, o.x + dx, o.y + dy}}});
+    }
+  }
+  if (!sigma_each.empty()) {
+    const double s = parse_number("--sigma-each", sigma_each);
+    for (size_t q = 0; q < cfg.parameters.size(); ++q)
+      scenarios.push_back({"sigma " + cfg.parameters.at(q).name,
+                           {incr::SigmaScale{q, s}}});
+  }
+  if (!rewire.empty()) {
+    const auto [idx, spec] = parse_indexed("--rewire", rewire);
+    const hier::Connection cn = parse_endpoints("--rewire", spec);
+    scenarios.push_back(
+        {"rewire " + std::to_string(idx),
+         {incr::RewireConnection{idx, cn.from_output, cn.to_input}}});
+  }
+
+  WallTimer timer;
+  const std::vector<incr::ScenarioResult> results =
+      design.scenarios(scenarios);
+  const double seconds = timer.seconds();
+
+  if (json) {
+    std::printf("%s\n", flow::sweep_report_json(design, results).c_str());
+    return 0;
+  }
+  std::printf("\nbase design delay: mean %.4f ns, sigma %.4f ns\n",
+              design.delay().nominal(), design.delay().sigma());
+  std::printf("%zu scenario%s in %.3f s on %zu thread%s:\n",
+              results.size(), results.size() == 1 ? "" : "s", seconds,
+              exec::effective_threads(cfg.threads),
+              exec::effective_threads(cfg.threads) == 1 ? "" : "s");
+  for (const incr::ScenarioResult& r : results) {
+    if (!r.ok()) {
+      std::printf("  %-22s ERROR: %s\n", r.label.c_str(), r.error.c_str());
+      continue;
+    }
+    std::printf(
+        "  %-22s mean %8.4f  sigma %7.4f  q99 %8.4f  (%.4f s, %llu/%llu "
+        "vertices)\n",
+        r.label.c_str(), r.delay.nominal(), r.delay.sigma(),
+        r.delay.quantile(0.99), r.seconds,
+        static_cast<unsigned long long>(r.stats.vertices_recomputed),
+        static_cast<unsigned long long>(r.stats.vertices_live));
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -272,6 +616,10 @@ int usage() {
                "  hssta_cli extract <in.bench> <out.hstm> [flags]\n"
                "  hssta_cli mc      <in.bench> [flags]\n"
                "  hssta_cli hier    <m1.bench|.hstm> <m2...> [flags]\n"
+               "  hssta_cli eco     <m1.bench|.hstm> <m2...> --swap I=FILE |"
+               " --move I=X,Y | --rewire C=A.B:C.D | --sigma P=S\n"
+               "  hssta_cli sweep   <m1.bench|.hstm> <m2...> --swap-each F |"
+               " --move-each DX,DY | --sigma-each S | --rewire ...\n"
                "run a subcommand with --help for its flags\n");
   return 2;
 }
@@ -286,6 +634,8 @@ int main(int argc, char** argv) {
     if (cmd == "extract") return cmd_extract(argc, argv);
     if (cmd == "mc") return cmd_mc(argc, argv);
     if (cmd == "hier") return cmd_hier(argc, argv);
+    if (cmd == "eco") return cmd_eco(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
