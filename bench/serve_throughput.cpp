@@ -1,0 +1,242 @@
+// serve_throughput — request throughput and latency of the serve::Engine.
+//
+// Loads a two-module chain design into a warm engine, then drives it with
+// N concurrent clients (N in {1, 2, 4, 8}); every client opens a private
+// session and issues a fixed script of analyze-with-inline-sigma-change
+// requests, each a synchronous round trip. Per-request latencies feed
+// p50/p95; wall time over the whole fan-in gives requests/sec. The cold
+// baseline is what each request would cost without the daemon: a fresh
+// build_chain_design (module extraction + stitch) + analyze per query.
+//
+// Clients issue identical request scripts, so the delay at a given script
+// position must be bit-identical across every client — the bench exits
+// non-zero if the shared-state concurrency ever leaks between sessions.
+// Results land in bench_out/BENCH_serve.json.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "hssta/flow/chain.hpp"
+#include "hssta/serve/engine.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/json.hpp"
+#include "hssta/util/timer.hpp"
+
+namespace {
+
+using namespace hssta;
+namespace fs = std::filesystem;
+
+/// A deterministic layered NAND fabric: `width` inputs, `layers` ranks of
+/// `width` gates each (every gate reads two staggered signals from the
+/// previous rank), `width` AND-combined outputs.
+std::string layered_bench(size_t width, size_t layers, size_t stagger) {
+  std::string s;
+  auto wire = [&](size_t l, size_t k) {
+    return "w" + std::to_string(l) + "_" + std::to_string(k);
+  };
+  for (size_t k = 0; k < width; ++k)
+    s += "INPUT(" + wire(0, k) + ")\n";
+  for (size_t k = 0; k < width; ++k)
+    s += "OUTPUT(o" + std::to_string(k) + ")\n";
+  for (size_t l = 1; l <= layers; ++l)
+    for (size_t k = 0; k < width; ++k)
+      s += wire(l, k) + " = NAND(" + wire(l - 1, k) + ", " +
+           wire(l - 1, (k + stagger) % width) + ")\n";
+  for (size_t k = 0; k < width; ++k)
+    s += "o" + std::to_string(k) + " = AND(" + wire(layers, k) + ", " +
+         wire(layers, (k + 1) % width) + ")\n";
+  return s;
+}
+
+std::string write_bench(const fs::path& dir, const std::string& name,
+                        size_t width, size_t layers, size_t stagger) {
+  const fs::path p = dir / name;
+  std::ofstream os(p);
+  os << layered_bench(width, layers, stagger);
+  return p.string();
+}
+
+double percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t i = static_cast<size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(i, sorted_ms.size() - 1)];
+}
+
+/// The delay block of one analyze response, for cross-client bit-identity.
+double response_mean(const std::string& response) {
+  const util::JsonValue doc = util::JsonReader::parse(response);
+  HSSTA_REQUIRE(doc.at("ok").as_bool(),
+                "analyze failed under load: " + response);
+  return doc.at("delay").at("mean").as_number();
+}
+
+struct ClientRun {
+  std::vector<double> latencies_ms;
+  std::vector<double> means;
+};
+
+struct Point {
+  size_t clients;
+  size_t requests;
+  double seconds;
+  double rps;
+  double p50_ms;
+  double p95_ms;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::BenchArgs::parse(argc, argv, "serve_throughput");
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("hssta_serve_bench_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  // Same gate count for both stages (only the wiring stagger differs):
+  // chained instances must share one grid pitch.
+  const std::vector<std::string> files = {
+      write_bench(dir, "a.bench", 8, 12, 3),
+      write_bench(dir, "b.bench", 8, 12, 5),
+  };
+
+  flow::Config cfg;
+  cfg.extract.criticality_threshold = args.delta;
+
+  serve::EngineOptions opts;
+  opts.queue_capacity = 4096;
+  opts.config = cfg;
+  serve::Engine engine(opts);
+
+  // Warm the engine once: this is the shared state every client reuses.
+  WallTimer load_timer;
+  const std::string load = engine.request(
+      "{\"verb\":\"load_design\",\"name\":\"bench\",\"files\":[\"" + files[0] +
+      "\",\"" + files[1] + "\"]}");
+  const double load_seconds = load_timer.seconds();
+  HSSTA_REQUIRE(util::JsonReader::parse(load).at("ok").as_bool(),
+                "load_design failed: " + load);
+
+  // Cold baseline: the one-shot cost of the same analysis without a warm
+  // engine — fresh extraction + stitch + propagate per query.
+  const int cold_reps = args.quick ? 1 : 3;
+  double cold_seconds = 0.0;
+  for (int rep = 0; rep < cold_reps; ++rep) {
+    WallTimer t;
+    const flow::Design fresh = flow::build_chain_design("cold", files, cfg);
+    (void)fresh.analyze();
+    const double s = t.seconds();
+    cold_seconds = rep == 0 ? s : std::min(cold_seconds, s);
+  }
+
+  const size_t per_client = args.quick ? 20 : 100;
+  const std::vector<size_t> fanouts =
+      args.quick ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 2, 4, 8};
+
+  std::printf("serve_throughput: warm load %.3f s, cold one-shot %.3f s, "
+              "%zu requests/client\n",
+              load_seconds, cold_seconds, per_client);
+
+  std::vector<Point> points;
+  double warm_p50_ms = 0.0;
+  bool identical = true;
+  for (const size_t n : fanouts) {
+    std::vector<ClientRun> runs(n);
+    WallTimer wall;
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < n; ++c)
+      clients.emplace_back([&, c] {
+        ClientRun& run = runs[c];
+        const std::string open = engine.request(
+            "{\"verb\":\"open_session\",\"design\":\"bench\"}");
+        const uint64_t session =
+            util::JsonReader::parse(open).at("session").as_count("session");
+        for (size_t r = 0; r < per_client; ++r) {
+          // Same script for every client: the response at position r must
+          // be bit-identical no matter how the engine interleaves them.
+          const double scale = 1.0 + 0.01 * static_cast<double>(r % 16);
+          char line[160];
+          std::snprintf(line, sizeof line,
+                        "{\"verb\":\"analyze\",\"session\":%llu,\"changes\":"
+                        "[{\"op\":\"sigma\",\"param\":0,\"scale\":%.17g}]}",
+                        static_cast<unsigned long long>(session), scale);
+          WallTimer t;
+          const std::string response = engine.request(line);
+          run.latencies_ms.push_back(1e3 * t.seconds());
+          run.means.push_back(response_mean(response));
+        }
+        (void)engine.request("{\"verb\":\"close_session\",\"session\":" +
+                             std::to_string(session) + "}");
+      });
+    for (std::thread& t : clients) t.join();
+    const double seconds = wall.seconds();
+
+    for (size_t r = 0; r < per_client; ++r)
+      for (size_t c = 1; c < n; ++c)
+        identical = identical && runs[c].means[r] == runs[0].means[r];
+
+    std::vector<double> all;
+    for (const ClientRun& run : runs)
+      all.insert(all.end(), run.latencies_ms.begin(), run.latencies_ms.end());
+    std::sort(all.begin(), all.end());
+
+    Point p;
+    p.clients = n;
+    p.requests = all.size();
+    p.seconds = seconds;
+    p.rps = seconds > 0 ? static_cast<double>(all.size()) / seconds : 0.0;
+    p.p50_ms = percentile(all, 0.50);
+    p.p95_ms = percentile(all, 0.95);
+    points.push_back(p);
+    if (n == 1) warm_p50_ms = p.p50_ms;
+    std::printf("  %zu client%s: %6.0f req/s, p50 %7.3f ms, p95 %7.3f ms\n",
+                n, n == 1 ? " " : "s", p.rps, p.p50_ms, p.p95_ms);
+  }
+
+  (void)engine.request("{\"verb\":\"shutdown\"}");
+  engine.wait_until_stopped();
+  fs::remove_all(dir);
+
+  const double warm_vs_cold =
+      warm_p50_ms > 0 ? cold_seconds / (1e-3 * warm_p50_ms) : 0.0;
+  std::printf("warm p50 %.3f ms vs cold one-shot %.3f s (%.0fx), results %s\n",
+              warm_p50_ms, cold_seconds, warm_vs_cold,
+              identical ? "bit-identical across clients" : "MISMATCHED");
+
+  std::ofstream os(bench::out_path("BENCH_serve.json"));
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("bench").value("serve_throughput");
+  w.key("requests_per_client").value(per_client);
+  w.key("load_seconds").value(load_seconds);
+  w.key("cold_one_shot_seconds").value(cold_seconds);
+  w.key("warm_p50_ms").value(warm_p50_ms);
+  w.key("warm_vs_cold_speedup").value(warm_vs_cold);
+  w.key("identical_across_clients").value(identical);
+  w.key("fanout").begin_array();
+  for (const Point& p : points) {
+    w.begin_object();
+    w.key("clients").value(p.clients);
+    w.key("requests").value(p.requests);
+    w.key("seconds").value(p.seconds);
+    w.key("rps").value(p.rps);
+    w.key("p50_ms").value(p.p50_ms);
+    w.key("p95_ms").value(p.p95_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("JSON: %s\n", bench::out_path("BENCH_serve.json").c_str());
+  return identical ? 0 : 1;
+}

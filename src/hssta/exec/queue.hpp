@@ -1,0 +1,98 @@
+/// \file queue.hpp
+/// exec::BoundedQueue — a small bounded multi-producer queue for
+/// producer/consumer pipelines; the serve layer's admission-controlled
+/// request queue is the motivating consumer.
+///
+/// Semantics:
+///  * try_push never blocks: it returns kFull when the queue is at
+///    capacity and kClosed after close(), so producers turn saturation
+///    into an immediate backpressure response instead of queueing
+///    unboundedly or stalling their reader;
+///  * pop_batch blocks until at least one item is available, then drains
+///    up to `max` items in FIFO order — the dispatcher's batching
+///    primitive. It returns an empty vector exactly once the queue is
+///    closed *and* drained, so a consumer loop naturally processes every
+///    item accepted before shutdown;
+///  * close() wakes every waiter and fails later pushes; items already
+///    accepted stay poppable (graceful drain, never silent drop).
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::exec {
+
+enum class PushResult { kOk, kFull, kClosed };
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    HSSTA_REQUIRE(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  /// Enqueue without blocking; kFull / kClosed are the admission verdicts.
+  /// Moves from `item` only on kOk — a rejected item stays with the
+  /// caller, which needs it to produce the rejection response.
+  [[nodiscard]] PushResult try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Block until an item arrives (or the queue closes), then drain up to
+  /// `max` items in FIFO order. Empty result == closed and fully drained.
+  [[nodiscard]] std::vector<T> pop_batch(size_t max) {
+    HSSTA_REQUIRE(max > 0, "BoundedQueue: batch size must be positive");
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    std::vector<T> out;
+    const size_t n = items_.size() < max ? items_.size() : max;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  /// Fail later pushes and wake every pop_batch waiter; accepted items
+  /// remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace hssta::exec

@@ -1,0 +1,86 @@
+#include "hssta/flow/chain.hpp"
+
+#include <set>
+#include <utility>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::flow {
+
+bool is_model_file(const std::string& path) {
+  return path.ends_with(".hstm");
+}
+
+std::shared_ptr<const model::TimingModel> load_variant_model(
+    const std::string& file, const Config& cfg) {
+  if (is_model_file(file))
+    return std::make_shared<const model::TimingModel>(
+        model::TimingModel::load_file(file));
+  return Module::from_bench_file(file, cfg).model_ptr();
+}
+
+Design build_chain_design(const std::string& name,
+                          const std::vector<std::string>& files,
+                          const Config& cfg, const ChainOverrides& overrides) {
+  Design design(name, cfg);
+  double x = 0.0;
+  for (size_t idx = 0; idx < files.size(); ++idx) {
+    const std::string& file = files[idx];
+    const auto model_it = overrides.models.find(idx);
+    const auto origin_it = overrides.origins.find(idx);
+    const double ox =
+        origin_it != overrides.origins.end() ? origin_it->second.x : x;
+    const double oy =
+        origin_it != overrides.origins.end() ? origin_it->second.y : 0.0;
+    size_t got;
+    if (model_it != overrides.models.end())
+      got = design.add_instance(model_it->second, ox, oy);
+    else if (is_model_file(file))
+      got = design.add_instance_from_model_file(file, ox, oy,
+                                                "u" + std::to_string(idx));
+    else
+      got = design.add_instance(Module::from_bench_file(file, cfg), ox, oy);
+    x += design.instance_model(got).die().width;
+  }
+
+  // The base chain's connection list (deterministic), then any rewires.
+  std::vector<hier::Connection> base_conns;
+  for (size_t i = 0; i + 1 < design.num_instances(); ++i) {
+    const size_t no = design.num_outputs(i);
+    const size_t ni = design.num_inputs(i + 1);
+    if (no == 0)
+      throw Error("cannot chain: module '" + design.instance_name(i) +
+                  "' has no outputs");
+    for (size_t k = 0; k < ni; ++k)
+      base_conns.push_back(hier::Connection{hier::PortRef{i, k % no},
+                                            hier::PortRef{i + 1, k}});
+  }
+  for (size_t c = 0; c < base_conns.size(); ++c) {
+    const auto it = overrides.rewires.find(c);
+    const hier::Connection& cn =
+        it != overrides.rewires.end() ? it->second : base_conns[c];
+    design.connect(cn.from_output.instance, cn.from_output.port,
+                   cn.to_input.instance, cn.to_input.port);
+  }
+
+  // Primary ports from the *base* topology (expose_unconnected_ports
+  // naming), so rewired/unmodified chains share one port list.
+  std::set<std::pair<size_t, size_t>> driven, read;
+  for (const hier::Connection& cn : base_conns) {
+    driven.insert({cn.to_input.instance, cn.to_input.port});
+    read.insert({cn.from_output.instance, cn.from_output.port});
+  }
+  for (size_t i = 0; i < design.num_instances(); ++i) {
+    for (size_t k = 0; k < design.num_inputs(i); ++k)
+      if (!driven.count({i, k}))
+        design.primary_input(
+            design.instance_name(i) + "_i" + std::to_string(k), i, k);
+    for (size_t k = 0; k < design.num_outputs(i); ++k)
+      if (!read.count({i, k}))
+        design.primary_output(
+            design.instance_name(i) + "_o" + std::to_string(k), i, k);
+  }
+  return design;
+}
+
+}  // namespace hssta::flow

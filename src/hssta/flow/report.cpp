@@ -4,9 +4,7 @@
 
 namespace hssta::flow {
 
-namespace {
-
-void stats_json(util::JsonWriter& w, const incr::IncrementalStats& s) {
+void incr_stats_json(util::JsonWriter& w, const incr::IncrementalStats& s) {
   w.begin_object();
   w.key("analyses").value(s.analyses);
   w.key("full_builds").value(s.full_builds);
@@ -18,7 +16,23 @@ void stats_json(util::JsonWriter& w, const incr::IncrementalStats& s) {
   w.end_object();
 }
 
-}  // namespace
+void scenario_json(util::JsonWriter& w, const incr::ScenarioResult& r) {
+  w.begin_object();
+  w.key("label").value(r.label);
+  w.key("index").value(r.index);
+  w.key("changes").value(r.changes);
+  w.key("ok").value(r.ok());
+  w.key("seconds").value(r.seconds);
+  if (r.ok()) {
+    w.key("delay");
+    delay_json(w, r.delay);
+    w.key("stats");
+    incr_stats_json(w, r.stats);
+  } else {
+    w.key("error").value(r.error);
+  }
+  w.end_object();
+}
 
 void delay_json(util::JsonWriter& w, const timing::CanonicalForm& d) {
   w.begin_object();
@@ -90,7 +104,7 @@ std::string eco_report_json(const Design& d, const EcoReport& r) {
   delay_json(w, r.incremental_delay);
   w.key("seconds").value(r.incremental_seconds);
   w.key("stats");
-  stats_json(w, r.stats);
+  incr_stats_json(w, r.stats);
   w.end_object();
   w.key("speedup").value(r.incremental_seconds > 0.0
                              ? r.full_seconds / r.incremental_seconds
@@ -107,21 +121,7 @@ std::string sweep_report_json(const Design& d,
   w.begin_object();
   w.key("design").value(d.name());
   w.key("scenarios").begin_array();
-  for (const incr::ScenarioResult& r : results) {
-    w.begin_object();
-    w.key("label").value(r.label);
-    w.key("ok").value(r.ok());
-    w.key("seconds").value(r.seconds);
-    if (r.ok()) {
-      w.key("delay");
-      delay_json(w, r.delay);
-      w.key("stats");
-      stats_json(w, r.stats);
-    } else {
-      w.key("error").value(r.error);
-    }
-    w.end_object();
-  }
+  for (const incr::ScenarioResult& r : results) scenario_json(w, r);
   w.end_array();
   w.end_object();
   return os.str();

@@ -16,8 +16,19 @@
 namespace hssta::flow {
 
 /// Emit {"mean":..,"sigma":..,"q90":..,"q99":..,"q9987":..} for a delay
-/// distribution (shared by every report).
+/// distribution (shared by every report, and by the serve protocol's
+/// responses — the schemas must stay one).
 void delay_json(util::JsonWriter& w, const timing::CanonicalForm& d);
+
+/// Emit the incr::IncrementalStats counter object (same sharing contract
+/// as delay_json).
+void incr_stats_json(util::JsonWriter& w, const incr::IncrementalStats& s);
+
+/// Emit one sweep scenario entry: label, index, the change description,
+/// seconds, and either delay+stats or the error text. Shared by
+/// sweep_report_json and the server's `sweep` verb, so a failed scenario
+/// carries its originating index + changes in both payloads.
+void scenario_json(util::JsonWriter& w, const incr::ScenarioResult& r);
 
 /// `hssta_cli hier --json`: design summary, per-instance table, timing
 /// and delay distribution; a "cache" object when the model cache is

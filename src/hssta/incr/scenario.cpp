@@ -1,5 +1,7 @@
 #include "hssta/incr/scenario.hpp"
 
+#include <cstdio>
+
 #include "hssta/util/error.hpp"
 #include "hssta/util/timer.hpp"
 
@@ -20,6 +22,48 @@ void apply_change(DesignState& state, const Change& change) {
         }
       },
       change);
+}
+
+namespace {
+
+/// %g formatting (matches the CLI's human-readable output, not the %.17g
+/// of the JSON values — descriptions are labels, not data).
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string describe_change(const Change& change) {
+  return std::visit(
+      [](const auto& c) -> std::string {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, ReplaceModule>) {
+          return "swap u" + std::to_string(c.inst) + " -> " +
+                 (c.model ? c.model->name() : "<null model>");
+        } else if constexpr (std::is_same_v<T, MoveInstance>) {
+          return "move u" + std::to_string(c.inst) + " to (" + fmt(c.x) +
+                 ", " + fmt(c.y) + ")";
+        } else if constexpr (std::is_same_v<T, RewireConnection>) {
+          return "rewire c" + std::to_string(c.conn) + " to u" +
+                 std::to_string(c.from_output.instance) + ".o" +
+                 std::to_string(c.from_output.port) + ":u" +
+                 std::to_string(c.to_input.instance) + ".i" +
+                 std::to_string(c.to_input.port);
+        } else {
+          return "sigma p" + std::to_string(c.param) + " x" + fmt(c.scale);
+        }
+      },
+      change);
+}
+
+std::string describe_changes(std::span<const Change> changes) {
+  std::string out;
+  for (const Change& c : changes)
+    out += (out.empty() ? "" : "; ") + describe_change(c);
+  return out;
 }
 
 ScenarioRunner::ScenarioRunner(const DesignState& base) : base_(&base) {
@@ -45,6 +89,8 @@ std::vector<ScenarioResult> ScenarioRunner::run(
     const Scenario& sc = scenarios[i];
     ScenarioResult& r = out[i];
     r.label = sc.label;
+    r.index = i;
+    r.changes = describe_changes(sc.changes);
     WallTimer timer;
     try {
       DesignState state(*base_);  // shares the clean prefix by copy

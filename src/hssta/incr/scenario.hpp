@@ -61,6 +61,14 @@ struct Scenario {
 
 struct ScenarioResult {
   std::string label;
+  /// Position of the scenario in the submitted batch (set by the runner),
+  /// so an error can be traced back to the originating scenario even when
+  /// labels collide or are empty.
+  size_t index = 0;
+  /// describe_changes() of the scenario's change list (set by the runner).
+  /// Error payloads carry it next to the exception text, so a failed
+  /// what-if names the change that caused it, not just the symptom.
+  std::string changes;
   /// The design delay under the scenario (valid when ok()).
   timing::CanonicalForm delay;
   IncrementalStats stats;
@@ -73,6 +81,13 @@ struct ScenarioResult {
 /// Apply one change to a state (the dispatch ScenarioRunner uses; exposed
 /// for callers driving a DesignState from parsed change lists).
 void apply_change(DesignState& state, const Change& change);
+
+/// Human-readable one-line description of a change ("swap u1 -> c1908_v2",
+/// "move u0 to (3, 0)", "rewire c2 to u0.o1:u1.i0", "sigma p0 x1.2") —
+/// used by scenario error payloads and server logs.
+[[nodiscard]] std::string describe_change(const Change& change);
+/// "; "-joined describe_change() over a change list.
+[[nodiscard]] std::string describe_changes(std::span<const Change> changes);
 
 class ScenarioRunner {
  public:

@@ -1,0 +1,91 @@
+#include "hssta/serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::serve {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  HSSTA_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
+                "socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HSSTA_REQUIRE(fd_ >= 0,
+                std::string("socket() failed: ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("connect(" + socket_path +
+                ") failed: " + std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::string Client::request(const std::string& line) {
+  send(line);
+  return recv();
+}
+
+void Client::send(const std::string& line) {
+  HSSTA_REQUIRE(fd_ >= 0, "client is not connected");
+  std::string out = line;
+  out.push_back('\n');
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    HSSTA_REQUIRE(n > 0, std::string("send() failed: ") +
+                             (n < 0 ? std::strerror(errno) : "closed"));
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string Client::recv() {
+  HSSTA_REQUIRE(fd_ >= 0, "client is not connected");
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    HSSTA_REQUIRE(n > 0, "connection closed before a full response line");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace hssta::serve

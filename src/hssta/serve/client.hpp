@@ -1,0 +1,40 @@
+/// \file client.hpp
+/// serve::Client — a minimal line-oriented client for hssta_serve's
+/// Unix-domain-socket transport. Used by `hssta_cli serve-client`, the
+/// serve throughput benchmark and the end-to-end tests; kept in the
+/// library so all three speak the wire protocol through one code path.
+
+#pragma once
+
+#include <string>
+
+namespace hssta::serve {
+
+class Client {
+ public:
+  /// Connect to a listening hssta_serve socket; throws hssta::Error when
+  /// the connection can't be established.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Synchronous round trip: send one request line, block for the next
+  /// response line. (With the protocol's in-order delivery this pairs
+  /// request and response for non-pipelined use.)
+  [[nodiscard]] std::string request(const std::string& line);
+
+  /// Pipelining primitives: send a request without waiting / block for
+  /// the next response line. recv() throws on EOF before a full line.
+  void send(const std::string& line);
+  [[nodiscard]] std::string recv();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace hssta::serve

@@ -1,0 +1,524 @@
+#include "hssta/serve/engine.hpp"
+
+#include <exception>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "hssta/flow/chain.hpp"
+#include "hssta/flow/report.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/timer.hpp"
+#include "hssta/util/version.hpp"
+
+namespace hssta::serve {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions opts)
+    : opts_(std::move(opts)), queue_(opts_.queue_capacity) {
+  // Designs and sessions always analyze serially inside their worker slot
+  // (parallelism comes from batching requests across sessions, and serial
+  // analysis is bit-identical anyway); the config's thread knob must not
+  // spawn a pool per loaded design.
+  opts_.config.threads = 1;
+  exec_ = exec::make_executor(opts_.threads);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Engine::~Engine() {
+  request_stop();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void Engine::submit(std::string line, Done done) {
+  n_requests_.fetch_add(1, kRelaxed);
+  Pending p{std::move(line), std::move(done)};
+  const exec::PushResult r = queue_.try_push(p);
+  if (r == exec::PushResult::kOk) return;
+
+  // Rejected up front: answer inline (possibly overtaking queued
+  // responses — the echoed id lets pipelined clients match). Best-effort
+  // id recovery: the line may be arbitrary garbage.
+  std::optional<uint64_t> id;
+  try {
+    const util::JsonValue doc = util::JsonReader::parse(p.line);
+    if (doc.is_object())
+      if (const util::JsonValue* v = doc.find("id")) id = v->as_count("id");
+  } catch (const std::exception&) {
+  }
+  n_error_.fetch_add(1, kRelaxed);
+  if (r == exec::PushResult::kFull) {
+    n_backpressure_.fetch_add(1, kRelaxed);
+    p.done(error_response(id, kBackpressure,
+                          "request queue is full (capacity " +
+                              std::to_string(opts_.queue_capacity) +
+                              "); retry later"));
+  } else {
+    n_rejected_shutdown_.fetch_add(1, kRelaxed);
+    p.done(error_response(id, kShuttingDown, "server is shutting down"));
+  }
+}
+
+std::string Engine::request(const std::string& line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  submit(line, [&promise](std::string response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+bool Engine::stopped() const {
+  std::lock_guard<std::mutex> lock(stopped_mu_);
+  return stopped_;
+}
+
+void Engine::wait_until_stopped() {
+  std::unique_lock<std::mutex> lock(stopped_mu_);
+  stopped_cv_.wait(lock, [&] { return stopped_; });
+}
+
+void Engine::request_stop() {
+  stop_requested_.store(true, kRelaxed);
+  queue_.close();
+}
+
+EngineStats Engine::stats_snapshot() const {
+  EngineStats s;
+  s.requests = n_requests_.load(kRelaxed);
+  s.responses_ok = n_ok_.load(kRelaxed);
+  s.responses_error = n_error_.load(kRelaxed);
+  s.rejected_backpressure = n_backpressure_.load(kRelaxed);
+  s.rejected_shutdown = n_rejected_shutdown_.load(kRelaxed);
+  s.batches = n_batches_.load(kRelaxed);
+  s.sessions_opened = n_opened_.load(kRelaxed);
+  s.sessions_closed = n_closed_.load(kRelaxed);
+  s.sessions_evicted = n_evicted_.load(kRelaxed);
+  s.ecos = n_ecos_.load(kRelaxed);
+  s.analyzes = n_analyzes_.load(kRelaxed);
+  s.sweeps = n_sweeps_.load(kRelaxed);
+  return s;
+}
+
+void Engine::dispatch_loop() {
+  for (;;) {
+    std::vector<Pending> batch = queue_.pop_batch(opts_.batch_max);
+    if (batch.empty()) break;  // closed and drained
+    evict_idle_sessions();
+    run_batch(std::move(batch));
+    n_batches_.fetch_add(1, kRelaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stopped_mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Engine::run_batch(std::vector<Pending> batch) {
+  std::vector<Work> works(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    works[i].pending = std::move(batch[i]);
+    try {
+      works[i].request = parse_request(works[i].pending.line);
+      works[i].parsed = true;
+    } catch (const std::exception& e) {
+      n_error_.fetch_add(1, kRelaxed);
+      works[i].response = error_response(std::nullopt, kBadRequest, e.what());
+    }
+  }
+
+  // Group the batch: one group per addressed session (its requests run
+  // sequentially, in arrival order — the per-session serialization
+  // guarantee), everything else in one ordered control group.
+  std::vector<std::vector<size_t>> groups(1);
+  std::map<uint64_t, size_t> session_group;
+  for (size_t i = 0; i < works.size(); ++i) {
+    if (!works[i].parsed) continue;  // response already filled
+    const Request& req = works[i].request;
+    if (is_session_verb(req.verb)) {
+      const auto [it, fresh] =
+          session_group.try_emplace(req.session, groups.size());
+      if (fresh) groups.emplace_back();
+      groups[it->second].push_back(i);
+    } else {
+      groups[0].push_back(i);
+    }
+  }
+
+  {
+    exec::Executor::Exclusive lock(*exec_);
+    exec_->parallel_for(groups.size(), [&](size_t g, exec::Workspace&) {
+      for (const size_t i : groups[g]) {
+        Work& w = works[i];
+        try {
+          w.response = handle(w.request);
+        } catch (const std::exception& e) {
+          n_error_.fetch_add(1, kRelaxed);
+          w.response = error_response(w.request.id, kInternal, e.what());
+        }
+      }
+    });
+  }
+
+  // Deliver in arrival order after the batch barrier, so every submitter
+  // sees its responses in request order.
+  for (Work& w : works) w.pending.done(std::move(w.response));
+}
+
+void Engine::evict_idle_sessions() {
+  if (opts_.idle_timeout_seconds <= 0.0) return;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (seconds_between(it->second->last_used, now) >
+        opts_.idle_timeout_seconds) {
+      evicted_ids_.insert(it->first);
+      it = sessions_.erase(it);
+      n_evicted_.fetch_add(1, kRelaxed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string Engine::handle(const Request& req) {
+  switch (req.verb) {
+    case Verb::kLoadDesign:
+      return handle_load_design(req);
+    case Verb::kOpenSession:
+      return handle_open_session(req);
+    case Verb::kEco:
+      return handle_eco(req);
+    case Verb::kAnalyze:
+      return handle_analyze(req);
+    case Verb::kSweep:
+      return handle_sweep(req);
+    case Verb::kStats:
+      return handle_stats(req);
+    case Verb::kCloseSession:
+      return handle_close_session(req);
+    case Verb::kShutdown:
+      break;
+  }
+  return handle_shutdown(req);
+}
+
+std::string Engine::handle_load_design(const Request& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (designs_.count(req.name)) {
+      n_error_.fetch_add(1, kRelaxed);
+      return error_response(req.id, kBadRequest,
+                            "design '" + req.name + "' is already loaded");
+    }
+  }
+
+  // Build + analyze outside the lock (expensive; the control group is
+  // sequential, so no two loads race anyway). The warm base every session
+  // will copy from is the design's incremental state, fully analyzed here.
+  WallTimer timer;
+  flow::Design design =
+      flow::build_chain_design(req.name, req.files, opts_.config);
+  (void)design.analyze();
+  (void)design.analyze_incremental();
+  const double seconds = timer.seconds();
+
+  auto loaded = std::make_unique<Loaded>(std::move(design));
+  const flow::Design& d = loaded->design;
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("design").value(req.name);
+  w.key("instances").value(d.num_instances());
+  w.key("delay");
+  flow::delay_json(w, d.delay());
+  w.key("seconds").value(seconds);
+  w.end_object();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    designs_.emplace(req.name, std::move(loaded));
+  }
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::string Engine::handle_open_session(const Request& req) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = designs_.find(req.design);
+    if (it == designs_.end()) {
+      n_error_.fetch_add(1, kRelaxed);
+      return error_response(req.id, kUnknownDesign,
+                            "no design named '" + req.design + "' is loaded");
+    }
+    if (sessions_.size() >= opts_.max_sessions) {
+      n_error_.fetch_add(1, kRelaxed);
+      return error_response(
+          req.id, kSaturated,
+          "session limit reached (" + std::to_string(opts_.max_sessions) +
+              " open); close a session first");
+    }
+    const uint64_t id = next_session_++;
+    // Copy the analyzed warm base: the clean prefix (stitched graph,
+    // provenance, design PCA, arrivals) shares by copy — nothing
+    // recomputes until the session's first change.
+    session = std::make_shared<Session>(id, req.design,
+                                        it->second->design.incremental());
+    session->state.set_executor(std::make_shared<exec::SerialExecutor>());
+    session->last_used = Clock::now();
+    sessions_.emplace(id, session);
+  }
+  n_opened_.fetch_add(1, kRelaxed);
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("session").value(session->id);
+  w.key("design").value(session->design);
+  w.key("delay");
+  flow::delay_json(w, session->state.delay());
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::shared_ptr<Engine::Session> Engine::find_session(uint64_t id,
+                                                      std::string& error,
+                                                      const char*& code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it != sessions_.end()) return it->second;
+  code = kUnknownSession;
+  if (evicted_ids_.count(id))
+    error = "session " + std::to_string(id) +
+            " was evicted after idle timeout (" +
+            std::to_string(opts_.idle_timeout_seconds) + "s); open a new one";
+  else if (id == 0 || id >= next_session_)
+    error = "unknown session " + std::to_string(id);
+  else
+    error = "session " + std::to_string(id) + " is closed";
+  return nullptr;
+}
+
+std::string Engine::handle_eco(const Request& req) {
+  std::string error;
+  const char* code = kInternal;
+  const std::shared_ptr<Session> session =
+      find_session(req.session, error, code);
+  if (!session) {
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, code, error);
+  }
+  session->last_used = Clock::now();
+  try {
+    // Resolve every change before applying any, so a bad spec (missing
+    // variant file, ...) leaves the session untouched.
+    std::vector<incr::Change> changes;
+    changes.reserve(req.changes.size());
+    for (const ChangeSpec& spec : req.changes)
+      changes.push_back(resolve_change(spec, opts_.config));
+    for (const incr::Change& c : changes)
+      incr::apply_change(session->state, c);
+  } catch (const std::exception& e) {
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, kInvalidChange, e.what());
+  }
+  session->ecos += req.changes.size();
+  n_ecos_.fetch_add(1, kRelaxed);
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("session").value(session->id);
+  w.key("recorded").value(req.changes.size());
+  w.key("pending").value(session->state.pending());
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::string Engine::handle_analyze(const Request& req) {
+  std::string error;
+  const char* code = kInternal;
+  const std::shared_ptr<Session> session =
+      find_session(req.session, error, code);
+  if (!session) {
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, code, error);
+  }
+  session->last_used = Clock::now();
+  WallTimer timer;
+  try {
+    std::vector<incr::Change> changes;
+    changes.reserve(req.changes.size());
+    for (const ChangeSpec& spec : req.changes)
+      changes.push_back(resolve_change(spec, opts_.config));
+    for (const incr::Change& c : changes)
+      incr::apply_change(session->state, c);
+    session->state.analyze();
+  } catch (const std::exception& e) {
+    // analyze() leaves derived state untouched on validation failure —
+    // the session survives an invalid what-if.
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, kInvalidChange, e.what());
+  }
+  session->ecos += req.changes.size();
+  n_analyzes_.fetch_add(1, kRelaxed);
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("session").value(session->id);
+  w.key("delay");
+  flow::delay_json(w, session->state.delay());
+  w.key("stats");
+  flow::incr_stats_json(w, session->state.stats());
+  w.key("seconds").value(timer.seconds());
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::string Engine::handle_sweep(const Request& req) {
+  std::string error;
+  const char* code = kInternal;
+  const std::shared_ptr<Session> session =
+      find_session(req.session, error, code);
+  if (!session) {
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, code, error);
+  }
+  session->last_used = Clock::now();
+  WallTimer timer;
+  std::vector<incr::ScenarioResult> results;
+  try {
+    std::vector<incr::Scenario> scenarios;
+    scenarios.reserve(req.scenarios.size());
+    for (const ScenarioSpec& spec : req.scenarios) {
+      incr::Scenario sc;
+      sc.label = spec.label;
+      sc.changes.reserve(spec.changes.size());
+      for (const ChangeSpec& c : spec.changes)
+        sc.changes.push_back(resolve_change(c, opts_.config));
+      scenarios.push_back(std::move(sc));
+    }
+    // The runner needs an analyzed base with nothing pending: flush any
+    // recorded-but-unanalyzed ecos first (same state an `analyze` would
+    // leave). Scenarios then branch off the session's current state.
+    if (session->state.pending()) session->state.analyze();
+    const incr::ScenarioRunner runner(session->state);
+    results = runner.run(scenarios);
+  } catch (const std::exception& e) {
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, kInvalidChange, e.what());
+  }
+  n_sweeps_.fetch_add(1, kRelaxed);
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("session").value(session->id);
+  w.key("seconds").value(timer.seconds());
+  w.key("scenarios").begin_array();
+  for (const incr::ScenarioResult& r : results) flow::scenario_json(w, r);
+  w.end_array();
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::string Engine::handle_stats(const Request& req) {
+  const EngineStats s = stats_snapshot();
+  size_t designs, sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    designs = designs_.size();
+    sessions = sessions_.size();
+  }
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("version").value(kVersion);
+  w.key("build").value(build_info());
+  w.key("uptime_seconds").value(seconds_between(started_, Clock::now()));
+  w.key("designs").value(designs);
+  w.key("sessions").value(sessions);
+  w.key("counters").begin_object();
+  w.key("requests").value(s.requests);
+  w.key("responses_ok").value(s.responses_ok);
+  w.key("responses_error").value(s.responses_error);
+  w.key("rejected_backpressure").value(s.rejected_backpressure);
+  w.key("rejected_shutdown").value(s.rejected_shutdown);
+  w.key("batches").value(s.batches);
+  w.key("sessions_opened").value(s.sessions_opened);
+  w.key("sessions_closed").value(s.sessions_closed);
+  w.key("sessions_evicted").value(s.sessions_evicted);
+  w.key("ecos").value(s.ecos);
+  w.key("analyzes").value(s.analyzes);
+  w.key("sweeps").value(s.sweeps);
+  w.end_object();
+  w.key("options").begin_object();
+  w.key("threads").value(exec::effective_threads(opts_.threads));
+  w.key("queue_capacity").value(opts_.queue_capacity);
+  w.key("batch_max").value(opts_.batch_max);
+  w.key("idle_timeout_seconds").value(opts_.idle_timeout_seconds);
+  w.key("max_sessions").value(opts_.max_sessions);
+  w.end_object();
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::string Engine::handle_close_session(const Request& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(req.session);
+    if (it != sessions_.end()) {
+      sessions_.erase(it);
+      n_closed_.fetch_add(1, kRelaxed);
+      std::ostringstream os;
+      util::JsonWriter w(os);
+      begin_response(w, req.id, /*ok=*/true);
+      w.key("session").value(req.session);
+      w.key("closed").value(true);
+      w.end_object();
+      n_ok_.fetch_add(1, kRelaxed);
+      return os.str();
+    }
+  }
+  std::string error;
+  const char* code = kInternal;
+  (void)find_session(req.session, error, code);  // compose the message
+  n_error_.fetch_add(1, kRelaxed);
+  return error_response(req.id, code, error);
+}
+
+std::string Engine::handle_shutdown(const Request& req) {
+  // Closing the queue rejects new requests ("shutting_down"); everything
+  // already accepted — this batch included — still drains before the
+  // dispatcher signals stopped().
+  request_stop();
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("stopping").value(true);
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+}  // namespace hssta::serve

@@ -1,0 +1,127 @@
+/// \file protocol.hpp
+/// The hssta_serve wire protocol: newline-delimited JSON request/response.
+///
+/// Every request is one JSON object on one line with a "verb" member;
+/// every response is one JSON object on one line with an "ok" member (and
+/// the request's "id" echoed back when it carried one). Response payloads
+/// reuse the pinned flow/report schemas — a served delay block is byte-
+/// identical to the --json block the one-shot CLI prints for the same
+/// analysis.
+///
+/// Verbs:
+///   {"verb":"load_design","name":"d","files":["m0.bench","m1.hstm"]}
+///   {"verb":"open_session","design":"d"}
+///   {"verb":"eco","session":1,"changes":[CHANGE...]}        record only
+///   {"verb":"analyze","session":1[,"changes":[CHANGE...]]}  flush + delay
+///   {"verb":"sweep","session":1,"scenarios":[{"label":"a",
+///                                             "changes":[CHANGE...]}...]}
+///   {"verb":"stats"}
+///   {"verb":"close_session","session":1}
+///   {"verb":"shutdown"}
+///
+/// A CHANGE mirrors incr::Change:
+///   {"op":"swap","inst":0,"file":"variant.bench|.hstm"}
+///   {"op":"move","inst":1,"x":3.0,"y":0.0}
+///   {"op":"rewire","conn":0,"from_inst":0,"from_port":1,
+///                           "to_inst":1,"to_port":0}
+///   {"op":"sigma","param":0,"scale":1.2}
+///
+/// Errors: {"id":..,"ok":false,"code":"...","error":"..."} with code one
+/// of bad_request / unknown_design / unknown_session / saturated /
+/// backpressure / shutting_down / invalid_change / internal.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hssta/flow/config.hpp"
+#include "hssta/incr/scenario.hpp"
+#include "hssta/util/json.hpp"
+
+namespace hssta::serve {
+
+enum class Verb {
+  kLoadDesign,
+  kOpenSession,
+  kEco,
+  kAnalyze,
+  kSweep,
+  kStats,
+  kCloseSession,
+  kShutdown,
+};
+
+/// Error codes (the protocol's stable vocabulary).
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kUnknownDesign = "unknown_design";
+inline constexpr const char* kUnknownSession = "unknown_session";
+inline constexpr const char* kSaturated = "saturated";
+inline constexpr const char* kBackpressure = "backpressure";
+inline constexpr const char* kShuttingDown = "shutting_down";
+inline constexpr const char* kInvalidChange = "invalid_change";
+inline constexpr const char* kInternal = "internal";
+
+/// One change as it appears on the wire: model files are still paths (the
+/// engine resolves them against its config + model cache at apply time).
+struct ChangeSpec {
+  enum class Op { kSwap, kMove, kRewire, kSigma };
+
+  Op op = Op::kSigma;
+  size_t inst = 0;      ///< swap / move
+  std::string file;     ///< swap
+  double x = 0.0;       ///< move
+  double y = 0.0;       ///< move
+  size_t conn = 0;      ///< rewire
+  hier::PortRef from;   ///< rewire
+  hier::PortRef to;     ///< rewire
+  size_t param = 0;     ///< sigma
+  double scale = 1.0;   ///< sigma
+};
+
+struct ScenarioSpec {
+  std::string label;
+  std::vector<ChangeSpec> changes;
+};
+
+/// One parsed request line.
+struct Request {
+  Verb verb = Verb::kStats;
+  /// Echoed back in the response when present. Responses are delivered in
+  /// per-connection request order (except up-front rejections, which may
+  /// overtake queued work); ids let pipelined clients match regardless.
+  std::optional<uint64_t> id;
+  std::string name;                      ///< load_design
+  std::vector<std::string> files;        ///< load_design
+  std::string design;                    ///< open_session
+  uint64_t session = 0;                  ///< session verbs
+  std::vector<ChangeSpec> changes;       ///< eco / analyze
+  std::vector<ScenarioSpec> scenarios;   ///< sweep
+};
+
+/// True for verbs that address an existing session — the engine
+/// serializes these per session id.
+[[nodiscard]] bool is_session_verb(Verb v);
+
+/// Parse one request line; throws hssta::Error (the engine answers with a
+/// bad_request response naming the problem).
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Resolve a wire change into an engine change, loading a swap's model
+/// file through the module pipeline (and the persistent model cache when
+/// configured).
+[[nodiscard]] incr::Change resolve_change(const ChangeSpec& spec,
+                                          const flow::Config& cfg);
+
+/// Open a response object and emit "id" (when present) and "ok"; the
+/// caller appends payload members and closes the object.
+void begin_response(util::JsonWriter& w, const std::optional<uint64_t>& id,
+                    bool ok);
+
+/// A complete error-response line (without trailing newline).
+[[nodiscard]] std::string error_response(const std::optional<uint64_t>& id,
+                                         const char* code,
+                                         const std::string& message);
+
+}  // namespace hssta::serve

@@ -1,0 +1,157 @@
+#include "hssta/serve/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "hssta/serve/engine.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::serve {
+
+namespace {
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  HSSTA_REQUIRE(path.size() < sizeof(addr.sun_path),
+                "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Engine& engine, std::string path)
+    : engine_(engine), path_(std::move(path)) {
+  const sockaddr_un addr = make_address(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HSSTA_REQUIRE(listen_fd_ >= 0,
+                std::string("socket() failed: ") + std::strerror(errno));
+  ::unlink(path_.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("bind(" + path_ + ") failed: " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    throw Error("listen(" + path_ + ") failed: " + std::strerror(err));
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // Wake the acceptor, then every reader; join them all.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::shared_ptr<Conn>& c : conns_) {
+      std::lock_guard<std::mutex> wl(c->mu);
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::shared_ptr<Conn>& c : conns_) {
+      std::lock_guard<std::mutex> wl(c->mu);
+      if (c->fd >= 0) {
+        ::close(c->fd);
+        c->fd = -1;
+      }
+    }
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (stop()) or fatally broken
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { read_loop(conn); });
+  }
+}
+
+void SocketServer::write_line(const std::shared_ptr<Conn>& conn,
+                              const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->fd < 0) return;  // client already gone; response dropped
+  std::string out = line;
+  out.push_back('\n');
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // broken pipe: client disconnected mid-response
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void SocketServer::read_loop(const std::shared_ptr<Conn>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or shutdown: connection done
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      // The callback holds the Conn alive past this reader's exit; the
+      // engine drains every accepted request, so no response is lost.
+      engine_.submit(std::move(line), [conn](std::string response) {
+        write_line(conn, response);
+      });
+    }
+    buffer.erase(0, start);
+  }
+}
+
+}  // namespace hssta::serve

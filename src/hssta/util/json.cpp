@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "hssta/util/error.hpp"
@@ -145,5 +146,306 @@ JsonWriter& JsonWriter::null() {
 }
 
 bool JsonWriter::complete() const { return done_ && stack_.empty(); }
+
+// --- JsonValue --------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  HSSTA_REQUIRE(type_ == Type::kBool, "json: value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  HSSTA_REQUIRE(type_ == Type::kNumber, "json: value is not a number");
+  return num_;
+}
+
+uint64_t JsonValue::as_count(const std::string& what) const {
+  HSSTA_REQUIRE(type_ == Type::kNumber, "json: " + what + " is not a number");
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  HSSTA_REQUIRE(num_ >= 0.0 && num_ <= kMaxExact &&
+                    num_ == static_cast<double>(static_cast<uint64_t>(num_)),
+                "json: " + what + " is not a non-negative integer");
+  return static_cast<uint64_t>(num_);
+}
+
+const std::string& JsonValue::as_string() const {
+  HSSTA_REQUIRE(type_ == Type::kString, "json: value is not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  HSSTA_REQUIRE(type_ == Type::kArray, "json: value is not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  HSSTA_REQUIRE(type_ == Type::kObject, "json: value is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : members_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  HSSTA_REQUIRE(v != nullptr, "json: missing key '" + key + "'");
+  return *v;
+}
+
+// --- JsonReader -------------------------------------------------------------
+
+/// Recursive-descent state over one document. A named class (not in an
+/// anonymous namespace) so JsonValue can befriend it.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    HSSTA_REQUIRE(pos_ == text_.size(),
+                  err("trailing content after the document"));
+    return v;
+  }
+
+ private:
+  [[nodiscard]] std::string err(const std::string& what) const {
+    return "json: " + what + " at byte " + std::to_string(pos_);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c, const char* what) {
+    HSSTA_REQUIRE(!eof() && peek() == c, err(std::string("expected ") + what));
+    ++pos_;
+  }
+
+  void expect_literal(std::string_view lit) {
+    HSSTA_REQUIRE(text_.substr(pos_, lit.size()) == lit,
+                  err("invalid literal"));
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_value(size_t depth) {
+    HSSTA_REQUIRE(depth < JsonReader::kMaxDepth, err("nesting too deep"));
+    HSSTA_REQUIRE(!eof(), err("unexpected end of input"));
+    JsonValue v;
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"':
+        v.type_ = JsonValue::Type::kString;
+        v.str_ = parse_string();
+        return v;
+      case 't':
+        expect_literal("true");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        expect_literal("false");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        expect_literal("null");
+        return v;
+      default:
+        v.type_ = JsonValue::Type::kNumber;
+        v.num_ = parse_number();
+        return v;
+    }
+  }
+
+  JsonValue parse_object(size_t depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    expect('{', "'{'");
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      HSSTA_REQUIRE(!eof() && peek() == '"', err("expected a member key"));
+      std::string key = parse_string();
+      HSSTA_REQUIRE(v.find(key) == nullptr,
+                    err("duplicate object key '" + key + "'"));
+      skip_ws();
+      expect(':', "':'");
+      skip_ws();
+      v.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      HSSTA_REQUIRE(!eof(), err("unterminated object"));
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "',' or '}'");
+      return v;
+    }
+  }
+
+  JsonValue parse_array(size_t depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    expect('[', "'['");
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      v.items_.push_back(parse_value(depth + 1));
+      skip_ws();
+      HSSTA_REQUIRE(!eof(), err("unterminated array"));
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "',' or ']'");
+      return v;
+    }
+  }
+
+  /// One \uXXXX escape's four hex digits.
+  uint32_t parse_hex4() {
+    HSSTA_REQUIRE(pos_ + 4 <= text_.size(), err("truncated \\u escape"));
+    uint32_t u = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      u <<= 4;
+      if (c >= '0' && c <= '9')
+        u |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        u |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        u |= static_cast<uint32_t>(c - 'A' + 10);
+      else
+        HSSTA_REQUIRE(false, err("invalid \\u escape digit"));
+    }
+    return u;
+  }
+
+  static void append_utf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      HSSTA_REQUIRE(!eof(), err("unterminated string"));
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        HSSTA_REQUIRE(false, err("raw control character in string"));
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      HSSTA_REQUIRE(!eof(), err("unterminated escape"));
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need a pair
+            HSSTA_REQUIRE(text_.substr(pos_, 2) == "\\u",
+                          err("lone high surrogate"));
+            pos_ += 2;
+            const uint32_t lo = parse_hex4();
+            HSSTA_REQUIRE(lo >= 0xDC00 && lo <= 0xDFFF,
+                          err("invalid low surrogate"));
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            HSSTA_REQUIRE(!(cp >= 0xDC00 && cp <= 0xDFFF),
+                          err("lone low surrogate"));
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: HSSTA_REQUIRE(false, err("unknown escape"));
+      }
+    }
+  }
+
+  double parse_number() {
+    const size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    // Integer part: "0" alone or a nonzero-led digit run (no leading zeros).
+    HSSTA_REQUIRE(!eof() && peek() >= '0' && peek() <= '9',
+                  err("invalid number"));
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      HSSTA_REQUIRE(!eof() && peek() >= '0' && peek() <= '9',
+                    err("invalid number fraction"));
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      HSSTA_REQUIRE(!eof() && peek() >= '0' && peek() <= '9',
+                    err("invalid number exponent"));
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    // Underflow rounds toward zero (legal); overflow yields inf (rejected).
+    HSSTA_REQUIRE(end == token.c_str() + token.size() && std::isfinite(d),
+                  err("number out of range"));
+    return d;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+JsonValue JsonReader::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
 
 }  // namespace hssta::util

@@ -1,6 +1,8 @@
 /// \file json.hpp
 /// util::JsonWriter — a minimal streaming JSON emitter for the CLI's
-/// machine-readable reports (--json) and the bench artifacts.
+/// machine-readable reports (--json) and the bench artifacts — and
+/// util::JsonReader, its strict parsing counterpart for the serve
+/// protocol and for round-trip validation of the emitted reports.
 ///
 /// The writer tracks the container stack and inserts commas and key
 /// separators itself, so emitting code reads linearly:
@@ -26,6 +28,7 @@
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace hssta::util {
@@ -79,6 +82,67 @@ class JsonWriter {
   std::vector<bool> first_;   ///< per frame: no element emitted yet
   bool key_pending_ = false;  ///< a key was emitted, its value is due
   bool done_ = false;         ///< the top-level value is complete
+};
+
+/// One parsed JSON document node. Objects keep their members in document
+/// order (and reject duplicate keys at parse time); numbers are doubles,
+/// which round-trips everything JsonWriter emits (%.17g) bit-exactly.
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  ///< null
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed accessors; throw hssta::Error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// The number as a non-negative integer; rejects negatives, fractions
+  /// and values above 2^53 (not exactly representable). `what` names the
+  /// field in the error.
+  [[nodiscard]] uint64_t as_count(const std::string& what) const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  /// Object member lookup: null when absent / non-object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member lookup; throws hssta::Error naming the key when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;  ///< the recursive-descent builder (json.cpp)
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Strict parser for the protocol subset of JSON (RFC 8259 values:
+/// objects, arrays, strings with escapes incl. \uXXXX surrogate pairs,
+/// numbers, true/false/null). Strict means malformed input is rejected,
+/// never repaired: trailing content after the document, unterminated or
+/// control-character strings, unknown escapes, lone surrogates, leading
+/// zeros, bare '+', NaN/Infinity tokens, duplicate object keys and
+/// nesting beyond kMaxDepth all throw hssta::Error with the byte offset.
+class JsonReader {
+ public:
+  /// Containers deeper than this are rejected (the protocol needs 4).
+  static constexpr size_t kMaxDepth = 64;
+
+  /// Parse exactly one complete document from `text`.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
 };
 
 }  // namespace hssta::util

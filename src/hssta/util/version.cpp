@@ -1,0 +1,29 @@
+#include "hssta/util/version.hpp"
+
+namespace hssta {
+
+std::string build_info() {
+  std::string info = "hssta ";
+  info += kVersion;
+  info += " (";
+#if defined(__clang__)
+  info += "clang ";
+  info += __clang_version__;
+#elif defined(__GNUC__)
+  info += "gcc ";
+  info += __VERSION__;
+#else
+  info += "unknown compiler";
+#endif
+  info += ", C++";
+  info += std::to_string(__cplusplus);
+#if defined(NDEBUG)
+  info += ", release";
+#else
+  info += ", debug";
+#endif
+  info += ")";
+  return info;
+}
+
+}  // namespace hssta

@@ -1,0 +1,21 @@
+/// \file version.hpp
+/// Library/tool version and build identification. Every binary front end
+/// (`hssta_cli --version`, `hssta_serve --version`) and the server's
+/// `stats` verb report build_info() so logs and bug reports can identify
+/// the exact binary they came from.
+
+#pragma once
+
+#include <string>
+
+namespace hssta {
+
+/// The library version; bumped with each released change set.
+inline constexpr const char* kVersion = "0.6.0";
+
+/// One-line build identification: version, compiler, language standard and
+/// build flavor. Deliberately timestamp-free so identical sources produce
+/// identical strings (reproducible builds stay reproducible).
+[[nodiscard]] std::string build_info();
+
+}  // namespace hssta

@@ -503,6 +503,44 @@ TEST_F(IncrementalDifferential, LifecycleAndNoOpChanges) {
   }
 }
 
+TEST(ScenarioProvenance, DescribesChangesAndStampsFailedResults) {
+  using incr::Change;
+  const std::vector<Change> changes{
+      incr::MoveInstance{0, 3.0, 0.0},
+      incr::SigmaScale{1, 1.2},
+      incr::RewireConnection{2, hier::PortRef{0, 1}, hier::PortRef{1, 0}},
+  };
+  EXPECT_EQ(incr::describe_change(changes[0]), "move u0 to (3, 0)");
+  EXPECT_EQ(incr::describe_change(changes[1]), "sigma p1 x1.2");
+  EXPECT_EQ(incr::describe_change(changes[2]), "rewire c2 to u0.o1:u1.i0");
+  EXPECT_EQ(incr::describe_changes(changes),
+            "move u0 to (3, 0); sigma p1 x1.2; rewire c2 to u0.o1:u1.i0");
+
+  // Runner results carry the batch index and the change description even
+  // (especially) when the scenario fails — the server's error payloads
+  // and the sweep report both surface them.
+  const flow::Config cfg = testing::design_pool_config();
+  const std::vector<flow::Module> pool = testing::make_module_pool(cfg);
+  const testing::DesignSpec spec = testing::make_design_spec(7, pool);
+  const flow::Design d = testing::build_design(spec, pool, cfg);
+  const std::vector<incr::Scenario> scenarios{
+      {"ok", {incr::SigmaScale{0, 0.9}}},
+      {"bad-move", {incr::MoveInstance{99, 0.0, 0.0}}},
+      {"ok2", {incr::SigmaScale{0, 1.1}}},
+  };
+  const std::vector<incr::ScenarioResult> results = d.scenarios(scenarios);
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].changes,
+              incr::describe_changes(scenarios[i].changes));
+  }
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_FALSE(results[1].error.empty());
+}
+
 TEST(IncrementalConfig, SigmaScaleKeyParses) {
   const flow::Config cfg =
       flow::Config::from_string("[hier]\nsigma_scale = 1, 0.8, 1.25\n");

@@ -154,11 +154,83 @@ TEST(ReportJson, SweepSchemaIncludesErrorsAndResults) {
   };
   const std::vector<incr::ScenarioResult> results = d.scenarios(scenarios);
   const std::string json = flow::sweep_report_json(d, results);
-  expect_keys(json, {"design", "scenarios", "label", "ok", "seconds",
-                     "delay", "stats", "error"});
+  expect_keys(json, {"design", "scenarios", "label", "index", "changes",
+                     "ok", "seconds", "delay", "stats", "error"});
   EXPECT_NE(json.find("\"label\":\"sigma Leff\""), std::string::npos);
   EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ReportJson, FailedScenarioCarriesIndexAndChangeDescription) {
+  // The provenance regression: a failed what-if must name the originating
+  // scenario position and change list, not just the exception text.
+  const flow::Design d = make_report_design();
+  const std::vector<incr::Scenario> scenarios{
+      {"fine", {incr::SigmaScale{0, 1.1}}},
+      {"broken", {incr::MoveInstance{99, 0, 0}}},
+  };
+  const std::vector<incr::ScenarioResult> results = d.scenarios(scenarios);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0].index, 0u);
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].index, 1u);
+  EXPECT_EQ(results[1].changes, "move u99 to (0, 0)");
+
+  const util::JsonValue doc =
+      util::JsonReader::parse(flow::sweep_report_json(d, results));
+  const util::JsonValue& broken = doc.at("scenarios").items()[1];
+  EXPECT_FALSE(broken.at("ok").as_bool());
+  EXPECT_EQ(broken.at("index").as_count("index"), 1u);
+  EXPECT_EQ(broken.at("changes").as_string(), "move u99 to (0, 0)");
+  EXPECT_FALSE(broken.at("error").as_string().empty());
+}
+
+// --- round-trip validation through JsonReader -------------------------------
+
+TEST(ReportJson, HierReportRoundTripsThroughReader) {
+  const flow::Design d = make_report_design();
+  const hier::HierResult& r = d.analyze();
+  const util::JsonValue doc =
+      util::JsonReader::parse(flow::hier_report_json(d, r));
+  EXPECT_EQ(doc.at("design").as_string(), "report");
+  EXPECT_EQ(doc.at("instances").items().size(), d.num_instances());
+  // %.17g emission + strict strtod parsing: doubles survive bit-exactly.
+  EXPECT_EQ(doc.at("delay").at("mean").as_number(), r.delay().nominal());
+  EXPECT_EQ(doc.at("delay").at("sigma").as_number(), r.delay().sigma());
+  EXPECT_EQ(doc.at("delay").at("q9987").as_number(),
+            r.delay().quantile(0.9987));
+}
+
+TEST(ReportJson, EcoAndSweepReportsRoundTripThroughReader) {
+  const flow::Design d = make_report_design();
+  flow::EcoReport r;
+  r.change = "swap \"u0\" -> variant\n(second line)";  // exercises escaping
+  r.full_delay = d.analyze().delay();
+  r.full_seconds = 0.5;
+  r.incremental_delay = r.full_delay;
+  r.incremental_seconds = 0.1;
+  r.stats.vertices_recomputed = 7;
+  r.identical = true;
+  const util::JsonValue eco =
+      util::JsonReader::parse(flow::eco_report_json(d, r));
+  EXPECT_EQ(eco.at("change").as_string(), r.change);
+  EXPECT_EQ(eco.at("full").at("delay").at("mean").as_number(),
+            r.full_delay.nominal());
+  EXPECT_EQ(eco.at("incremental").at("stats").at("vertices_recomputed")
+                .as_count("n"),
+            7u);
+  EXPECT_TRUE(eco.at("identical").as_bool());
+
+  const std::vector<incr::Scenario> scenarios{
+      {"s", {incr::SigmaScale{0, 1.2}}}};
+  const std::vector<incr::ScenarioResult> results = d.scenarios(scenarios);
+  const util::JsonValue sweep =
+      util::JsonReader::parse(flow::sweep_report_json(d, results));
+  ASSERT_EQ(sweep.at("scenarios").items().size(), 1u);
+  EXPECT_EQ(sweep.at("scenarios").items()[0].at("delay").at("mean")
+                .as_number(),
+            results[0].delay.nominal());
 }
 
 }  // namespace

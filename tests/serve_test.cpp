@@ -1,0 +1,614 @@
+// End-to-end tests for the serve layer: wire-protocol parsing
+// (serve::protocol), the request engine (sessions, batching, admission
+// control, eviction, graceful shutdown) and the Unix-domain-socket
+// transport + client. The load-bearing assertions are bit-identity ones:
+// every served delay must equal — as a double, bit for bit, through the
+// %.17g JSON round trip — the number a one-shot flow::Design analysis of
+// the same (changed) design produces, at any client count.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hssta/exec/queue.hpp"
+#include "hssta/flow/chain.hpp"
+#include "hssta/flow/design.hpp"
+#include "hssta/serve/client.hpp"
+#include "hssta/serve/engine.hpp"
+#include "hssta/serve/protocol.hpp"
+#include "hssta/serve/socket.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/json.hpp"
+#include "hssta/util/version.hpp"
+
+namespace hssta {
+namespace {
+
+namespace fs = std::filesystem;
+using util::JsonReader;
+using util::JsonValue;
+
+// --- protocol parsing -------------------------------------------------------
+
+TEST(ServeProtocol, ParsesEveryVerbAndChangeKind) {
+  const serve::Request load = serve::parse_request(
+      R"({"verb":"load_design","id":7,"name":"d","files":["a.bench","b.hstm"]})");
+  EXPECT_EQ(load.verb, serve::Verb::kLoadDesign);
+  ASSERT_TRUE(load.id.has_value());
+  EXPECT_EQ(*load.id, 7u);
+  EXPECT_EQ(load.name, "d");
+  ASSERT_EQ(load.files.size(), 2u);
+  EXPECT_EQ(load.files[1], "b.hstm");
+
+  const serve::Request open =
+      serve::parse_request(R"({"verb":"open_session","design":"d"})");
+  EXPECT_EQ(open.verb, serve::Verb::kOpenSession);
+  EXPECT_EQ(open.design, "d");
+  EXPECT_FALSE(open.id.has_value());
+
+  const serve::Request eco = serve::parse_request(
+      R"({"verb":"eco","session":3,"changes":[)"
+      R"({"op":"swap","inst":0,"file":"v.hstm"},)"
+      R"({"op":"move","inst":1,"x":2.5,"y":-1.0},)"
+      R"({"op":"rewire","conn":2,"from_inst":0,"from_port":1,)"
+      R"("to_inst":1,"to_port":0},)"
+      R"({"op":"sigma","param":1,"scale":1.25}]})");
+  EXPECT_EQ(eco.verb, serve::Verb::kEco);
+  EXPECT_EQ(eco.session, 3u);
+  ASSERT_EQ(eco.changes.size(), 4u);
+  EXPECT_EQ(eco.changes[0].op, serve::ChangeSpec::Op::kSwap);
+  EXPECT_EQ(eco.changes[0].file, "v.hstm");
+  EXPECT_EQ(eco.changes[1].op, serve::ChangeSpec::Op::kMove);
+  EXPECT_EQ(eco.changes[1].x, 2.5);
+  EXPECT_EQ(eco.changes[1].y, -1.0);
+  EXPECT_EQ(eco.changes[2].op, serve::ChangeSpec::Op::kRewire);
+  EXPECT_EQ(eco.changes[2].from.instance, 0u);
+  EXPECT_EQ(eco.changes[2].to.port, 0u);
+  EXPECT_EQ(eco.changes[3].op, serve::ChangeSpec::Op::kSigma);
+  EXPECT_EQ(eco.changes[3].scale, 1.25);
+
+  const serve::Request sweep = serve::parse_request(
+      R"({"verb":"sweep","session":1,"scenarios":[)"
+      R"({"label":"a","changes":[{"op":"sigma","param":0,"scale":2}]},)"
+      R"({"changes":[{"op":"move","inst":0,"x":1,"y":0}]}]})");
+  EXPECT_EQ(sweep.verb, serve::Verb::kSweep);
+  ASSERT_EQ(sweep.scenarios.size(), 2u);
+  EXPECT_EQ(sweep.scenarios[0].label, "a");
+  EXPECT_EQ(sweep.scenarios[1].label, "s1");  // default label = index
+
+  EXPECT_EQ(serve::parse_request(R"({"verb":"stats"})").verb,
+            serve::Verb::kStats);
+  EXPECT_EQ(serve::parse_request(R"({"verb":"shutdown"})").verb,
+            serve::Verb::kShutdown);
+  EXPECT_EQ(
+      serve::parse_request(R"({"verb":"close_session","session":9})").session,
+      9u);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  EXPECT_THROW(serve::parse_request("not json"), Error);
+  EXPECT_THROW(serve::parse_request("[1,2]"), Error);
+  EXPECT_THROW(serve::parse_request(R"({"verb":"warp"})"), Error);
+  EXPECT_THROW(serve::parse_request(R"({"verb":"load_design","name":"d",)"
+                                    R"("files":["one.bench"]})"),
+               Error);  // < 2 files
+  EXPECT_THROW(serve::parse_request(R"({"verb":"eco","session":1,)"
+                                    R"("changes":[]})"),
+               Error);  // empty change list
+  EXPECT_THROW(serve::parse_request(R"({"verb":"eco","session":1,"changes":)"
+                                    R"([{"op":"teleport","inst":0}]})"),
+               Error);  // unknown op
+  EXPECT_THROW(serve::parse_request(R"({"verb":"sweep","session":1,)"
+                                    R"("scenarios":[]})"),
+               Error);  // empty sweep
+  EXPECT_THROW(serve::parse_request(R"({"verb":"analyze","session":-4})"),
+               Error);  // negative id
+}
+
+TEST(ServeProtocol, ErrorResponseCarriesIdCodeAndMessage) {
+  const std::string line =
+      serve::error_response(uint64_t{12}, serve::kBackpressure, "full");
+  const JsonValue doc = JsonReader::parse(line);
+  EXPECT_EQ(doc.at("id").as_count("id"), 12u);
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("code").as_string(), "backpressure");
+  EXPECT_EQ(doc.at("error").as_string(), "full");
+}
+
+// --- engine fixture ---------------------------------------------------------
+
+constexpr const char* kModuleA =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\n"
+    "g = NAND(a, b)\nx = AND(g, a)\ny = OR(g, b)\n";
+// B and C keep kModuleA's footprint — same ports and the same gate-type
+// multiset {NAND, AND, OR}, so the die (which follows summed cell widths)
+// and hence the grid pitch match. Chained instances must share one pitch,
+// and an ECO swap variant must be geometry-compatible with what it
+// replaces; only the topology (and so the timing) differs.
+constexpr const char* kModuleB =
+    "INPUT(p)\nINPUT(q)\nOUTPUT(s)\nOUTPUT(t)\n"
+    "h = NAND(q, p)\ns = OR(h, p)\nt = AND(h, q)\n";
+constexpr const char* kModuleC =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\n"
+    "g = OR(a, b)\nx = NAND(g, b)\ny = AND(g, a)\n";
+
+/// Fresh module files per test; engines/designs load them by path exactly
+/// like a daemon driven by a client would.
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("hssta_serve_" + std::string(info->test_suite_name()) + "_" +
+            info->name() + "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    write(dir_ / "a.bench", kModuleA);
+    write(dir_ / "b.bench", kModuleB);
+    write(dir_ / "c.bench", kModuleC);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static void write(const fs::path& p, const char* text) {
+    std::ofstream(p) << text;
+  }
+
+  [[nodiscard]] std::string file(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  [[nodiscard]] std::string load_line(const char* design = "d") const {
+    return std::string(R"({"verb":"load_design","name":")") + design +
+           R"(","files":[")" + file("a.bench") + R"(",")" + file("b.bench") +
+           R"("]})";
+  }
+
+  /// Issue a request and parse the response, asserting ok.
+  static JsonValue ok(serve::Engine& engine, const std::string& line) {
+    const std::string response = engine.request(line);
+    JsonValue doc = JsonReader::parse(response);
+    EXPECT_TRUE(doc.at("ok").as_bool()) << response;
+    return doc;
+  }
+
+  /// Issue a request expecting an error; returns the response document.
+  static JsonValue fail(serve::Engine& engine, const std::string& line,
+                        const char* code) {
+    const std::string response = engine.request(line);
+    JsonValue doc = JsonReader::parse(response);
+    EXPECT_FALSE(doc.at("ok").as_bool()) << response;
+    EXPECT_EQ(doc.at("code").as_string(), code) << response;
+    return doc;
+  }
+
+  /// The one-shot truth: a from-scratch analysis of the (changed) chain,
+  /// built by the same flow::build_chain_design code path the server uses.
+  [[nodiscard]] timing::CanonicalForm reference_delay(
+      const flow::ChainOverrides& overrides = {},
+      const flow::Config& cfg = {}) const {
+    const flow::Design d = flow::build_chain_design(
+        "ref", {file("a.bench"), file("b.bench")}, cfg, overrides);
+    return d.analyze().delay();
+  }
+
+  static void expect_delay_eq(const JsonValue& delay,
+                              const timing::CanonicalForm& expected) {
+    EXPECT_EQ(delay.at("mean").as_number(), expected.nominal());
+    EXPECT_EQ(delay.at("sigma").as_number(), expected.sigma());
+    EXPECT_EQ(delay.at("q99").as_number(), expected.quantile(0.99));
+  }
+
+  fs::path dir_;
+};
+
+// --- engine round trips -----------------------------------------------------
+
+TEST_F(ServeTest, LoadOpenAnalyzeMatchesOneShotBitForBit) {
+  serve::Engine engine;
+  const JsonValue loaded = ok(engine, load_line());
+  EXPECT_EQ(loaded.at("design").as_string(), "d");
+  EXPECT_EQ(loaded.at("instances").as_count("instances"), 2u);
+
+  const JsonValue opened =
+      ok(engine, R"({"verb":"open_session","design":"d"})");
+  const uint64_t sid = opened.at("session").as_count("session");
+  EXPECT_EQ(sid, 1u);
+
+  const JsonValue analyzed = ok(
+      engine, R"({"verb":"analyze","session":)" + std::to_string(sid) + "}");
+  const timing::CanonicalForm expected = reference_delay();
+  expect_delay_eq(loaded.at("delay"), expected);
+  expect_delay_eq(opened.at("delay"), expected);
+  expect_delay_eq(analyzed.at("delay"), expected);
+}
+
+TEST_F(ServeTest, EcoSwapAnalyzeMatchesFromScratchChangedDesign) {
+  serve::Engine engine;
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+  ok(engine, R"({"verb":"eco","session":1,"changes":[)"
+             R"({"op":"swap","inst":0,"file":")" +
+                 file("c.bench") + R"("}]})");
+  const JsonValue analyzed =
+      ok(engine, R"({"verb":"analyze","session":1})");
+
+  flow::ChainOverrides overrides;
+  overrides.models[0] = flow::load_variant_model(file("c.bench"), {});
+  expect_delay_eq(analyzed.at("delay"), reference_delay(overrides));
+}
+
+TEST_F(ServeTest, AnalyzeWithInlineSigmaChangeMatchesReference) {
+  serve::Engine engine;
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+  const JsonValue analyzed = ok(
+      engine, R"({"verb":"analyze","session":1,"changes":[)"
+              R"({"op":"sigma","param":0,"scale":1.5}]})");
+
+  flow::Config cfg;
+  flow::Design ref = flow::build_chain_design(
+      "ref", {file("a.bench"), file("b.bench")}, cfg);
+  incr::DesignState& st = ref.incremental();
+  st.set_parameter_sigma(0, 1.5);
+  expect_delay_eq(analyzed.at("delay"), st.analyze());
+}
+
+TEST_F(ServeTest, SweepReportsPerScenarioDelaysAndErrorProvenance) {
+  serve::Engine engine;
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+  const JsonValue swept = ok(
+      engine,
+      R"({"verb":"sweep","session":1,"scenarios":[)"
+      R"({"label":"faster","changes":[{"op":"sigma","param":0,"scale":0.5}]},)"
+      R"({"label":"broken","changes":[{"op":"rewire","conn":99,)"
+      R"("from_inst":0,"from_port":0,"to_inst":1,"to_port":0}]},)"
+      R"({"label":"slower","changes":[{"op":"sigma","param":0,"scale":2.0}]}]})");
+
+  const std::vector<JsonValue>& scenarios = swept.at("scenarios").items();
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_TRUE(scenarios[0].at("ok").as_bool());
+  EXPECT_TRUE(scenarios[2].at("ok").as_bool());
+
+  // The failed scenario names its batch index and its change list — the
+  // originating change, not just the exception text.
+  const JsonValue& broken = scenarios[1];
+  EXPECT_FALSE(broken.at("ok").as_bool());
+  EXPECT_EQ(broken.at("label").as_string(), "broken");
+  EXPECT_EQ(broken.at("index").as_count("index"), 1u);
+  EXPECT_EQ(broken.at("changes").as_string(), "rewire c99 to u0.o0:u1.i0");
+  EXPECT_FALSE(broken.at("error").as_string().empty());
+
+  // Scenarios branch off the base — their delays match serial references.
+  flow::Config cfg;
+  flow::Design ref = flow::build_chain_design(
+      "ref", {file("a.bench"), file("b.bench")}, cfg);
+  incr::DesignState& st = ref.incremental();
+  st.set_parameter_sigma(0, 0.5);
+  expect_delay_eq(scenarios[0].at("delay"), st.analyze());
+  st.set_parameter_sigma(0, 2.0);
+  expect_delay_eq(scenarios[2].at("delay"), st.analyze());
+}
+
+TEST_F(ServeTest, StatsReportsVersionCountersAndKnobs) {
+  serve::EngineOptions opts;
+  opts.queue_capacity = 17;
+  serve::Engine engine(opts);
+  ok(engine, load_line());
+  const JsonValue stats = ok(engine, R"({"verb":"stats","id":5})");
+  EXPECT_EQ(stats.at("id").as_count("id"), 5u);
+  EXPECT_EQ(stats.at("version").as_string(), kVersion);
+  EXPECT_NE(stats.at("build").as_string().find(kVersion), std::string::npos);
+  EXPECT_EQ(stats.at("designs").as_count("designs"), 1u);
+  EXPECT_EQ(stats.at("sessions").as_count("sessions"), 0u);
+  const JsonValue& counters = stats.at("counters");
+  EXPECT_EQ(counters.at("requests").as_count("requests"), 2u);
+  EXPECT_EQ(counters.at("responses_ok").as_count("ok"), 1u);  // load only
+  const JsonValue& options = stats.at("options");
+  EXPECT_EQ(options.at("queue_capacity").as_count("cap"), 17u);
+}
+
+// --- error paths ------------------------------------------------------------
+
+TEST_F(ServeTest, RejectsGarbageUnknownDesignAndUnknownSession) {
+  serve::Engine engine;
+  fail(engine, "this is not json", serve::kBadRequest);
+  fail(engine, R"({"verb":"warp"})", serve::kBadRequest);
+  fail(engine, R"({"verb":"open_session","design":"ghost"})",
+       serve::kUnknownDesign);
+  fail(engine, R"({"verb":"analyze","session":42})", serve::kUnknownSession);
+  ok(engine, load_line());
+  fail(engine, load_line(), serve::kBadRequest);  // duplicate load
+}
+
+TEST_F(ServeTest, InvalidChangeLeavesSessionUsable) {
+  serve::Engine engine;
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+  // Missing variant file: resolved before anything applies.
+  fail(engine,
+       R"({"verb":"eco","session":1,"changes":[)"
+       R"({"op":"swap","inst":0,"file":"/nonexistent/v.bench"}]})",
+       serve::kInvalidChange);
+  // Invalid rewire: recorded, then rejected by analyze() — which leaves
+  // derived state untouched, so the session keeps working.
+  fail(engine,
+       R"({"verb":"analyze","session":1,"changes":[)"
+       R"({"op":"rewire","conn":99,"from_inst":0,"from_port":0,)"
+       R"("to_inst":1,"to_port":0}]})",
+       serve::kInvalidChange);
+  const JsonValue analyzed = ok(engine, R"({"verb":"analyze","session":1})");
+  expect_delay_eq(analyzed.at("delay"), reference_delay());
+}
+
+TEST_F(ServeTest, DoubleCloseReportsClosedNotUnknown) {
+  serve::Engine engine;
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+  const JsonValue closed =
+      ok(engine, R"({"verb":"close_session","session":1})");
+  EXPECT_TRUE(closed.at("closed").as_bool());
+  const JsonValue again =
+      fail(engine, R"({"verb":"close_session","session":1})",
+           serve::kUnknownSession);
+  EXPECT_NE(again.at("error").as_string().find("closed"), std::string::npos);
+  fail(engine, R"({"verb":"eco","session":1,"changes":[)"
+               R"({"op":"sigma","param":0,"scale":1.1}]})",
+       serve::kUnknownSession);
+}
+
+TEST_F(ServeTest, IdleSessionsAreEvictedAndNamedAsSuch) {
+  serve::EngineOptions opts;
+  opts.idle_timeout_seconds = 0.02;
+  serve::Engine engine(opts);
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Any request triggers the between-batches eviction sweep first.
+  const JsonValue doc = fail(
+      engine, R"({"verb":"analyze","session":1})", serve::kUnknownSession);
+  EXPECT_NE(doc.at("error").as_string().find("evicted"), std::string::npos);
+  const JsonValue stats = ok(engine, R"({"verb":"stats"})");
+  EXPECT_EQ(stats.at("counters").at("sessions_evicted").as_count("n"), 1u);
+}
+
+TEST_F(ServeTest, SessionLimitSaturates) {
+  serve::EngineOptions opts;
+  opts.max_sessions = 2;
+  serve::Engine engine(opts);
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+  fail(engine, R"({"verb":"open_session","design":"d"})", serve::kSaturated);
+  ok(engine, R"({"verb":"close_session","session":1})");
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+}
+
+// --- concurrency ------------------------------------------------------------
+
+TEST_F(ServeTest, ConcurrentRequestsOnOneSessionSerializeDeterministically) {
+  serve::EngineOptions opts;
+  opts.threads = 4;
+  serve::Engine engine(opts);
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+
+  // Serial references: set_parameter_sigma is absolute, so each analyze
+  // response depends only on its own request's scale — any serialization
+  // order must produce exactly these numbers.
+  std::map<int, timing::CanonicalForm> expected;
+  {
+    flow::Config cfg;
+    flow::Design ref = flow::build_chain_design(
+        "ref", {file("a.bench"), file("b.bench")}, cfg);
+    incr::DesignState& st = ref.incremental();
+    for (int k = 0; k < 8; ++k) {
+      st.set_parameter_sigma(0, 1.0 + 0.1 * k);
+      expected.emplace(k, st.analyze());
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> responses(8);
+  for (int k = 0; k < 8; ++k)
+    threads.emplace_back([&engine, &responses, k] {
+      // %.17g, not to_string: the wire scale must round-trip to the exact
+      // double the serial reference used.
+      char scale[32];
+      std::snprintf(scale, sizeof scale, "%.17g", 1.0 + 0.1 * k);
+      responses[k] = engine.request(
+          std::string(R"({"verb":"analyze","session":1,"changes":[)"
+                      R"({"op":"sigma","param":0,"scale":)") +
+          scale + "}]}");
+    });
+  for (std::thread& t : threads) t.join();
+
+  for (int k = 0; k < 8; ++k) {
+    const JsonValue doc = JsonReader::parse(responses[k]);
+    ASSERT_TRUE(doc.at("ok").as_bool()) << responses[k];
+    expect_delay_eq(doc.at("delay"), expected.at(k));
+  }
+}
+
+TEST_F(ServeTest, BackpressureRejectsWhenQueueIsFull) {
+  serve::EngineOptions opts;
+  opts.queue_capacity = 1;
+  opts.batch_max = 1;
+  serve::Engine engine(opts);
+
+  // Occupy the dispatcher with an expensive load (model extraction), then
+  // flood: with capacity 1, most of the flood must bounce immediately.
+  std::atomic<int> ok_count{0}, backpressure{0}, done{0};
+  engine.submit(load_line(), [&](std::string response) {
+    if (response.find("\"ok\":true") != std::string::npos) ++ok_count;
+    ++done;
+  });
+  constexpr int kFlood = 50;
+  for (int i = 0; i < kFlood; ++i)
+    engine.submit(R"({"verb":"stats"})", [&](std::string response) {
+      const JsonValue doc = JsonReader::parse(response);
+      if (doc.at("ok").as_bool())
+        ++ok_count;
+      else if (doc.at("code").as_string() == "backpressure")
+        ++backpressure;
+      ++done;
+    });
+  while (done.load() < kFlood + 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  EXPECT_GE(ok_count.load(), 1);  // the load itself, plus accepted stats
+  EXPECT_GT(backpressure.load(), 0);
+  EXPECT_EQ(ok_count.load() + backpressure.load(), kFlood + 1);
+}
+
+TEST_F(ServeTest, ShutdownDrainsInFlightWorkThenRejects) {
+  serve::Engine engine;
+  ok(engine, load_line());
+  ok(engine, R"({"verb":"open_session","design":"d"})");
+
+  // Pipeline a sweep and the shutdown without waiting: both were accepted,
+  // so both must be answered (the sweep completely) before the engine
+  // reports stopped.
+  std::atomic<bool> sweep_ok{false}, shutdown_ok{false};
+  engine.submit(
+      R"({"verb":"sweep","session":1,"scenarios":[)"
+      R"({"changes":[{"op":"sigma","param":0,"scale":0.9}]},)"
+      R"({"changes":[{"op":"sigma","param":0,"scale":1.1}]}]})",
+      [&](std::string response) {
+        const JsonValue doc = JsonReader::parse(response);
+        sweep_ok = doc.at("ok").as_bool() &&
+                   doc.at("scenarios").items().size() == 2;
+      });
+  engine.submit(R"({"verb":"shutdown"})", [&](std::string response) {
+    shutdown_ok = JsonReader::parse(response).at("ok").as_bool();
+  });
+  engine.wait_until_stopped();
+  EXPECT_TRUE(sweep_ok.load());
+  EXPECT_TRUE(shutdown_ok.load());
+
+  const std::string rejected = engine.request(R"({"verb":"stats"})");
+  const JsonValue doc = JsonReader::parse(rejected);
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("code").as_string(), "shutting_down");
+}
+
+// --- socket transport -------------------------------------------------------
+
+TEST_F(ServeTest, SocketEndToEndWithEightConcurrentClients) {
+  serve::EngineOptions opts;
+  opts.threads = 4;
+  serve::Engine engine(opts);
+  const std::string socket_path = (dir_ / "serve.sock").string();
+  serve::SocketServer server(engine, socket_path);
+
+  {
+    serve::Client setup(socket_path);
+    const JsonValue loaded = JsonReader::parse(setup.request(load_line()));
+    ASSERT_TRUE(loaded.at("ok").as_bool());
+  }
+
+  // Per-scale serial references (see the serialization test above).
+  std::map<int, timing::CanonicalForm> expected;
+  {
+    flow::Config cfg;
+    flow::Design ref = flow::build_chain_design(
+        "ref", {file("a.bench"), file("b.bench")}, cfg);
+    incr::DesignState& st = ref.incremental();
+    for (int k = 0; k < 8; ++k) {
+      st.set_parameter_sigma(0, 1.0 + 0.05 * k);
+      expected.emplace(k, st.analyze());
+    }
+  }
+
+  // 8 clients, each with a private session, concurrently: every response
+  // must be bit-identical to its one-shot reference.
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(8);
+  for (int k = 0; k < 8; ++k)
+    clients.emplace_back([&, k] {
+      try {
+        serve::Client client(socket_path);
+        const JsonValue opened = JsonReader::parse(
+            client.request(R"({"verb":"open_session","design":"d"})"));
+        if (!opened.at("ok").as_bool()) {
+          failures[k] = "open failed";
+          return;
+        }
+        const uint64_t sid = opened.at("session").as_count("session");
+        const std::string scale = std::to_string(1.0 + 0.05 * k);
+        const JsonValue analyzed = JsonReader::parse(client.request(
+            R"({"verb":"analyze","session":)" + std::to_string(sid) +
+            R"(,"changes":[{"op":"sigma","param":0,"scale":)" + scale +
+            "}]}"));
+        if (!analyzed.at("ok").as_bool()) {
+          failures[k] = "analyze failed";
+          return;
+        }
+        const JsonValue& delay = analyzed.at("delay");
+        if (delay.at("mean").as_number() != expected.at(k).nominal() ||
+            delay.at("sigma").as_number() != expected.at(k).sigma())
+          failures[k] = "delay mismatch vs one-shot reference";
+        const JsonValue closed = JsonReader::parse(client.request(
+            R"({"verb":"close_session","session":)" + std::to_string(sid) +
+            "}"));
+        if (!closed.at("ok").as_bool()) failures[k] = "close failed";
+      } catch (const std::exception& e) {
+        failures[k] = e.what();
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(failures[k], "") << "client " << k;
+
+  serve::Client finisher(socket_path);
+  const JsonValue stats =
+      JsonReader::parse(finisher.request(R"({"verb":"stats"})"));
+  EXPECT_EQ(stats.at("counters").at("sessions_opened").as_count("n"), 8u);
+  EXPECT_EQ(stats.at("counters").at("sessions_closed").as_count("n"), 8u);
+  const JsonValue bye =
+      JsonReader::parse(finisher.request(R"({"verb":"shutdown"})"));
+  EXPECT_TRUE(bye.at("ok").as_bool());
+  engine.wait_until_stopped();
+  server.stop();
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+TEST_F(ServeTest, SessionsSurviveClientDisconnects) {
+  serve::Engine engine;
+  const std::string socket_path = (dir_ / "serve.sock").string();
+  serve::SocketServer server(engine, socket_path);
+
+  uint64_t sid = 0;
+  {
+    serve::Client first(socket_path);
+    ASSERT_TRUE(
+        JsonReader::parse(first.request(load_line())).at("ok").as_bool());
+    const JsonValue opened = JsonReader::parse(
+        first.request(R"({"verb":"open_session","design":"d"})"));
+    sid = opened.at("session").as_count("session");
+  }  // disconnect
+
+  serve::Client second(socket_path);
+  const JsonValue analyzed = JsonReader::parse(second.request(
+      R"({"verb":"analyze","session":)" + std::to_string(sid) + "}"));
+  EXPECT_TRUE(analyzed.at("ok").as_bool());
+  expect_delay_eq(analyzed.at("delay"), reference_delay());
+  engine.request_stop();
+  engine.wait_until_stopped();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace hssta

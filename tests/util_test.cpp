@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "hssta/util/ascii_plot.hpp"
 #include "hssta/util/csv.hpp"
 #include "hssta/util/error.hpp"
+#include "hssta/util/json.hpp"
 #include "hssta/util/strings.hpp"
 #include "hssta/util/table.hpp"
 #include "hssta/util/timer.hpp"
@@ -132,6 +134,110 @@ TEST(Timer, MeasuresNonNegativeTime) {
   EXPECT_GE(t.seconds(), 0.0);
   t.reset();
   EXPECT_LT(t.seconds(), 1.0);
+}
+
+// --- JsonReader -------------------------------------------------------------
+
+TEST(JsonReader, ParsesScalarsContainersAndWhitespace) {
+  using util::JsonReader;
+  using util::JsonValue;
+  EXPECT_TRUE(JsonReader::parse("null").is_null());
+  EXPECT_TRUE(JsonReader::parse("true").as_bool());
+  EXPECT_FALSE(JsonReader::parse(" false ").as_bool());
+  EXPECT_EQ(JsonReader::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(JsonReader::parse("0").as_number(), 0.0);
+  EXPECT_EQ(JsonReader::parse("\"abc\"").as_string(), "abc");
+  EXPECT_TRUE(JsonReader::parse("[]").items().empty());
+  EXPECT_TRUE(JsonReader::parse("{}").members().empty());
+
+  const JsonValue doc = JsonReader::parse(
+      " { \"a\" : [ 1 , 2.5 , true , null ] ,\n\t\"b\" : { \"c\" : \"d\" } }");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.members().size(), 2u);
+  const JsonValue& a = doc.at("a");
+  ASSERT_EQ(a.items().size(), 4u);
+  EXPECT_EQ(a.items()[0].as_count("n"), 1u);
+  EXPECT_EQ(a.items()[1].as_number(), 2.5);
+  EXPECT_TRUE(a.items()[2].as_bool());
+  EXPECT_TRUE(a.items()[3].is_null());
+  EXPECT_EQ(doc.at("b").at("c").as_string(), "d");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), Error);
+}
+
+TEST(JsonReader, DecodesStringEscapesIncludingSurrogatePairs) {
+  using util::JsonReader;
+  EXPECT_EQ(JsonReader::parse(R"("a\"b\\c\/d\b\f\n\r\t")").as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(JsonReader::parse(R"("\u0041\u00e9\u20ac")").as_string(),
+            "A\xc3\xa9\xe2\x82\xac");  // A, é, €
+  EXPECT_EQ(JsonReader::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");  // one surrogate pair -> 4-byte UTF-8
+}
+
+TEST(JsonReader, RoundTripsWriterDoublesBitExactly) {
+  // %.17g out, strtod back: every finite double must survive unchanged.
+  for (const double x : {0.1, 1.0 / 3.0, 1.2345678901234567e-12, 2.5e300,
+                         -0.0, 1e-320 /* denormal */}) {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.value(x);
+    const double back = util::JsonReader::parse(os.str()).as_number();
+    EXPECT_EQ(std::memcmp(&back, &x, sizeof x), 0) << os.str();
+  }
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  using util::JsonReader;
+  const char* bad[] = {
+      "",                      // empty
+      "  ",                    // whitespace only
+      "{",                     // unterminated object
+      "[1,2",                  // unterminated array
+      "[1,]",                  // trailing comma
+      "{\"a\":1,}",            // trailing comma in object
+      "{\"a\" 1}",             // missing colon
+      "{a:1}",                 // unquoted key
+      "\"abc",                 // unterminated string
+      "\"a\\x\"",              // unknown escape
+      "\"a\nb\"",              // raw control character in string
+      "\"\\ud83d\"",           // lone high surrogate
+      "\"\\ude00\"",           // lone low surrogate
+      "\"\\u12g4\"",           // bad hex digit
+      "01",                    // leading zero
+      "+1",                    // bare plus
+      "1.",                    // missing fraction digits
+      ".5",                    // missing integer digits
+      "1e",                    // missing exponent digits
+      "1e999",                 // overflow to infinity
+      "NaN",                   // not a JSON token
+      "Infinity",              // not a JSON token
+      "truth",                 // keyword typo
+      "nul",                   // truncated keyword
+      "1 2",                   // trailing content
+      "{} []",                 // two documents
+      "{\"a\":1,\"a\":2}",     // duplicate key
+  };
+  for (const char* text : bad)
+    EXPECT_THROW((void)JsonReader::parse(text), Error) << text;
+}
+
+TEST(JsonReader, EnforcesDepthLimitAndTypedAccess) {
+  using util::JsonReader;
+  using util::JsonValue;
+  // kMaxDepth nested arrays parse; one more is rejected.
+  const std::string at_limit(JsonReader::kMaxDepth, '[');
+  std::string doc = at_limit;
+  for (size_t i = 0; i < JsonReader::kMaxDepth; ++i) doc += ']';
+  EXPECT_NO_THROW((void)JsonReader::parse(doc));
+  EXPECT_THROW((void)JsonReader::parse("[" + doc + "]"), Error);
+
+  const JsonValue v = JsonReader::parse("[1.5, -2, 18446744073709551616]");
+  EXPECT_THROW((void)v.as_bool(), Error);          // wrong type
+  EXPECT_THROW((void)v.items()[0].as_count("x"), Error);  // fraction
+  EXPECT_THROW((void)v.items()[1].as_count("x"), Error);  // negative
+  EXPECT_THROW((void)v.items()[2].as_count("x"), Error);  // > 2^53
+  EXPECT_EQ(JsonReader::parse("12").as_count("x"), 12u);
 }
 
 }  // namespace

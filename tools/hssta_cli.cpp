@@ -29,6 +29,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <set>
@@ -37,16 +39,20 @@
 #include <vector>
 
 #include "hssta/exec/executor.hpp"
+#include "hssta/flow/chain.hpp"
 #include "hssta/flow/flow.hpp"
 #include "hssta/flow/report.hpp"
 #include "hssta/incr/design_state.hpp"
 #include "hssta/incr/scenario.hpp"
 #include "hssta/model/timing_model.hpp"
+#include "hssta/serve/client.hpp"
 #include "hssta/timing/sta.hpp"
 #include "hssta/util/argparse.hpp"
 #include "hssta/util/error.hpp"
+#include "hssta/util/json.hpp"
 #include "hssta/util/strings.hpp"
 #include "hssta/util/timer.hpp"
+#include "hssta/util/version.hpp"
 
 namespace {
 
@@ -183,109 +189,23 @@ int cmd_mc(int argc, const char* const* argv) {
   return 0;
 }
 
-/// Serialized-model input (vs a .bench netlist to extract).
-bool is_hstm(const std::string& file) { return file.ends_with(".hstm"); }
-
-/// Overrides applied while assembling a chained design — the from-scratch
-/// side of an ECO: swapped-in models, moved instances, rewired chain
-/// connections.
-struct ChainOverrides {
-  std::map<size_t, std::shared_ptr<const model::TimingModel>> models;
-  std::map<size_t, placement::Point> origins;
-  std::map<size_t, hier::Connection> rewires;  ///< by chain-connection index
-};
-
-/// Load the modules, place them left-to-right in abutment and chain every
-/// consecutive pair (output k of stage i feeds input k of stage i+1,
-/// wrapping over the narrower port list). Boundary ports that the *base*
-/// chain leaves unwired become design primary ports — computed from the
-/// un-rewired connection list, so an ECO'd chain keeps the base port set
-/// (exactly like the incremental engine does).
+/// Chain assembly lives in flow/chain.hpp (shared with the serve layer so
+/// a served design is built by exactly this code); the CLI wrapper only
+/// adds the per-instance progress printing.
 flow::Design build_chain(const std::vector<std::string>& files,
                          const flow::Config& cfg, bool verbose,
-                         const ChainOverrides& overrides = {}) {
-  flow::Design design("chain", cfg);
-  double x = 0.0;
-  for (size_t idx = 0; idx < files.size(); ++idx) {
-    const std::string& file = files[idx];
-    const auto model_it = overrides.models.find(idx);
-    const auto origin_it = overrides.origins.find(idx);
-    const double ox = origin_it != overrides.origins.end()
-                          ? origin_it->second.x
-                          : x;
-    const double oy = origin_it != overrides.origins.end()
-                          ? origin_it->second.y
-                          : 0.0;
-    size_t got;
-    if (model_it != overrides.models.end())
-      got = design.add_instance(model_it->second, ox, oy);
-    else if (is_hstm(file))
-      got = design.add_instance_from_model_file(file, ox, oy,
-                                                "u" + std::to_string(idx));
-    else
-      got = design.add_instance(flow::Module::from_bench_file(file, cfg), ox,
-                                oy);
-    x += design.instance_model(got).die().width;
-    if (verbose)
+                         const flow::ChainOverrides& overrides = {}) {
+  flow::Design design =
+      flow::build_chain_design("chain", files, cfg, overrides);
+  if (verbose)
+    for (size_t i = 0; i < design.num_instances(); ++i)
       std::printf("instance %zu '%s': %s (%zu in, %zu out, die %.1f x %.1f "
                   "um)\n",
-                  got, design.instance_name(got).c_str(), file.c_str(),
-                  design.num_inputs(got), design.num_outputs(got),
-                  design.instance_model(got).die().width,
-                  design.instance_model(got).die().height);
-  }
-
-  // The base chain's connection list (deterministic), then any rewires.
-  std::vector<hier::Connection> base_conns;
-  for (size_t i = 0; i + 1 < design.num_instances(); ++i) {
-    const size_t no = design.num_outputs(i);
-    const size_t ni = design.num_inputs(i + 1);
-    if (no == 0)
-      throw Error("cannot chain: module '" + design.instance_name(i) +
-                  "' has no outputs");
-    for (size_t k = 0; k < ni; ++k)
-      base_conns.push_back(hier::Connection{hier::PortRef{i, k % no},
-                                            hier::PortRef{i + 1, k}});
-  }
-  for (size_t c = 0; c < base_conns.size(); ++c) {
-    const auto it = overrides.rewires.find(c);
-    const hier::Connection& cn =
-        it != overrides.rewires.end() ? it->second : base_conns[c];
-    design.connect(cn.from_output.instance, cn.from_output.port,
-                   cn.to_input.instance, cn.to_input.port);
-  }
-
-  // Primary ports from the *base* topology (expose_unconnected_ports
-  // naming), so rewired/unmodified chains share one port list.
-  std::set<std::pair<size_t, size_t>> driven, read;
-  for (const hier::Connection& cn : base_conns) {
-    driven.insert({cn.to_input.instance, cn.to_input.port});
-    read.insert({cn.from_output.instance, cn.from_output.port});
-  }
-  for (size_t i = 0; i < design.num_instances(); ++i) {
-    for (size_t k = 0; k < design.num_inputs(i); ++k)
-      if (!driven.count({i, k}))
-        design.primary_input(design.instance_name(i) + "_i" +
-                                 std::to_string(k),
-                             i, k);
-    for (size_t k = 0; k < design.num_outputs(i); ++k)
-      if (!read.count({i, k}))
-        design.primary_output(design.instance_name(i) + "_o" +
-                                  std::to_string(k),
-                              i, k);
-  }
+                  i, design.instance_name(i).c_str(), files[i].c_str(),
+                  design.num_inputs(i), design.num_outputs(i),
+                  design.instance_model(i).die().width,
+                  design.instance_model(i).die().height);
   return design;
-}
-
-/// Load an ECO variant model: a .hstm file directly, or a .bench netlist
-/// whose model extracts through the module pipeline (consulting the
-/// persistent model cache first when one is configured).
-std::shared_ptr<const model::TimingModel> load_variant(
-    const std::string& file, const flow::Config& cfg) {
-  if (is_hstm(file))
-    return std::make_shared<const model::TimingModel>(
-        model::TimingModel::load_file(file));
-  return flow::Module::from_bench_file(file, cfg).model_ptr();
 }
 
 int cmd_hier(int argc, const char* const* argv) {
@@ -419,7 +339,7 @@ int cmd_eco(int argc, const char* const* argv) {
   // Parse the change into (a) incremental-engine changes and (b) the
   // overrides/config of the from-scratch reference build.
   std::vector<incr::Change> changes;
-  ChainOverrides overrides;
+  flow::ChainOverrides overrides;
   flow::Config full_cfg = cfg;
   std::string desc;
   auto describe = [&](const std::string& what) {
@@ -427,7 +347,7 @@ int cmd_eco(int argc, const char* const* argv) {
   };
   if (!swap.empty()) {
     const auto [idx, file] = parse_indexed("--swap", swap);
-    const auto variant = load_variant(file, cfg);
+    const auto variant = flow::load_variant_model(file, cfg);
     changes.push_back(incr::ReplaceModule{idx, variant});
     overrides.models[idx] = variant;
     describe("swap u" + std::to_string(idx) + " -> " + file);
@@ -547,7 +467,7 @@ int cmd_sweep(int argc, const char* const* argv) {
 
   std::vector<incr::Scenario> scenarios;
   if (!swap_each.empty()) {
-    const auto variant = load_variant(swap_each, cfg);
+    const auto variant = flow::load_variant_model(swap_each, cfg);
     for (size_t i = 0; i < design.num_instances(); ++i)
       scenarios.push_back({"swap " + design.instance_name(i),
                            {incr::ReplaceModule{i, variant}}});
@@ -609,6 +529,54 @@ int cmd_sweep(int argc, const char* const* argv) {
   return 0;
 }
 
+/// serve-client: drive a running hssta_serve daemon over its Unix-domain
+/// socket. Requests come from --script FILE (one JSON request per line;
+/// blank lines and #-comments skipped) or stdin; every response line is
+/// printed to stdout. With --check the exit status reflects the
+/// responses: any "ok":false response (or an unparsable one) fails the
+/// run — the CI smoke test's assertion hook.
+int cmd_serve_client(int argc, const char* const* argv) {
+  std::string socket_path, script;
+  bool check = false;
+  util::ArgParser p("hssta_cli serve-client",
+                    "line-oriented client for a running hssta_serve daemon");
+  p.positional("socket", &socket_path, "daemon's Unix-domain socket path");
+  p.option("--script", &script, "file",
+           "request lines to send (default: stdin)");
+  p.flag("--check", &check,
+         "exit non-zero when any response reports ok=false");
+  if (!p.parse(argc, argv, 2)) return 0;
+
+  std::ifstream file;
+  if (!script.empty()) {
+    file.open(script);
+    if (!file) throw Error("cannot open script file: " + script);
+  }
+  std::istream& in = script.empty() ? std::cin : file;
+
+  serve::Client client(socket_path);
+  bool all_ok = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string response = client.request(line);
+    std::printf("%s\n", response.c_str());
+    if (!check) continue;
+    try {
+      const util::JsonValue doc = util::JsonReader::parse(response);
+      if (!doc.at("ok").as_bool()) all_ok = false;
+    } catch (const std::exception&) {
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+int print_version() {
+  std::printf("%s\n", build_info().c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -620,6 +588,8 @@ int usage() {
                " --move I=X,Y | --rewire C=A.B:C.D | --sigma P=S\n"
                "  hssta_cli sweep   <m1.bench|.hstm> <m2...> --swap-each F |"
                " --move-each DX,DY | --sigma-each S | --rewire ...\n"
+               "  hssta_cli serve-client <socket> [--script FILE] [--check]\n"
+               "  hssta_cli --version\n"
                "run a subcommand with --help for its flags\n");
   return 2;
 }
@@ -636,6 +606,8 @@ int main(int argc, char** argv) {
     if (cmd == "hier") return cmd_hier(argc, argv);
     if (cmd == "eco") return cmd_eco(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "serve-client") return cmd_serve_client(argc, argv);
+    if (cmd == "--version" || cmd == "version") return print_version();
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
