@@ -1,0 +1,234 @@
+// campaign_scale — scenario-campaign throughput vs worker count.
+//
+// Builds the eco_loop star (8 x synthetic ISCAS85 c1908: 7 leaf IPs
+// feeding a combiner) from pre-extracted .hstm files, expands a
+// sigma x swap campaign grid over it, and runs the identical campaign at
+// 1/2/4/8 worker processes (1/2/4 with --quick), each into a fresh shard
+// directory. Reported per width: wall seconds and scenarios/sec.
+//
+// Two more measurements ride along:
+//   * resume overhead — the widest run is repeated split in half
+//     (--limit half, then resume) and as a no-op resume over a full shard
+//     directory, isolating the scan-and-skip cost from execution;
+//   * the determinism gate — every width's merged campaign.json must be
+//     byte-identical to the in-process serial reference (workers=0). Any
+//     mismatch fails the bench (nonzero exit), same contract the tests
+//     assert.
+//
+// Results land in bench_out/BENCH_campaign.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "hssta/campaign/campaign.hpp"
+#include "hssta/model/timing_model.hpp"
+#include "hssta/timing/graph.hpp"
+#include "hssta/util/json.hpp"
+#include "hssta/util/timer.hpp"
+
+namespace {
+
+using namespace hssta;
+namespace fs = std::filesystem;
+
+constexpr size_t kInstances = 8;
+
+/// Geometry-identical drop-in variant (eco_loop's respin model): same
+/// ports/die/grids/boundary, every edge delay scaled.
+std::shared_ptr<const model::TimingModel> make_variant(
+    const model::TimingModel& base, double factor, const std::string& name) {
+  timing::TimingGraph g = base.graph();
+  for (timing::EdgeId e = 0; e < g.num_edge_slots(); ++e)
+    if (g.edge_alive(e)) g.edge(e).delay.scale(factor);
+  return std::make_shared<const model::TimingModel>(
+      name, std::move(g), base.variation(), base.boundary());
+}
+
+std::string run_and_merge(const std::string& spec,
+                          const campaign::CampaignOptions& o) {
+  (void)campaign::run_campaign(spec, o);
+  return campaign::merge_campaign(spec, o);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::BenchArgs::parse(argc, argv, "campaign_scale");
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("hssta_campaign_scale_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // Pre-extract the module and two respin variants to .hstm files so the
+  // campaign workers pay model *loading*, not re-extraction.
+  const flow::Module m = bench::module_for_iscas("c1908", 100, args.delta);
+  const std::string base_hstm = (dir / "c1908.hstm").string();
+  m.extract_model().model.save_file(base_hstm);
+  make_variant(m.model(), 0.95, "c1908_v95")->save_file((dir / "v95.hstm").string());
+  make_variant(m.model(), 1.05, "c1908_v105")
+      ->save_file((dir / "v105.hstm").string());
+
+  // sigma x swap grid over the 8-instance star.
+  const std::vector<double> scales =
+      args.quick ? std::vector<double>{0.9, 1.0, 1.1, 1.2}
+                 : std::vector<double>{0.85, 0.9, 0.95, 1.0, 1.05, 1.1, 1.15,
+                                       1.2};
+  {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.begin_object();
+    w.key("name").value("campaign_scale");
+    w.key("base").begin_object();
+    w.key("topology").value("star");
+    w.key("files").begin_array();
+    for (size_t i = 0; i < kInstances; ++i) w.value("c1908.hstm");
+    w.end_array();
+    w.end_object();
+    w.key("axes").begin_array();
+    w.begin_object();
+    w.key("type").value("sigma");
+    w.key("param").value(0);
+    w.key("scales").begin_array();
+    for (const double s : scales) w.value(s);
+    w.end_array();
+    w.end_object();
+    w.begin_object();
+    w.key("type").value("swap");
+    w.key("inst").value(0);
+    w.key("files").begin_array();
+    w.value("c1908.hstm").value("v95.hstm").value("v105.hstm");
+    w.end_array();
+    w.end_object();
+    w.end_array();
+    w.end_object();
+    std::ofstream(dir / "spec.json") << os.str() << "\n";
+  }
+  const std::string spec = (dir / "spec.json").string();
+  const size_t total = scales.size() * 3;
+
+  campaign::CampaignOptions base_opts;
+  base_opts.worker_cmd = campaign::default_worker_cmd();
+  if (!fs::exists(base_opts.worker_cmd)) {
+    std::fprintf(stderr, "campaign_scale: hssta_cli not found (looked at %s)\n",
+                 base_opts.worker_cmd.c_str());
+    return 1;
+  }
+
+  std::printf("campaign_scale: %zu scenarios (%zu sigma x 3 swap) over "
+              "%zu x c1908 star, worker %s\n",
+              total, scales.size(), kInstances, base_opts.worker_cmd.c_str());
+
+  // Serial in-process reference: the byte-identity anchor.
+  campaign::CampaignOptions ref = base_opts;
+  ref.out_dir = (dir / "ref").string();
+  ref.workers = 0;
+  WallTimer ref_timer;
+  const std::string ref_json = run_and_merge(spec, ref);
+  const double ref_seconds = ref_timer.seconds();
+  std::printf("  workers 0 (in-process): %6.2f s  (%.2f scenarios/s)\n",
+              ref_seconds, static_cast<double>(total) / ref_seconds);
+
+  const std::vector<size_t> widths =
+      args.quick ? std::vector<size_t>{1, 2, 4} : std::vector<size_t>{1, 2, 4, 8};
+  struct Row {
+    size_t workers;
+    double seconds;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  bool all_identical = true;
+  for (const size_t wk : widths) {
+    campaign::CampaignOptions o = base_opts;
+    o.out_dir = (dir / ("w" + std::to_string(wk))).string();
+    o.workers = wk;
+    WallTimer t;
+    const std::string json = run_and_merge(spec, o);
+    const double seconds = t.seconds();
+    const bool identical = json == ref_json;
+    all_identical = all_identical && identical;
+    rows.push_back({wk, seconds, identical});
+    std::printf("  workers %zu: %6.2f s  (%.2f scenarios/s, %.2fx)%s\n", wk,
+                seconds, static_cast<double>(total) / seconds,
+                ref_seconds / seconds,
+                identical ? "" : "  MERGED REPORT MISMATCH");
+  }
+
+  // Resume overhead, measured at the widest width: (a) a split run —
+  // --limit half, then resume — vs the one-shot time; (b) a no-op resume
+  // over the complete shard directory (pure scan-and-skip cost).
+  const size_t wide = widths.back();
+  campaign::CampaignOptions split = base_opts;
+  split.out_dir = (dir / "split").string();
+  split.workers = wide;
+  split.limit = total / 2;
+  WallTimer split_timer;
+  (void)campaign::run_campaign(spec, split);
+  split.limit = 0;
+  const campaign::RunStats resumed = campaign::run_campaign(spec, split);
+  const double split_seconds = split_timer.seconds();
+  const std::string split_json = campaign::merge_campaign(spec, split);
+  const bool split_identical = split_json == ref_json;
+  all_identical = all_identical && split_identical;
+
+  WallTimer noop_timer;
+  const campaign::RunStats noop = campaign::run_campaign(spec, split);
+  const double noop_seconds = noop_timer.seconds();
+
+  const double oneshot = rows.back().seconds;
+  std::printf("  resume: split run %6.2f s vs one-shot %6.2f s "
+              "(overhead %+.2f s; %zu skipped on resume), no-op resume "
+              "%6.3f s%s\n",
+              split_seconds, oneshot, split_seconds - oneshot,
+              resumed.skipped, noop_seconds,
+              split_identical ? "" : "  MERGED REPORT MISMATCH");
+  std::printf("determinism gate: %s\n",
+              all_identical ? "all merged reports byte-identical"
+                            : "MISMATCH — failing");
+
+  std::ofstream os(bench::out_path("BENCH_campaign.json"));
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("bench").value("campaign_scale");
+  w.key("circuit").value("c1908");
+  w.key("instances").value(kInstances);
+  w.key("scenarios").value(total);
+  w.key("serial_seconds").value(ref_seconds);
+  w.key("widths").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("workers").value(r.workers);
+    w.key("seconds").value(r.seconds);
+    w.key("scenarios_per_second").value(static_cast<double>(total) /
+                                        r.seconds);
+    w.key("speedup_vs_serial").value(ref_seconds / r.seconds);
+    w.key("identical").value(r.identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("resume").begin_object();
+  w.key("split_seconds").value(split_seconds);
+  w.key("oneshot_seconds").value(oneshot);
+  w.key("noop_resume_seconds").value(noop_seconds);
+  w.key("skipped_on_resume").value(resumed.skipped);
+  w.key("noop_skipped").value(noop.skipped);
+  w.key("identical").value(split_identical);
+  w.end_object();
+  w.key("all_identical").value(all_identical);
+  w.end_object();
+  os.flush();
+  std::printf("JSON: %s\n", bench::out_path("BENCH_campaign.json").c_str());
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return all_identical ? 0 : 1;
+}

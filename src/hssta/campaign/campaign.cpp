@@ -1,0 +1,695 @@
+#include "hssta/campaign/campaign.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <poll.h>
+#include <set>
+#include <sstream>
+#include <unistd.h>
+#include <utility>
+
+#include "hssta/campaign/process.hpp"
+#include "hssta/exec/executor.hpp"
+#include "hssta/flow/report.hpp"
+#include "hssta/incr/scenario.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/hash.hpp"
+
+namespace hssta::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr size_t kNone = std::numeric_limits<size_t>::max();
+
+uint64_t parse_fp(const std::string& hex) {
+  HSSTA_REQUIRE(hex.size() == 16, "fingerprint must be 16 hex digits, got '" +
+                                      hex + "'");
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t v = std::strtoull(hex.c_str(), &end, 16);
+  HSSTA_REQUIRE(end == hex.c_str() + hex.size() && errno == 0,
+                "malformed fingerprint '" + hex + "'");
+  return v;
+}
+
+/// Everything both sides of the protocol derive from (spec_path, config):
+/// the analyzed base design, its fingerprint, and the expanded scenario
+/// list with resolved changes and content fingerprints. A pure function
+/// of its inputs — coordinator, every worker, and every resumed run
+/// compute the identical value (the ready handshake asserts it).
+struct Prepared {
+  CampaignSpec spec;
+  flow::Design design;
+  uint64_t base_fp = 0;
+  std::vector<CampaignScenario> scenarios;
+  std::vector<incr::Scenario> resolved;  ///< same order as `scenarios`
+  std::vector<uint64_t> fps;
+
+  Prepared(CampaignSpec s, flow::Design d)
+      : spec(std::move(s)), design(std::move(d)) {}
+};
+
+Prepared prepare(const std::string& spec_path, const flow::Config& cfg) {
+  CampaignSpec spec = parse_campaign_file(spec_path);
+  flow::Design design = build_base_design(spec, cfg);
+  Prepared p(std::move(spec), std::move(design));
+  (void)p.design.analyze_incremental();  // first full build, warm base
+  p.base_fp = incr::state_fingerprint(p.design.incremental());
+  p.scenarios = expand(p.spec);
+
+  // Resolve wire changes into engine changes, loading each variant model
+  // once (shared across every scenario that swaps it in).
+  std::map<std::string, std::shared_ptr<const model::TimingModel>> models;
+  p.resolved.reserve(p.scenarios.size());
+  p.fps.reserve(p.scenarios.size());
+  for (const CampaignScenario& sc : p.scenarios) {
+    incr::Scenario s;
+    s.label = sc.label;
+    s.changes.reserve(sc.changes.size());
+    for (const serve::ChangeSpec& c : sc.changes) {
+      if (c.op == serve::ChangeSpec::Op::kSwap) {
+        std::shared_ptr<const model::TimingModel>& m = models[c.file];
+        if (!m) m = flow::load_variant_model(c.file, cfg);
+        s.changes.push_back(incr::ReplaceModule{c.inst, m});
+      } else {
+        s.changes.push_back(serve::resolve_change(c, cfg));
+      }
+    }
+    p.fps.push_back(incr::scenario_fingerprint(p.base_fp, s.changes));
+    p.resolved.push_back(std::move(s));
+  }
+
+  // The spec parser rejects structurally identical scenarios; two paths
+  // to byte-identical variant files still collide here, by content.
+  std::set<uint64_t> unique(p.fps.begin(), p.fps.end());
+  HSSTA_REQUIRE(unique.size() == p.fps.size(),
+                "campaign: two scenarios share a content fingerprint (swap "
+                "axes listing byte-identical variant files?)");
+  return p;
+}
+
+void atomic_write(const fs::path& target, const std::string& text) {
+  const fs::path tmp =
+      target.parent_path() / (".tmp-" + target.filename().string() + "-" +
+                              std::to_string(::getpid()));
+  {
+    std::ofstream os(tmp);
+    if (!os) throw Error("cannot open for writing: " + tmp.string());
+    os << text;
+    os.flush();
+    if (!os) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw Error("write failed: " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    throw Error("cannot publish " + target.string() + ": " + ec.message());
+  }
+}
+
+ShardData make_shard(const CampaignScenario& sc, uint64_t fp, uint64_t base_fp,
+                     const incr::ScenarioResult& r) {
+  ShardData s;
+  s.index = sc.index;
+  s.label = sc.label;
+  s.fingerprint = fp;
+  s.base_fingerprint = base_fp;
+  s.changes = r.changes;
+  s.error = r.error;
+  s.seconds = r.seconds;
+  if (r.ok()) {
+    s.mean = r.delay.nominal();
+    s.sigma = r.delay.sigma();
+    s.q90 = r.delay.quantile(0.90);
+    s.q99 = r.delay.quantile(0.99);
+    s.q9987 = r.delay.quantile(0.9987);
+  }
+  return s;
+}
+
+void write_shard(const std::string& out_dir, const ShardData& s) {
+  const fs::path dir = fs::path(out_dir) / "shards";
+  fs::create_directories(dir);
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("index").value(s.index);
+  w.key("label").value(s.label);
+  w.key("fingerprint").value(util::Fnv1a::hex(s.fingerprint));
+  w.key("base_fingerprint").value(util::Fnv1a::hex(s.base_fingerprint));
+  w.key("changes").value(s.changes);
+  w.key("ok").value(s.ok());
+  if (s.ok()) {
+    w.key("delay").begin_object();
+    w.key("mean").value(s.mean);
+    w.key("sigma").value(s.sigma);
+    w.key("q90").value(s.q90);
+    w.key("q99").value(s.q99);
+    w.key("q9987").value(s.q9987);
+    w.end_object();
+  } else {
+    w.key("error").value(s.error);
+  }
+  w.key("seconds").value(s.seconds);
+  w.end_object();
+  atomic_write(shard_path(out_dir, s.fingerprint), os.str() + "\n");
+}
+
+/// The protocol/summary JSON helpers.
+
+std::string ready_line(const Prepared& p) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("ok").value(true);
+  w.key("ready").value(true);
+  w.key("campaign").value(p.spec.name);
+  w.key("base_fingerprint").value(util::Fnv1a::hex(p.base_fp));
+  w.key("scenarios").value(p.scenarios.size());
+  w.end_object();
+  return os.str();
+}
+
+std::string scenario_request(size_t index, uint64_t fp) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("verb").value("scenario");
+  w.key("index").value(index);
+  w.key("fingerprint").value(util::Fnv1a::hex(fp));
+  w.end_object();
+  return os.str();
+}
+
+std::string error_line(const std::string& message) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("ok").value(false);
+  w.key("error").value(message);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
+std::string shard_path(const std::string& out_dir, uint64_t fingerprint) {
+  return (fs::path(out_dir) / "shards" /
+          (util::Fnv1a::hex(fingerprint) + ".json"))
+      .string();
+}
+
+std::optional<ShardData> read_shard(const std::string& path,
+                                    uint64_t fingerprint,
+                                    uint64_t base_fingerprint) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::ostringstream text;
+  text << is.rdbuf();
+  try {
+    const util::JsonValue doc = util::JsonReader::parse(text.str());
+    ShardData s;
+    s.index = doc.at("index").as_count("index");
+    s.label = doc.at("label").as_string();
+    s.fingerprint = parse_fp(doc.at("fingerprint").as_string());
+    s.base_fingerprint = parse_fp(doc.at("base_fingerprint").as_string());
+    if (s.fingerprint != fingerprint ||
+        s.base_fingerprint != base_fingerprint)
+      return std::nullopt;  // stale: different spec/base wrote this shard
+    s.changes = doc.at("changes").as_string();
+    if (doc.at("ok").as_bool()) {
+      const util::JsonValue& d = doc.at("delay");
+      s.mean = d.at("mean").as_number();
+      s.sigma = d.at("sigma").as_number();
+      s.q90 = d.at("q90").as_number();
+      s.q99 = d.at("q99").as_number();
+      s.q9987 = d.at("q9987").as_number();
+    } else {
+      s.error = doc.at("error").as_string();
+      HSSTA_REQUIRE(!s.error.empty(), "error shard with empty error");
+    }
+    s.seconds = doc.at("seconds").as_number();
+    return s;
+  } catch (const std::exception&) {
+    // Truncated/corrupt shards read as "not done": the scenario simply
+    // re-runs and atomically replaces the bad file.
+    return std::nullopt;
+  }
+}
+
+std::string default_worker_cmd() {
+  std::error_code ec;
+  const fs::path exe = fs::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const fs::path dir = exe.parent_path();
+    for (const fs::path& cand :
+         {dir / "hssta_cli", dir.parent_path() / "hssta_cli"})
+      if (fs::exists(cand, ec)) return cand.string();
+  }
+  return "hssta_cli";
+}
+
+int worker_loop(const std::string& spec_path, const CampaignOptions& opts,
+                std::istream& in, std::ostream& out) {
+  // Workers analyze serially: the campaign's parallelism is the process
+  // fan-out, and serial analysis is bit-identical anyway.
+  CampaignOptions wopts = opts;
+  wopts.config.threads = 1;
+  std::optional<Prepared> prep;
+  try {
+    prep.emplace(prepare(spec_path, wopts.config));
+  } catch (const std::exception& e) {
+    // A broken handshake (bad spec, missing file) is a protocol error the
+    // coordinator surfaces verbatim, not a silent worker death.
+    out << error_line(e.what()) << '\n' << std::flush;
+    return 1;
+  }
+  const Prepared& p = *prep;
+  const incr::ScenarioRunner runner(p.design.incremental());
+
+  out << ready_line(p) << '\n' << std::flush;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::string response;
+    try {
+      const util::JsonValue doc = util::JsonReader::parse(line);
+      const std::string& verb = doc.at("verb").as_string();
+      if (verb == "shutdown") {
+        std::ostringstream os;
+        util::JsonWriter w(os);
+        w.begin_object();
+        w.key("ok").value(true);
+        w.key("stopping").value(true);
+        w.end_object();
+        out << os.str() << '\n' << std::flush;
+        return 0;
+      }
+      HSSTA_REQUIRE(verb == "scenario", "unknown worker verb '" + verb + "'");
+      const size_t i = doc.at("index").as_count("index");
+      HSSTA_REQUIRE(i < p.scenarios.size(),
+                    "scenario index " + std::to_string(i) + " out of range");
+      const uint64_t fp = parse_fp(doc.at("fingerprint").as_string());
+      HSSTA_REQUIRE(fp == p.fps[i],
+                    "scenario " + std::to_string(i) +
+                        " fingerprint mismatch — coordinator and worker "
+                        "expanded different campaigns");
+
+      const std::vector<incr::Scenario> one{p.resolved[i]};
+      const std::vector<incr::ScenarioResult> rs = runner.run(one);
+      write_shard(wopts.out_dir, make_shard(p.scenarios[i], fp, p.base_fp,
+                                            rs[0]));
+
+      std::ostringstream os;
+      util::JsonWriter w(os);
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("index").value(i);
+      w.key("fingerprint").value(util::Fnv1a::hex(fp));
+      w.key("failed").value(!rs[0].ok());
+      w.key("seconds").value(rs[0].seconds);
+      w.end_object();
+      response = os.str();
+    } catch (const std::exception& e) {
+      response = error_line(e.what());
+    }
+    out << response << '\n' << std::flush;
+  }
+  return 0;
+}
+
+RunStats run_campaign(const std::string& spec_path,
+                      const CampaignOptions& opts) {
+  HSSTA_REQUIRE(!opts.out_dir.empty(), "campaign needs an output directory");
+  const Prepared p = prepare(spec_path, opts.config);
+  fs::create_directories(fs::path(opts.out_dir) / "shards");
+
+  RunStats stats;
+  stats.total = p.scenarios.size();
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < p.scenarios.size(); ++i) {
+    if (read_shard(shard_path(opts.out_dir, p.fps[i]), p.fps[i], p.base_fp))
+      ++stats.skipped;
+    else
+      queue.push_back(i);
+  }
+  const size_t budget =
+      opts.limit == 0 ? queue.size() : std::min(opts.limit, queue.size());
+
+  auto completed = [&](bool ok) {
+    ++stats.executed;
+    if (!ok) ++stats.failed;
+  };
+
+  if (budget == 0) {
+    stats.remaining = queue.size();
+    return stats;
+  }
+
+  if (opts.workers == 0) {
+    // In-process reference path: the pending set as ONE ScenarioRunner
+    // batch (bit-identical at any thread count by the runner's contract).
+    std::vector<size_t> todo(queue.begin(), queue.begin() + budget);
+    std::vector<incr::Scenario> batch;
+    batch.reserve(todo.size());
+    for (const size_t i : todo) batch.push_back(p.resolved[i]);
+    const incr::ScenarioRunner runner(p.design.incremental());
+    const std::shared_ptr<exec::Executor> ex =
+        exec::make_executor(opts.config.threads);
+    const std::vector<incr::ScenarioResult> rs = runner.run(batch, *ex);
+    for (size_t k = 0; k < todo.size(); ++k) {
+      const size_t i = todo[k];
+      write_shard(opts.out_dir,
+                  make_shard(p.scenarios[i], p.fps[i], p.base_fp, rs[k]));
+      completed(rs[k].ok());
+    }
+    stats.remaining = stats.total - stats.skipped - stats.executed;
+    return stats;
+  }
+
+  // Coordinator: single-threaded poll(2) loop over worker pipes. A dead
+  // worker's stdin write raises EPIPE, not SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<std::string> argv{
+      opts.worker_cmd.empty() ? default_worker_cmd() : opts.worker_cmd,
+      "campaign-worker", "--spec", spec_path, "--out", opts.out_dir};
+  argv.insert(argv.end(), opts.worker_args.begin(), opts.worker_args.end());
+
+  struct WorkerState {
+    std::unique_ptr<Subprocess> proc;
+    enum class St { kStarting, kIdle, kBusy, kDead } st = St::kStarting;
+    size_t scenario = kNone;  ///< expansion index in flight
+  };
+  using St = WorkerState::St;
+
+  std::vector<WorkerState> workers(std::min(opts.workers, budget));
+  for (WorkerState& w : workers) w.proc = std::make_unique<Subprocess>(argv);
+
+  size_t started = 0;  // dispatched-or-completed executions this run
+
+  auto dispatch = [&](WorkerState& w) {
+    if (started >= budget || queue.empty()) return;
+    const size_t i = queue.front();
+    queue.pop_front();
+    w.scenario = i;
+    w.st = St::kBusy;
+    ++started;
+    if (!w.proc->write_line(scenario_request(i, p.fps[i]))) {
+      // Died before we could hand it work; its EOF will follow.
+      queue.push_front(i);
+      --started;
+      w.scenario = kNone;
+      w.st = St::kDead;
+    }
+  };
+
+  auto requeue_in_flight = [&](WorkerState& w) {
+    if (w.scenario == kNone) return;
+    const size_t i = w.scenario;
+    w.scenario = kNone;
+    // The worker may have persisted the shard and died before replying —
+    // the shard, not the reply, is the record of completion.
+    if (const std::optional<ShardData> s =
+            read_shard(shard_path(opts.out_dir, p.fps[i]), p.fps[i],
+                       p.base_fp)) {
+      completed(s->ok());
+    } else {
+      queue.push_front(i);
+      --started;
+      ++stats.redispatched;
+    }
+  };
+
+  auto on_death = [&](WorkerState& w) {
+    if (w.st == St::kDead) return;
+    w.st = St::kDead;
+    w.proc->close_stdin();
+    requeue_in_flight(w);
+  };
+
+  auto handle_line = [&](WorkerState& w, const std::string& line) {
+    util::JsonValue doc;
+    try {
+      doc = util::JsonReader::parse(line);
+      HSSTA_REQUIRE(doc.is_object(), "worker line must be a JSON object");
+    } catch (const std::exception&) {
+      on_death(w);  // stray output = protocol violation; redispatch
+      return;
+    }
+    if (w.st == St::kStarting) {
+      // The ready handshake. A disagreeing worker means the spec or a
+      // binary changed under the campaign — fatal, nothing was dispatched.
+      if (!doc.at("ok").as_bool())
+        throw Error("campaign worker failed to start: " +
+                    doc.at("error").as_string());
+      const uint64_t fp = parse_fp(doc.at("base_fingerprint").as_string());
+      const size_t n = doc.at("scenarios").as_count("scenarios");
+      HSSTA_REQUIRE(
+          fp == p.base_fp && n == p.scenarios.size(),
+          "campaign worker handshake mismatch: worker expanded " +
+              std::to_string(n) + " scenarios over base " +
+              util::Fnv1a::hex(fp) + ", coordinator " +
+              std::to_string(p.scenarios.size()) + " over " +
+              util::Fnv1a::hex(p.base_fp) +
+              " — spec or binaries changed mid-campaign");
+      w.st = St::kIdle;
+      dispatch(w);
+      return;
+    }
+    if (w.st != St::kBusy) {
+      on_death(w);  // unsolicited chatter from an idle worker
+      return;
+    }
+    bool ok = false;
+    size_t index = kNone;
+    bool failed = true;
+    try {
+      ok = doc.at("ok").as_bool();
+      if (ok) {
+        index = doc.at("index").as_count("index");
+        failed = doc.at("failed").as_bool();
+      }
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (!ok || index != w.scenario) {
+      on_death(w);  // internal worker error: redispatch elsewhere
+      return;
+    }
+    w.scenario = kNone;
+    w.st = St::kIdle;
+    completed(!failed);
+    dispatch(w);
+  };
+
+  for (;;) {
+    const bool work_left = started < budget && !queue.empty();
+    bool any_busy = false, any_alive = false;
+    for (const WorkerState& w : workers) {
+      any_busy = any_busy || w.st == St::kBusy || w.st == St::kStarting;
+      any_alive = any_alive || w.st != St::kDead;
+    }
+    if (!any_busy && (!work_left || !any_alive)) {
+      if (work_left)
+        throw Error("all campaign workers died with " +
+                    std::to_string(queue.size()) + " scenarios outstanding");
+      break;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<size_t> owner;
+    for (size_t wi = 0; wi < workers.size(); ++wi) {
+      if (workers[wi].st == St::kDead) continue;
+      fds.push_back(pollfd{workers[wi].proc->out_fd(), POLLIN, 0});
+      owner.push_back(wi);
+    }
+    int rc;
+    while ((rc = ::poll(fds.data(), fds.size(), -1)) < 0 && errno == EINTR) {
+    }
+    if (rc < 0)
+      throw Error(std::string("campaign poll failed: ") +
+                  std::strerror(errno));
+
+    for (size_t k = 0; k < fds.size(); ++k) {
+      if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      WorkerState& w = workers[owner[k]];
+      std::vector<std::string> lines;
+      const bool open = w.proc->read_available(lines);
+      for (const std::string& l : lines) {
+        if (w.st == St::kDead) break;
+        handle_line(w, l);
+      }
+      if (!open) on_death(w);
+    }
+  }
+
+  // Graceful drain: ask the survivors to stop, close their stdin, reap.
+  for (WorkerState& w : workers) {
+    if (w.st != St::kDead) {
+      (void)w.proc->write_line("{\"verb\":\"shutdown\"}");
+      w.proc->close_stdin();
+    }
+    (void)w.proc->wait();
+  }
+
+  stats.remaining = stats.total - stats.skipped - stats.executed;
+  return stats;
+}
+
+StatusReport campaign_status(const std::string& spec_path,
+                             const CampaignOptions& opts) {
+  HSSTA_REQUIRE(!opts.out_dir.empty(), "campaign needs an output directory");
+  const Prepared p = prepare(spec_path, opts.config);
+  StatusReport r;
+  r.name = p.spec.name;
+  r.base_fingerprint = util::Fnv1a::hex(p.base_fp);
+  r.total = p.scenarios.size();
+  for (size_t i = 0; i < p.scenarios.size(); ++i) {
+    const std::optional<ShardData> s =
+        read_shard(shard_path(opts.out_dir, p.fps[i]), p.fps[i], p.base_fp);
+    if (!s) continue;
+    ++r.done;
+    if (!s->ok()) ++r.failed;
+  }
+  return r;
+}
+
+std::string merge_campaign(const std::string& spec_path,
+                           const CampaignOptions& opts) {
+  HSSTA_REQUIRE(!opts.out_dir.empty(), "campaign needs an output directory");
+  const Prepared p = prepare(spec_path, opts.config);
+
+  std::vector<ShardData> shards;
+  shards.reserve(p.scenarios.size());
+  size_t missing = 0;
+  for (size_t i = 0; i < p.scenarios.size(); ++i) {
+    std::optional<ShardData> s =
+        read_shard(shard_path(opts.out_dir, p.fps[i]), p.fps[i], p.base_fp);
+    if (!s) {
+      ++missing;
+      continue;
+    }
+    shards.push_back(std::move(*s));
+  }
+  if (missing > 0)
+    throw Error("campaign incomplete: " + std::to_string(missing) + " of " +
+                std::to_string(p.scenarios.size()) +
+                " scenarios have no shard yet; finish the run first "
+                "(campaign status shows progress)");
+
+  // The report is a pure function of (expansion order, shard contents):
+  // shard arrival order, worker count and resume history cannot show.
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("campaign").value(p.spec.name);
+  w.key("topology").value(p.spec.topology);
+  w.key("base").begin_object();
+  w.key("fingerprint").value(util::Fnv1a::hex(p.base_fp));
+  w.key("instances").value(p.design.num_instances());
+  w.key("delay");
+  flow::delay_json(w, p.design.incremental().delay());
+  w.end_object();
+
+  w.key("scenarios").begin_array();
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardData& s = shards[i];
+    w.begin_object();
+    // Position/label from the deterministic expansion (authoritative);
+    // results + provenance from the shard.
+    w.key("label").value(p.scenarios[i].label);
+    w.key("index").value(i);
+    w.key("fingerprint").value(util::Fnv1a::hex(s.fingerprint));
+    w.key("changes").value(s.changes);
+    w.key("ok").value(s.ok());
+    if (s.ok()) {
+      w.key("delay").begin_object();
+      w.key("mean").value(s.mean);
+      w.key("sigma").value(s.sigma);
+      w.key("q90").value(s.q90);
+      w.key("q99").value(s.q99);
+      w.key("q9987").value(s.q9987);
+      w.end_object();
+    } else {
+      w.key("error").value(s.error);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  std::vector<const ShardData*> ok_shards;
+  for (const ShardData& s : shards)
+    if (s.ok()) ok_shards.push_back(&s);
+
+  w.key("aggregate").begin_object();
+  w.key("count").value(shards.size());
+  w.key("ok").value(ok_shards.size());
+  w.key("failed").value(shards.size() - ok_shards.size());
+  if (!ok_shards.empty()) {
+    // Fixed index-order folds, so the aggregates are bit-stable too.
+    const auto stat = [&](const char* key, double ShardData::* field) {
+      double lo = ok_shards.front()->*field, hi = lo, sum = 0.0;
+      for (const ShardData* s : ok_shards) {
+        lo = std::min(lo, s->*field);
+        hi = std::max(hi, s->*field);
+        sum += s->*field;
+      }
+      w.key(key).begin_object();
+      w.key("min").value(lo);
+      w.key("max").value(hi);
+      w.key("mean").value(sum / static_cast<double>(ok_shards.size()));
+      w.end_object();
+    };
+    w.key("delay").begin_object();
+    stat("mean", &ShardData::mean);
+    stat("sigma", &ShardData::sigma);
+    stat("q90", &ShardData::q90);
+    stat("q99", &ShardData::q99);
+    stat("q9987", &ShardData::q9987);
+    w.end_object();
+  }
+  w.end_object();
+
+  // Worst-scenario ranking: q99 descending, index ascending on ties.
+  std::vector<const ShardData*> ranked = ok_shards;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ShardData* a, const ShardData* b) {
+              if (a->q99 != b->q99) return a->q99 > b->q99;
+              return a->index < b->index;
+            });
+  if (ranked.size() > 10) ranked.resize(10);
+  w.key("worst").begin_array();
+  for (const ShardData* s : ranked) {
+    w.begin_object();
+    w.key("index").value(s->index);
+    w.key("label").value(s->label);
+    w.key("fingerprint").value(util::Fnv1a::hex(s->fingerprint));
+    w.key("q99").value(s->q99);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string json = os.str() + "\n";
+  atomic_write(fs::path(opts.out_dir) / "campaign.json", json);
+  return json;
+}
+
+}  // namespace hssta::campaign

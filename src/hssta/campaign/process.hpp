@@ -1,0 +1,61 @@
+/// \file process.hpp
+/// campaign::Subprocess — a spawned worker process with line-oriented
+/// stdin/stdout pipes, for the campaign coordinator's fan-out.
+///
+/// The coordinator is single-threaded: it multiplexes every worker's
+/// stdout with poll(2) (see Subprocess::out_fd) and feeds bytes through
+/// read_available(), which buffers partial lines until the newline
+/// arrives. stderr is inherited, so a crashing worker's diagnostics land
+/// on the campaign's own stderr.
+
+#pragma once
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace hssta::campaign {
+
+class Subprocess {
+ public:
+  /// fork/exec `argv` (argv[0] is the executable path) with stdin and
+  /// stdout piped. Throws hssta::Error when the pipes or fork fail; an
+  /// exec failure surfaces as the child exiting 127 (and EOF on its
+  /// stdout).
+  explicit Subprocess(const std::vector<std::string>& argv);
+  /// Closes the pipes; kills (SIGKILL) and reaps the child if it is
+  /// still running.
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Write one line (a trailing '\n' is appended). Returns false when the
+  /// child's stdin is gone (it died) — never raises SIGPIPE.
+  [[nodiscard]] bool write_line(const std::string& line);
+
+  /// The child's stdout read end, for poll(2).
+  [[nodiscard]] int out_fd() const { return out_fd_; }
+
+  /// Drain whatever the child has written without blocking and append
+  /// every complete line to `lines`. Returns false on EOF (the child
+  /// closed its stdout — normally because it exited).
+  [[nodiscard]] bool read_available(std::vector<std::string>& lines);
+
+  /// Close the child's stdin (its read loop sees EOF and exits cleanly).
+  void close_stdin();
+
+  /// Reap the child (blocking) and return its raw waitpid status; -1 once
+  /// already reaped.
+  int wait();
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+
+ private:
+  pid_t pid_ = -1;
+  int in_fd_ = -1;   ///< write end of the child's stdin
+  int out_fd_ = -1;  ///< read end of the child's stdout
+  std::string buffer_;  ///< bytes read past the last complete line
+};
+
+}  // namespace hssta::campaign

@@ -1,0 +1,90 @@
+/// \file spec.hpp
+/// campaign::CampaignSpec — the declarative description of a scenario-
+/// exploration campaign, and its deterministic expansion.
+///
+/// A campaign file is JSON (parsed by the strict util::JsonReader):
+///
+///   {
+///     "name": "c1908_corners",
+///     "description": "sigma corners x hub variants",   // optional
+///     "base": {"topology": "chain"|"star",
+///              "files": ["m0.bench", "m1.hstm", ...]},
+///     "axes": [
+///       {"type": "sigma",  "param": 0, "scales": [0.8, 1.0, 1.2]},
+///       {"type": "swap",   "inst": 2,  "files": ["v1.hstm", "v2.hstm"]},
+///       {"type": "move",   "inst": 1,  "points": [[0.0, 0.0], [3.0, 1.5]]},
+///       {"type": "rewire", "conn": 0,
+///        "routes": [{"from_inst":0,"from_port":1,"to_inst":1,"to_port":0}]}
+///     ]
+///   }
+///
+/// Every object accepts an optional "description"/"notes" member; any
+/// other unknown key is rejected (a typo must not silently shrink a
+/// campaign). Relative paths resolve against the spec file's directory.
+///
+/// expand() takes the cross product of the axes — the last axis varies
+/// fastest, so scenario order is the natural odometer order — and labels
+/// each scenario with the "|"-joined per-axis value labels. The scenario
+/// list is a pure function of the spec: every coordinator, worker and
+/// resumed run derives the identical (index, label, changes) sequence.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hssta/flow/chain.hpp"
+#include "hssta/flow/config.hpp"
+#include "hssta/serve/protocol.hpp"
+#include "hssta/util/json.hpp"
+
+namespace hssta::campaign {
+
+/// One point on one axis: the wire-schema change it applies plus the
+/// short label it contributes to scenario labels ("p0x1.2", "u2=v1.hstm").
+struct AxisValue {
+  std::string label;
+  serve::ChangeSpec change;
+};
+
+struct Axis {
+  std::vector<AxisValue> values;
+};
+
+struct CampaignSpec {
+  std::string name;
+  std::string topology;  ///< "chain" or "star"
+  std::vector<std::string> files;  ///< base module files (resolved paths)
+  std::vector<Axis> axes;
+};
+
+/// One expanded grid point. `index` is the scenario's position in the
+/// deterministic expansion order — the merge report is keyed by it; the
+/// work queue is keyed by the scenario fingerprint computed downstream
+/// (content identity, not position).
+struct CampaignScenario {
+  size_t index = 0;
+  std::string label;
+  std::vector<serve::ChangeSpec> changes;
+};
+
+/// Parse a campaign document. `base_dir` anchors relative file paths
+/// (labels keep the spec's unresolved strings). Throws hssta::Error on
+/// malformed input, unknown keys, or empty grids.
+[[nodiscard]] CampaignSpec parse_campaign(const util::JsonValue& doc,
+                                          const std::string& base_dir);
+[[nodiscard]] CampaignSpec parse_campaign_file(const std::string& path);
+
+/// Cross product of the axes, odometer order (last axis fastest).
+/// Throws when two expanded scenarios carry identical change lists — the
+/// on-disk queue is keyed by content fingerprint, so duplicates would
+/// silently collapse into one shard.
+[[nodiscard]] std::vector<CampaignScenario> expand(const CampaignSpec& spec);
+
+/// Assemble the spec's base design (chain or star) through the shared
+/// flow builders — the same code a served or one-shot CLI analysis uses,
+/// so campaign results are bit-comparable with both.
+[[nodiscard]] flow::Design build_base_design(const CampaignSpec& spec,
+                                             const flow::Config& cfg);
+
+}  // namespace hssta::campaign

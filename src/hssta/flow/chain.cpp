@@ -1,5 +1,6 @@
 #include "hssta/flow/chain.hpp"
 
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -19,42 +20,34 @@ std::shared_ptr<const model::TimingModel> load_variant_model(
   return Module::from_bench_file(file, cfg).model_ptr();
 }
 
-Design build_chain_design(const std::string& name,
-                          const std::vector<std::string>& files,
-                          const Config& cfg, const ChainOverrides& overrides) {
-  Design design(name, cfg);
-  double x = 0.0;
-  for (size_t idx = 0; idx < files.size(); ++idx) {
-    const std::string& file = files[idx];
-    const auto model_it = overrides.models.find(idx);
-    const auto origin_it = overrides.origins.find(idx);
-    const double ox =
-        origin_it != overrides.origins.end() ? origin_it->second.x : x;
-    const double oy =
-        origin_it != overrides.origins.end() ? origin_it->second.y : 0.0;
-    size_t got;
-    if (model_it != overrides.models.end())
-      got = design.add_instance(model_it->second, ox, oy);
-    else if (is_model_file(file))
-      got = design.add_instance_from_model_file(file, ox, oy,
-                                                "u" + std::to_string(idx));
-    else
-      got = design.add_instance(Module::from_bench_file(file, cfg), ox, oy);
-    x += design.instance_model(got).die().width;
-  }
+namespace {
 
-  // The base chain's connection list (deterministic), then any rewires.
-  std::vector<hier::Connection> base_conns;
-  for (size_t i = 0; i + 1 < design.num_instances(); ++i) {
-    const size_t no = design.num_outputs(i);
-    const size_t ni = design.num_inputs(i + 1);
-    if (no == 0)
-      throw Error("cannot chain: module '" + design.instance_name(i) +
-                  "' has no outputs");
-    for (size_t k = 0; k < ni; ++k)
-      base_conns.push_back(hier::Connection{hier::PortRef{i, k % no},
-                                            hier::PortRef{i + 1, k}});
+/// Add instance `idx` from `file` at the default origin (ox, oy), honoring
+/// any model/origin overrides; returns the instance index.
+size_t add_instance_at(Design& design, const std::string& file, size_t idx,
+                       double ox, double oy, const Config& cfg,
+                       const ChainOverrides& overrides) {
+  const auto model_it = overrides.models.find(idx);
+  const auto origin_it = overrides.origins.find(idx);
+  if (origin_it != overrides.origins.end()) {
+    ox = origin_it->second.x;
+    oy = origin_it->second.y;
   }
+  if (model_it != overrides.models.end())
+    return design.add_instance(model_it->second, ox, oy);
+  if (is_model_file(file))
+    return design.add_instance_from_model_file(file, ox, oy,
+                                               "u" + std::to_string(idx));
+  return design.add_instance(Module::from_bench_file(file, cfg), ox, oy);
+}
+
+/// Wire the deterministic base connection list (with rewires applied by
+/// index) and expose the *base* topology's unwired boundary ports as
+/// primary ports (expose_unconnected_ports naming), so rewired/unmodified
+/// builds share one port list — exactly like the incremental engine.
+void wire_and_expose(Design& design,
+                     const std::vector<hier::Connection>& base_conns,
+                     const ChainOverrides& overrides) {
   for (size_t c = 0; c < base_conns.size(); ++c) {
     const auto it = overrides.rewires.find(c);
     const hier::Connection& cn =
@@ -62,9 +55,6 @@ Design build_chain_design(const std::string& name,
     design.connect(cn.from_output.instance, cn.from_output.port,
                    cn.to_input.instance, cn.to_input.port);
   }
-
-  // Primary ports from the *base* topology (expose_unconnected_ports
-  // naming), so rewired/unmodified chains share one port list.
   std::set<std::pair<size_t, size_t>> driven, read;
   for (const hier::Connection& cn : base_conns) {
     driven.insert({cn.to_input.instance, cn.to_input.port});
@@ -80,6 +70,84 @@ Design build_chain_design(const std::string& name,
         design.primary_output(
             design.instance_name(i) + "_o" + std::to_string(k), i, k);
   }
+}
+
+}  // namespace
+
+Design build_chain_design(const std::string& name,
+                          const std::vector<std::string>& files,
+                          const Config& cfg, const ChainOverrides& overrides) {
+  Design design(name, cfg);
+  double x = 0.0;
+  for (size_t idx = 0; idx < files.size(); ++idx) {
+    const size_t got =
+        add_instance_at(design, files[idx], idx, x, 0.0, cfg, overrides);
+    x += design.instance_model(got).die().width;
+  }
+
+  // The base chain's connection list (deterministic), then any rewires.
+  std::vector<hier::Connection> base_conns;
+  for (size_t i = 0; i + 1 < design.num_instances(); ++i) {
+    const size_t no = design.num_outputs(i);
+    const size_t ni = design.num_inputs(i + 1);
+    if (no == 0)
+      throw Error("cannot chain: module '" + design.instance_name(i) +
+                  "' has no outputs");
+    for (size_t k = 0; k < ni; ++k)
+      base_conns.push_back(hier::Connection{hier::PortRef{i, k % no},
+                                            hier::PortRef{i + 1, k}});
+  }
+  wire_and_expose(design, base_conns, overrides);
+  return design;
+}
+
+Design build_star_design(const std::string& name,
+                         const std::vector<std::string>& files,
+                         const Config& cfg, const ChainOverrides& overrides) {
+  if (files.size() < 2)
+    throw Error("star topology needs at least two modules (leaves + hub)");
+  Design design(name, cfg);
+  for (size_t idx = 0; idx < files.size(); ++idx) {
+    // 4-wide grid, each instance offset by its own die — identical models
+    // tile exactly (the eco_loop star layout). Placement needs the die
+    // before the add, so the model/module resolves first (extraction is
+    // cache-aware either way).
+    const std::string& file = files[idx];
+    const auto model_it = overrides.models.find(idx);
+    std::shared_ptr<const model::TimingModel> model;
+    std::optional<Module> module;
+    if (model_it != overrides.models.end())
+      model = model_it->second;
+    else if (is_model_file(file))
+      model = std::make_shared<const model::TimingModel>(
+          model::TimingModel::load_file(file));
+    else
+      module.emplace(Module::from_bench_file(file, cfg));
+    const placement::Die& die = model ? model->die() : module->model().die();
+    placement::Point origin{static_cast<double>(idx % 4) * die.width,
+                            static_cast<double>(idx / 4) * die.height};
+    const auto origin_it = overrides.origins.find(idx);
+    if (origin_it != overrides.origins.end()) origin = origin_it->second;
+    if (model)
+      design.add_instance(std::move(model), origin.x, origin.y,
+                          "u" + std::to_string(idx));
+    else
+      design.add_instance(*module, origin.x, origin.y);
+  }
+
+  // Every hub input driven round-robin from the leaves.
+  const size_t hub = design.num_instances() - 1;
+  std::vector<hier::Connection> base_conns;
+  for (size_t k = 0; k < design.num_inputs(hub); ++k) {
+    const size_t leaf = k % hub;
+    const size_t no = design.num_outputs(leaf);
+    if (no == 0)
+      throw Error("cannot build star: module '" + design.instance_name(leaf) +
+                  "' has no outputs");
+    base_conns.push_back(
+        hier::Connection{hier::PortRef{leaf, k % no}, hier::PortRef{hub, k}});
+  }
+  wire_and_expose(design, base_conns, overrides);
   return design;
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "hssta/util/hash.hpp"
+
 namespace hssta::flow {
 
 void incr_stats_json(util::JsonWriter& w, const incr::IncrementalStats& s) {
@@ -20,6 +22,7 @@ void scenario_json(util::JsonWriter& w, const incr::ScenarioResult& r) {
   w.begin_object();
   w.key("label").value(r.label);
   w.key("index").value(r.index);
+  w.key("fingerprint").value(util::Fnv1a::hex(r.fingerprint));
   w.key("changes").value(r.changes);
   w.key("ok").value(r.ok());
   w.key("seconds").value(r.seconds);
@@ -94,6 +97,7 @@ std::string eco_report_json(const Design& d, const EcoReport& r) {
   w.begin_object();
   w.key("design").value(d.name());
   w.key("change").value(r.change);
+  w.key("fingerprint").value(util::Fnv1a::hex(r.fingerprint));
   w.key("full").begin_object();
   w.key("delay");
   delay_json(w, r.full_delay);

@@ -39,6 +39,9 @@ void scenario_json(util::JsonWriter& w, const incr::ScenarioResult& r);
 /// One ECO comparison for eco_report_json.
 struct EcoReport {
   std::string change;  ///< human-readable description of the change
+  /// incr::scenario_fingerprint() of (base design, change list) — the same
+  /// join key campaign shards and sweep entries carry.
+  uint64_t fingerprint = 0;
   timing::CanonicalForm full_delay;
   double full_seconds = 0.0;
   timing::CanonicalForm incremental_delay;

@@ -149,6 +149,25 @@ class DesignState {
   /// ScenarioRunner gives every clone a serial executor of its own.
   void set_executor(std::shared_ptr<exec::Executor> ex);
 
+  /// --- serialization (incr/serialize.cpp) --------------------------------
+  ///
+  /// Versioned text format ("hsds 1"), same idioms as the .hstm serializer:
+  /// hex-float doubles for bit-exact round trips, strict counts, named
+  /// truncation errors, trailing content after 'end' rejected. The save
+  /// captures the *logical* design — inputs (with every model embedded,
+  /// shared models deduplicated) and options, pending changes included —
+  /// not the derived graphs: a loaded state re-derives everything in its
+  /// first analyze() as a deterministic full build, so post-load results
+  /// are bit-identical to the saved state's analyze() at any thread count.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static DesignState load(
+      std::istream& is, std::shared_ptr<exec::Executor> ex = nullptr,
+      timing::LevelParallel mode = timing::LevelParallel::kAuto);
+  [[nodiscard]] static DesignState load_file(
+      const std::string& path, std::shared_ptr<exec::Executor> ex = nullptr,
+      timing::LevelParallel mode = timing::LevelParallel::kAuto);
+
  private:
   /// The hier:: view of the current inputs (models referenced, not owned).
   [[nodiscard]] hier::HierDesign make_view() const;
@@ -192,5 +211,17 @@ class DesignState {
   /// subgraph — the abandoned target lost its driver either way.
   std::map<size_t, hier::PortRef> rewire_old_targets_;
 };
+
+/// Stable 64-bit content fingerprint of a timing model: util::Fnv1a over
+/// its serialized (.hstm) text, so two models compare equal exactly when
+/// their saved bytes do — the identity the campaign layer keys swapped-in
+/// variants by (file paths don't matter, content does).
+[[nodiscard]] uint64_t model_fingerprint(const model::TimingModel& m);
+
+/// Stable 64-bit content fingerprint of a DesignState's logical design:
+/// util::Fnv1a over its serialized ("hsds") text — inputs, embedded
+/// models and analysis options, pending changes included. Two states with
+/// the same fingerprint analyze to bit-identical results.
+[[nodiscard]] uint64_t state_fingerprint(const DesignState& state);
 
 }  // namespace hssta::incr

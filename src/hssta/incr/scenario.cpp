@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "hssta/util/error.hpp"
+#include "hssta/util/hash.hpp"
 #include "hssta/util/timer.hpp"
 
 namespace hssta::incr {
@@ -66,7 +67,37 @@ std::string describe_changes(std::span<const Change> changes) {
   return out;
 }
 
-ScenarioRunner::ScenarioRunner(const DesignState& base) : base_(&base) {
+uint64_t scenario_fingerprint(uint64_t base_fingerprint,
+                              std::span<const Change> changes) {
+  util::Fnv1a h;
+  h.u64(base_fingerprint).u64(changes.size());
+  for (const Change& change : changes) {
+    std::visit(
+        [&](const auto& c) {
+          using T = std::decay_t<decltype(c)>;
+          if constexpr (std::is_same_v<T, ReplaceModule>) {
+            h.str("swap").u64(c.inst).u64(c.model ? model_fingerprint(*c.model)
+                                                  : 0);
+          } else if constexpr (std::is_same_v<T, MoveInstance>) {
+            h.str("move").u64(c.inst).f64(c.x).f64(c.y);
+          } else if constexpr (std::is_same_v<T, RewireConnection>) {
+            h.str("rewire")
+                .u64(c.conn)
+                .u64(c.from_output.instance)
+                .u64(c.from_output.port)
+                .u64(c.to_input.instance)
+                .u64(c.to_input.port);
+          } else {
+            h.str("sigma").u64(c.param).f64(c.scale);
+          }
+        },
+        change);
+  }
+  return h.value();
+}
+
+ScenarioRunner::ScenarioRunner(const DesignState& base)
+    : base_(&base), base_fp_(state_fingerprint(base)) {
   HSSTA_REQUIRE(!base.pending(),
                 "scenario base has pending changes; analyze() it first");
 }
@@ -91,6 +122,7 @@ std::vector<ScenarioResult> ScenarioRunner::run(
     r.label = sc.label;
     r.index = i;
     r.changes = describe_changes(sc.changes);
+    r.fingerprint = scenario_fingerprint(base_fp_, sc.changes);
     WallTimer timer;
     try {
       DesignState state(*base_);  // shares the clean prefix by copy

@@ -69,6 +69,11 @@ struct ScenarioResult {
   /// Error payloads carry it next to the exception text, so a failed
   /// what-if names the change that caused it, not just the symptom.
   std::string changes;
+  /// scenario_fingerprint() of (base design, change list) — the stable
+  /// identity the campaign layer keys shards by (set by the runner). A
+  /// one-shot sweep result and a campaign shard for the same base + changes
+  /// carry the same value, so reports can be joined across runs.
+  uint64_t fingerprint = 0;
   /// The design delay under the scenario (valid when ok()).
   timing::CanonicalForm delay;
   IncrementalStats stats;
@@ -89,6 +94,14 @@ void apply_change(DesignState& state, const Change& change);
 /// "; "-joined describe_change() over a change list.
 [[nodiscard]] std::string describe_changes(std::span<const Change> changes);
 
+/// Stable identity of a what-if: util::Fnv1a over the base design's
+/// state_fingerprint() and the structural content of every change (swapped
+/// models hash by model_fingerprint(), i.e. by content, not by pointer or
+/// file path). Campaign shards are named by this value; resume skips a
+/// scenario exactly when its fingerprint already has a shard.
+[[nodiscard]] uint64_t scenario_fingerprint(uint64_t base_fingerprint,
+                                            std::span<const Change> changes);
+
 class ScenarioRunner {
  public:
   /// `base` must have no pending changes (analyze() it first) and must
@@ -103,8 +116,14 @@ class ScenarioRunner {
   [[nodiscard]] std::vector<ScenarioResult> run(
       std::span<const Scenario> scenarios, exec::Executor& ex) const;
 
+  /// state_fingerprint() of the base, computed once at construction; the
+  /// runner combines it with each scenario's change list to stamp
+  /// ScenarioResult::fingerprint.
+  [[nodiscard]] uint64_t base_fingerprint() const { return base_fp_; }
+
  private:
   const DesignState* base_;
+  uint64_t base_fp_ = 0;
 };
 
 }  // namespace hssta::incr

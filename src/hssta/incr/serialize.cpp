@@ -1,0 +1,324 @@
+// incr/serialize.cpp — versioned persistence for incr::DesignState.
+//
+// Format "hsds 1": the same line/keyword text idioms as the .hstm model
+// serializer (hex-float doubles for bit-exact round trips, strict counts
+// via util::parse_count, named truncation errors, trailing content after
+// 'end' rejected). Models are embedded length-prefixed — TimingModel::load
+// consumes a whole stream and rejects trailing content, so each model's
+// bytes are framed exactly and parsed from a private substream — and
+// deduplicated by pointer, so the common many-instances-of-one-IP design
+// stores each model once.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "hssta/incr/design_state.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/hash.hpp"
+#include "hssta/util/strings.hpp"
+
+namespace hssta::incr {
+
+namespace {
+
+/// Hex-float formatting for bit-exact round trips (same as the .hstm
+/// serializer).
+std::string hexf(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& tok) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  HSSTA_REQUIRE(end && *end == '\0',
+                "malformed number in design state file: " + tok);
+  return v;
+}
+
+std::string checked_token(std::istream& is, const char* what) {
+  std::string tok;
+  if (!(is >> tok))
+    throw Error(std::string("design state file truncated at ") + what);
+  return tok;
+}
+
+void expect_keyword(std::istream& is, const std::string& kw) {
+  const std::string tok = checked_token(is, kw.c_str());
+  HSSTA_REQUIRE(tok == kw, "design state file: expected '" + kw + "', got '" +
+                               tok + "'");
+}
+
+size_t parse_size(std::istream& is, const char* what) {
+  return static_cast<size_t>(
+      parse_count(std::string("design state file field '") + what + "'",
+                  checked_token(is, what)));
+}
+
+void check_name(const std::string& name, const char* what) {
+  HSSTA_REQUIRE(!name.empty(), std::string(what) + " name is empty");
+  HSSTA_REQUIRE(name.find_first_of(" \t\n\r") == std::string::npos,
+                std::string(what) + " names with whitespace cannot be "
+                                    "serialized: '" +
+                    name + "'");
+}
+
+/// An embedded model may not plausibly exceed this (the largest ISCAS
+/// model serializes to well under a megabyte); a corrupt length must not
+/// drive a giant allocation before the read fails.
+constexpr size_t kMaxModelBytes = size_t{1} << 30;
+
+}  // namespace
+
+void DesignState::save(std::ostream& os) const {
+  check_name(inputs_.name, "design");
+
+  os << "hsds 1\n";
+  os << "design " << inputs_.name << '\n';
+  if (inputs_.fixed_die)
+    os << "die fixed " << hexf(inputs_.fixed_die->width) << ' '
+       << hexf(inputs_.fixed_die->height) << '\n';
+  else
+    os << "die auto\n";
+  os << "mode "
+     << (opts_.mode == hier::CorrelationMode::kReplacement ? "replacement"
+                                                           : "global_only")
+     << '\n';
+  os << "load_aware " << (opts_.load_aware_boundary ? 1 : 0) << '\n';
+  os << "interconnect " << hexf(opts_.interconnect_delay) << '\n';
+  os << "pca " << hexf(opts_.pca.min_explained) << ' '
+     << hexf(opts_.pca.rel_tol) << ' ' << opts_.pca.max_components << '\n';
+  os << "sigma_scale " << opts_.param_sigma_scale.size();
+  for (double s : opts_.param_sigma_scale) os << ' ' << hexf(s);
+  os << '\n';
+
+  // Shared models stored once, referenced by index.
+  std::map<const model::TimingModel*, size_t> model_index;
+  std::vector<const model::TimingModel*> models;
+  for (const InstanceSpec& inst : inputs_.instances) {
+    HSSTA_REQUIRE(inst.model != nullptr,
+                  "instance '" + inst.name + "' has no model to serialize");
+    if (model_index.emplace(inst.model.get(), models.size()).second)
+      models.push_back(inst.model.get());
+  }
+  os << "models " << models.size() << '\n';
+  for (size_t k = 0; k < models.size(); ++k) {
+    std::ostringstream ms;
+    models[k]->save(ms);
+    const std::string bytes = ms.str();
+    // Length-prefixed framing: TimingModel::load consumes a whole stream
+    // (and rejects trailing content), so the loader must hand it exactly
+    // these bytes in a private substream.
+    os << "model " << k << ' ' << bytes.size() << '\n' << bytes;
+  }
+
+  os << "instances " << inputs_.instances.size() << '\n';
+  for (const InstanceSpec& inst : inputs_.instances) {
+    check_name(inst.name, "instance");
+    os << "inst " << inst.name << ' ' << model_index.at(inst.model.get())
+       << ' ' << hexf(inst.origin.x) << ' ' << hexf(inst.origin.y) << '\n';
+  }
+
+  os << "connections " << inputs_.connections.size() << '\n';
+  for (const hier::Connection& c : inputs_.connections)
+    os << "conn " << c.from_output.instance << ' ' << c.from_output.port
+       << ' ' << c.to_input.instance << ' ' << c.to_input.port << '\n';
+
+  os << "pins " << inputs_.primary_inputs.size() << '\n';
+  for (const hier::PrimaryInput& pi : inputs_.primary_inputs) {
+    check_name(pi.name, "primary input");
+    os << "pin " << pi.name << ' ' << pi.sinks.size();
+    for (const hier::PortRef& s : pi.sinks)
+      os << ' ' << s.instance << ' ' << s.port;
+    os << '\n';
+  }
+
+  os << "pouts " << inputs_.primary_outputs.size() << '\n';
+  for (const hier::PrimaryOutput& po : inputs_.primary_outputs) {
+    check_name(po.name, "primary output");
+    os << "pout " << po.name << ' ' << po.source.instance << ' '
+       << po.source.port << '\n';
+  }
+  os << "end\n";
+
+  os.flush();
+  HSSTA_REQUIRE(os.good(),
+                "design state serialization failed: output stream entered "
+                "an error state (disk full or sink closed?)");
+}
+
+void DesignState::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open design state file for writing: " + path);
+  save(os);
+  os.close();
+  if (!os) throw Error("write to design state file failed: " + path);
+}
+
+DesignState DesignState::load(std::istream& is,
+                              std::shared_ptr<exec::Executor> ex,
+                              timing::LevelParallel mode) {
+  expect_keyword(is, "hsds");
+  const std::string version = checked_token(is, "version");
+  HSSTA_REQUIRE(version == "1",
+                "unsupported design state format version " + version);
+
+  DesignInputs inputs;
+  expect_keyword(is, "design");
+  inputs.name = checked_token(is, "design name");
+
+  expect_keyword(is, "die");
+  const std::string die_kind = checked_token(is, "die kind");
+  if (die_kind == "fixed") {
+    placement::Die die;
+    die.width = parse_double(checked_token(is, "die width"));
+    die.height = parse_double(checked_token(is, "die height"));
+    inputs.fixed_die = die;
+  } else {
+    HSSTA_REQUIRE(die_kind == "auto", "bad die kind: " + die_kind);
+  }
+
+  hier::HierOptions opts;
+  expect_keyword(is, "mode");
+  const std::string mode_tok = checked_token(is, "mode");
+  if (mode_tok == "replacement")
+    opts.mode = hier::CorrelationMode::kReplacement;
+  else if (mode_tok == "global_only")
+    opts.mode = hier::CorrelationMode::kGlobalOnly;
+  else
+    throw Error("bad correlation mode in design state file: " + mode_tok);
+
+  expect_keyword(is, "load_aware");
+  const std::string la = checked_token(is, "load_aware");
+  HSSTA_REQUIRE(la == "0" || la == "1", "bad load_aware flag: " + la);
+  opts.load_aware_boundary = la == "1";
+
+  expect_keyword(is, "interconnect");
+  opts.interconnect_delay = parse_double(checked_token(is, "interconnect"));
+
+  expect_keyword(is, "pca");
+  opts.pca.min_explained = parse_double(checked_token(is, "pca explained"));
+  opts.pca.rel_tol = parse_double(checked_token(is, "pca tolerance"));
+  opts.pca.max_components = parse_size(is, "pca max components");
+
+  expect_keyword(is, "sigma_scale");
+  const size_t n_scales = parse_size(is, "sigma_scale count");
+  for (size_t k = 0; k < n_scales; ++k)
+    opts.param_sigma_scale.push_back(
+        parse_double(checked_token(is, "sigma_scale value")));
+
+  expect_keyword(is, "models");
+  const size_t n_models = parse_size(is, "models count");
+  std::vector<std::shared_ptr<const model::TimingModel>> models;
+  models.reserve(n_models);
+  for (size_t k = 0; k < n_models; ++k) {
+    expect_keyword(is, "model");
+    const size_t idx = parse_size(is, "model index");
+    HSSTA_REQUIRE(idx == k, "design state file: models out of order");
+    const size_t bytes = parse_size(is, "model bytes");
+    HSSTA_REQUIRE(bytes > 0 && bytes <= kMaxModelBytes,
+                  "design state file: implausible model size");
+    // The framing is exact: one newline after the count, then the bytes.
+    HSSTA_REQUIRE(is.get() == '\n',
+                  "design state file: malformed model framing");
+    std::string text(bytes, '\0');
+    is.read(text.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<size_t>(is.gcount()) != bytes)
+      throw Error("design state file truncated at embedded model " +
+                  std::to_string(k));
+    std::istringstream ms(text);
+    models.push_back(std::make_shared<const model::TimingModel>(
+        model::TimingModel::load(ms)));
+  }
+
+  expect_keyword(is, "instances");
+  const size_t n_inst = parse_size(is, "instances count");
+  for (size_t k = 0; k < n_inst; ++k) {
+    expect_keyword(is, "inst");
+    InstanceSpec spec;
+    spec.name = checked_token(is, "instance name");
+    const size_t m = parse_size(is, "instance model");
+    HSSTA_REQUIRE(m < models.size(),
+                  "design state file: instance model index out of range");
+    spec.model = models[m];
+    spec.origin.x = parse_double(checked_token(is, "instance x"));
+    spec.origin.y = parse_double(checked_token(is, "instance y"));
+    inputs.instances.push_back(std::move(spec));
+  }
+
+  expect_keyword(is, "connections");
+  const size_t n_conn = parse_size(is, "connections count");
+  for (size_t k = 0; k < n_conn; ++k) {
+    expect_keyword(is, "conn");
+    hier::Connection c;
+    c.from_output.instance = parse_size(is, "connection from instance");
+    c.from_output.port = parse_size(is, "connection from port");
+    c.to_input.instance = parse_size(is, "connection to instance");
+    c.to_input.port = parse_size(is, "connection to port");
+    inputs.connections.push_back(c);
+  }
+
+  expect_keyword(is, "pins");
+  const size_t n_pins = parse_size(is, "pins count");
+  for (size_t k = 0; k < n_pins; ++k) {
+    expect_keyword(is, "pin");
+    hier::PrimaryInput pi;
+    pi.name = checked_token(is, "pin name");
+    const size_t n_sinks = parse_size(is, "pin sinks");
+    for (size_t s = 0; s < n_sinks; ++s) {
+      hier::PortRef ref;
+      ref.instance = parse_size(is, "pin sink instance");
+      ref.port = parse_size(is, "pin sink port");
+      pi.sinks.push_back(ref);
+    }
+    inputs.primary_inputs.push_back(std::move(pi));
+  }
+
+  expect_keyword(is, "pouts");
+  const size_t n_pouts = parse_size(is, "pouts count");
+  for (size_t k = 0; k < n_pouts; ++k) {
+    expect_keyword(is, "pout");
+    hier::PrimaryOutput po;
+    po.name = checked_token(is, "pout name");
+    po.source.instance = parse_size(is, "pout instance");
+    po.source.port = parse_size(is, "pout port");
+    inputs.primary_outputs.push_back(std::move(po));
+  }
+
+  expect_keyword(is, "end");
+  std::string extra;
+  if (is >> extra)
+    throw Error("design state file: trailing content after 'end': '" + extra +
+                "'");
+
+  // Structural validity (ports in range, every input driven once, ...) is
+  // checked by the first analyze(), exactly like a freshly assembled state.
+  return DesignState(std::move(inputs), std::move(opts), std::move(ex), mode);
+}
+
+DesignState DesignState::load_file(const std::string& path,
+                                   std::shared_ptr<exec::Executor> ex,
+                                   timing::LevelParallel mode) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open design state file: " + path);
+  return load(is, std::move(ex), mode);
+}
+
+uint64_t model_fingerprint(const model::TimingModel& m) {
+  std::ostringstream os;
+  m.save(os);
+  return util::Fnv1a().str(os.str()).value();
+}
+
+uint64_t state_fingerprint(const DesignState& state) {
+  std::ostringstream os;
+  state.save(os);
+  return util::Fnv1a().str(os.str()).value();
+}
+
+}  // namespace hssta::incr

@@ -206,6 +206,10 @@ std::string Engine::handle(const Request& req) {
       return handle_sweep(req);
     case Verb::kStats:
       return handle_stats(req);
+    case Verb::kSaveSession:
+      return handle_save_session(req);
+    case Verb::kRestoreSession:
+      return handle_restore_session(req);
     case Verb::kCloseSession:
       return handle_close_session(req);
     case Verb::kShutdown:
@@ -478,6 +482,88 @@ std::string Engine::handle_stats(const Request& req) {
   w.key("idle_timeout_seconds").value(opts_.idle_timeout_seconds);
   w.key("max_sessions").value(opts_.max_sessions);
   w.end_object();
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::string Engine::handle_save_session(const Request& req) {
+  std::string error;
+  const char* code = kInternal;
+  const std::shared_ptr<Session> session =
+      find_session(req.session, error, code);
+  if (!session) {
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, code, error);
+  }
+  session->last_used = Clock::now();
+  try {
+    // Pending (recorded-but-unanalyzed) changes serialize with the state,
+    // so a restore resumes exactly where the session left off.
+    session->state.save_file(req.file);
+  } catch (const std::exception& e) {
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, kBadRequest, e.what());
+  }
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("session").value(session->id);
+  w.key("file").value(req.file);
+  w.key("pending").value(session->state.pending());
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::string Engine::handle_restore_session(const Request& req) {
+  // A control verb (it creates a session rather than addressing one), so
+  // it runs in the sequential control group; the expensive load + analyze
+  // happens outside mu_ like load_design's build.
+  std::optional<incr::DesignState> state;
+  try {
+    state.emplace(incr::DesignState::load_file(
+        req.file, std::make_shared<exec::SerialExecutor>()));
+    // Eager analyze: the restored session answers its first eco from warm
+    // state, and the response can report the design delay like
+    // open_session does. Bit-identical to the saved session's analyze()
+    // by the serialization contract.
+    (void)state->analyze();
+  } catch (const std::exception& e) {
+    n_error_.fetch_add(1, kRelaxed);
+    return error_response(req.id, kBadRequest, e.what());
+  }
+
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= opts_.max_sessions) {
+      n_error_.fetch_add(1, kRelaxed);
+      return error_response(
+          req.id, kSaturated,
+          "session limit reached (" + std::to_string(opts_.max_sessions) +
+              " open); close a session first");
+    }
+    const uint64_t id = next_session_++;
+    // Copy the name out first: make_shared's argument evaluation order is
+    // unspecified, so `state->inputs().name` may read a moved-from state.
+    std::string design = state->inputs().name;
+    session = std::make_shared<Session>(id, std::move(design),
+                                        std::move(*state));
+    session->last_used = Clock::now();
+    sessions_.emplace(id, session);
+  }
+  n_opened_.fetch_add(1, kRelaxed);
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("session").value(session->id);
+  w.key("design").value(session->design);
+  w.key("file").value(req.file);
+  w.key("delay");
+  flow::delay_json(w, session->state.delay());
   w.end_object();
   n_ok_.fetch_add(1, kRelaxed);
   return os.str();

@@ -184,6 +184,8 @@ class Engine {
   [[nodiscard]] std::string handle_analyze(const Request& req);
   [[nodiscard]] std::string handle_sweep(const Request& req);
   [[nodiscard]] std::string handle_stats(const Request& req);
+  [[nodiscard]] std::string handle_save_session(const Request& req);
+  [[nodiscard]] std::string handle_restore_session(const Request& req);
   [[nodiscard]] std::string handle_close_session(const Request& req);
   [[nodiscard]] std::string handle_shutdown(const Request& req);
 

@@ -16,6 +16,8 @@ Verb parse_verb(const std::string& v) {
   if (v == "analyze") return Verb::kAnalyze;
   if (v == "sweep") return Verb::kSweep;
   if (v == "stats") return Verb::kStats;
+  if (v == "save_session") return Verb::kSaveSession;
+  if (v == "restore_session") return Verb::kRestoreSession;
   if (v == "close_session") return Verb::kCloseSession;
   if (v == "shutdown") return Verb::kShutdown;
   throw Error("unknown verb '" + v + "'");
@@ -25,7 +27,19 @@ size_t count_field(const util::JsonValue& obj, const std::string& key) {
   return static_cast<size_t>(obj.at(key).as_count(key));
 }
 
-ChangeSpec parse_change(const util::JsonValue& c) {
+std::vector<ChangeSpec> parse_changes(const util::JsonValue& arr,
+                                      const char* what) {
+  HSSTA_REQUIRE(arr.is_array(), std::string(what) + " must be an array");
+  std::vector<ChangeSpec> out;
+  out.reserve(arr.items().size());
+  for (const util::JsonValue& c : arr.items())
+    out.push_back(parse_change_spec(c));
+  return out;
+}
+
+}  // namespace
+
+ChangeSpec parse_change_spec(const util::JsonValue& c) {
   HSSTA_REQUIRE(c.is_object(), "change must be an object");
   const std::string& op = c.at("op").as_string();
   ChangeSpec spec;
@@ -56,20 +70,9 @@ ChangeSpec parse_change(const util::JsonValue& c) {
   return spec;
 }
 
-std::vector<ChangeSpec> parse_changes(const util::JsonValue& arr,
-                                      const char* what) {
-  HSSTA_REQUIRE(arr.is_array(), std::string(what) + " must be an array");
-  std::vector<ChangeSpec> out;
-  out.reserve(arr.items().size());
-  for (const util::JsonValue& c : arr.items()) out.push_back(parse_change(c));
-  return out;
-}
-
-}  // namespace
-
 bool is_session_verb(Verb v) {
   return v == Verb::kEco || v == Verb::kAnalyze || v == Verb::kSweep ||
-         v == Verb::kCloseSession;
+         v == Verb::kSaveSession || v == Verb::kCloseSession;
 }
 
 Request parse_request(const std::string& line) {
@@ -122,6 +125,17 @@ Request parse_request(const std::string& line) {
       }
       break;
     }
+    case Verb::kSaveSession:
+      req.session = doc.at("session").as_count("session");
+      req.file = doc.at("file").as_string();
+      HSSTA_REQUIRE(!req.file.empty(),
+                    "save_session needs a non-empty file");
+      break;
+    case Verb::kRestoreSession:
+      req.file = doc.at("file").as_string();
+      HSSTA_REQUIRE(!req.file.empty(),
+                    "restore_session needs a non-empty file");
+      break;
     case Verb::kCloseSession:
       req.session = doc.at("session").as_count("session");
       break;

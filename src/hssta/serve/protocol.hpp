@@ -16,6 +16,8 @@
 ///   {"verb":"sweep","session":1,"scenarios":[{"label":"a",
 ///                                             "changes":[CHANGE...]}...]}
 ///   {"verb":"stats"}
+///   {"verb":"save_session","session":1,"file":"s.hsds"}
+///   {"verb":"restore_session","file":"s.hsds"}       new session id
 ///   {"verb":"close_session","session":1}
 ///   {"verb":"shutdown"}
 ///
@@ -49,6 +51,8 @@ enum class Verb {
   kAnalyze,
   kSweep,
   kStats,
+  kSaveSession,
+  kRestoreSession,
   kCloseSession,
   kShutdown,
 };
@@ -95,6 +99,7 @@ struct Request {
   std::string name;                      ///< load_design
   std::vector<std::string> files;        ///< load_design
   std::string design;                    ///< open_session
+  std::string file;                      ///< save_session / restore_session
   uint64_t session = 0;                  ///< session verbs
   std::vector<ChangeSpec> changes;       ///< eco / analyze
   std::vector<ScenarioSpec> scenarios;   ///< sweep
@@ -107,6 +112,11 @@ struct Request {
 /// Parse one request line; throws hssta::Error (the engine answers with a
 /// bad_request response naming the problem).
 [[nodiscard]] Request parse_request(const std::string& line);
+
+/// Parse one CHANGE object (the {"op":...} schema above); throws
+/// hssta::Error on malformed input. Exposed for the campaign spec parser,
+/// whose expanded scenarios carry wire-schema changes.
+[[nodiscard]] ChangeSpec parse_change_spec(const util::JsonValue& c);
 
 /// Resolve a wire change into an engine change, loading a swap's model
 /// file through the module pipeline (and the persistent model cache when

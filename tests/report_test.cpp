@@ -137,7 +137,8 @@ TEST(ReportJson, EcoSchemaAndIdenticalFlag) {
   r.stats.vertices_live = 19;
   r.identical = r.incremental_delay == r.full_delay;
   const std::string json = flow::eco_report_json(d, r);
-  expect_keys(json, {"design", "change", "full", "incremental", "delay",
+  expect_keys(json, {"design", "change", "fingerprint", "full",
+                     "incremental", "delay",
                      "seconds", "stats", "analyses", "full_builds",
                      "coefficient_refreshes", "instances_restitched",
                      "connections_restitched", "vertices_recomputed",
@@ -154,8 +155,8 @@ TEST(ReportJson, SweepSchemaIncludesErrorsAndResults) {
   };
   const std::vector<incr::ScenarioResult> results = d.scenarios(scenarios);
   const std::string json = flow::sweep_report_json(d, results);
-  expect_keys(json, {"design", "scenarios", "label", "index", "changes",
-                     "ok", "seconds", "delay", "stats", "error"});
+  expect_keys(json, {"design", "scenarios", "label", "index", "fingerprint",
+                     "changes", "ok", "seconds", "delay", "stats", "error"});
   EXPECT_NE(json.find("\"label\":\"sigma Leff\""), std::string::npos);
   EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(json.find("\"ok\":false"), std::string::npos);

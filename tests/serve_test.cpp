@@ -397,6 +397,64 @@ TEST_F(ServeTest, SessionLimitSaturates) {
   ok(engine, R"({"verb":"open_session","design":"d"})");
 }
 
+// --- session persistence ----------------------------------------------------
+
+TEST_F(ServeTest, SessionSurvivesRestart) {
+  const std::string state = (dir_ / "session.hsds").string();
+
+  // First daemon lifetime: open a session, record an eco but do NOT
+  // analyze — the pending change must survive the save.
+  {
+    serve::Engine engine;
+    ok(engine, load_line());
+    ok(engine, R"({"verb":"open_session","design":"d"})");
+    ok(engine, R"({"verb":"eco","session":1,"changes":[)"
+               R"({"op":"swap","inst":0,"file":")" +
+                   file("c.bench") + R"("}]})");
+    const JsonValue saved =
+        ok(engine, R"({"verb":"save_session","session":1,"file":")" + state +
+                       R"("})");
+    EXPECT_TRUE(saved.at("pending").as_bool());
+  }  // engine destroyed: the "crash"
+
+  // Second daemon lifetime: no designs loaded, only the state file.
+  serve::Engine engine;
+  const JsonValue restored =
+      ok(engine, R"({"verb":"restore_session","file":")" + state + R"("})");
+  const uint64_t sid = restored.at("session").as_count("session");
+  EXPECT_EQ(restored.at("design").as_string(), "d");
+
+  const JsonValue analyzed = ok(
+      engine, R"({"verb":"analyze","session":)" + std::to_string(sid) + "}");
+  flow::ChainOverrides overrides;
+  overrides.models[0] = flow::load_variant_model(file("c.bench"), {});
+  expect_delay_eq(analyzed.at("delay"), reference_delay(overrides));
+
+  // The restored session keeps working: stack a second eco on top.
+  const JsonValue again = ok(
+      engine, R"({"verb":"analyze","session":)" + std::to_string(sid) +
+                  R"(,"changes":[{"op":"sigma","param":0,"scale":1.5}]})");
+  EXPECT_NE(again.at("delay").at("mean").as_number(),
+            analyzed.at("delay").at("mean").as_number());
+}
+
+TEST_F(ServeTest, SaveAndRestoreSessionErrors) {
+  serve::Engine engine;
+  ok(engine, load_line());
+  fail(engine, R"({"verb":"save_session","session":7,"file":"/tmp/x"})",
+       serve::kUnknownSession);
+  fail(engine,
+       R"({"verb":"restore_session","file":")" + file("nope.hsds") + R"("})",
+       serve::kBadRequest);
+  // A netlist is not a design state: the strict parser must name the
+  // format, not crash.
+  const JsonValue err = fail(
+      engine, R"({"verb":"restore_session","file":")" + file("a.bench") +
+                  R"("})",
+      serve::kBadRequest);
+  EXPECT_FALSE(err.at("error").as_string().empty());
+}
+
 // --- concurrency ------------------------------------------------------------
 
 TEST_F(ServeTest, ConcurrentRequestsOnOneSessionSerializeDeterministically) {

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "hssta/campaign/campaign.hpp"
 #include "hssta/exec/executor.hpp"
 #include "hssta/flow/chain.hpp"
 #include "hssta/flow/flow.hpp"
@@ -387,6 +388,11 @@ int cmd_eco(int argc, const char* const* argv) {
   const flow::Design base = build_chain(files, cfg, /*verbose=*/!json);
   incr::DesignState& st = base.incremental();
 
+  // The scenario identity hashes the *base* design + change list, so it
+  // must be taken before the changes are applied below.
+  const uint64_t scenario_fp =
+      incr::scenario_fingerprint(incr::state_fingerprint(st), changes);
+
   // From-scratch analysis of the changed design (timed: stitch +
   // propagate; model extraction is shared and excluded on both sides).
   const flow::Design changed =
@@ -399,6 +405,7 @@ int cmd_eco(int argc, const char* const* argv) {
 
   flow::EcoReport report;
   report.change = desc;
+  report.fingerprint = scenario_fp;
   report.full_delay = full.delay();
   report.full_seconds = full.build_seconds + full.analysis_seconds;
   report.incremental_delay = incr_delay;
@@ -529,6 +536,107 @@ int cmd_sweep(int argc, const char* const* argv) {
   return 0;
 }
 
+/// campaign: distributed, resumable scenario-exploration campaigns (see
+/// campaign/campaign.hpp). `run` executes the pending scenarios (sharded
+/// across worker subprocesses, or in-process with --workers 0) and merges
+/// automatically once every shard exists; `status` scans the shard
+/// directory; `merge` re-folds existing shards into the campaign report.
+int cmd_campaign(int argc, const char* const* argv) {
+  const std::string action = argc >= 3 ? argv[2] : "";
+  if (action != "run" && action != "status" && action != "merge") {
+    std::fprintf(stderr,
+                 "usage: hssta_cli campaign run|status|merge <spec.json> "
+                 "--out DIR [flags]\n");
+    return 2;
+  }
+
+  Common common;
+  std::string spec, out_dir, worker_cmd;
+  uint64_t workers = 4, limit = 0;
+  util::ArgParser p("hssta_cli campaign " + action,
+                    "distributed scenario-exploration campaign");
+  p.positional("spec.json", &spec, "campaign spec file");
+  p.option("--out", &out_dir, "dir",
+           "campaign output directory (shards + merged report)");
+  if (action == "run") {
+    p.option("--workers", &workers, "N",
+             "worker processes (default 4; 0 = in-process reference run)");
+    p.option("--limit", &limit, "K",
+             "stop after K scenario executions this run (0 = no limit)");
+    p.option("--worker-cmd", &worker_cmd, "path",
+             "worker executable (default: this hssta_cli binary)");
+  }
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 3)) return 0;
+  if (out_dir.empty()) throw Error("campaign: --out is required");
+
+  campaign::CampaignOptions opts;
+  opts.out_dir = out_dir;
+  opts.workers = workers;
+  opts.limit = limit;
+  opts.worker_cmd = worker_cmd;
+  opts.config = common.load();
+  // Workers re-derive the same expansion, so they need the same config.
+  if (!common.config_file.empty()) {
+    opts.worker_args.push_back("--config");
+    opts.worker_args.push_back(common.config_file);
+  }
+  if (!common.cache_dir.empty()) {
+    opts.worker_args.push_back("--cache-dir");
+    opts.worker_args.push_back(common.cache_dir);
+  }
+
+  if (action == "status") {
+    const campaign::StatusReport r = campaign::campaign_status(spec, opts);
+    std::printf("campaign '%s' (base %s): %zu/%zu scenarios done "
+                "(%zu failed), %zu remaining\n",
+                r.name.c_str(), r.base_fingerprint.c_str(), r.done, r.total,
+                r.failed, r.total - r.done);
+    return 0;
+  }
+  if (action == "merge") {
+    std::printf("%s", campaign::merge_campaign(spec, opts).c_str());
+    return 0;
+  }
+
+  const std::string name = campaign::parse_campaign_file(spec).name;
+  const campaign::RunStats s = campaign::run_campaign(spec, opts);
+  std::printf("campaign '%s': %zu scenarios, %zu skipped, %zu executed "
+              "(%zu failed), %zu remaining\n",
+              name.c_str(), s.total, s.skipped, s.executed, s.failed,
+              s.remaining);
+  if (s.redispatched > 0)
+    std::printf("%zu scenario%s redispatched after worker loss\n",
+                s.redispatched, s.redispatched == 1 ? "" : "s");
+  if (s.remaining == 0) {
+    (void)campaign::merge_campaign(spec, opts);
+    std::printf("merged report: %s/campaign.json\n", out_dir.c_str());
+  } else {
+    std::printf("re-run to resume, or `campaign status` for progress\n");
+  }
+  return 0;
+}
+
+/// campaign-worker: the subprocess side of `campaign run` (newline-JSON
+/// over stdio; see campaign/campaign.hpp for the protocol).
+int cmd_campaign_worker(int argc, const char* const* argv) {
+  Common common;
+  std::string spec, out_dir;
+  util::ArgParser p("hssta_cli campaign-worker",
+                    "campaign worker subprocess (spawned by `campaign run`)");
+  p.option("--spec", &spec, "file", "campaign spec file");
+  p.option("--out", &out_dir, "dir", "campaign output directory");
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 2)) return 0;
+  if (spec.empty() || out_dir.empty())
+    throw Error("campaign-worker: --spec and --out are required");
+
+  campaign::CampaignOptions opts;
+  opts.out_dir = out_dir;
+  opts.config = common.load();
+  return campaign::worker_loop(spec, opts, std::cin, std::cout);
+}
+
 /// serve-client: drive a running hssta_serve daemon over its Unix-domain
 /// socket. Requests come from --script FILE (one JSON request per line;
 /// blank lines and #-comments skipped) or stdin; every response line is
@@ -588,6 +696,8 @@ int usage() {
                " --move I=X,Y | --rewire C=A.B:C.D | --sigma P=S\n"
                "  hssta_cli sweep   <m1.bench|.hstm> <m2...> --swap-each F |"
                " --move-each DX,DY | --sigma-each S | --rewire ...\n"
+               "  hssta_cli campaign run|status|merge <spec.json> --out DIR "
+               "[--workers N] [--limit K]\n"
                "  hssta_cli serve-client <socket> [--script FILE] [--check]\n"
                "  hssta_cli --version\n"
                "run a subcommand with --help for its flags\n");
@@ -606,6 +716,8 @@ int main(int argc, char** argv) {
     if (cmd == "hier") return cmd_hier(argc, argv);
     if (cmd == "eco") return cmd_eco(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "campaign") return cmd_campaign(argc, argv);
+    if (cmd == "campaign-worker") return cmd_campaign_worker(argc, argv);
     if (cmd == "serve-client") return cmd_serve_client(argc, argv);
     if (cmd == "--version" || cmd == "version") return print_version();
     return usage();
