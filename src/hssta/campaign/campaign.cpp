@@ -1,6 +1,7 @@
 #include "hssta/campaign/campaign.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
@@ -32,15 +33,26 @@ namespace {
 constexpr size_t kNone = std::numeric_limits<size_t>::max();
 
 uint64_t parse_fp(const std::string& hex) {
-  HSSTA_REQUIRE(hex.size() == 16, "fingerprint must be 16 hex digits, got '" +
-                                      hex + "'");
-  char* end = nullptr;
-  errno = 0;
-  const uint64_t v = std::strtoull(hex.c_str(), &end, 16);
-  HSSTA_REQUIRE(end == hex.c_str() + hex.size() && errno == 0,
-                "malformed fingerprint '" + hex + "'");
-  return v;
+  // strtoull alone would accept a leading sign; fingerprints from shards
+  // and handshakes are externally supplied, so insist on pure hex digits.
+  bool all_hex = hex.size() == 16;
+  for (const char c : hex)
+    all_hex = all_hex && std::isxdigit(static_cast<unsigned char>(c));
+  HSSTA_REQUIRE(all_hex, "fingerprint must be 16 hex digits, got '" + hex +
+                             "'");
+  return std::strtoull(hex.c_str(), nullptr, 16);
 }
+
+/// Ignore SIGPIPE only for the coordinator's lifetime — a dead worker's
+/// stdin write must raise EPIPE, but an embedding process keeps its own
+/// disposition once run_campaign returns.
+struct SigpipeIgnore {
+  void (*prev)(int);
+  SigpipeIgnore() : prev(std::signal(SIGPIPE, SIG_IGN)) {}
+  ~SigpipeIgnore() {
+    if (prev != SIG_ERR) std::signal(SIGPIPE, prev);
+  }
+};
 
 /// Everything both sides of the protocol derive from (spec_path, config):
 /// the analyzed base design, its fingerprint, and the expanded scenario
@@ -385,7 +397,7 @@ RunStats run_campaign(const std::string& spec_path,
 
   // Coordinator: single-threaded poll(2) loop over worker pipes. A dead
   // worker's stdin write raises EPIPE, not SIGPIPE.
-  std::signal(SIGPIPE, SIG_IGN);
+  const SigpipeIgnore sigpipe_guard;
 
   std::vector<std::string> argv{
       opts.worker_cmd.empty() ? default_worker_cmd() : opts.worker_cmd,
@@ -500,6 +512,13 @@ RunStats run_campaign(const std::string& spec_path,
   };
 
   for (;;) {
+    // Scenarios requeued by a worker death (or a failed dispatch write)
+    // must reach whoever is idle BEFORE we block in poll: at the campaign
+    // tail every survivor may be idle, and an idle worker never writes,
+    // so poll alone would wait forever.
+    for (WorkerState& w : workers)
+      if (w.st == St::kIdle) dispatch(w);
+
     const bool work_left = started < budget && !queue.empty();
     bool any_busy = false, any_alive = false;
     for (const WorkerState& w : workers) {

@@ -203,11 +203,14 @@ CampaignSpec parse_campaign_file(const std::string& path) {
 }
 
 std::vector<CampaignScenario> expand(const CampaignSpec& spec) {
+  // Low enough that the error below fires long before the expansion
+  // itself would exhaust memory — a campaign this size is days of work.
+  constexpr size_t kMaxScenarios = 1'000'000;
   size_t total = 1;
   for (const Axis& a : spec.axes) {
-    HSSTA_REQUIRE(!a.values.empty() &&
-                      total <= (size_t{1} << 40) / a.values.size(),
-                  "campaign spec: grid is unreasonably large");
+    HSSTA_REQUIRE(!a.values.empty() && total <= kMaxScenarios / a.values.size(),
+                  "campaign spec: grid is unreasonably large (over " +
+                      std::to_string(kMaxScenarios) + " scenarios)");
     total *= a.values.size();
   }
 

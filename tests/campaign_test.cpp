@@ -326,6 +326,32 @@ TEST_F(SpecTest, RejectsDuplicatesUnknownKeysAndBadAxes) {
   EXPECT_EQ(campaign::expand(spec).size(), 1u);
 }
 
+TEST_F(SpecTest, OversizedGridsFailWithTheNamedErrorBeforeExpanding) {
+  // 100^4 = 1e8 scenarios: the size check must fire — with its own
+  // message, not a bad_alloc from trying to materialize the expansion.
+  campaign::CampaignSpec spec;
+  spec.name = "huge";
+  spec.topology = "chain";
+  spec.files = {"a", "b"};
+  spec.axes.resize(4);
+  for (size_t a = 0; a < spec.axes.size(); ++a)
+    for (size_t v = 0; v < 100; ++v) {
+      serve::ChangeSpec c;
+      c.op = serve::ChangeSpec::Op::kSigma;
+      c.param = a;
+      c.scale = 1.0 + 1e-6 * static_cast<double>(v);
+      spec.axes[a].values.push_back(
+          {"p" + std::to_string(a) + "v" + std::to_string(v), c});
+    }
+  try {
+    (void)campaign::expand(spec);
+    FAIL() << "oversized grid accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unreasonably large"),
+              std::string::npos);
+  }
+}
+
 // --- worker protocol --------------------------------------------------------
 
 using WorkerTest = CampaignTest;
@@ -565,6 +591,52 @@ TEST_F(SubprocessTest, LimitedWorkerRunResumes) {
   s = campaign::run_campaign(spec, opts("w", 2));
   EXPECT_EQ(s.skipped, 2u);
   EXPECT_EQ(s.executed, 4u);
+
+  (void)campaign::run_campaign(spec, opts("ref", 0));
+  EXPECT_EQ(campaign::merge_campaign(spec, opts("w")),
+            campaign::merge_campaign(spec, opts("ref")));
+}
+
+TEST_F(SubprocessTest, MidCampaignWorkerDeathRedispatchesToIdleSurvivors) {
+  if (!fs::exists(campaign::default_worker_cmd()))
+    GTEST_SKIP() << "hssta_cli not found next to the test binary";
+  const std::string spec = write_spec();
+
+  // Exactly one of the two workers (whoever wins the lock-dir mkdir)
+  // handshakes, accepts a scenario, then dies WITHOUT publishing its
+  // shard — two seconds later, long after the survivor has drained the
+  // queue and gone idle. The coordinator must hand the orphaned scenario
+  // to the idle survivor instead of blocking in poll on workers that
+  // will never write again (regression: tail-of-campaign worker death
+  // used to deadlock the run).
+  // The flaky branch runs a real worker with a private out dir and a
+  // /dev/null stdin (so the child handshakes, writes no shard, and exits
+  // on its own), forwards just the handshake line, lingers, then dies.
+  const std::string cli = campaign::default_worker_cmd();
+  write("flaky_worker.sh",
+        "#!/bin/sh\n"
+        "# argv: campaign-worker --spec <spec> --out <out> ...\n"
+        "if mkdir \"" + file("flaky.lock") + "\" 2>/dev/null; then\n"
+        "  d=$(mktemp -d)\n"
+        "  \"" + cli + "\" campaign-worker --spec \"$3\" --out \"$d\" "
+        "> \"$d/log\" &\n"
+        "  while ! grep -q '\"ready\"' \"$d/log\" 2>/dev/null; do "
+        "sleep 0.05; done\n"
+        "  head -n 1 \"$d/log\"\n"
+        "  sleep 2\n"
+        "  rm -rf \"$d\"\n"
+        "  exit 1\n"
+        "fi\n"
+        "sleep 0.5\n"  // let the flaky worker handshake + take a scenario first
+        "exec \"" + cli + "\" \"$@\"\n");
+  fs::permissions(dir_ / "flaky_worker.sh", fs::perms::owner_all);
+  campaign::CampaignOptions o = opts("w", 2);
+  o.worker_cmd = file("flaky_worker.sh");
+
+  const campaign::RunStats s = campaign::run_campaign(spec, o);
+  EXPECT_EQ(s.executed, 6u);
+  EXPECT_EQ(s.remaining, 0u);
+  EXPECT_EQ(s.redispatched, 1u);
 
   (void)campaign::run_campaign(spec, opts("ref", 0));
   EXPECT_EQ(campaign::merge_campaign(spec, opts("w")),
