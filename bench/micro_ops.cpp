@@ -6,15 +6,12 @@
 // the exec layer parallelizes and the level-synchronous single-sweep
 // propagation. Run with
 //   --benchmark_out=bench_out/BENCH_micro_ops.json --benchmark_out_format=json
-// to land the speedup trajectory in a BENCH_*.json artifact. Independently
-// of the google-benchmark flags, every run also writes
-// bench_out/BENCH_propagate.json: per-sweep wall time (forward arrivals /
-// backward required, level-synchronous) at 1/2/4/8 threads on c7552.
+// to land the speedup trajectory in a BENCH_*.json artifact. The per-sweep
+// propagation timings (with their bit-identity gates) live in the
+// standalone bench/propagate_scale.cpp harness, which owns
+// bench_out/BENCH_propagate.json.
 
 #include <benchmark/benchmark.h>
-
-#include <cstdio>
-#include <fstream>
 
 #include "common.hpp"
 #include "hssta/core/criticality.hpp"
@@ -26,7 +23,6 @@
 #include "hssta/stats/rng.hpp"
 #include "hssta/timing/propagate.hpp"
 #include "hssta/timing/statops.hpp"
-#include "hssta/util/timer.hpp"
 #include "hssta/variation/space.hpp"
 
 namespace {
@@ -64,6 +60,37 @@ void BM_ClarkMax(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClarkMax)->Arg(16)->Arg(64)->Arg(256);
+
+// The allocation-free kernels the sweeps actually run on: bank rows in,
+// bank row out. The delta against BM_ClarkMax / BM_CanonicalSum is the
+// per-op allocation cost the flat engine removed.
+void BM_ClarkMaxInto(benchmark::State& state) {
+  stats::Rng rng(2);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  timing::FormBank bank;
+  bank.reset(3, dim);
+  bank.store(0, random_form(dim, rng));
+  bank.store(1, random_form(dim, rng));
+  for (auto _ : state) {
+    timing::statistical_max_into(bank.row(2), bank.row(0), bank.row(1));
+    benchmark::DoNotOptimize(bank.data());
+  }
+}
+BENCHMARK(BM_ClarkMaxInto)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AddInto(benchmark::State& state) {
+  stats::Rng rng(1);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  timing::FormBank bank;
+  bank.reset(3, dim);
+  bank.store(0, random_form(dim, rng));
+  bank.store(1, random_form(dim, rng));
+  for (auto _ : state) {
+    timing::add_into(bank.row(2), bank.row(0), bank.row(1));
+    benchmark::DoNotOptimize(bank.data());
+  }
+}
+BENCHMARK(BM_AddInto)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_TightnessProbability(benchmark::State& state) {
   stats::Rng rng(3);
@@ -180,73 +207,6 @@ BENCHMARK(BM_PropagateLevelThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-// Per-sweep wall time of the level-synchronous forward (arrivals) and
-// backward (required-time) passes on c7552 at 1/2/4/8 threads, best of N
-// with the first rep warming graph caches and the pool. Written to
-// bench_out/BENCH_propagate.json on every run so the perf trajectory has
-// data regardless of the google-benchmark output flags.
-void write_propagate_json() {
-  const flow::Module& module = c7552_module();
-  const timing::TimingGraph& g = module.graph();
-  (void)g.levels();  // levelization is shared, measure sweeps only
-
-  std::ofstream json(bench::out_path("BENCH_propagate.json"));
-  json << "[\n";
-  bool first = true;
-  const size_t reps = 5;
-  struct Sweep {
-    const char* name;
-    void (*run)(const timing::TimingGraph&, timing::PropagationResult&,
-                exec::Executor&);
-  };
-  const Sweep sweeps[] = {
-      {"propagate_arrivals",
-       [](const timing::TimingGraph& gr, timing::PropagationResult& r,
-          exec::Executor& ex) {
-         timing::propagate_arrivals_into(gr, {}, r, ex,
-                                         timing::LevelParallel::kOn);
-       }},
-      {"propagate_required",
-       [](const timing::TimingGraph& gr, timing::PropagationResult& r,
-          exec::Executor& ex) {
-         timing::propagate_required_into(gr, {}, r, ex,
-                                         timing::LevelParallel::kOn);
-       }},
-  };
-  for (const Sweep& sweep : sweeps) {
-    double t1 = 0.0;
-    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-      const auto ex = exec::make_executor(threads);
-      timing::PropagationResult r;
-      double seconds = 0.0;
-      for (size_t rep = 0; rep < reps; ++rep) {
-        WallTimer timer;
-        sweep.run(g, r, *ex);
-        const double t = timer.seconds();
-        if (rep == 0 || t < seconds) seconds = t;
-      }
-      if (threads == 1) t1 = seconds;
-      json << (first ? "" : ",\n");
-      first = false;
-      json << "  {\"op\": \"" << sweep.name
-           << "\", \"circuit\": \"c7552\", \"threads\": " << threads
-           << ", \"seconds\": " << seconds
-           << ", \"speedup_vs_1\": " << (seconds > 0.0 ? t1 / seconds : 0.0)
-           << "}";
-    }
-  }
-  json << "\n]\n";
-  std::printf("propagate sweep JSON: %s\n",
-              bench::out_path("BENCH_propagate.json").c_str());
-}
-
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  write_propagate_json();
-  return 0;
-}
+BENCHMARK_MAIN();

@@ -26,8 +26,10 @@ namespace {
 struct CritScratch {
   timing::PropagationResult prop;
   std::vector<double> tp;
-  std::vector<CanonicalForm> cand;
+  timing::FormBank cand;           ///< fanin arrival candidates, one row each
   std::vector<EdgeId> cand_edge;
+  timing::FormBank split_scratch;  ///< prefix/suffix folds of the split
+  std::vector<double> split;
   std::vector<double> vc;          ///< row-major [vertex slot][output index]
   std::vector<uint8_t> row_active; ///< row has mass (or is a seeded output)
   std::vector<double> cm;
@@ -36,33 +38,39 @@ struct CritScratch {
 
 /// Per-worker scratch of the level-synchronous tightness pass.
 struct TightnessScratch {
-  std::vector<CanonicalForm> cand;
+  timing::FormBank cand;
   std::vector<EdgeId> cand_edge;
+  timing::FormBank split_scratch;
+  std::vector<double> split;
   MaxDiagnostics diag;
 };
 
 /// Tightness probabilities of one vertex's fanin: tp[e] = Prob{edge e
 /// carries the maximal fanin arrival of v}, renormalized so they partition
-/// exactly. Shared by the serial and level-synchronous drivers.
+/// exactly. Shared by the serial and level-synchronous drivers. Candidates
+/// are assembled into rows of the caller's `cand` bank and split in place —
+/// a warm scratch makes the whole pass allocation-free.
+template <typename Scratch>
 void tightness_vertex(const TimingGraph& g, const PropagationResult& arrival,
-                      VertexId v, std::vector<double>& tp,
-                      std::vector<CanonicalForm>& cand,
-                      std::vector<EdgeId>& cand_edge, MaxDiagnostics* diag) {
+                      VertexId v, std::vector<double>& tp, Scratch& sc,
+                      MaxDiagnostics* diag) {
   const auto& fanin = g.vertex(v).fanin;
   if (fanin.empty()) return;
-  cand.clear();
-  cand_edge.clear();
+  sc.cand_edge.clear();
+  if (sc.cand.rows() < fanin.size() || sc.cand.dim() != g.dim())
+    sc.cand.reset(fanin.size(), g.dim());
+  size_t n = 0;
   for (EdgeId e : fanin) {
     const timing::TimingEdge& te = g.edge(e);
     if (!arrival.valid[te.from]) continue;
-    CanonicalForm c = arrival.time[te.from];
-    c += te.delay;
-    cand.push_back(std::move(c));
-    cand_edge.push_back(e);
+    timing::add_into(sc.cand.row(n), arrival.time.row(te.from),
+                     te.delay.view());
+    sc.cand_edge.push_back(e);
+    ++n;
   }
-  if (cand.empty()) return;
-  const std::vector<double> split = timing::tightness_split(cand, diag);
-  for (size_t t = 0; t < split.size(); ++t) tp[cand_edge[t]] = split[t];
+  if (n == 0) return;
+  timing::tightness_split_into(sc.cand, n, sc.split, sc.split_scratch, diag);
+  for (size_t t = 0; t < n; ++t) tp[sc.cand_edge[t]] = sc.split[t];
 }
 
 /// Fanin tightness probabilities for one arrival propagation (serial
@@ -72,7 +80,7 @@ void fanin_tightness_into(const TimingGraph& g,
                           MaxDiagnostics* diag, CritScratch& sc) {
   sc.tp.assign(g.num_edge_slots(), 0.0);
   for (VertexId v : g.topo_order())
-    tightness_vertex(g, arrival, v, sc.tp, sc.cand, sc.cand_edge, diag);
+    tightness_vertex(g, arrival, v, sc.tp, sc, diag);
 }
 
 /// Level-synchronous tightness driver: each edge's tp is written by its
@@ -92,8 +100,7 @@ void fanin_tightness_level(const TimingGraph& g,
                          },
                          [&](VertexId v, exec::Workspace& ws) {
                            TightnessScratch& ts = ws.get<TightnessScratch>();
-                           tightness_vertex(g, arrival, v, tp, ts.cand,
-                                            ts.cand_edge, &ts.diag);
+                           tightness_vertex(g, arrival, v, tp, ts, &ts.diag);
                          });
   for (size_t w = 0; w < ex.num_workspaces(); ++w)
     diag += ex.workspace(w).get<TightnessScratch>().diag;
@@ -302,7 +309,7 @@ CriticalityResult compute_criticality(const TimingGraph& g,
       if (opts.with_io_delays) {
         for (size_t j = 0; j < outs.size(); ++j)
           if (sc.prop.valid[outs[j]])
-            res.io_delays.set(i, j, sc.prop.time[outs[j]]);
+            res.io_delays.set(i, j, sc.prop.time.form(outs[j]));
       }
     }
     res.diagnostics += sc.diag;
@@ -332,7 +339,7 @@ CriticalityResult compute_criticality(const TimingGraph& g,
       if (opts.with_io_delays) {
         for (size_t j = 0; j < outs.size(); ++j)
           if (sc.prop.valid[outs[j]])
-            res.io_delays.set(i, j, sc.prop.time[outs[j]]);
+            res.io_delays.set(i, j, sc.prop.time.form(outs[j]));
       }
     });
 

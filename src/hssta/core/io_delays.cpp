@@ -92,7 +92,7 @@ DelayMatrix all_pairs_io_delays(const TimingGraph& g, exec::Executor& ex,
                                       timing::LevelParallel::kOn);
       if (diag) *diag += sc.prop.diagnostics;
       for (size_t j = 0; j < outs.size(); ++j)
-        if (sc.prop.valid[outs[j]]) m.set(i, j, sc.prop.time[outs[j]]);
+        if (sc.prop.valid[outs[j]]) m.set(i, j, sc.prop.time.form(outs[j]));
     }
     return m;
   }
@@ -109,7 +109,7 @@ DelayMatrix all_pairs_io_delays(const TimingGraph& g, exec::Executor& ex,
     timing::propagate_arrivals_into(g, sources, sc.prop);
     sc.diag += sc.prop.diagnostics;
     for (size_t j = 0; j < outs.size(); ++j)
-      if (sc.prop.valid[outs[j]]) m.set(i, j, sc.prop.time[outs[j]]);
+      if (sc.prop.valid[outs[j]]) m.set(i, j, sc.prop.time.form(outs[j]));
   });
   if (diag)
     for (size_t w = 0; w < ex.num_workspaces(); ++w)

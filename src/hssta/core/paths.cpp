@@ -33,7 +33,7 @@ std::vector<CriticalPath> report_critical_paths(const TimingGraph& g,
   std::vector<VertexId> out_vertices;
   for (VertexId v : g.outputs()) {
     if (!arrivals.valid[v]) continue;
-    out_arrivals.push_back(arrivals.time[v]);
+    out_arrivals.push_back(arrivals.time.form(v));
     out_vertices.push_back(v);
   }
   HSSTA_REQUIRE(!out_arrivals.empty(), "no output port was reached");

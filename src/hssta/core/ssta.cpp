@@ -1,6 +1,7 @@
 #include "hssta/core/ssta.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "hssta/timing/statops.hpp"
 #include "hssta/util/error.hpp"
@@ -17,18 +18,22 @@ namespace {
 /// slack(v) = required - (arrival(v) + remaining(v)); the variability
 /// coefficients flip sign, the private random magnitude is unchanged.
 /// Shared per-vertex assembly of the serial and parallel overloads.
+/// Assembled straight from the two bank rows — the through-path sum is
+/// never materialized, so this allocates nothing (the slack entry's buffer
+/// is recycled by the caller's assign).
 inline void assemble_slack(const TimingGraph& g, VertexId v,
                            const PropagationResult& arrivals,
                            const PropagationResult& remaining,
                            double required_at_outputs, SlackResult& out) {
   if (!g.vertex_alive(v) || !arrivals.valid[v] || !remaining.valid[v]) return;
-  CanonicalForm through = arrivals.time[v];
-  through += remaining.time[v];
+  const timing::ConstFormView at = arrivals.time.row(v);
+  const timing::ConstFormView rt = remaining.time.row(v);
   CanonicalForm& s = out.slack[v];
-  s = CanonicalForm(g.dim());
-  s.set_nominal(required_at_outputs - through.nominal());
-  for (size_t k = 0; k < g.dim(); ++k) s.corr()[k] = -through.corr()[k];
-  s.set_random(through.random());
+  s.set_nominal(required_at_outputs - (*at.nominal + *rt.nominal));
+  const std::span<double> sc = s.corr();
+  for (size_t k = 0; k < g.dim(); ++k) sc[k] = -(at.corr[k] + rt.corr[k]);
+  s.set_random(
+      std::sqrt(*at.random * *at.random + *rt.random * *rt.random));
   out.valid[v] = 1;
 }
 

@@ -372,9 +372,12 @@ void DesignState::propagate_cone(const std::vector<VertexId>& seeds) {
   TimingGraph& g = st_->graph;
   const size_t slots = g.num_vertex_slots();
   const CanonicalForm zero(st_->total_dim);
-  // Grow the arrival arrays for freshly stitched vertex slots; stale
-  // entries of dead slots are never read.
-  arrivals_.time.resize(slots, zero);
+  // Grow the arrival bank for freshly stitched vertex slots (new rows are
+  // zero forms); stale entries of dead slots are never read.
+  if (arrivals_.time.dim() != st_->total_dim)
+    arrivals_.time.reset(slots, st_->total_dim);
+  else
+    arrivals_.time.resize_rows(slots);
   arrivals_.valid.resize(slots, 0);
   arrivals_.diagnostics = timing::MaxDiagnostics{};
 
@@ -406,23 +409,27 @@ void DesignState::propagate_cone(const std::vector<VertexId>& seeds) {
           ConeScratch& sc = ws.get<ConeScratch>();
           CanonicalForm& nt = sc.result;
           nt = zero;
+          if (sc.candidate.dim() != zero.dim()) sc.candidate = zero;
+          const timing::FormView cand = sc.candidate.view();
           bool has = false;  // dirty vertices are never sources
           for (EdgeId e : g.vertex(v).fanin) {
             const timing::TimingEdge& te = g.edge(e);
             if (!arrivals_.valid[te.from]) continue;
-            sc.candidate = arrivals_.time[te.from];
-            sc.candidate += te.delay;
+            timing::add_into(cand, arrivals_.time.row(te.from),
+                             te.delay.view());
             if (!has) {
-              nt = sc.candidate;
+              timing::form_copy(nt.view(), cand);
               has = true;
             } else {
-              nt = timing::statistical_max(nt, sc.candidate);
+              timing::statistical_max_into(nt.view(), nt.view(), cand);
             }
           }
           const uint8_t nv = has ? 1 : 0;
-          changed[v] = nv != arrivals_.valid[v] ||
-                       (nv != 0 && !(nt == arrivals_.time[v]));
-          arrivals_.time[v] = nt;
+          changed[v] =
+              nv != arrivals_.valid[v] ||
+              (nv != 0 &&
+               !timing::form_equal(nt.view(), arrivals_.time.row(v)));
+          arrivals_.time.store(v, nt);
           arrivals_.valid[v] = nv;
         });
 
@@ -508,13 +515,14 @@ const timing::PropagationResult& DesignState::arrivals() const {
   return arrivals_;
 }
 
-const CanonicalForm* DesignState::arrival(const std::string& name) const {
+std::optional<CanonicalForm> DesignState::arrival(
+    const std::string& name) const {
   HSSTA_REQUIRE(st_.has_value(), "design not analyzed yet");
   const VertexId v = st_->graph.find_vertex(name);
   if (v == timing::kNoVertex || v >= arrivals_.valid.size() ||
       !arrivals_.valid[v])
-    return nullptr;
-  return &arrivals_.time[v];
+    return std::nullopt;
+  return arrivals_.time.form(v);
 }
 
 std::shared_ptr<const variation::VariationSpace> DesignState::design_space()

@@ -134,8 +134,9 @@ class DesignState {
   [[nodiscard]] const timing::TimingGraph& graph() const;
   [[nodiscard]] const timing::PropagationResult& arrivals() const;
   /// Arrival of a stitched vertex by name ("inst/vertex", or a design port
-  /// name); null when absent or unreached.
-  [[nodiscard]] const timing::CanonicalForm* arrival(
+  /// name), materialized from the arrival bank; nullopt when absent or
+  /// unreached.
+  [[nodiscard]] std::optional<timing::CanonicalForm> arrival(
       const std::string& name) const;
   [[nodiscard]] std::shared_ptr<const variation::VariationSpace> design_space()
       const;

@@ -44,11 +44,24 @@ const CellType* pick_cell(const CellLibrary& lib, size_t arity, Rng& rng) {
   }
 }
 
-}  // namespace
+bool contains(const std::vector<NetId>& nets, NetId x) {
+  return std::find(nets.begin(), nets.end(), x) != nets.end();
+}
 
-Netlist make_random_dag(const RandomDagSpec& spec, const CellLibrary& lib) {
-  HSSTA_REQUIRE(spec.num_inputs >= 1, "need at least one primary input");
-  HSSTA_REQUIRE(spec.num_outputs >= 1, "need at least one primary output");
+/// Core DAG construction over an explicit source frontier: builds
+/// spec.num_gates gates (nets/gates named under `prefix`) drawing fanins
+/// from `sources` and from each other, and returns the tile's output nets
+/// (spec.num_outputs of them, barring counted repairs). Every source is
+/// consumed at least once; spec.num_inputs is ignored in favour of
+/// sources.size(). make_random_dag runs one tile over the primary inputs;
+/// make_stacked_dag chains tiles through their output frontiers.
+std::vector<NetId> build_dag_tile(Netlist& nl, const RandomDagSpec& spec,
+                                  const std::vector<NetId>& sources,
+                                  const std::string& prefix,
+                                  const CellLibrary& lib, Rng& rng,
+                                  RandomDagStats* stats) {
+  HSSTA_REQUIRE(!sources.empty(), "need at least one source net");
+  HSSTA_REQUIRE(spec.num_outputs >= 1, "need at least one output");
   HSSTA_REQUIRE(spec.depth >= 1 && spec.num_gates >= spec.depth,
                 "need at least one gate per level");
   HSSTA_REQUIRE(spec.num_outputs <= spec.num_gates,
@@ -57,14 +70,7 @@ Netlist make_random_dag(const RandomDagSpec& spec, const CellLibrary& lib) {
                     spec.num_pins <= 4 * spec.num_gates,
                 "pin target must lie in [gates, 4*gates]");
 
-  Rng rng(spec.seed);
-  Netlist nl(spec.name);
-
-  // Primary inputs.
-  std::vector<NetId> pis;
-  pis.reserve(spec.num_inputs);
-  for (size_t i = 0; i < spec.num_inputs; ++i)
-    pis.push_back(nl.add_primary_input("in" + std::to_string(i)));
+  const std::vector<NetId>& pis = sources;
 
   // Distribute gates over levels: one per level guaranteed, the rest
   // spread uniformly at random. The last level is capped at num_outputs:
@@ -99,7 +105,7 @@ Netlist make_random_dag(const RandomDagSpec& spec, const CellLibrary& lib) {
     for (size_t k = 0; k < gates_at_level[lv]; ++k, ++idx) {
       Proto& p = protos[idx];
       p.level = lv;
-      p.output = nl.add_net("n" + std::to_string(idx));
+      p.output = nl.add_net(prefix + "n" + std::to_string(idx));
       NetId chain;
       if (lv == 0) {
         chain = pis[unused_pi_cursor % pis.size()];
@@ -159,10 +165,8 @@ Netlist make_random_dag(const RandomDagSpec& spec, const CellLibrary& lib) {
         }
         src = dangling ? *dangling : pick_source(p.level);
       }
-      // Avoid duplicate pins on the same net where easily possible.
-      if (std::find(p.fanins.begin(), p.fanins.end(), src) != p.fanins.end() &&
-          attempt < 48)
-        continue;
+      // Never place the same net on two pins of one gate.
+      if (contains(p.fanins, src)) continue;
       if (src_is_unused_pi) unused_pis.pop_back();
       p.fanins.push_back(src);
       ++net_uses[src];
@@ -172,28 +176,72 @@ Netlist make_random_dag(const RandomDagSpec& spec, const CellLibrary& lib) {
   };
   while (pins_left > 0 && add_extra_pin()) --pins_left;
 
-  // Any PI still unused: swap it into a non-chain fanin whose current
-  // source keeps at least one other use (pin count unchanged).
+  // The random pass gives up after bounded attempts; place whatever budget
+  // is left deterministically — scan gates in index order and give each
+  // one fanins from distinct sources it does not already consume. Only a
+  // structurally saturated spec leaves a (counted) shortfall.
+  if (pins_left > 0) {
+    auto try_add = [&](Proto& p, NetId src) -> bool {
+      if (contains(p.fanins, src)) return false;
+      p.fanins.push_back(src);
+      ++net_uses[src];
+      --pins_left;
+      return true;
+    };
+    for (size_t g = 0; g < spec.num_gates && pins_left > 0; ++g) {
+      Proto& p = protos[g];
+      while (p.fanins.size() < 4 && pins_left > 0) {
+        bool added = false;
+        // Unused sources first: they must be consumed eventually anyway.
+        for (size_t u = 0; u < unused_pis.size() && !added; ++u) {
+          if (try_add(p, unused_pis[u])) {
+            unused_pis.erase(unused_pis.begin() + ptrdiff_t(u));
+            added = true;
+          }
+        }
+        for (size_t s = 0; s < pis.size() && !added; ++s)
+          added = try_add(p, pis[s]);
+        for (size_t lv = 0; lv < p.level && !added; ++lv)
+          for (size_t c : by_level[lv])
+            if (try_add(p, protos[c].output)) {
+              added = true;
+              break;
+            }
+        if (!added) break;  // gate saturated on distinct sources
+      }
+    }
+    if (stats) stats->pin_shortfall += pins_left;
+  }
+
+  // Any source still unused: swap it into a non-chain fanin whose current
+  // source keeps at least one other use (pin count unchanged) — random
+  // probes first, then a deterministic sweep so nothing is left to chance.
   for (NetId pi : unused_pis) {
     bool placed = false;
-    for (int attempt = 0; attempt < 256 && !placed; ++attempt) {
-      Proto& p = protos[rng.uniform_index(spec.num_gates)];
-      for (size_t f = 1; f < p.fanins.size() && !placed; ++f) {
+    auto try_swap = [&](Proto& p) -> bool {
+      if (contains(p.fanins, pi)) return false;
+      for (size_t f = 1; f < p.fanins.size(); ++f) {
         if (net_uses[p.fanins[f]] < 2) continue;
         --net_uses[p.fanins[f]];
         p.fanins[f] = pi;
         ++net_uses[pi];
-        placed = true;
+        return true;
       }
-    }
-    // Fall back to an extra pin on any non-full gate.
-    if (!placed) {
-      for (size_t g = 0; g < spec.num_gates && !placed; ++g) {
-        if (protos[g].fanins.size() < 4) {
-          protos[g].fanins.push_back(pi);
-          ++net_uses[pi];
-          placed = true;
-        }
+      return false;
+    };
+    for (int attempt = 0; attempt < 256 && !placed; ++attempt)
+      placed = try_swap(protos[rng.uniform_index(spec.num_gates)]);
+    for (size_t g = 0; g < spec.num_gates && !placed; ++g)
+      placed = try_swap(protos[g]);
+    // Last resort: an extra pin on any gate with arity headroom (budget
+    // overshoot, counted).
+    for (size_t g = 0; g < spec.num_gates && !placed; ++g) {
+      Proto& p = protos[g];
+      if (p.fanins.size() < 4 && !contains(p.fanins, pi)) {
+        p.fanins.push_back(pi);
+        ++net_uses[pi];
+        if (stats) ++stats->pin_overshoot;
+        placed = true;
       }
     }
     HSSTA_ASSERT(placed, "could not connect a primary input");
@@ -216,29 +264,37 @@ Netlist make_random_dag(const RandomDagSpec& spec, const CellLibrary& lib) {
   for (size_t i = spec.num_outputs; i < dangling.size(); ++i) {
     Proto& d = protos[dangling[i]];
     bool placed = false;
-    for (int attempt = 0; attempt < 256 && !placed; ++attempt) {
-      Proto& p = protos[rng.uniform_index(spec.num_gates)];
-      if (p.level <= d.level) continue;
-      for (size_t f = 1; f < p.fanins.size() && !placed; ++f) {
+    auto try_swap = [&](Proto& p) -> bool {
+      if (p.level <= d.level || contains(p.fanins, d.output)) return false;
+      for (size_t f = 1; f < p.fanins.size(); ++f) {
         if (net_uses[p.fanins[f]] < 2) continue;
         --net_uses[p.fanins[f]];
         p.fanins[f] = d.output;
         ++net_uses[d.output];
+        return true;
+      }
+      return false;
+    };
+    for (int attempt = 0; attempt < 256 && !placed; ++attempt)
+      placed = try_swap(protos[rng.uniform_index(spec.num_gates)]);
+    for (size_t g = 0; g < spec.num_gates && !placed; ++g)
+      placed = try_swap(protos[g]);
+    // Extra pin on a strictly deeper gate (budget overshoot, counted).
+    for (size_t g = 0; g < spec.num_gates && !placed; ++g) {
+      Proto& p = protos[g];
+      if (p.level > d.level && p.fanins.size() < 4 &&
+          !contains(p.fanins, d.output)) {
+        p.fanins.push_back(d.output);
+        ++net_uses[d.output];
+        if (stats) ++stats->pin_overshoot;
         placed = true;
       }
     }
     if (!placed) {
-      // Extra pin on a strictly deeper gate (tiny pin overshoot, rare).
-      for (size_t g = 0; g < spec.num_gates && !placed; ++g) {
-        Proto& p = protos[g];
-        if (p.level > d.level && p.fanins.size() < 4) {
-          p.fanins.push_back(d.output);
-          ++net_uses[d.output];
-          placed = true;
-        }
-      }
+      // Keep it observable as an extra PO (counted, never silent).
+      pos.push_back(d.output);
+      if (stats) ++stats->output_overshoot;
     }
-    if (!placed) pos.push_back(d.output);  // keep it observable as extra PO
   }
   // Fill up the PO list with the deepest remaining nets.
   if (pos.size() < spec.num_outputs) {
@@ -259,10 +315,85 @@ Netlist make_random_dag(const RandomDagSpec& spec, const CellLibrary& lib) {
   for (size_t g = 0; g < spec.num_gates; ++g) {
     Proto& p = protos[g];
     const CellType* type = pick_cell(lib, p.fanins.size(), rng);
-    nl.add_gate("g" + std::to_string(g), type, p.fanins, p.output);
+    nl.add_gate(prefix + "g" + std::to_string(g), type, p.fanins, p.output);
   }
-  for (NetId po : pos) nl.mark_primary_output(po);
 
+  if (stats) {
+    stats->gates += spec.num_gates;
+    for (const Proto& p : protos) stats->pins += p.fanins.size();
+    stats->outputs += pos.size();
+  }
+  return pos;
+}
+
+}  // namespace
+
+Netlist make_random_dag(const RandomDagSpec& spec, const CellLibrary& lib,
+                        RandomDagStats* stats) {
+  HSSTA_REQUIRE(spec.num_inputs >= 1, "need at least one primary input");
+  Rng rng(spec.seed);
+  Netlist nl(spec.name);
+  std::vector<NetId> pis;
+  pis.reserve(spec.num_inputs);
+  for (size_t i = 0; i < spec.num_inputs; ++i)
+    pis.push_back(nl.add_primary_input("in" + std::to_string(i)));
+  if (stats) *stats = {};
+  const std::vector<NetId> pos =
+      build_dag_tile(nl, spec, pis, "", lib, rng, stats);
+  for (NetId po : pos) nl.mark_primary_output(po);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_stacked_dag(const StackedDagSpec& spec, const CellLibrary& lib,
+                         RandomDagStats* stats) {
+  HSSTA_REQUIRE(spec.num_tiles >= 1, "need at least one tile");
+  HSSTA_REQUIRE(spec.tile.num_inputs >= 1, "need at least one primary input");
+  Rng rng(spec.seed);
+  Netlist nl(spec.name);
+  if (stats) *stats = {};
+  std::vector<NetId> frontier;
+  frontier.reserve(spec.tile.num_inputs);
+  for (size_t i = 0; i < spec.tile.num_inputs; ++i)
+    frontier.push_back(nl.add_primary_input("in" + std::to_string(i)));
+  for (size_t t = 0; t < spec.num_tiles; ++t)
+    frontier = build_dag_tile(nl, spec.tile, frontier,
+                              "t" + std::to_string(t) + "_", lib, rng, stats);
+  for (NetId po : frontier) nl.mark_primary_output(po);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_grid_mesh(const GridMeshSpec& spec, const CellLibrary& lib) {
+  HSSTA_REQUIRE(spec.width >= 1 && spec.height >= 1,
+                "mesh needs at least one cell");
+  Rng rng(spec.seed);
+  Netlist nl(spec.name);
+
+  // Border inputs: one per row on the west edge, one per column north.
+  std::vector<NetId> west(spec.height);
+  for (size_t y = 0; y < spec.height; ++y)
+    west[y] = nl.add_primary_input("w" + std::to_string(y));
+  std::vector<NetId> row(spec.width);
+  for (size_t x = 0; x < spec.width; ++x)
+    row[x] = nl.add_primary_input("n" + std::to_string(x));
+
+  // Cell (x, y) combines its west and north neighbours; `row` carries the
+  // north inputs of the next row, `carry` the west input of the next cell.
+  for (size_t y = 0; y < spec.height; ++y) {
+    NetId carry = west[y];
+    for (size_t x = 0; x < spec.width; ++x) {
+      const std::string tag =
+          "c" + std::to_string(x) + "_" + std::to_string(y);
+      const NetId out = nl.add_net(tag);
+      nl.add_gate(tag + "_g", pick_cell(lib, 2, rng), {carry, row[x]}, out);
+      carry = out;
+      row[x] = out;
+    }
+    nl.mark_primary_output(carry);  // east border
+  }
+  // South border; the corner cell is already marked as the last east PO.
+  for (size_t x = 0; x + 1 < spec.width; ++x) nl.mark_primary_output(row[x]);
   nl.validate();
   return nl;
 }

@@ -30,18 +30,74 @@ struct RandomDagSpec {
   size_t num_gates = 64;
   /// Total gate input pins (the timing graph's edge count). Must lie in
   /// [num_gates, 4 * num_gates]; hit exactly (barring a rare connectivity
-  /// repair, which may add a few).
+  /// repair, which may add a few — see RandomDagStats).
   size_t num_pins = 128;
   /// Logic levels; the generator guarantees at least this depth.
   size_t depth = 10;
   uint64_t seed = 1;
 };
 
+/// Realized statistics of a generator run. gates/pins/outputs are what the
+/// netlist actually contains; the three repair counters are zero except for
+/// structurally over-constrained specs (every deviation from the spec is
+/// counted here, never silent).
+struct RandomDagStats {
+  size_t gates = 0;
+  size_t pins = 0;
+  size_t outputs = 0;
+  /// Pin budget that could not be placed: every gate with arity headroom
+  /// already consumes all distinct sources available below its level.
+  size_t pin_shortfall = 0;
+  /// Pins added beyond the budget while wiring up leftover primary inputs
+  /// or absorbing dangling gate outputs (no pin-neutral swap existed).
+  size_t pin_overshoot = 0;
+  /// Dangling gate outputs kept as extra primary outputs because no deeper
+  /// gate could absorb them.
+  size_t output_overshoot = 0;
+};
+
 /// Generate a connected, acyclic, combinational netlist matching `spec`.
 /// Every primary input drives at least one gate; every gate reaches a
-/// primary output or is itself a primary output net. Deterministic in seed.
+/// primary output or is itself a primary output net; no gate has the same
+/// fanin net on two pins. Deterministic in seed. When `stats` is non-null
+/// the realized statistics are written to it.
 [[nodiscard]] Netlist make_random_dag(const RandomDagSpec& spec,
-                                      const library::CellLibrary& lib);
+                                      const library::CellLibrary& lib,
+                                      RandomDagStats* stats = nullptr);
+
+/// A stack of make_random_dag tiles: tile t draws its sources from tile
+/// t-1's outputs instead of primary inputs, so gate count scales linearly
+/// in num_tiles (up to millions of gates) while per-tile construction cost
+/// stays flat. Depth is num_tiles * tile.depth; the last tile's outputs
+/// are the primary outputs.
+struct StackedDagSpec {
+  std::string name = "stack";
+  /// Per-tile shape. tile.num_inputs sets the width of the primary input
+  /// interface; deeper tiles consume however many outputs the previous
+  /// tile realized.
+  RandomDagSpec tile;
+  size_t num_tiles = 4;
+  uint64_t seed = 1;
+};
+
+[[nodiscard]] Netlist make_stacked_dag(const StackedDagSpec& spec,
+                                       const library::CellLibrary& lib,
+                                       RandomDagStats* stats = nullptr);
+
+/// A width x height lattice of 2-input cells: cell (x, y) combines its west
+/// and north neighbours (border cells read primary inputs), the east and
+/// south borders are primary outputs. Deterministic shape: width * height
+/// gates, exactly 2 pins per gate, depth width + height - 1 — a scalable
+/// regular benchmark whose statistics need no repair passes at all.
+struct GridMeshSpec {
+  std::string name = "mesh";
+  size_t width = 32;
+  size_t height = 32;
+  uint64_t seed = 1;
+};
+
+[[nodiscard]] Netlist make_grid_mesh(const GridMeshSpec& spec,
+                                     const library::CellLibrary& lib);
 
 /// Carry-save array multiplier (Braun style) over NOR2/INV cells, mirroring
 /// the documented structure of ISCAS85 c6288. bits_a x bits_b -> product of

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "hssta/stats/rng.hpp"
 #include "hssta/util/error.hpp"
 
 namespace hssta::timing {
@@ -75,6 +76,43 @@ BuiltGraph build_timing_graph(const Netlist& nl,
       const EdgeId e = g.add_edge(from, to, std::move(delay));
       HSSTA_ASSERT(e == out.sites.size(), "edge/site order out of sync");
       out.sites.push_back(EdgeSite{gate, pin, grid, d0, load});
+    }
+  }
+
+  for (NetId n : nl.primary_inputs())
+    out.input_vertices.push_back(net_vertex[n]);
+  for (NetId n : nl.primary_outputs())
+    out.output_vertices.push_back(net_vertex[n]);
+  return out;
+}
+
+BuiltGraph synthetic_delay_graph(const netlist::Netlist& nl, size_t dim,
+                                 uint64_t seed) {
+  stats::Rng rng(seed);
+  BuiltGraph out{TimingGraph(dim), {}, {}, {}};
+  TimingGraph& g = out.graph;
+
+  std::vector<VertexId> net_vertex(nl.num_nets(), kNoVertex);
+  for (NetId n : nl.primary_inputs())
+    net_vertex[n] = g.add_vertex(nl.net_name(n), /*is_input=*/true,
+                                 nl.is_primary_output(n));
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    const NetId n = nl.gate(gate).output;
+    net_vertex[n] = g.add_vertex(nl.net_name(n), /*is_input=*/false,
+                                 nl.is_primary_output(n));
+  }
+
+  CanonicalForm delay(dim);
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    const netlist::Gate& gt = nl.gate(gate);
+    const VertexId to = net_vertex[gt.output];
+    for (uint32_t pin = 0; pin < gt.fanins.size(); ++pin) {
+      const VertexId from = net_vertex[gt.fanins[pin]];
+      HSSTA_ASSERT(from != kNoVertex, "fanin net without vertex");
+      delay.set_nominal(rng.uniform(0.05, 0.5));
+      for (size_t k = 0; k < dim; ++k) delay.corr()[k] = 0.02 * rng.normal();
+      delay.set_random(rng.uniform(0.002, 0.02));
+      g.add_edge(from, to, delay);
     }
   }
 

@@ -47,4 +47,13 @@ struct BuiltGraph {
     const variation::ModuleVariation& variation,
     const BuildOptions& opts = {});
 
+/// Same topology mapping as build_timing_graph (one vertex per primary
+/// input and per gate output, one edge per gate input pin) but with seeded
+/// random canonical delays of dimension `dim` instead of placement- and
+/// variation-derived ones: construction is O(V + E) with no placement, PCA
+/// or extraction, so million-gate benchmark graphs build in seconds. The
+/// returned sites vector is empty (there is no physical annotation).
+[[nodiscard]] BuiltGraph synthetic_delay_graph(const netlist::Netlist& nl,
+                                               size_t dim, uint64_t seed);
+
 }  // namespace hssta::timing

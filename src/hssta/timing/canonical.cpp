@@ -19,23 +19,11 @@ void CanonicalForm::set_random(double r) {
 }
 
 void CanonicalForm::add_random_rss(double r) {
+  HSSTA_REQUIRE(r >= 0.0, "random coefficient must be non-negative");
   random_ = std::sqrt(random_ * random_ + r * r);
 }
 
-double CanonicalForm::variance() const {
-  double acc = random_ * random_;
-  for (double c : corr_) acc += c * c;
-  return acc;
-}
-
 double CanonicalForm::sigma() const { return std::sqrt(variance()); }
-
-double CanonicalForm::covariance(const CanonicalForm& other) const {
-  HSSTA_REQUIRE(dim() == other.dim(), "covariance across different spaces");
-  double acc = 0.0;
-  for (size_t i = 0; i < corr_.size(); ++i) acc += corr_[i] * other.corr_[i];
-  return acc;
-}
 
 double CanonicalForm::correlation(const CanonicalForm& other) const {
   const double va = variance();
@@ -52,14 +40,6 @@ double CanonicalForm::cdf(double x) const {
   const double s = sigma();
   if (s == 0.0) return x >= nominal_ ? 1.0 : 0.0;
   return stats::normal_cdf((x - nominal_) / s);
-}
-
-CanonicalForm& CanonicalForm::operator+=(const CanonicalForm& other) {
-  HSSTA_REQUIRE(dim() == other.dim(), "sum across different spaces");
-  nominal_ += other.nominal_;
-  for (size_t i = 0; i < corr_.size(); ++i) corr_[i] += other.corr_[i];
-  add_random_rss(other.random_);
-  return *this;
 }
 
 void CanonicalForm::scale(double s) {

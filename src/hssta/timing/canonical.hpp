@@ -7,14 +7,97 @@
 ///
 /// Because every y_k is standard normal and independent, moments are plain
 /// vector algebra: Var = |c|^2 + a_r^2 and Cov(A, B) = c_A . c_B.
+///
+/// Storage comes in two shapes sharing one set of kernels:
+///  * CanonicalForm — the boundary/API type, owning its coefficient vector;
+///  * FormView / ConstFormView — non-owning views of [nominal, corr[0..dim),
+///    random] laid out anywhere (a CanonicalForm's own fields or one row of
+///    a FormBank matrix). The free kernels below (form_copy, add_into, ...)
+///    operate on views, so the hot sweeps never allocate; CanonicalForm's
+///    operators delegate to the same kernels, keeping the arithmetic — and
+///    therefore the bits — identical across both storages.
 
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "hssta/util/error.hpp"
+
 namespace hssta::timing {
+
+/// Mutable non-owning view of one canonical form: `nominal` and `random`
+/// point at single doubles, `corr` at `dim` contiguous coefficients. The
+/// pointed-at storage must outlive the view.
+struct FormView {
+  double* nominal = nullptr;
+  double* corr = nullptr;
+  double* random = nullptr;
+  size_t dim = 0;
+};
+
+/// Read-only counterpart; a FormView converts implicitly.
+struct ConstFormView {
+  const double* nominal = nullptr;
+  const double* corr = nullptr;
+  const double* random = nullptr;
+  size_t dim = 0;
+
+  ConstFormView() = default;
+  ConstFormView(const double* n, const double* c, const double* r, size_t d)
+      : nominal(n), corr(c), random(r), dim(d) {}
+  ConstFormView(FormView v)  // NOLINT(google-explicit-constructor)
+      : nominal(v.nominal), corr(v.corr), random(v.random), dim(v.dim) {}
+};
+
+/// --- view kernels (allocation-free algebra over raw coefficient rows) ----
+/// The accumulation orders below are the contract: every storage of
+/// canonical forms must produce bit-identical moments and sums, so each
+/// kernel fixes one floating-point evaluation order for good.
+
+/// Var = a_r^2 + sum c_k^2, private term first.
+[[nodiscard]] inline double form_variance(ConstFormView f) {
+  double acc = *f.random * *f.random;
+  for (size_t i = 0; i < f.dim; ++i) acc += f.corr[i] * f.corr[i];
+  return acc;
+}
+
+/// Cov(A, B) = c_A . c_B (private random parts are independent).
+[[nodiscard]] inline double form_covariance(ConstFormView a, ConstFormView b) {
+  HSSTA_REQUIRE(a.dim == b.dim, "covariance across different spaces");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.dim; ++i) acc += a.corr[i] * b.corr[i];
+  return acc;
+}
+
+inline void form_copy(FormView dst, ConstFormView src) {
+  HSSTA_REQUIRE(dst.dim == src.dim, "copy across different spaces");
+  *dst.nominal = *src.nominal;
+  for (size_t i = 0; i < dst.dim; ++i) dst.corr[i] = src.corr[i];
+  *dst.random = *src.random;
+}
+
+/// Exact element-wise equality (not an epsilon comparison; -0.0 == 0.0).
+[[nodiscard]] inline bool form_equal(ConstFormView a, ConstFormView b) {
+  if (a.dim != b.dim || *a.nominal != *b.nominal || *a.random != *b.random)
+    return false;
+  for (size_t i = 0; i < a.dim; ++i)
+    if (a.corr[i] != b.corr[i]) return false;
+  return true;
+}
+
+/// dst = a + b: nominals and coefficients add, the independent random parts
+/// combine in root-sum-square (paper Section II). `dst` may alias `a` or
+/// `b` — every element is read before it is written.
+inline void add_into(FormView dst, ConstFormView a, ConstFormView b) {
+  HSSTA_REQUIRE(a.dim == b.dim && dst.dim == a.dim,
+                "sum across different spaces");
+  *dst.nominal = *a.nominal + *b.nominal;
+  for (size_t i = 0; i < dst.dim; ++i) dst.corr[i] = a.corr[i] + b.corr[i];
+  *dst.random = std::sqrt(*a.random * *a.random + *b.random * *b.random);
+}
 
 class CanonicalForm {
  public:
@@ -36,16 +119,29 @@ class CanonicalForm {
   /// Coefficient of the private random variable (kept non-negative).
   [[nodiscard]] double random() const { return random_; }
   void set_random(double r);
-  /// Root-sum-square another independent random contribution in.
+  /// Root-sum-square another independent random contribution in (r must be
+  /// non-negative, same contract as set_random).
   void add_random_rss(double r);
+
+  /// Views of this form's own storage, for the span kernels above. A view
+  /// writes past set_random's non-negativity check, so kernel writers own
+  /// the invariant (every kernel in this codebase preserves it).
+  [[nodiscard]] FormView view() {
+    return FormView{&nominal_, corr_.data(), &random_, corr_.size()};
+  }
+  [[nodiscard]] ConstFormView view() const {
+    return ConstFormView{&nominal_, corr_.data(), &random_, corr_.size()};
+  }
 
   /// --- moments ------------------------------------------------------------
 
-  [[nodiscard]] double variance() const;
+  [[nodiscard]] double variance() const { return form_variance(view()); }
   [[nodiscard]] double sigma() const;
   /// Covariance through the shared correlated variables (the private random
   /// parts of distinct forms are independent by definition).
-  [[nodiscard]] double covariance(const CanonicalForm& other) const;
+  [[nodiscard]] double covariance(const CanonicalForm& other) const {
+    return form_covariance(view(), other.view());
+  }
   [[nodiscard]] double correlation(const CanonicalForm& other) const;
 
   /// Gaussian-assumption helpers for reporting.
@@ -56,7 +152,10 @@ class CanonicalForm {
 
   /// Statistical sum: nominals and coefficients add; the independent random
   /// parts combine in root-sum-square (paper Section II).
-  CanonicalForm& operator+=(const CanonicalForm& other);
+  CanonicalForm& operator+=(const CanonicalForm& other) {
+    add_into(view(), view(), other.view());
+    return *this;
+  }
   [[nodiscard]] friend CanonicalForm operator+(CanonicalForm a,
                                                const CanonicalForm& b) {
     a += b;

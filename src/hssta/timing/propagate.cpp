@@ -1,7 +1,9 @@
 #include "hssta/timing/propagate.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "hssta/stats/normal.hpp"
 #include "hssta/util/error.hpp"
 
 namespace hssta::timing {
@@ -16,59 +18,59 @@ struct SweepScratch {
   MaxDiagnostics diag;
 };
 
-/// Fold the fanin of `v` into r.time[v] / r.valid[v]. Shared by the serial
-/// and the level-synchronous sweeps so both run the exact same arithmetic
-/// on every vertex.
+/// Fold the fanin of `v` into row v of r.time / r.valid[v], entirely on
+/// bank rows: candidate = time[from] + delay (add_into), then either a row
+/// copy (first live fanin) or an in-place statistical max with the row as
+/// both accumulator and destination. Shared by the serial and the
+/// level-synchronous sweeps so both run the exact same arithmetic on every
+/// vertex. No allocation: `candidate` is caller-owned reusable scratch.
 inline void relax_fanin(const TimingGraph& g, VertexId v, PropagationResult& r,
-                        CanonicalForm& candidate, MaxDiagnostics& diag) {
+                        FormView candidate, MaxDiagnostics& diag) {
   bool has = r.valid[v] != 0;  // sources carry arrival 0
+  const FormView dst = r.time.row(v);
   for (EdgeId e : g.vertex(v).fanin) {
     const TimingEdge& te = g.edge(e);
     if (!r.valid[te.from]) continue;
-    candidate = r.time[te.from];
-    candidate += te.delay;
+    add_into(candidate, r.time.row(te.from), te.delay.view());
     if (!has) {
-      r.time[v] = candidate;
+      form_copy(dst, candidate);
       has = true;
     } else {
-      r.time[v] = statistical_max(r.time[v], candidate, &diag);
+      statistical_max_into(dst, dst, candidate, &diag);
     }
   }
   r.valid[v] = has ? 1 : 0;
 }
 
 /// Backward twin: fold the fanout of `v` (remaining delay to the seeded
-/// sinks) into r.time[v] / r.valid[v].
+/// sinks) into row v of r.time / r.valid[v].
 inline void relax_fanout(const TimingGraph& g, VertexId v,
-                         PropagationResult& r, CanonicalForm& candidate,
+                         PropagationResult& r, FormView candidate,
                          MaxDiagnostics& diag) {
   bool has = r.valid[v] != 0;  // sinks carry remaining delay 0
+  const FormView dst = r.time.row(v);
   for (EdgeId e : g.vertex(v).fanout) {
     const TimingEdge& te = g.edge(e);
     if (!r.valid[te.to]) continue;
-    candidate = r.time[te.to];
-    candidate += te.delay;
+    add_into(candidate, r.time.row(te.to), te.delay.view());
     if (!has) {
-      r.time[v] = candidate;
+      form_copy(dst, candidate);
       has = true;
     } else {
-      r.time[v] = statistical_max(r.time[v], candidate, &diag);
+      statistical_max_into(dst, dst, candidate, &diag);
     }
   }
   r.valid[v] = has ? 1 : 0;
 }
 
 /// Shared initialization: recycle r's buffers, seed `seeds` (or `ports`
-/// when the span is empty) at time 0.
+/// when the span is empty) at time 0. FormBank::reset zero-fills in place,
+/// so a reused result does not reallocate.
 void reset_result(const TimingGraph& g, PropagationResult& r,
                   std::span<const VertexId> seeds,
                   const std::vector<VertexId>& ports, const char* what) {
   r.diagnostics = MaxDiagnostics{};
-  // assign() recycles both the vertex vector and (by element-wise copy
-  // assignment) each entry's coefficient buffer, so a reused result does
-  // not reallocate.
-  const CanonicalForm zero(g.dim());
-  r.time.assign(g.num_vertex_slots(), zero);
+  r.time.reset(g.num_vertex_slots(), g.dim());
   r.valid.assign(g.num_vertex_slots(), 0);
   if (seeds.empty()) {
     for (VertexId v : ports) r.valid[v] = 1;
@@ -89,8 +91,11 @@ void level_sweep(const TimingGraph& g, PropagationResult& r,
                  exec::Executor& ex, bool front_to_back, Relax&& relax) {
   const std::shared_ptr<const LevelStructure> ls = g.levels();
   const exec::Executor::Exclusive scope(ex);
-  for (size_t w = 0; w < ex.num_workspaces(); ++w)
-    ex.workspace(w).get<SweepScratch>().diag = MaxDiagnostics{};
+  for (size_t w = 0; w < ex.num_workspaces(); ++w) {
+    SweepScratch& sc = ex.workspace(w).get<SweepScratch>();
+    sc.diag = MaxDiagnostics{};
+    if (sc.candidate.dim() != g.dim()) sc.candidate = CanonicalForm(g.dim());
+  }
   const auto cost = [&](VertexId v) {
     const TimingVertex& tv = g.vertex(v);
     return 1 + (front_to_back ? tv.fanin.size() : tv.fanout.size()) * g.dim();
@@ -98,7 +103,7 @@ void level_sweep(const TimingGraph& g, PropagationResult& r,
   for_each_level(*ls, ex, front_to_back, cost,
                  [&](VertexId v, exec::Workspace& ws) {
                    SweepScratch& sc = ws.get<SweepScratch>();
-                   relax(v, sc.candidate, sc.diag);
+                   relax(v, sc.candidate.view(), sc.diag);
                  });
   for (size_t w = 0; w < ex.num_workspaces(); ++w)
     r.diagnostics += ex.workspace(w).get<SweepScratch>().diag;
@@ -121,9 +126,9 @@ bool use_level_parallel(const TimingGraph& g, size_t concurrency,
   return use_level_parallel(*g.levels(), concurrency, mode, outer_items);
 }
 
-const CanonicalForm& PropagationResult::at(VertexId v) const {
-  HSSTA_REQUIRE(v < time.size() && valid[v], "time of unreached vertex");
-  return time[v];
+CanonicalForm PropagationResult::at(VertexId v) const {
+  HSSTA_REQUIRE(v < time.rows() && valid[v], "time of unreached vertex");
+  return time.form(v);
 }
 
 PropagationResult propagate_arrivals(const TimingGraph& g,
@@ -139,7 +144,7 @@ void propagate_arrivals_into(const TimingGraph& g,
   reset_result(g, r, sources, g.inputs(), "propagation source is dead");
   CanonicalForm candidate(g.dim());
   for (VertexId v : g.topo_order())
-    relax_fanin(g, v, r, candidate, r.diagnostics);
+    relax_fanin(g, v, r, candidate.view(), r.diagnostics);
 }
 
 void propagate_arrivals_into(const TimingGraph& g,
@@ -152,7 +157,7 @@ void propagate_arrivals_into(const TimingGraph& g,
   }
   reset_result(g, r, sources, g.inputs(), "propagation source is dead");
   level_sweep(g, r, ex, /*front_to_back=*/true,
-              [&](VertexId v, CanonicalForm& candidate, MaxDiagnostics& diag) {
+              [&](VertexId v, FormView candidate, MaxDiagnostics& diag) {
                 relax_fanin(g, v, r, candidate, diag);
               });
 }
@@ -164,7 +169,8 @@ void propagate_required_into(const TimingGraph& g,
   std::vector<VertexId> order = g.topo_order();
   std::reverse(order.begin(), order.end());
   CanonicalForm candidate(g.dim());
-  for (VertexId v : order) relax_fanout(g, v, r, candidate, r.diagnostics);
+  for (VertexId v : order)
+    relax_fanout(g, v, r, candidate.view(), r.diagnostics);
 }
 
 void propagate_required_into(const TimingGraph& g,
@@ -177,7 +183,7 @@ void propagate_required_into(const TimingGraph& g,
   }
   reset_result(g, r, sinks, g.outputs(), "propagation sink is dead");
   level_sweep(g, r, ex, /*front_to_back=*/false,
-              [&](VertexId v, CanonicalForm& candidate, MaxDiagnostics& diag) {
+              [&](VertexId v, FormView candidate, MaxDiagnostics& diag) {
                 relax_fanout(g, v, r, candidate, diag);
               });
 }
@@ -197,14 +203,143 @@ CanonicalForm circuit_delay(const TimingGraph& g,
   for (VertexId v : g.outputs()) {
     if (!arrivals.valid[v]) continue;
     if (!has) {
-      acc = arrivals.time[v];
+      form_copy(acc.view(), arrivals.time.row(v));
       has = true;
     } else {
-      acc = statistical_max(acc, arrivals.time[v], diag);
+      statistical_max_into(acc.view(), acc.view(), arrivals.time.row(v), diag);
     }
   }
   HSSTA_REQUIRE(has, "no output port was reached");
   return acc;
+}
+
+// --- legacy per-vertex reference engine ------------------------------------
+
+namespace {
+
+/// The pre-FormBank pairwise max, byte-for-byte: allocates a fresh
+/// CanonicalForm per call and goes through the owning-type accessors. This
+/// deliberately does NOT delegate to statistical_max_into — it preserves
+/// the retired implementation so the differential harness pins the flat
+/// kernel against the original arithmetic, not against itself.
+CanonicalForm legacy_statistical_max(const CanonicalForm& a,
+                                     const CanonicalForm& b,
+                                     MaxDiagnostics* diag) {
+  constexpr double kDegenerateFrac = 1e-14;
+  HSSTA_REQUIRE(a.dim() == b.dim(), "max across different spaces");
+  if (diag) ++diag->ops;
+
+  const double va = a.variance();
+  const double vb = b.variance();
+  const double cov = a.covariance(b);
+  const double theta2 = va + vb - 2.0 * cov;
+  const double scale = std::max(va, vb);
+  const bool degenerate = theta2 <= kDegenerateFrac * scale || theta2 <= 0.0;
+  if (degenerate) {
+    if (diag) ++diag->degenerate_theta;
+    return a.nominal() >= b.nominal() ? a : b;
+  }
+  const double theta = std::sqrt(theta2);
+
+  const double a0 = a.nominal();
+  const double b0 = b.nominal();
+  const double alpha = (a0 - b0) / theta;
+  const double tp = stats::normal_cdf(alpha);
+  const double pdf = stats::normal_pdf(alpha);
+
+  const double mu = tp * a0 + (1.0 - tp) * b0 + theta * pdf;
+  const double second =
+      tp * (va + a0 * a0) + (1.0 - tp) * (vb + b0 * b0) + (a0 + b0) * theta * pdf;
+  const double var = second - mu * mu;
+
+  CanonicalForm out(a.dim());
+  out.set_nominal(mu);
+  const std::span<const double> ca = a.corr();
+  const std::span<const double> cb = b.corr();
+  const std::span<double> co = out.corr();
+  double corr_var = 0.0;
+  for (size_t i = 0; i < co.size(); ++i) {
+    co[i] = tp * ca[i] + (1.0 - tp) * cb[i];
+    corr_var += co[i] * co[i];
+  }
+  const double resid = var - corr_var;
+  if (resid > 0.0) {
+    out.set_random(std::sqrt(resid));
+  } else {
+    out.set_random(0.0);
+    if (diag) ++diag->variance_clamped;
+  }
+  return out;
+}
+
+void legacy_reset(const TimingGraph& g, LegacyPropagation& r,
+                  std::span<const VertexId> seeds,
+                  const std::vector<VertexId>& ports, const char* what) {
+  r.diagnostics = MaxDiagnostics{};
+  r.time.assign(g.num_vertex_slots(), CanonicalForm(g.dim()));
+  r.valid.assign(g.num_vertex_slots(), 0);
+  if (seeds.empty()) {
+    for (VertexId v : ports) r.valid[v] = 1;
+  } else {
+    for (VertexId v : seeds) {
+      HSSTA_REQUIRE(g.vertex_alive(v), what);
+      r.valid[v] = 1;
+    }
+  }
+}
+
+}  // namespace
+
+LegacyPropagation legacy_propagate_arrivals(const TimingGraph& g,
+                                            std::span<const VertexId> sources) {
+  LegacyPropagation r;
+  legacy_reset(g, r, sources, g.inputs(), "propagation source is dead");
+  CanonicalForm candidate(g.dim());
+  for (VertexId v : g.topo_order()) {
+    bool has = r.valid[v] != 0;
+    for (EdgeId e : g.vertex(v).fanin) {
+      const TimingEdge& te = g.edge(e);
+      if (!r.valid[te.from]) continue;
+      candidate = r.time[te.from];
+      candidate += te.delay;
+      if (!has) {
+        r.time[v] = candidate;
+        has = true;
+      } else {
+        r.time[v] =
+            legacy_statistical_max(r.time[v], candidate, &r.diagnostics);
+      }
+    }
+    r.valid[v] = has ? 1 : 0;
+  }
+  return r;
+}
+
+LegacyPropagation legacy_propagate_required(const TimingGraph& g,
+                                            std::span<const VertexId> sinks) {
+  LegacyPropagation r;
+  legacy_reset(g, r, sinks, g.outputs(), "propagation sink is dead");
+  std::vector<VertexId> order = g.topo_order();
+  std::reverse(order.begin(), order.end());
+  CanonicalForm candidate(g.dim());
+  for (VertexId v : order) {
+    bool has = r.valid[v] != 0;
+    for (EdgeId e : g.vertex(v).fanout) {
+      const TimingEdge& te = g.edge(e);
+      if (!r.valid[te.to]) continue;
+      candidate = r.time[te.to];
+      candidate += te.delay;
+      if (!has) {
+        r.time[v] = candidate;
+        has = true;
+      } else {
+        r.time[v] =
+            legacy_statistical_max(r.time[v], candidate, &r.diagnostics);
+      }
+    }
+    r.valid[v] = has ? 1 : 0;
+  }
+  return r;
 }
 
 }  // namespace hssta::timing

@@ -77,15 +77,23 @@ void for_each_level(const LevelStructure& ls, exec::Executor& ex,
   }
 }
 
-/// Per-vertex canonical times; `valid[v]` is false for vertices that no
-/// source reaches (forward) or that cannot reach the sink (backward).
+/// Per-vertex canonical times as a FormBank — one contiguous
+/// [num_vertex_slots x (dim+2)] row-major matrix, row v holding vertex v's
+/// form — so sweeps walk memory linearly and fold rows in place with the
+/// span kernels of statops.hpp (no allocation per folded edge). `valid[v]`
+/// is false for vertices that no source reaches (forward) or that cannot
+/// reach the sink (backward); the row of an invalid vertex is a zero form.
 struct PropagationResult {
-  std::vector<CanonicalForm> time;  ///< indexed by VertexId slot
+  FormBank time;  ///< rows indexed by VertexId slot
   std::vector<uint8_t> valid;
   MaxDiagnostics diagnostics;
 
   [[nodiscard]] bool is_valid(VertexId v) const { return valid[v] != 0; }
-  [[nodiscard]] const CanonicalForm& at(VertexId v) const;
+  /// Raw row view of vertex v's time (no validity check; hot-path access).
+  [[nodiscard]] ConstFormView view(VertexId v) const { return time.row(v); }
+  /// Vertex v's time materialized as a boundary CanonicalForm; throws when
+  /// v is unreached.
+  [[nodiscard]] CanonicalForm at(VertexId v) const;
 };
 
 /// Forward arrival propagation from `sources` (each injected at arrival 0).
@@ -139,5 +147,25 @@ void propagate_required_into(const TimingGraph& g,
 [[nodiscard]] CanonicalForm circuit_delay(const TimingGraph& g,
                                           const PropagationResult& arrivals,
                                           MaxDiagnostics* diag = nullptr);
+
+/// --- legacy per-vertex reference engine ----------------------------------
+/// The pre-FormBank storage and fold: one heap CanonicalForm per vertex, a
+/// fresh coefficient vector allocated by every pairwise max. Kept (serial
+/// only) as the oracle the flat engine is pinned against — the differential
+/// fuzz harness and the propagate bench both assert bit-identity between
+/// the two, so a kernel or layout regression in the flat path cannot land
+/// silently. Not for production use: this is exactly the allocation-bound
+/// code path the FormBank rewrite retired.
+struct LegacyPropagation {
+  std::vector<CanonicalForm> time;  ///< indexed by VertexId slot
+  std::vector<uint8_t> valid;
+  MaxDiagnostics diagnostics;
+};
+
+[[nodiscard]] LegacyPropagation legacy_propagate_arrivals(
+    const TimingGraph& g, std::span<const VertexId> sources = {});
+
+[[nodiscard]] LegacyPropagation legacy_propagate_required(
+    const TimingGraph& g, std::span<const VertexId> sinks = {});
 
 }  // namespace hssta::timing

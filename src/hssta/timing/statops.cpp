@@ -19,11 +19,11 @@ struct PairStats {
   bool degenerate;
 };
 
-PairStats pair_stats(const CanonicalForm& a, const CanonicalForm& b) {
+PairStats pair_stats(ConstFormView a, ConstFormView b) {
   PairStats s{};
-  s.va = a.variance();
-  s.vb = b.variance();
-  s.cov = a.covariance(b);
+  s.va = form_variance(a);
+  s.vb = form_variance(b);
+  s.cov = form_covariance(a, b);
   const double theta2 = s.va + s.vb - 2.0 * s.cov;
   const double scale = std::max(s.va, s.vb);
   s.degenerate = theta2 <= kDegenerateFrac * scale || theta2 <= 0.0;
@@ -40,34 +40,44 @@ MaxDiagnostics& MaxDiagnostics::operator+=(const MaxDiagnostics& o) {
   return *this;
 }
 
-double tightness_probability(const CanonicalForm& a, const CanonicalForm& b) {
+double tightness_probability(ConstFormView a, ConstFormView b) {
   const PairStats s = pair_stats(a, b);
-  if (s.degenerate) return a.nominal() >= b.nominal() ? 1.0 : 0.0;
-  return stats::normal_cdf((a.nominal() - b.nominal()) / s.theta);
+  if (s.degenerate) return *a.nominal >= *b.nominal ? 1.0 : 0.0;
+  return stats::normal_cdf((*a.nominal - *b.nominal) / s.theta);
 }
 
-double max_mean(const CanonicalForm& a, const CanonicalForm& b) {
+double tightness_probability(const CanonicalForm& a, const CanonicalForm& b) {
+  return tightness_probability(a.view(), b.view());
+}
+
+double max_mean(ConstFormView a, ConstFormView b) {
   const PairStats s = pair_stats(a, b);
-  if (s.degenerate) return std::max(a.nominal(), b.nominal());
-  const double alpha = (a.nominal() - b.nominal()) / s.theta;
+  if (s.degenerate) return std::max(*a.nominal, *b.nominal);
+  const double alpha = (*a.nominal - *b.nominal) / s.theta;
   const double tp = stats::normal_cdf(alpha);
-  return tp * a.nominal() + (1.0 - tp) * b.nominal() +
+  return tp * *a.nominal + (1.0 - tp) * *b.nominal +
          s.theta * stats::normal_pdf(alpha);
 }
 
-CanonicalForm statistical_max(const CanonicalForm& a, const CanonicalForm& b,
-                              MaxDiagnostics* diag) {
-  HSSTA_REQUIRE(a.dim() == b.dim(), "max across different spaces");
+double max_mean(const CanonicalForm& a, const CanonicalForm& b) {
+  return max_mean(a.view(), b.view());
+}
+
+void statistical_max_into(FormView dst, ConstFormView a, ConstFormView b,
+                          MaxDiagnostics* diag) {
+  HSSTA_REQUIRE(a.dim == b.dim && dst.dim == a.dim,
+                "max across different spaces");
   if (diag) ++diag->ops;
 
   const PairStats s = pair_stats(a, b);
   if (s.degenerate) {
     if (diag) ++diag->degenerate_theta;
-    return a.nominal() >= b.nominal() ? a : b;
+    form_copy(dst, *a.nominal >= *b.nominal ? a : b);
+    return;
   }
 
-  const double a0 = a.nominal();
-  const double b0 = b.nominal();
+  const double a0 = *a.nominal;
+  const double b0 = *b.nominal;
   const double alpha = (a0 - b0) / s.theta;
   const double tp = stats::normal_cdf(alpha);     // eq. 6
   const double pdf = stats::normal_pdf(alpha);
@@ -79,30 +89,37 @@ CanonicalForm statistical_max(const CanonicalForm& a, const CanonicalForm& b,
   const double var = second - mu * mu;
 
   // Re-linearization (eq. 9): blend correlated coefficients by TP, match
-  // the remaining variance with the private random term.
-  CanonicalForm out(a.dim());
-  out.set_nominal(mu);
-  const std::span<const double> ca = a.corr();
-  const std::span<const double> cb = b.corr();
-  const std::span<double> co = out.corr();
+  // the remaining variance with the private random term. Every moment has
+  // been read by now, so writing dst is safe even when it aliases an input;
+  // the blend reads ca[i]/cb[i] before writing co[i].
+  *dst.nominal = mu;
+  const double* ca = a.corr;
+  const double* cb = b.corr;
+  double* co = dst.corr;
   double corr_var = 0.0;
-  for (size_t i = 0; i < co.size(); ++i) {
+  for (size_t i = 0; i < dst.dim; ++i) {
     co[i] = tp * ca[i] + (1.0 - tp) * cb[i];
     corr_var += co[i] * co[i];
   }
   const double resid = var - corr_var;
   if (resid > 0.0) {
-    out.set_random(std::sqrt(resid));
+    *dst.random = std::sqrt(resid);
   } else {
-    out.set_random(0.0);
+    *dst.random = 0.0;
     if (diag) ++diag->variance_clamped;
   }
+}
+
+CanonicalForm statistical_max(const CanonicalForm& a, const CanonicalForm& b,
+                              MaxDiagnostics* diag) {
+  CanonicalForm out(a.dim());
+  statistical_max_into(out.view(), a.view(), b.view(), diag);
   return out;
 }
 
 void statistical_max_accumulate(CanonicalForm& acc, const CanonicalForm& b,
                                 MaxDiagnostics* diag) {
-  acc = statistical_max(acc, b, diag);
+  statistical_max_into(acc.view(), acc.view(), b.view(), diag);
 }
 
 CanonicalForm statistical_max(std::span<const CanonicalForm> xs,
@@ -151,6 +168,56 @@ std::vector<double> tightness_split(std::span<const CanonicalForm> xs,
   else
     for (double& p : tp) p = 1.0 / static_cast<double>(k);
   return tp;
+}
+
+void tightness_split_into(const FormBank& xs, size_t count,
+                          std::vector<double>& tp, FormBank& scratch,
+                          MaxDiagnostics* diag) {
+  HSSTA_REQUIRE(count > 0 && count <= xs.rows(),
+                "tightness split of an empty set");
+  const size_t k = count;
+  tp.assign(k, 0.0);
+  if (k == 1) {
+    tp[0] = 1.0;
+    return;
+  }
+  if (k == 2) {
+    const double t = tightness_probability(xs.row(0), xs.row(1));
+    tp[0] = t;
+    tp[1] = 1.0 - t;
+    return;
+  }
+  // Leave-one-out maxima via prefix/suffix folds, kept in `scratch`: rows
+  // [0, k) hold the prefix maxima, [k, 2k) the suffix maxima, row 2k the
+  // per-entry "everything else" fold. Same fold order as tightness_split.
+  if (scratch.rows() < 2 * k + 1 || scratch.dim() != xs.dim())
+    scratch.reset(2 * k + 1, xs.dim());
+  form_copy(scratch.row(0), xs.row(0));
+  for (size_t t = 1; t < k; ++t)
+    statistical_max_into(scratch.row(t), scratch.row(t - 1), xs.row(t), diag);
+  form_copy(scratch.row(2 * k - 1), xs.row(k - 1));
+  for (size_t t = k - 1; t-- > 0;)
+    statistical_max_into(scratch.row(k + t), scratch.row(k + t + 1), xs.row(t),
+                         diag);
+  double sum = 0.0;
+  for (size_t t = 0; t < k; ++t) {
+    double p;
+    if (t == 0) {
+      p = tightness_probability(xs.row(0), scratch.row(k + 1));
+    } else if (t + 1 == k) {
+      p = tightness_probability(xs.row(k - 1), scratch.row(k - 2));
+    } else {
+      statistical_max_into(scratch.row(2 * k), scratch.row(t - 1),
+                           scratch.row(k + t + 1), diag);
+      p = tightness_probability(xs.row(t), scratch.row(2 * k));
+    }
+    tp[t] = p;
+    sum += p;
+  }
+  if (sum > 0.0)
+    for (double& p : tp) p /= sum;
+  else
+    for (double& p : tp) p = 1.0 / static_cast<double>(k);
 }
 
 }  // namespace hssta::timing

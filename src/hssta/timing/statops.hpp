@@ -9,12 +9,19 @@
 ///    variance matching (clamped at zero when Clark's variance falls below
 ///    the correlated part — a known property of the approximation, counted
 ///    in MaxDiagnostics).
+///
+/// The primitives come in two flavors sharing one implementation: view
+/// kernels (`statistical_max_into`, `tightness_split_into`) that write into
+/// caller-owned storage — FormBank rows or a CanonicalForm's own fields —
+/// without allocating, and CanonicalForm wrappers that delegate to them.
+/// Results are bit-identical across both, by construction.
 
 #pragma once
 
 #include <span>
 
 #include "hssta/timing/canonical.hpp"
+#include "hssta/timing/form_bank.hpp"
 
 namespace hssta::timing {
 
@@ -28,13 +35,24 @@ struct MaxDiagnostics {
 };
 
 /// Prob{A >= B}. For theta ~ 0 returns 0 or 1 by nominal comparison.
+[[nodiscard]] double tightness_probability(ConstFormView a, ConstFormView b);
 [[nodiscard]] double tightness_probability(const CanonicalForm& a,
                                            const CanonicalForm& b);
 
 /// Clark's exact mean of max{A, B} (before re-linearization).
+[[nodiscard]] double max_mean(ConstFormView a, ConstFormView b);
 [[nodiscard]] double max_mean(const CanonicalForm& a, const CanonicalForm& b);
 
-/// Statistical maximum re-linearized into canonical form.
+/// dst = statistical max{a, b}, re-linearized, written in place. The hot
+/// kernel of every sweep: no allocation, one pass over the coefficient
+/// rows. `dst` may alias `a` or `b` — all moments (variances, covariance,
+/// nominals) are read before the first write, and the blend loop reads
+/// index i of both inputs before writing index i of dst.
+void statistical_max_into(FormView dst, ConstFormView a, ConstFormView b,
+                          MaxDiagnostics* diag = nullptr);
+
+/// Statistical maximum re-linearized into a fresh canonical form
+/// (boundary-API convenience over statistical_max_into).
 [[nodiscard]] CanonicalForm statistical_max(const CanonicalForm& a,
                                             const CanonicalForm& b,
                                             MaxDiagnostics* diag = nullptr);
@@ -53,5 +71,14 @@ void statistical_max_accumulate(CanonicalForm& acc, const CanonicalForm& b,
 /// sum to exactly 1. Throws on an empty span.
 [[nodiscard]] std::vector<double> tightness_split(
     std::span<const CanonicalForm> xs, MaxDiagnostics* diag = nullptr);
+
+/// Allocation-free twin of tightness_split over the first `count` rows of
+/// `xs`: writes the renormalized leave-one-out probabilities into `tp`
+/// (resized to `count`) and keeps the prefix/suffix folds in `scratch`
+/// (reshaped as needed; reusable across calls, so a warm caller allocates
+/// nothing). Bit-identical to tightness_split on the same forms.
+void tightness_split_into(const FormBank& xs, size_t count,
+                          std::vector<double>& tp, FormBank& scratch,
+                          MaxDiagnostics* diag = nullptr);
 
 }  // namespace hssta::timing

@@ -97,6 +97,9 @@ TEST(Canonical, DimensionMismatchesThrow) {
 TEST(Canonical, RandomCoefficientStaysNonNegative) {
   CanonicalForm a(1);
   EXPECT_THROW(a.set_random(-0.5), Error);
+  // add_random_rss shares set_random's contract: negative magnitudes are
+  // rejected, not silently squared away.
+  EXPECT_THROW(a.add_random_rss(-0.5), Error);
   a.set_random(3.0);
   a.add_random_rss(4.0);
   EXPECT_DOUBLE_EQ(a.random(), 5.0);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 
 #include "hssta/library/cell_library.hpp"
@@ -106,6 +107,128 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{150u, 10u, 1.7}, std::tuple{150u, 30u, 1.9},
                       std::tuple{600u, 25u, 1.75}, std::tuple{600u, 50u, 2.1},
                       std::tuple{1200u, 40u, 1.8}));
+
+// Spec fidelity with the realized-stats contract: across seeds and shapes
+// the returned RandomDagStats mirror the netlist exactly, every deviation
+// from the spec is accounted for by the repair counters, and no gate ever
+// consumes the same net on two pins.
+TEST(RandomDag, SpecFidelityAndStatsAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomDagSpec spec;
+    spec.num_inputs = 3 + seed % 20;
+    spec.num_outputs = 2 + seed % 7;
+    spec.num_gates = 30 + 37 * (seed % 9);
+    spec.num_pins = spec.num_gates + (spec.num_gates * (seed % 4)) / 2;
+    spec.depth = 4 + seed % 11;
+    spec.seed = seed * 101 + 13;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    RandomDagStats st;
+    Netlist nl = make_random_dag(spec, lib(), &st);
+    nl.validate();
+    EXPECT_EQ(st.gates, nl.num_gates());
+    EXPECT_EQ(st.pins, nl.num_pins());
+    EXPECT_EQ(st.outputs, nl.primary_outputs().size());
+    // Every deviation is counted, never silent.
+    EXPECT_EQ(nl.num_pins(),
+              spec.num_pins - st.pin_shortfall + st.pin_overshoot);
+    EXPECT_EQ(nl.primary_outputs().size(),
+              spec.num_outputs + st.output_overshoot);
+    EXPECT_EQ(nl.num_gates(), spec.num_gates);
+    EXPECT_EQ(nl.primary_inputs().size(), spec.num_inputs);
+    EXPECT_GE(nl.depth(), spec.depth);
+
+    // No duplicate fanin nets on any gate.
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      std::vector<NetId> f = nl.gate(g).fanins;
+      std::sort(f.begin(), f.end());
+      EXPECT_EQ(std::adjacent_find(f.begin(), f.end()), f.end())
+          << "duplicate fanin on gate " << nl.gate(g).name;
+    }
+  }
+}
+
+// A saturated budget (4 pins on every gate) must be realized exactly: the
+// deterministic completion pass finishes whatever the random placement
+// leaves behind instead of silently dropping budget.
+TEST(RandomDag, SaturatedPinBudgetHitsTargetExactly) {
+  RandomDagSpec spec;
+  spec.num_inputs = 16;
+  spec.num_outputs = 6;
+  spec.num_gates = 150;
+  spec.num_pins = 4 * spec.num_gates;
+  spec.depth = 10;
+  spec.seed = 21;
+  RandomDagStats st;
+  Netlist nl = make_random_dag(spec, lib(), &st);
+  nl.validate();
+  EXPECT_EQ(st.pin_shortfall, 0u);
+  EXPECT_EQ(nl.num_pins(), spec.num_pins + st.pin_overshoot);
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    EXPECT_GE(nl.gate(g).fanins.size(), 3u) << nl.gate(g).name;
+}
+
+TEST(StackedDag, ScalesTilesAndReportsStats) {
+  StackedDagSpec spec;
+  spec.tile.num_inputs = 24;
+  spec.tile.num_outputs = 24;
+  spec.tile.num_gates = 400;
+  spec.tile.num_pins = 700;
+  spec.tile.depth = 8;
+  spec.num_tiles = 6;
+  spec.seed = 5;
+  RandomDagStats st;
+  Netlist nl = make_stacked_dag(spec, lib(), &st);
+  nl.validate();
+  EXPECT_EQ(nl.num_gates(), spec.num_tiles * spec.tile.num_gates);
+  EXPECT_EQ(st.gates, nl.num_gates());
+  EXPECT_EQ(st.pins, nl.num_pins());
+  EXPECT_EQ(nl.num_pins(), spec.num_tiles * spec.tile.num_pins -
+                               st.pin_shortfall + st.pin_overshoot);
+  EXPECT_EQ(nl.primary_inputs().size(), spec.tile.num_inputs);
+  // Depth stacks: every tile contributes at least tile.depth levels.
+  EXPECT_GE(nl.depth(), spec.num_tiles * spec.tile.depth);
+  // The stack stays fully connected: every PI used, every gate observable.
+  const auto& sinks = nl.net_sinks();
+  for (NetId pi : nl.primary_inputs())
+    EXPECT_FALSE(sinks[pi].empty()) << "unused PI " << nl.net_name(pi);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const NetId out = nl.gate(g).output;
+    EXPECT_TRUE(!sinks[out].empty() || nl.is_primary_output(out))
+        << "unobservable gate " << nl.gate(g).name;
+  }
+}
+
+TEST(StackedDag, DeterministicInSeed) {
+  StackedDagSpec spec;
+  spec.tile.num_gates = 60;
+  spec.tile.num_pins = 110;
+  spec.tile.depth = 5;
+  spec.num_tiles = 3;
+  spec.seed = 9;
+  Netlist a = make_stacked_dag(spec, lib());
+  Netlist b = make_stacked_dag(spec, lib());
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (GateId g = 0; g < a.num_gates(); ++g)
+    EXPECT_EQ(a.gate(g).fanins, b.gate(g).fanins);
+}
+
+TEST(GridMesh, ExactDeterministicStructure) {
+  GridMeshSpec spec;
+  spec.width = 7;
+  spec.height = 5;
+  spec.seed = 3;
+  Netlist nl = make_grid_mesh(spec, lib());
+  nl.validate();
+  EXPECT_EQ(nl.num_gates(), spec.width * spec.height);
+  EXPECT_EQ(nl.num_pins(), 2 * spec.width * spec.height);
+  EXPECT_EQ(nl.primary_inputs().size(), spec.width + spec.height);
+  EXPECT_EQ(nl.primary_outputs().size(), spec.width + spec.height - 1);
+  EXPECT_EQ(nl.depth(), spec.width + spec.height - 1);
+  Netlist again = make_grid_mesh(spec, lib());
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    EXPECT_EQ(nl.gate(g).type, again.gate(g).type);
+}
 
 TEST(RippleAdder, AddsExhaustivelyFourBits) {
   Netlist nl = make_ripple_adder(4, lib());

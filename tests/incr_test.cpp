@@ -47,7 +47,7 @@ Reference analyze_reference(const flow::Design& d) {
   ref.live_vertices = g.num_live_vertices();
   for (VertexId v = 0; v < g.num_vertex_slots(); ++v) {
     if (!g.vertex_alive(v) || !r.ssta.arrivals.valid[v]) continue;
-    ref.arrivals.emplace(g.vertex(v).name, r.ssta.arrivals.time[v]);
+    ref.arrivals.emplace(g.vertex(v).name, r.ssta.arrivals.time.form(v));
   }
   return ref;
 }
@@ -73,7 +73,7 @@ void expect_matches(const DesignState& st, const Reference& ref,
     ++valid;
     ASSERT_TRUE(it != ref.arrivals.end())
         << what << ": " << name << " reached incrementally only";
-    EXPECT_TRUE(st.arrivals().time[v] == it->second)
+    EXPECT_TRUE(st.arrivals().time.form(v) == it->second)
         << what << ": arrival mismatch at " << name;
   }
   EXPECT_EQ(valid, ref.arrivals.size()) << what;

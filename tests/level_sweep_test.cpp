@@ -9,13 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "fixtures.hpp"
 #include "hssta/core/criticality.hpp"
 #include "hssta/core/io_delays.hpp"
 #include "hssta/core/ssta.hpp"
 #include "hssta/exec/executor.hpp"
+#include "hssta/netlist/generate.hpp"
+#include "hssta/timing/builder.hpp"
 #include "hssta/timing/propagate.hpp"
 #include "hssta/timing/sta.hpp"
 #include "synthetic_graphs.hpp"
@@ -43,9 +48,11 @@ void expect_same_diag(const MaxDiagnostics& a, const MaxDiagnostics& b) {
 void expect_same_propagation(const PropagationResult& a,
                              const PropagationResult& b) {
   EXPECT_EQ(a.valid, b.valid);
-  ASSERT_EQ(a.time.size(), b.time.size());
-  for (size_t v = 0; v < a.time.size(); ++v)
-    if (a.valid[v]) EXPECT_EQ(a.time[v], b.time[v]) << "vertex " << v;
+  ASSERT_EQ(a.time.rows(), b.time.rows());
+  for (size_t v = 0; v < a.time.rows(); ++v)
+    if (a.valid[v])
+      EXPECT_TRUE(timing::form_equal(a.time.row(v), b.time.row(v)))
+          << "vertex " << v;
   expect_same_diag(a.diagnostics, b.diagnostics);
 }
 
@@ -154,6 +161,126 @@ TEST(LevelSweepDifferential, BitIdenticalAcrossSchedulesAndThreads) {
   // The fuzz corpus must actually exercise the parallel bucket path, not
   // only the narrow-level inline fallback.
   EXPECT_GE(wide_graphs, kGraphs / 4);
+}
+
+void expect_same_vs_legacy(const timing::LegacyPropagation& ref,
+                           const PropagationResult& flat) {
+  EXPECT_EQ(ref.valid, flat.valid);
+  ASSERT_EQ(ref.time.size(), flat.time.rows());
+  for (size_t v = 0; v < ref.time.size(); ++v)
+    if (ref.valid[v])
+      EXPECT_TRUE(timing::form_equal(ref.time[v].view(), flat.time.row(v)))
+          << "vertex " << v;
+  expect_same_diag(ref.diagnostics, flat.diagnostics);
+}
+
+// The flat bank engine against the retired per-vertex engine (kept verbatim
+// as timing::legacy_propagate_*): across the same 50-DAG corpus, forward
+// and backward sweeps must be BIT-identical at every thread count, and the
+// flat tightness split (the criticality kernel) must match the legacy
+// span-based split at every multi-fanin vertex. This pins the SoA kernels
+// against the original arithmetic, not against themselves.
+TEST(LevelSweepDifferential, FlatBankMatchesLegacyPerVertexEngine) {
+  stats::Rng rng(0xF1A7BA22ull);
+  const size_t kGraphs = 50;
+
+  for (size_t t = 0; t < kGraphs; ++t) {
+    const testing::SyntheticGraphSpec spec = testing::random_spec(rng);
+    const TimingGraph g = testing::make_synthetic_graph(spec, rng);
+    SCOPED_TRACE("graph " + std::to_string(t) + ": width=" +
+                 std::to_string(spec.width) + " depth=" +
+                 std::to_string(spec.depth) + " dim=" +
+                 std::to_string(spec.dim));
+
+    const timing::LegacyPropagation arr_ref =
+        timing::legacy_propagate_arrivals(g);
+    const timing::LegacyPropagation req_ref =
+        timing::legacy_propagate_required(g, {});
+
+    const PropagationResult arr = timing::propagate_arrivals(g);
+    expect_same_vs_legacy(arr_ref, arr);
+    PropagationResult req;
+    timing::propagate_required_into(g, {}, req);
+    expect_same_vs_legacy(req_ref, req);
+
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      const std::shared_ptr<exec::Executor> ex = exec::make_executor(threads);
+      PropagationResult pa;
+      timing::propagate_arrivals_into(g, {}, pa, *ex, LevelParallel::kOn);
+      expect_same_vs_legacy(arr_ref, pa);
+      PropagationResult pr;
+      timing::propagate_required_into(g, {}, pr, *ex, LevelParallel::kOn);
+      expect_same_vs_legacy(req_ref, pr);
+    }
+
+    // Criticality kernel: the bank-based tightness split against the
+    // legacy allocating split on identical candidate sets.
+    MaxDiagnostics diag_legacy, diag_flat;
+    timing::FormBank cand, scratch;
+    std::vector<double> tp_flat;
+    for (VertexId v = 0; v < g.num_vertex_slots(); ++v) {
+      if (!g.vertex_alive(v)) continue;
+      const auto& fanin = g.vertex(v).fanin;
+      if (fanin.size() < 2) continue;
+      if (cand.rows() < fanin.size() || cand.dim() != g.dim())
+        cand.reset(fanin.size(), g.dim());
+      std::vector<CanonicalForm> legacy_cands;
+      size_t n = 0;
+      for (EdgeId e : fanin) {
+        const timing::TimingEdge& te = g.edge(e);
+        if (!arr_ref.valid[te.from]) continue;
+        CanonicalForm c = arr_ref.time[te.from];
+        c += te.delay;
+        legacy_cands.push_back(std::move(c));
+        timing::add_into(cand.row(n), arr.time.row(te.from), te.delay.view());
+        ++n;
+      }
+      if (n < 2) continue;
+      const std::vector<double> tp_legacy = timing::tightness_split(
+          std::span<const CanonicalForm>(legacy_cands), &diag_legacy);
+      timing::tightness_split_into(cand, n, tp_flat, scratch, &diag_flat);
+      ASSERT_EQ(tp_legacy.size(), tp_flat.size());
+      for (size_t k = 0; k < n; ++k)
+        EXPECT_EQ(tp_legacy[k], tp_flat[k]) << "vertex " << v << " pin " << k;
+    }
+    expect_same_diag(diag_legacy, diag_flat);
+  }
+}
+
+// Size-gated large-design smoke: a generated stacked-DAG netlist (default
+// ~20k gates; HSSTA_FLAT_SMOKE_GATES scales it up, e.g. the CI release job
+// runs >= 100k) through the synthetic-delay graph builder, with flat vs
+// legacy and serial vs parallel bit-identity on the forward sweep.
+TEST(LevelSweepDifferential, LargeGeneratedDesignSmoke) {
+  size_t gates = 20000;
+  if (const char* env = std::getenv("HSSTA_FLAT_SMOKE_GATES"))
+    if (const size_t n = std::strtoull(env, nullptr, 10)) gates = n;
+
+  netlist::StackedDagSpec spec;
+  spec.tile.num_inputs = 64;
+  spec.tile.num_outputs = 64;
+  spec.tile.num_gates = 2000;
+  spec.tile.num_pins = 3600;
+  spec.tile.depth = 20;
+  spec.num_tiles = std::max<size_t>(1, gates / spec.tile.num_gates);
+  spec.seed = 1;
+  const netlist::Netlist nl =
+      netlist::make_stacked_dag(spec, testing::default_lib());
+  const timing::BuiltGraph built =
+      timing::synthetic_delay_graph(nl, /*dim=*/6, /*seed=*/42);
+  const TimingGraph& g = built.graph;
+
+  const timing::LegacyPropagation ref = timing::legacy_propagate_arrivals(g);
+  const PropagationResult serial = timing::propagate_arrivals(g);
+  expect_same_vs_legacy(ref, serial);
+
+  for (const size_t threads : {size_t{2}, size_t{4}}) {
+    const std::shared_ptr<exec::Executor> ex = exec::make_executor(threads);
+    PropagationResult par;
+    timing::propagate_arrivals_into(g, {}, par, *ex, LevelParallel::kOn);
+    expect_same_vs_legacy(ref, par);
+  }
 }
 
 TEST(LevelSweepDifferential, CriticalityDiagnosticsMatchAcrossSchedules) {

@@ -215,7 +215,7 @@ TEST_P(PropagationProperties, ArrivalsDominatePathDelaysAndMatchSampling) {
   const timing::ScalarArrivals lp = timing::longest_path(g, nominal);
   for (VertexId v = 0; v < g.num_vertex_slots(); ++v) {
     if (!g.vertex_alive(v) || !ssta.arrivals.valid[v]) continue;
-    EXPECT_GE(ssta.arrivals.time[v].nominal(), lp.time[v] - 1e-9);
+    EXPECT_GE(ssta.arrivals.at(v).nominal(), lp.time[v] - 1e-9);
   }
 
   // Canonical sampling agrees with the analytic circuit delay.
