@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "hssta/campaign/process.hpp"
+#include "hssta/check/check.hpp"
 #include "hssta/exec/executor.hpp"
 #include "hssta/flow/report.hpp"
 #include "hssta/incr/scenario.hpp"
@@ -75,6 +76,15 @@ Prepared prepare(const std::string& spec_path, const flow::Config& cfg) {
   CampaignSpec spec = parse_campaign_file(spec_path);
   flow::Design design = build_base_design(spec, cfg);
   Prepared p(std::move(spec), std::move(design));
+
+  // Lint the base design before the first (expensive) full analysis: every
+  // worker would hit the same defect as a deep exception mid-campaign, so
+  // reject it once, up front, with the named diagnostics.
+  const check::Report lint = p.design.check();
+  if (lint.worst() == check::Severity::kError)
+    throw Error("campaign: base design failed static checks:\n" +
+                lint.summary());
+
   (void)p.design.analyze_incremental();  // first full build, warm base
   p.base_fp = incr::state_fingerprint(p.design.incremental());
   p.scenarios = expand(p.spec);

@@ -1,0 +1,37 @@
+/// \file severity.hpp
+/// Severity levels for static design diagnostics, split out of check.hpp so
+/// flow::Config can carry a severity-override table (`check.HSC012 = warn`)
+/// without pulling the whole checker (and its netlist/hier dependencies)
+/// into every config consumer.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace hssta::check {
+
+/// Diagnostic severity, ordered: comparing enum values compares severity.
+/// kOff exists only as a config override ("suppress this rule"); no rule
+/// defaults to it and no emitted diagnostic carries it.
+enum class Severity : uint8_t {
+  kOff = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Canonical lowercase name ("off", "info", "warning", "error").
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// Parse a severity name; accepts "warn" as an alias for "warning".
+/// Throws hssta::Error on anything else.
+[[nodiscard]] Severity severity_from_name(std::string_view name);
+
+/// Rule-id -> severity override table (config key family `check.HSC###`).
+/// std::map: deterministic iteration order for fingerprints and reports.
+using SeverityMap = std::map<std::string, Severity, std::less<>>;
+
+}  // namespace hssta::check

@@ -50,6 +50,7 @@ class Workspace {
     Slot(void* p, void (*deleter)(void*)) : ptr(p, deleter) {}
     std::unique_ptr<void, void (*)(void*)> ptr;
   };
+  // det-ok: per-thread lookup table, never iterated — order cannot leak.
   std::unordered_map<std::type_index, Slot> slots_;
 };
 

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "hssta/check/check.hpp"
 #include "hssta/util/error.hpp"
 #include "hssta/util/hash.hpp"
 #include "hssta/util/strings.hpp"
@@ -149,7 +150,13 @@ void Config::set(const std::string& key, const std::string& value) {
     cache.dir = value;
   else if (key == "cache.enabled")
     cache.enabled = parse_bool(key, value);
-  else
+  else if (key.starts_with("check.")) {
+    const std::string rule = key.substr(6);
+    if (check::find_rule(rule) == nullptr)
+      throw Error("config: unknown check rule '" + rule +
+                  "' (see docs/CHECKS.md for the catalog)");
+    check_severity[rule] = check::severity_from_name(value);
+  } else
     throw Error("config: unknown key '" + key + "'");
 }
 

@@ -29,6 +29,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "hssta/check/severity.hpp"
 #include "hssta/hier/hier_ssta.hpp"
 #include "hssta/linalg/pca.hpp"
 #include "hssta/model/extract.hpp"
@@ -116,6 +117,11 @@ struct Config {
   /// HSSTA_CACHE_DIR). Purely a speed knob: a hit loads a byte-identical
   /// model, so results never depend on cache state.
   CacheOptions cache;
+  /// Static-check severity overrides ([check] HSC012 = warn|error|info|off;
+  /// rule ids are validated against the check catalog at parse time).
+  /// Feeds check::CheckOptions wherever the design-lint pass runs; excluded
+  /// from extraction_fingerprint (diagnostics never change a model).
+  check::SeverityMap check_severity;
 
   /// Apply one "section.key" (or bare "key") assignment; throws
   /// hssta::Error on unknown keys or malformed values.

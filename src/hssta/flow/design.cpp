@@ -199,10 +199,7 @@ void Design::prefill_models() const {
       });
 }
 
-const hier::HierDesign& Design::hier() const {
-  const StateLock lock(mu_);
-  if (hier_) return *hier_;
-  HSSTA_REQUIRE(!instances_.empty(), "design '" + name_ + "' has no instances");
+hier::HierDesign Design::assemble_hier() const {
   prefill_models();
 
   placement::Die die;
@@ -230,9 +227,32 @@ const hier::HierDesign& Design::hier() const {
   for (const hier::Connection& c : connections_) d.add_connection(c);
   for (const hier::PrimaryInput& pi : inputs_) d.add_primary_input(pi);
   for (const hier::PrimaryOutput& po : outputs_) d.add_primary_output(po);
+  return d;
+}
+
+const hier::HierDesign& Design::hier() const {
+  const StateLock lock(mu_);
+  if (hier_) return *hier_;
+  HSSTA_REQUIRE(!instances_.empty(), "design '" + name_ + "' has no instances");
+  hier::HierDesign d = assemble_hier();
   d.validate();
   hier_ = std::move(d);
   return *hier_;
+}
+
+check::Report Design::check() const {
+  check::CheckOptions opts;
+  opts.severity = cfg_.check_severity;
+  return check(opts);
+}
+
+check::Report Design::check(const check::CheckOptions& opts) const {
+  const StateLock lock(mu_);
+  // Assemble fresh rather than through hier(): that accessor validates
+  // (throws), and the whole point here is to diagnose designs that would
+  // not survive validation.
+  const hier::HierDesign d = assemble_hier();
+  return check::run_checks(d, cfg_.hier, opts, &executor());
 }
 
 const hier::HierResult& Design::analyze() const { return analyze(cfg_.hier); }

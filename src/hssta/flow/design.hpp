@@ -45,6 +45,7 @@
 #include <tuple>
 #include <vector>
 
+#include "hssta/check/check.hpp"
 #include "hssta/exec/executor.hpp"
 #include "hssta/flow/config.hpp"
 #include "hssta/flow/module.hpp"
@@ -129,6 +130,15 @@ class Design {
 
   /// The assembled + validated hier::HierDesign (subsystem-level view).
   [[nodiscard]] const hier::HierDesign& hier() const;
+  /// Static design diagnostics (check::run_checks over the assembled but
+  /// *unvalidated* hierarchical view, fanned per-instance across the
+  /// design executor): never throws on a malformed design — it reports it.
+  /// Severities come from config().check_severity unless an explicit
+  /// options object is passed. Models are still extracted (the stitch
+  /// boundary cannot be checked without them), so a clean() report means
+  /// analyze() will not fail structurally.
+  [[nodiscard]] check::Report check() const;
+  [[nodiscard]] check::Report check(const check::CheckOptions& opts) const;
   /// Design-level hierarchical SSTA with config().hier options; the
   /// overload caches per option value.
   [[nodiscard]] const hier::HierResult& analyze() const;
@@ -177,6 +187,10 @@ class Design {
 
   void invalidate();
   [[nodiscard]] const Instance& instance(size_t inst) const;
+  /// Assemble the hier::HierDesign view (models prefilled, nothing
+  /// validated). Shared by hier() (which validates + caches) and check()
+  /// (which must see broken designs). Call with `mu_` held.
+  [[nodiscard]] hier::HierDesign assemble_hier() const;
   /// Extract every live-module instance's timing model across the design
   /// executor (dedicated serial context per task); no-op once cached.
   /// Call with `mu_` held.

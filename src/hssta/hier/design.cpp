@@ -53,6 +53,7 @@ void HierDesign::validate() const {
   };
 
   // Every instance input has at most one driver (connection or design PI).
+  // det-ok: duplicate-driver membership test only, never iterated.
   std::unordered_set<uint64_t> driven;
   auto key = [](const PortRef& r) {
     return (static_cast<uint64_t>(r.instance) << 32) | r.port;

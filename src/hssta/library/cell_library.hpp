@@ -45,6 +45,8 @@ class CellLibrary {
 
  private:
   std::vector<std::unique_ptr<CellType>> cells_;
+  // det-ok: name lookup only; enumeration goes through cells_ (insertion
+  // order), never through this index.
   std::unordered_map<std::string, size_t> index_;
 };
 

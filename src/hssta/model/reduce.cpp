@@ -15,6 +15,8 @@ using timing::VertexId;
 size_t parallel_merge_pass(TimingGraph& g, timing::MaxDiagnostics* diag) {
   size_t merged_groups = 0;
   const size_t vertex_count = g.num_vertex_slots();
+  // det-ok: iteration order only groups edges; the merge result per group
+  // is order-independent and edge ids stay sorted within each bucket.
   std::unordered_map<VertexId, std::vector<EdgeId>> by_sink;
   for (VertexId v = 0; v < vertex_count; ++v) {
     if (!g.vertex_alive(v)) continue;

@@ -253,6 +253,7 @@ TimingModel TimingModel::load(std::istream& is) {
   const size_t nv = parse_size(is, "vertices count");
   TimingGraph graph(space);
   std::vector<VertexId> dense_to_slot;
+  // det-ok: membership test only (duplicate-name guard), never iterated.
   std::unordered_set<std::string> vertex_names;
   size_t seen_inputs = 0, seen_outputs = 0;
   for (size_t k = 0; k < nv; ++k) {

@@ -20,18 +20,27 @@ using library::GateFunc;
 struct Parser {
   const CellLibrary& lib;
   Netlist nl;
+  std::string origin;  ///< file path (or "<bench>") for error locations
+  // det-ok: name -> id lookup only; the netlist is built in file order and
+  // this map is never iterated.
   std::unordered_map<std::string, NetId> nets;
-  std::vector<std::string> output_names;
+  /// OUTPUT declarations with the line they appeared on, so finish() can
+  /// locate a reference to a net that never materializes.
+  std::vector<std::pair<std::string, int>> output_names;
   int line_no = 0;
   int synth_counter = 0;
 
-  explicit Parser(const CellLibrary& l, std::string name)
-      : lib(l), nl(std::move(name)) {}
+  Parser(const CellLibrary& l, std::string name, std::string org)
+      : lib(l), nl(std::move(name)), origin(std::move(org)) {}
+
+  [[noreturn]] void fail_at(int line, const std::string& msg) const {
+    std::ostringstream os;
+    os << "bench parse error at " << origin << ':' << line << ": " << msg;
+    throw Error(os.str());
+  }
 
   [[noreturn]] void fail(const std::string& msg) const {
-    std::ostringstream os;
-    os << "bench parse error at line " << line_no << ": " << msg;
-    throw Error(os.str());
+    fail_at(line_no, msg);
   }
 
   NetId net(const std::string& name) {
@@ -50,7 +59,7 @@ struct Parser {
     return net(name);
   }
 
-  static GateFunc func_from_name(const std::string& lower) {
+  GateFunc func_from_name(const std::string& lower) const {
     if (lower == "and") return GateFunc::kAnd;
     if (lower == "nand") return GateFunc::kNand;
     if (lower == "or") return GateFunc::kOr;
@@ -59,7 +68,7 @@ struct Parser {
     if (lower == "xnor") return GateFunc::kXnor;
     if (lower == "not" || lower == "inv") return GateFunc::kNot;
     if (lower == "buf" || lower == "buff") return GateFunc::kBuf;
-    throw Error("unsupported bench gate function: " + lower);
+    fail("unsupported bench gate function: " + lower);
   }
 
   const CellType* exact_cell(GateFunc func, size_t arity) const {
@@ -166,7 +175,7 @@ struct Parser {
       return;
     }
     if (starts_with(lower, "output")) {
-      output_names.push_back(paren_arg(line));
+      output_names.emplace_back(paren_arg(line), line_no);
       return;
     }
 
@@ -192,37 +201,39 @@ struct Parser {
     add_logic(out_name, func, std::move(ins));
   }
 
-  Netlist finish() {
-    for (const std::string& name : output_names) {
+  Netlist finish(bool validate) {
+    for (const auto& [name, line] : output_names) {
       auto it = nets.find(name);
       if (it == nets.end())
-        throw Error("OUTPUT references unknown net: " + name);
+        fail_at(line, "OUTPUT references unknown net: " + name);
       nl.mark_primary_output(it->second);
     }
-    nl.validate();
+    if (validate) nl.validate();
     return std::move(nl);
   }
 };
 
 }  // namespace
 
-Netlist read_bench(std::istream& in, const CellLibrary& lib, std::string name) {
-  Parser p(lib, std::move(name));
+Netlist read_bench(std::istream& in, const CellLibrary& lib, std::string name,
+                   std::string origin, bool validate) {
+  Parser p(lib, std::move(name), std::move(origin));
   std::string line;
   while (std::getline(in, line)) {
     ++p.line_no;
     p.parse_line(line);
   }
-  return p.finish();
+  return p.finish(validate);
 }
 
 Netlist read_bench_string(const std::string& text, const CellLibrary& lib,
-                          std::string name) {
+                          std::string name, bool validate) {
   std::istringstream in(text);
-  return read_bench(in, lib, std::move(name));
+  return read_bench(in, lib, std::move(name), "<bench>", validate);
 }
 
-Netlist read_bench_file(const std::string& path, const CellLibrary& lib) {
+Netlist read_bench_file(const std::string& path, const CellLibrary& lib,
+                        bool validate) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open bench file: " + path);
   // Derive the circuit name from the file stem.
@@ -231,7 +242,7 @@ Netlist read_bench_file(const std::string& path, const CellLibrary& lib) {
   if (slash != std::string::npos) name = name.substr(slash + 1);
   const size_t dot = name.find_last_of('.');
   if (dot != std::string::npos) name = name.substr(0, dot);
-  return read_bench(in, lib, name);
+  return read_bench(in, lib, name, path, validate);
 }
 
 void write_bench(std::ostream& out, const Netlist& nl) {

@@ -21,20 +21,28 @@
 
 namespace hssta::netlist {
 
-/// Parse `.bench` text. Throws hssta::Error with a line number on any
-/// syntax or structural problem.
+/// Parse `.bench` text. Throws hssta::Error as "bench parse error at
+/// <origin>:<line>: ..." on any syntax or structural problem (`origin` is
+/// the file path when reading from disk). With `validate` false the
+/// structural pass (Netlist::validate) is skipped so the static checker
+/// (hssta::check) can lint malformed-but-parseable netlists instead of
+/// dying on the first defect; syntax errors still throw.
 [[nodiscard]] Netlist read_bench(std::istream& in,
                                  const library::CellLibrary& lib,
-                                 std::string name = "bench");
+                                 std::string name = "bench",
+                                 std::string origin = "<bench>",
+                                 bool validate = true);
 
 /// Parse from a string (convenience for tests).
 [[nodiscard]] Netlist read_bench_string(const std::string& text,
                                         const library::CellLibrary& lib,
-                                        std::string name = "bench");
+                                        std::string name = "bench",
+                                        bool validate = true);
 
-/// Parse from a file path.
+/// Parse from a file path; errors name the path and line.
 [[nodiscard]] Netlist read_bench_file(const std::string& path,
-                                      const library::CellLibrary& lib);
+                                      const library::CellLibrary& lib,
+                                      bool validate = true);
 
 /// Write `.bench` text. Gates are emitted by their library function name;
 /// the result re-reads into an equivalent netlist.

@@ -1,7 +1,6 @@
 #include "hssta/netlist/netlist.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "hssta/util/error.hpp"
 #include "hssta/util/hash.hpp"

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "hssta/check/check.hpp"
 #include "hssta/flow/chain.hpp"
 #include "hssta/flow/report.hpp"
 #include "hssta/util/error.hpp"
@@ -204,6 +205,8 @@ std::string Engine::handle(const Request& req) {
       return handle_analyze(req);
     case Verb::kSweep:
       return handle_sweep(req);
+    case Verb::kCheck:
+      return handle_check(req);
     case Verb::kStats:
       return handle_stats(req);
     case Verb::kSaveSession:
@@ -234,6 +237,27 @@ std::string Engine::handle_load_design(const Request& req) {
   WallTimer timer;
   flow::Design design =
       flow::build_chain_design(req.name, req.files, opts_.config);
+
+  // Lint before the expensive analysis: a design with error-level static
+  // diagnostics is rejected up front with the full report, instead of the
+  // defect surfacing as a deep exception (an opaque "internal" error)
+  // inside analyze().
+  const check::Report lint = design.check();
+  if (lint.worst() == check::Severity::kError) {
+    n_error_.fetch_add(1, kRelaxed);
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    begin_response(w, req.id, /*ok=*/false);
+    w.key("code").value(kCheckFailed);
+    w.key("error").value(
+        "design '" + req.name + "' failed static checks (" +
+        std::to_string(lint.count(check::Severity::kError)) + " error(s))");
+    w.key("report");
+    check::write_report(w, lint);
+    w.end_object();
+    return os.str();
+  }
+
   (void)design.analyze();
   (void)design.analyze_incremental();
   const double seconds = timer.seconds();
@@ -439,6 +463,33 @@ std::string Engine::handle_sweep(const Request& req) {
   w.key("scenarios").begin_array();
   for (const incr::ScenarioResult& r : results) flow::scenario_json(w, r);
   w.end_array();
+  w.end_object();
+  n_ok_.fetch_add(1, kRelaxed);
+  return os.str();
+}
+
+std::string Engine::handle_check(const Request& req) {
+  const Loaded* loaded = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = designs_.find(req.design);
+    if (it == designs_.end()) {
+      n_error_.fetch_add(1, kRelaxed);
+      return error_response(req.id, kUnknownDesign,
+                            "no design named '" + req.design + "' is loaded");
+    }
+    loaded = it->second.get();
+  }
+  // Loaded designs are immutable after load and check() is read-only, so
+  // running outside the lock is safe (and keeps slow lints off the map).
+  const check::Report report = loaded->design.check();
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  begin_response(w, req.id, /*ok=*/true);
+  w.key("design").value(req.design);
+  w.key("report");
+  check::write_report(w, report);
   w.end_object();
   n_ok_.fetch_add(1, kRelaxed);
   return os.str();

@@ -183,6 +183,7 @@ class Engine {
   [[nodiscard]] std::string handle_eco(const Request& req);
   [[nodiscard]] std::string handle_analyze(const Request& req);
   [[nodiscard]] std::string handle_sweep(const Request& req);
+  [[nodiscard]] std::string handle_check(const Request& req);
   [[nodiscard]] std::string handle_stats(const Request& req);
   [[nodiscard]] std::string handle_save_session(const Request& req);
   [[nodiscard]] std::string handle_restore_session(const Request& req);

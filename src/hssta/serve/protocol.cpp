@@ -15,6 +15,7 @@ Verb parse_verb(const std::string& v) {
   if (v == "eco") return Verb::kEco;
   if (v == "analyze") return Verb::kAnalyze;
   if (v == "sweep") return Verb::kSweep;
+  if (v == "check") return Verb::kCheck;
   if (v == "stats") return Verb::kStats;
   if (v == "save_session") return Verb::kSaveSession;
   if (v == "restore_session") return Verb::kRestoreSession;
@@ -95,6 +96,7 @@ Request parse_request(const std::string& line) {
       break;
     }
     case Verb::kOpenSession:
+    case Verb::kCheck:
       req.design = doc.at("design").as_string();
       break;
     case Verb::kEco:

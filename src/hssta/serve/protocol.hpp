@@ -15,6 +15,7 @@
 ///   {"verb":"analyze","session":1[,"changes":[CHANGE...]]}  flush + delay
 ///   {"verb":"sweep","session":1,"scenarios":[{"label":"a",
 ///                                             "changes":[CHANGE...]}...]}
+///   {"verb":"check","design":"d"}       static design lint (hssta::check)
 ///   {"verb":"stats"}
 ///   {"verb":"save_session","session":1,"file":"s.hsds"}
 ///   {"verb":"restore_session","file":"s.hsds"}       new session id
@@ -30,7 +31,10 @@
 ///
 /// Errors: {"id":..,"ok":false,"code":"...","error":"..."} with code one
 /// of bad_request / unknown_design / unknown_session / saturated /
-/// backpressure / shutting_down / invalid_change / internal.
+/// backpressure / shutting_down / invalid_change / check_failed /
+/// internal. A check_failed response (load_design of a design with
+/// error-level static diagnostics) additionally carries the full check
+/// report under "report".
 
 #pragma once
 
@@ -50,6 +54,7 @@ enum class Verb {
   kEco,
   kAnalyze,
   kSweep,
+  kCheck,
   kStats,
   kSaveSession,
   kRestoreSession,
@@ -65,6 +70,7 @@ inline constexpr const char* kSaturated = "saturated";
 inline constexpr const char* kBackpressure = "backpressure";
 inline constexpr const char* kShuttingDown = "shutting_down";
 inline constexpr const char* kInvalidChange = "invalid_change";
+inline constexpr const char* kCheckFailed = "check_failed";
 inline constexpr const char* kInternal = "internal";
 
 /// One change as it appears on the wire: model files are still paths (the
@@ -98,7 +104,7 @@ struct Request {
   std::optional<uint64_t> id;
   std::string name;                      ///< load_design
   std::vector<std::string> files;        ///< load_design
-  std::string design;                    ///< open_session
+  std::string design;                    ///< open_session / check
   std::string file;                      ///< save_session / restore_session
   uint64_t session = 0;                  ///< session verbs
   std::vector<ChangeSpec> changes;       ///< eco / analyze

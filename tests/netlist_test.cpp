@@ -2,8 +2,12 @@
 // depth, boolean simulation, and .bench round-trips.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "hssta/library/cell_library.hpp"
 #include "hssta/netlist/bench_io.hpp"
@@ -206,11 +210,52 @@ TEST(BenchIo, ErrorsCarryLineNumbers) {
     (void)read_bench_string("INPUT(a)\nz = FROB(a)\n", lib(), "bad");
     FAIL() << "should have thrown";
   } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("frob"), std::string::npos);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("frob"), std::string::npos) << what;
+    // The offending gate is on line 2 of the string; the origin of a
+    // string parse is the "<bench>" placeholder.
+    EXPECT_NE(what.find("<bench>:2:"), std::string::npos) << what;
   }
-  EXPECT_THROW((void)read_bench_string("z = AND(a\n", lib(), "bad2"), Error);
+  try {
+    (void)read_bench_string("INPUT(a)\n\n# pad\nz = AND(a\n", lib(), "bad2");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    // Blank and comment lines still count toward the reported line.
+    EXPECT_NE(std::string(e.what()).find("<bench>:4:"), std::string::npos)
+        << e.what();
+  }
   EXPECT_THROW((void)read_bench_string("OUTPUT(ghost)\n", lib(), "bad3"),
                Error);
+}
+
+TEST(BenchIo, FileErrorsNameThePath) {
+  const std::string path = std::string(::testing::TempDir()) +
+                           "hssta_bench_err_" + std::to_string(::getpid()) +
+                           ".bench";
+  {
+    std::ofstream out(path);
+    out << "INPUT(a)\nOUTPUT(x)\nx = FROB(a)\n";
+  }
+  try {
+    (void)read_bench_file(path, lib());
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":3:"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BenchIo, ValidateFalseReturnsDefectiveNetlistForLinting) {
+  // An undriven fanin is a structural defect: the default (validating)
+  // read throws, while the lint path returns the netlist so hssta::check
+  // can report every defect with a rule id instead of dying on the first.
+  const char* text = "INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n";
+  EXPECT_THROW((void)read_bench_string(text, lib(), "bad"), Error);
+  const Netlist nl =
+      read_bench_string(text, lib(), "bad", /*validate=*/false);
+  EXPECT_EQ(nl.num_gates(), 1u);
+  EXPECT_NO_THROW((void)nl.net_by_name("ghost"));
 }
 
 }  // namespace

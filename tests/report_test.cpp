@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "hssta/check/check.hpp"
 #include "hssta/flow/flow.hpp"
 #include "hssta/flow/report.hpp"
 #include "hssta/incr/scenario.hpp"
@@ -232,6 +233,50 @@ TEST(ReportJson, EcoAndSweepReportsRoundTripThroughReader) {
   EXPECT_EQ(sweep.at("scenarios").items()[0].at("delay").at("mean")
                 .as_number(),
             results[0].delay.nominal());
+}
+
+// --- check report schema ----------------------------------------------------
+
+TEST(ReportJson, CheckReportSchemaAndRoundTrip) {
+  check::Report rep;
+  rep.subject = "lint\"me";  // exercises escaping
+  rep.instances_checked = 4;
+  rep.diagnostics.push_back({"HSC002", check::Severity::kError, "n7",
+                             "net 'n7' has no driver", "add a driver"});
+  rep.diagnostics.push_back({"HSC003", check::Severity::kWarning, "g1",
+                             "gate 'g1' output has no fanout", "remove it"});
+  rep.diagnostics.push_back({"HSC010", check::Severity::kInfo, "a",
+                             "primary input 'a' is unused", "drop the port"});
+  const std::string json = check::report_json(rep);
+  expect_keys(json, {"subject", "worst", "errors", "warnings", "infos",
+                     "instances", "diagnostics", "id", "severity", "object",
+                     "message", "hint"});
+
+  const util::JsonValue doc = util::JsonReader::parse(json);
+  EXPECT_EQ(doc.at("subject").as_string(), "lint\"me");
+  EXPECT_EQ(doc.at("worst").as_string(), "error");
+  EXPECT_EQ(doc.at("errors").as_count("errors"), 1u);
+  EXPECT_EQ(doc.at("warnings").as_count("warnings"), 1u);
+  EXPECT_EQ(doc.at("infos").as_count("infos"), 1u);
+  EXPECT_EQ(doc.at("instances").as_count("instances"), 4u);
+  const auto& diags = doc.at("diagnostics").items();
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].at("id").as_string(), "HSC002");
+  EXPECT_EQ(diags[0].at("severity").as_string(), "error");
+  EXPECT_EQ(diags[0].at("object").as_string(), "n7");
+  EXPECT_EQ(diags[0].at("message").as_string(), "net 'n7' has no driver");
+  EXPECT_EQ(diags[0].at("hint").as_string(), "add a driver");
+  EXPECT_EQ(diags[2].at("severity").as_string(), "info");
+}
+
+TEST(ReportJson, CleanCheckReportSaysClean) {
+  check::Report rep;
+  rep.subject = "ok";
+  const util::JsonValue doc =
+      util::JsonReader::parse(check::report_json(rep));
+  EXPECT_EQ(doc.at("worst").as_string(), "clean");
+  EXPECT_EQ(doc.at("errors").as_count("errors"), 0u);
+  EXPECT_TRUE(doc.at("diagnostics").items().empty());
 }
 
 }  // namespace

@@ -397,6 +397,48 @@ TEST_F(ServeTest, SessionLimitSaturates) {
   ok(engine, R"({"verb":"open_session","design":"d"})");
 }
 
+// --- static checks ----------------------------------------------------------
+
+TEST_F(ServeTest, CheckVerbReportsCleanForLoadedDesign) {
+  serve::Engine engine;
+  ok(engine, load_line());
+  const JsonValue checked =
+      ok(engine, R"({"verb":"check","design":"d","id":3})");
+  EXPECT_EQ(checked.at("id").as_count("id"), 3u);
+  EXPECT_EQ(checked.at("design").as_string(), "d");
+  const JsonValue& report = checked.at("report");
+  EXPECT_EQ(report.at("worst").as_string(), "clean");
+  EXPECT_EQ(report.at("errors").as_count("errors"), 0u);
+  EXPECT_TRUE(report.at("diagnostics").items().empty());
+  EXPECT_EQ(report.at("instances").as_count("instances"), 2u);
+
+  fail(engine, R"({"verb":"check","design":"ghost"})",
+       serve::kUnknownDesign);
+}
+
+TEST_F(ServeTest, LoadDesignRejectsDesignsFailingStaticChecks) {
+  // A sigma-scale vector of the wrong arity is an error-severity lint
+  // (HSC044): load_design must refuse to warm the design and must return
+  // the structured report, not a bare exception string.
+  serve::EngineOptions opts;
+  opts.config.hier.param_sigma_scale = {1.0, 2.0};
+  serve::Engine engine(opts);
+  const JsonValue doc = fail(engine, load_line(), serve::kCheckFailed);
+  EXPECT_NE(doc.at("error").as_string().find("failed static checks"),
+            std::string::npos);
+  const JsonValue& report = doc.at("report");
+  EXPECT_EQ(report.at("worst").as_string(), "error");
+  const std::vector<JsonValue>& diags = report.at("diagnostics").items();
+  ASSERT_FALSE(diags.empty());
+  bool saw = false;
+  for (const JsonValue& d : diags)
+    if (d.at("id").as_string() == "HSC044") saw = true;
+  EXPECT_TRUE(saw) << "expected an HSC044 diagnostic";
+  // The rejected design must not be registered.
+  fail(engine, R"({"verb":"open_session","design":"d"})",
+       serve::kUnknownDesign);
+}
+
 // --- session persistence ----------------------------------------------------
 
 TEST_F(ServeTest, SessionSurvivesRestart) {

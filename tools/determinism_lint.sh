@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Determinism lint over the first-party C++ trees.
+#
+# hssta's core contract is bit-identical results at any thread count, so
+# the usual sources of run-to-run drift are banned at the grep level:
+#
+#   1. seeded-by-the-environment randomness: rand()/srand(),
+#      std::random_device, and time(...)-based seeding. All randomness
+#      must flow through stats::Rng with an explicit seed.
+#   2. std::unordered_map / std::unordered_set in src/hssta: hash-order
+#      iteration leaking into reports or graph construction is the classic
+#      nondeterminism bug. Uses that provably cannot leak order carry an
+#      inline `det-ok: <reason>` comment on or above the declaration.
+#   3. `float` in timing math: the 32-bit type silently changes rounding
+#      between builds and vectorization widths; all timing arithmetic is
+#      double. (Comments are stripped before matching.)
+#
+# A finding is suppressed by putting `det-ok` (with a reason) on the same
+# line. Usage: tools/determinism_lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  local title="$1" hits="$2"
+  if [[ -n "$hits" ]]; then
+    echo "determinism_lint: $title"
+    echo "$hits" | sed 's/^/  /'
+    fail=1
+  fi
+}
+
+cpp_grep() {
+  grep -rnE --include='*.cpp' --include='*.hpp' "$@" || true
+}
+
+# 1. Environment-seeded randomness anywhere in first-party code.
+random_hits="$(cpp_grep \
+  '\b(rand|srand)\s*\(|std::random_device|\btime\s*\(\s*(NULL|nullptr|0)\s*\)' \
+  src tools tests bench | grep -v 'det-ok' || true)"
+report "environment-seeded randomness (use stats::Rng with an explicit seed)" \
+  "$random_hits"
+
+# 2. Unordered containers in the library proper. Tools/tests may use them
+#    freely; the library needs a det-ok justification per use.
+unordered_hits="$(cpp_grep 'std::unordered_(map|set)<' src/hssta \
+  | grep -v 'det-ok' || true)"
+for match in $(echo "$unordered_hits" | cut -d: -f1-2 | tr -d ' '); do
+  file="${match%%:*}"
+  line="${match##*:}"
+  # Accept a det-ok anywhere in the contiguous comment block above the
+  # declaration.
+  l=$((line - 1))
+  while [[ $l -ge 1 ]]; do
+    prev="$(sed -n "${l}p" "$file")"
+    [[ "$prev" =~ ^[[:space:]]*// ]] || break
+    if grep -q 'det-ok' <<<"$prev"; then
+      unordered_hits="$(echo "$unordered_hits" \
+        | grep -v "^$file:$line:" || true)"
+      break
+    fi
+    l=$((l - 1))
+  done
+done
+report "std::unordered_* in src/hssta without a det-ok justification" \
+  "$unordered_hits"
+
+# 3. `float` in the timing library (strip // comments first).
+float_hits=""
+while IFS= read -r f; do
+  hits="$(sed 's|//.*||' "$f" \
+    | grep -nE '(^|[^A-Za-z0-9_])float([^A-Za-z0-9_]|$)' \
+    | grep -v 'det-ok' | sed "s|^|$f:|" || true)"
+  [[ -n "$hits" ]] && float_hits="${float_hits:+$float_hits$'\n'}$hits"
+done < <(find src/hssta -name '*.cpp' -o -name '*.hpp' | sort)
+report "32-bit float in src/hssta (timing math is double)" "$float_hits"
+
+if [[ $fail -ne 0 ]]; then
+  echo "determinism_lint: FAILED"
+  exit 1
+fi
+echo "determinism_lint: OK"

@@ -15,6 +15,11 @@
 //   hssta_cli sweep   <m1> <m2> [...]         batched what-if scenarios
 //                                             over the chained design via
 //                                             the incremental engine
+//   hssta_cli check   <m1> [...]              static design lint
+//                                             (hssta::check): structural /
+//                                             numeric / hierarchy rules,
+//                                             no timing run; exit code =
+//                                             worst severity
 //
 // hier/eco/sweep accept --json for machine-readable output (schema pinned
 // by tests/report_test.cpp). All commands accept --config <file>
@@ -39,6 +44,7 @@
 #include <vector>
 
 #include "hssta/campaign/campaign.hpp"
+#include "hssta/check/check.hpp"
 #include "hssta/exec/executor.hpp"
 #include "hssta/flow/chain.hpp"
 #include "hssta/flow/flow.hpp"
@@ -46,6 +52,8 @@
 #include "hssta/incr/design_state.hpp"
 #include "hssta/incr/scenario.hpp"
 #include "hssta/model/timing_model.hpp"
+#include "hssta/netlist/bench_io.hpp"
+#include "hssta/netlist/iscas.hpp"
 #include "hssta/serve/client.hpp"
 #include "hssta/timing/sta.hpp"
 #include "hssta/util/argparse.hpp"
@@ -680,6 +688,90 @@ int cmd_serve_client(int argc, const char* const* argv) {
   return all_ok ? 0 : 1;
 }
 
+int cmd_check(int argc, const char* const* argv) {
+  Common common;
+  bool json = false;
+  std::vector<std::string> files;
+  util::ArgParser p("hssta_cli check",
+                    "static design diagnostics (hssta::check, no timing "
+                    "run); exit code is the worst severity found: 0 clean "
+                    "or info, 1 warning, 2 error");
+  p.positional_rest("module.bench|.hstm|iscas-name", &files,
+                    "netlists, model files or ISCAS85 circuit names (>= 1)",
+                    1);
+  p.flag("--json", &json, "machine-readable JSON report on stdout");
+  common.register_flags(p);
+  if (!p.parse(argc, argv, 2)) return 0;
+
+  const flow::Config cfg = common.load();
+  check::CheckOptions opts;
+  opts.severity = cfg.check_severity;
+
+  const auto is_iscas = [](const std::string& f) {
+    for (const netlist::IscasProfile& pr : netlist::iscas85_profiles())
+      if (pr.name == f) return true;
+    return false;
+  };
+
+  check::Report merged;
+  merged.subject = files.size() == 1 ? files[0] : "check";
+  bool chainable = files.size() >= 2;
+
+  for (const std::string& f : files) {
+    if (f.ends_with(".hstm")) {
+      const model::TimingModel m = model::TimingModel::load_file(f);
+      check::merge(merged, check::run_checks(m, opts));
+      continue;
+    }
+    if (is_iscas(f)) {
+      chainable = false;  // the chain builder resolves file paths only
+      const flow::Module m = flow::Module::from_iscas(f, cfg);
+      check::merge(merged, check::run_checks(m.netlist(), opts));
+      check::merge(merged, check::run_checks(m.graph(), m.name(), opts));
+      continue;
+    }
+    // .bench: parse without the throwing structural validation — linting
+    // malformed netlists is the point of this subcommand.
+    netlist::Netlist nl = netlist::read_bench_file(
+        f, *flow::default_library(), /*validate=*/false);
+    check::Report r = check::run_checks(nl, opts);
+    // Gate graph building on the *default* severities: a config override
+    // can downgrade how a structural defect is reported, but an unsound
+    // netlist still cannot be levelized.
+    const bool broken = check::run_checks(nl, check::CheckOptions{}).worst() ==
+                        check::Severity::kError;
+    check::merge(merged, std::move(r));
+    if (broken) {
+      chainable = false;  // placement/levelization need a sound netlist
+      continue;
+    }
+    const flow::Module m = flow::Module::from_netlist(std::move(nl), cfg);
+    check::merge(merged, check::run_checks(m.graph(), m.name(), opts));
+  }
+
+  // With >= 2 sound module files, also lint the chained design itself
+  // (stitch boundaries, variation agreement) — the same assembly hier/eco
+  // analyze.
+  if (chainable && merged.worst() != check::Severity::kError) {
+    const flow::Design design = build_chain(files, cfg, /*verbose=*/false);
+    check::Report r = design.check(opts);
+    merged.instances_checked = r.instances_checked;
+    check::merge(merged, std::move(r));
+  }
+
+  if (json) {
+    std::printf("%s\n", check::report_json(merged).c_str());
+  } else {
+    std::fputs(merged.summary().c_str(), stdout);
+    std::printf("%s: %zu error(s), %zu warning(s), %zu info(s)\n",
+                merged.subject.c_str(),
+                merged.count(check::Severity::kError),
+                merged.count(check::Severity::kWarning),
+                merged.count(check::Severity::kInfo));
+  }
+  return check::exit_code(merged);
+}
+
 int print_version() {
   std::printf("%s\n", build_info().c_str());
   return 0;
@@ -698,6 +790,8 @@ int usage() {
                " --move-each DX,DY | --sigma-each S | --rewire ...\n"
                "  hssta_cli campaign run|status|merge <spec.json> --out DIR "
                "[--workers N] [--limit K]\n"
+               "  hssta_cli check   <m.bench|.hstm|iscas-name> [...] "
+               "[--json]   static design lint\n"
                "  hssta_cli serve-client <socket> [--script FILE] [--check]\n"
                "  hssta_cli --version\n"
                "run a subcommand with --help for its flags\n");
@@ -718,8 +812,10 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (cmd == "campaign") return cmd_campaign(argc, argv);
     if (cmd == "campaign-worker") return cmd_campaign_worker(argc, argv);
+    if (cmd == "check") return cmd_check(argc, argv);
     if (cmd == "serve-client") return cmd_serve_client(argc, argv);
     if (cmd == "--version" || cmd == "version") return print_version();
+    std::fprintf(stderr, "hssta_cli: unknown subcommand '%s'\n", cmd.c_str());
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
