@@ -111,6 +111,19 @@ constexpr RuleInfo kCatalog[] = {
     {"HSC047", Severity::kError, "hierarchy",
      "empty design: no instances, no primary inputs or no primary outputs",
      "a design needs at least one instance, input and output"},
+    // sequential (registers)
+    {"HSC048", Severity::kError, "sequential",
+     "register data or clock net is undriven",
+     "drive the register's data input (and its clock, when one is named) "
+     "with a gate or a primary input"},
+    {"HSC049", Severity::kError, "sequential",
+     "combinational cycle through a latch-free path",
+     "break the loop with a register; only register-broken feedback is "
+     "analyzable"},
+    {"HSC050", Severity::kWarning, "sequential",
+     "register output never reaches a primary output",
+     "observe the register's state through some primary output, or remove "
+     "the register"},
 };
 
 /// Routes raw findings through the severity-override table into a Report.
@@ -205,13 +218,30 @@ void check_netlist(Emitter& e, const netlist::Netlist& nl) {
   const size_t ng = nl.num_gates();
   const auto& sinks = nl.net_sinks();
 
+  // Register pin usage per net: data captures and clock uses make a net
+  // "consumed" for the dead-logic rules, and register outputs are driven
+  // (by the flop) for the driver rules.
+  std::vector<uint8_t> reg_data(nn, 0);
+  std::vector<uint8_t> reg_clock(nn, 0);
+  for (const netlist::Register& r : nl.registers()) {
+    reg_data[r.data_in] = 1;
+    if (r.clock != netlist::kNoNet) reg_clock[r.clock] = 1;
+  }
+  const auto net_driven = [&](NetId n) {
+    return nl.is_primary_input(n) || nl.driver(n) != kNoGate ||
+           nl.is_register_output(n);
+  };
+
   // HSC008: missing ports.
   if (nl.primary_inputs().empty())
     e.emit("HSC008", nl.name(), "netlist has no primary inputs");
   if (nl.primary_outputs().empty())
     e.emit("HSC008", nl.name(), "netlist has no primary outputs");
 
-  // HSC001: combinational cycles, with one cycle path printed.
+  // HSC001/HSC049: combinational cycles, with one cycle path printed. A
+  // register's data_in and data_out are distinct nets, so any cycle in the
+  // gate graph of a sequential netlist is by construction latch-free —
+  // that is the sequential rule's finding.
   const std::vector<uint8_t> resolved = kahn_resolved(nl);
   const size_t stuck = static_cast<size_t>(
       std::count(resolved.begin(), resolved.end(), uint8_t{0}));
@@ -220,18 +250,40 @@ void check_netlist(Emitter& e, const netlist::Netlist& nl) {
     std::ostringstream path;
     for (const GateId g : cycle) path << nl.gate(g).name << " -> ";
     path << nl.gate(cycle.front()).name;
-    e.emit("HSC001", nl.gate(cycle.front()).name,
-           "combinational cycle: " + path.str() + " (" +
-               std::to_string(stuck) +
-               " gate(s) on or downstream of cycles)");
+    const std::string tail = path.str() + " (" + std::to_string(stuck) +
+                             " gate(s) on or downstream of cycles)";
+    if (nl.is_sequential())
+      e.emit("HSC049", nl.gate(cycle.front()).name,
+             "combinational cycle through a latch-free path: " + tail);
+    else
+      e.emit("HSC001", nl.gate(cycle.front()).name,
+             "combinational cycle: " + tail);
   }
 
-  // HSC002: undriven nets.
-  for (NetId n = 0; n < nn; ++n)
-    if (!nl.is_primary_input(n) && nl.driver(n) == kNoGate)
-      e.emit("HSC002", nl.net_name(n),
-             "net " + quoted(nl.net_name(n)) +
-                 " has no driver and is not a primary input");
+  // HSC002: undriven nets. Register outputs are driven by their flop; a
+  // net used *only* as a register clock is HSC048's finding (reported with
+  // the register for context, not once per net).
+  for (NetId n = 0; n < nn; ++n) {
+    if (net_driven(n)) continue;
+    if (reg_clock[n] && !reg_data[n] && sinks[n].empty() &&
+        !nl.is_primary_output(n))
+      continue;
+    e.emit("HSC002", nl.net_name(n),
+           "net " + quoted(nl.net_name(n)) +
+               " has no driver and is not a primary input");
+  }
+
+  // HSC048: registers with undriven data or clock nets.
+  for (const netlist::Register& r : nl.registers()) {
+    if (!net_driven(r.data_in))
+      e.emit("HSC048", r.name,
+             "register " + quoted(r.name) + " data net " +
+                 quoted(nl.net_name(r.data_in)) + " is undriven");
+    if (r.clock != netlist::kNoNet && !net_driven(r.clock))
+      e.emit("HSC048", r.name,
+             "register " + quoted(r.name) + " clock net " +
+                 quoted(nl.net_name(r.clock)) + " is undriven");
+  }
 
   // Per-gate scans: HSC009 arity, HSC004 duplicate fanins, HSC003 dead
   // outputs.
@@ -254,23 +306,28 @@ void check_netlist(Emitter& e, const netlist::Netlist& nl) {
       e.emit("HSC004", gate.name,
              "gate " + quoted(gate.name) + " has net " +
                  quoted(nl.net_name(*dup)) + " on more than one input pin");
-    if (sinks[gate.output].empty() && !nl.is_primary_output(gate.output))
+    if (sinks[gate.output].empty() && !nl.is_primary_output(gate.output) &&
+        !reg_data[gate.output] && !reg_clock[gate.output])
       e.emit("HSC003", gate.name,
              "gate " + quoted(gate.name) + " output net " +
                  quoted(nl.net_name(gate.output)) +
                  " drives nothing and is not a primary output");
   }
 
-  // Forward reachability from the primary inputs (net -> sink gates ->
-  // output net) for HSC005.
+  // Forward reachability from the launch points — primary inputs plus
+  // register outputs (a flop launches its cone every cycle) — for HSC005.
   std::vector<uint8_t> net_fwd(nn, 0);
   std::vector<uint8_t> gate_fwd(ng, 0);
   {
     std::vector<NetId> queue;
-    for (const NetId n : nl.primary_inputs()) {
-      net_fwd[n] = 1;
-      queue.push_back(n);
-    }
+    const auto seed = [&](NetId n) {
+      if (!net_fwd[n]) {
+        net_fwd[n] = 1;
+        queue.push_back(n);
+      }
+    };
+    for (const NetId n : nl.primary_inputs()) seed(n);
+    for (const netlist::Register& r : nl.registers()) seed(r.data_out);
     for (size_t head = 0; head < queue.size(); ++head)
       for (const GateId g : sinks[queue[head]])
         if (!gate_fwd[g]) {
@@ -289,26 +346,31 @@ void check_netlist(Emitter& e, const netlist::Netlist& nl) {
                  " is unreachable from every primary input");
 
   // Backward reachability from the primary outputs for HSC006 (gates that
-  // have fanout; fanout-free gates are HSC003's).
+  // have fanout; fanout-free gates are HSC003's). The walk crosses
+  // registers — an observed flop observes its data cone and its clock —
+  // so state-holding logic does not read as dead.
   std::vector<uint8_t> net_bwd(nn, 0);
   std::vector<uint8_t> gate_bwd(ng, 0);
   {
     std::vector<NetId> queue;
-    for (const NetId n : nl.primary_outputs()) {
+    const auto seed = [&](NetId n) {
       if (!net_bwd[n]) {
         net_bwd[n] = 1;
         queue.push_back(n);
       }
-    }
+    };
+    for (const NetId n : nl.primary_outputs()) seed(n);
     for (size_t head = 0; head < queue.size(); ++head) {
-      const GateId g = nl.driver(queue[head]);
+      const NetId n = queue[head];
+      const GateId g = nl.driver(n);
       if (g != kNoGate && !gate_bwd[g]) {
         gate_bwd[g] = 1;
-        for (const NetId f : nl.gate(g).fanins)
-          if (!net_bwd[f]) {
-            net_bwd[f] = 1;
-            queue.push_back(f);
-          }
+        for (const NetId f : nl.gate(g).fanins) seed(f);
+      }
+      if (const netlist::RegId r = nl.register_driver(n);
+          r != netlist::kNoReg) {
+        seed(nl.reg(r).data_in);
+        if (nl.reg(r).clock != netlist::kNoNet) seed(nl.reg(r).clock);
       }
     }
   }
@@ -317,6 +379,15 @@ void check_netlist(Emitter& e, const netlist::Netlist& nl) {
       e.emit("HSC006", nl.gate(g).name,
              "gate " + quoted(nl.gate(g).name) +
                  " has fanout but reaches no primary output");
+
+  // HSC050: registers whose state is never observable at a primary output
+  // (their data_out is not on any backward-reachable path).
+  for (const netlist::Register& r : nl.registers())
+    if (!net_bwd[r.data_out])
+      e.emit("HSC050", r.name,
+             "register " + quoted(r.name) + " output net " +
+                 quoted(nl.net_name(r.data_out)) +
+                 " never reaches a primary output");
 
   // HSC007: port anomalies — PI marked PO, duplicate net/gate names.
   for (NetId n = 0; n < nn; ++n)
@@ -341,9 +412,11 @@ void check_netlist(Emitter& e, const netlist::Netlist& nl) {
                    quoted(std::string(name)));
   }
 
-  // HSC010: unused primary inputs.
+  // HSC010: unused primary inputs (feeding a register's data or clock pin
+  // counts as use).
   for (const NetId n : nl.primary_inputs())
-    if (sinks[n].empty() && !nl.is_primary_output(n))
+    if (sinks[n].empty() && !nl.is_primary_output(n) && !reg_data[n] &&
+        !reg_clock[n])
       e.emit("HSC010", nl.net_name(n),
              "primary input " + quoted(nl.net_name(n)) + " drives nothing");
 }

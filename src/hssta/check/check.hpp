@@ -57,7 +57,8 @@ struct Diagnostic {
 struct RuleInfo {
   std::string_view id;
   Severity default_severity = Severity::kWarning;
-  std::string_view family;   ///< "structural" | "numeric" | "hierarchy"
+  std::string_view family;   ///< "structural" | "numeric" | "hierarchy" |
+                             ///< "sequential"
   std::string_view meaning;  ///< one-line description
   std::string_view hint;     ///< generic fix hint
 };

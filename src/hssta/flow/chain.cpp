@@ -4,12 +4,20 @@
 #include <set>
 #include <utility>
 
+#include "hssta/flow/detect.hpp"
 #include "hssta/util/error.hpp"
 
 namespace hssta::flow {
 
 bool is_model_file(const std::string& path) {
-  return path.ends_with(".hstm");
+  // Content beats extension (detect.hpp); the extension decides only when
+  // the file cannot be read yet — the error then surfaces from the actual
+  // load with its own message.
+  try {
+    return detect_file_format(path) == FileFormat::kHstm;
+  } catch (const Error&) {
+    return path.ends_with(".hstm");
+  }
 }
 
 std::shared_ptr<const model::TimingModel> load_variant_model(
@@ -17,7 +25,7 @@ std::shared_ptr<const model::TimingModel> load_variant_model(
   if (is_model_file(file))
     return std::make_shared<const model::TimingModel>(
         model::TimingModel::load_file(file));
-  return Module::from_bench_file(file, cfg).model_ptr();
+  return Module::from_file(file, cfg).model_ptr();
 }
 
 namespace {
@@ -38,7 +46,7 @@ size_t add_instance_at(Design& design, const std::string& file, size_t idx,
   if (is_model_file(file))
     return design.add_instance_from_model_file(file, ox, oy,
                                                "u" + std::to_string(idx));
-  return design.add_instance(Module::from_bench_file(file, cfg), ox, oy);
+  return design.add_instance(Module::from_file(file, cfg), ox, oy);
 }
 
 /// Wire the deterministic base connection list (with rewires applied by
@@ -122,7 +130,7 @@ Design build_star_design(const std::string& name,
       model = std::make_shared<const model::TimingModel>(
           model::TimingModel::load_file(file));
     else
-      module.emplace(Module::from_bench_file(file, cfg));
+      module.emplace(Module::from_file(file, cfg));
     const placement::Die& die = model ? model->die() : module->model().die();
     placement::Point origin{static_cast<double>(idx % 4) * die.width,
                             static_cast<double>(idx / 4) * die.height};

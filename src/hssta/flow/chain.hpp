@@ -19,12 +19,14 @@
 
 namespace hssta::flow {
 
-/// Serialized-model input (vs a .bench netlist to extract).
+/// Serialized-model input (vs a netlist to extract). Decided by content
+/// (detect.hpp), falling back to the .hstm extension for unreadable files.
 [[nodiscard]] bool is_model_file(const std::string& path);
 
-/// Load an ECO variant model: a .hstm file directly, or a .bench netlist
-/// whose model extracts through the module pipeline (consulting the
-/// persistent model cache first when one is configured).
+/// Load an ECO variant model: a .hstm file directly, or a netlist (.bench
+/// or BLIF, detected by content) whose model extracts through the module
+/// pipeline (consulting the persistent model cache first when one is
+/// configured).
 [[nodiscard]] std::shared_ptr<const model::TimingModel> load_variant_model(
     const std::string& file, const Config& cfg);
 

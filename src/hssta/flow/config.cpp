@@ -98,6 +98,14 @@ void Config::set(const std::string& key, const std::string& value) {
     pca.max_components = parse_cnt(key, value);
   else if (key == "build.output_port_cap")
     build.output_port_cap = parse_num(key, value);
+  else if (key == "build.register_pin_cap")
+    build.register_pin_cap = parse_num(key, value);
+  else if (key == "frontend.sequential")
+    frontend.sequential = parse_bool(key, value);
+  else if (key == "frontend.liberty")
+    frontend.liberty = value;
+  else if (key == "frontend.blif_model")
+    frontend.blif_model = value;
   else if (key == "extract.delta")
     extract.criticality_threshold = parse_num(key, value);
   else if (key == "extract.repair_connectivity")
@@ -218,7 +226,7 @@ Config Config::from_file(const std::string& path) {
 static_assert(sizeof(placement::PlaceOptions) == 24 &&
                   sizeof(variation::SpatialCorrelationConfig) == 24 &&
                   sizeof(linalg::PcaOptions) == 24 &&
-                  sizeof(timing::BuildOptions) == 8 &&
+                  sizeof(timing::BuildOptions) == 16 &&
                   sizeof(variation::ProcessParameter) == 64 &&
                   sizeof(variation::ParameterSet) == 32,
               "a struct hashed by extraction_fingerprint() changed: hash the "
@@ -227,7 +235,8 @@ static_assert(sizeof(placement::PlaceOptions) == 24 &&
 
 uint64_t extraction_fingerprint(const Config& cfg) {
   util::Fnv1a h;
-  h.str("hssta.flow_config.v1");
+  // v2: build.register_pin_cap joined the hashed field set.
+  h.str("hssta.flow_config.v2");
   h.f64(cfg.place.row_height);
   h.f64(cfg.place.target_aspect);
   h.f64(cfg.place.utilization);
@@ -248,6 +257,7 @@ uint64_t extraction_fingerprint(const Config& cfg) {
   h.f64(cfg.pca.rel_tol);
   h.u64(cfg.pca.max_components);
   h.f64(cfg.build.output_port_cap);
+  h.f64(cfg.build.register_pin_cap);
   return h.value();
 }
 

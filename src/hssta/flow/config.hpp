@@ -65,6 +65,25 @@ struct CacheOptions {
   bool operator==(const CacheOptions&) const = default;
 };
 
+/// Netlist front-end controls ([frontend] sequential, liberty,
+/// blif_model). Excluded from extraction_fingerprint: the library content
+/// is hashed separately into the cache key (library::fingerprint), and the
+/// other knobs only gate/select what gets loaded, never change a loaded
+/// netlist's model.
+struct FrontendOptions {
+  /// Accept sequential netlists (registers). When false, a netlist with
+  /// registers is refused loudly instead of analyzed.
+  bool sequential = true;
+  /// Path to a Liberty-lite .lib file used as the cell library for
+  /// netlist reading; empty selects the built-in 90nm library.
+  std::string liberty;
+  /// Top model to elaborate from multi-model BLIF files; empty selects
+  /// the first model.
+  std::string blif_model;
+
+  bool operator==(const FrontendOptions&) const = default;
+};
+
 /// Monte Carlo controls shared by module- and design-level sampling.
 struct McOptions {
   size_t samples = 10000;  ///< the paper's Section VI sample count
@@ -90,8 +109,11 @@ struct Config {
   size_t max_cells_per_grid = 100;
   /// Module-level PCA truncation ([pca] min_explained, max_components).
   linalg::PcaOptions pca;
-  /// Timing-graph construction ([build] output_port_cap).
+  /// Timing-graph construction ([build] output_port_cap,
+  /// register_pin_cap).
   timing::BuildOptions build;
+  /// Netlist front end ([frontend] sequential, liberty, blif_model).
+  FrontendOptions frontend;
   /// Model extraction ([extract] delta, repair_connectivity).
   model::ExtractOptions extract;
   /// Design-level hierarchical analysis ([hier] mode, load_aware_boundary,

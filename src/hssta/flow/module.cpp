@@ -6,6 +6,10 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "hssta/flow/detect.hpp"
+#include "hssta/frontend/blif.hpp"
+#include "hssta/frontend/liberty.hpp"
+#include "hssta/frontend/sequential.hpp"
 #include "hssta/netlist/bench_io.hpp"
 #include "hssta/netlist/iscas.hpp"
 #include "hssta/placement/placement.hpp"
@@ -20,6 +24,14 @@ std::shared_ptr<const library::CellLibrary> default_library() {
   static const std::shared_ptr<const library::CellLibrary> lib =
       std::make_shared<const library::CellLibrary>(library::default_90nm());
   return lib;
+}
+
+std::shared_ptr<const library::CellLibrary> frontend_library(
+    const Config& cfg) {
+  if (cfg.frontend.liberty.empty()) return default_library();
+  frontend::LibertyLibrary lib =
+      frontend::read_liberty_file(cfg.frontend.liberty);
+  return std::make_shared<const library::CellLibrary>(std::move(lib.cells));
 }
 
 /// All pipeline state behind one Module handle. Stages are std::optional
@@ -173,6 +185,15 @@ struct Module::State {
                                ensure_built(), ensure_variation(), nl.name(),
                                model::compute_boundary(nl), ex, opts))
              .first;
+    // Sequential modules carry their register records and folded FF-to-FF
+    // constraints in the model ("hstm 2"); attach them before the store so
+    // a cache hit round-trips the same data.
+    if (nl.is_sequential()) {
+      frontend::SequentialExtraction seq =
+          frontend::extract_sequential(nl, ensure_built());
+      it->second.model.set_sequential(std::move(seq.registers),
+                                      std::move(seq.constraints));
+    }
     if (cached) cache().store(fp, it->second.model);
     return it->second;
   }
@@ -202,15 +223,34 @@ using WriteLock = std::unique_lock<std::shared_mutex>;
 
 Module Module::from_netlist(netlist::Netlist nl, Config cfg,
                             std::shared_ptr<const library::CellLibrary> lib) {
-  if (!lib) lib = default_library();
+  if (nl.is_sequential() && !cfg.frontend.sequential)
+    throw Error("netlist '" + nl.name() + "' is sequential (" +
+                std::to_string(nl.num_registers()) +
+                " registers) but the configuration disables sequential "
+                "analysis ([frontend] sequential = false)");
+  if (!lib) lib = frontend_library(cfg);
   return Module(std::make_shared<State>(std::move(cfg), std::move(lib),
                                         std::move(nl)));
+}
+
+Module Module::from_file(const std::string& path, Config cfg,
+                         std::shared_ptr<const library::CellLibrary> lib) {
+  switch (const FileFormat fmt = detect_file_format(path)) {
+    case FileFormat::kBench:
+      return from_bench_file(path, std::move(cfg), std::move(lib));
+    case FileFormat::kBlif:
+      return from_blif_file(path, std::move(cfg), std::move(lib));
+    default:
+      throw Error("cannot load a module from " + path + ": content detected "
+                  "as " + format_name(fmt) + "; supported netlist formats "
+                  "are ISCAS .bench and BLIF");
+  }
 }
 
 Module Module::from_bench_file(
     const std::string& path, Config cfg,
     std::shared_ptr<const library::CellLibrary> lib) {
-  if (!lib) lib = default_library();
+  if (!lib) lib = frontend_library(cfg);
   netlist::Netlist nl = netlist::read_bench_file(path, *lib);
   return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
 }
@@ -218,14 +258,34 @@ Module Module::from_bench_file(
 Module Module::from_bench_string(
     const std::string& text, Config cfg,
     std::shared_ptr<const library::CellLibrary> lib) {
-  if (!lib) lib = default_library();
+  if (!lib) lib = frontend_library(cfg);
   netlist::Netlist nl = netlist::read_bench_string(text, *lib);
+  return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
+}
+
+Module Module::from_blif_file(
+    const std::string& path, Config cfg,
+    std::shared_ptr<const library::CellLibrary> lib) {
+  if (!lib) lib = frontend_library(cfg);
+  frontend::BlifOptions opts;
+  opts.model = cfg.frontend.blif_model;
+  netlist::Netlist nl = frontend::read_blif_file(path, *lib, opts);
+  return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
+}
+
+Module Module::from_blif_string(
+    const std::string& text, Config cfg,
+    std::shared_ptr<const library::CellLibrary> lib) {
+  if (!lib) lib = frontend_library(cfg);
+  frontend::BlifOptions opts;
+  opts.model = cfg.frontend.blif_model;
+  netlist::Netlist nl = frontend::read_blif_string(text, *lib, opts);
   return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
 }
 
 Module Module::from_iscas(std::string_view name, Config cfg, uint64_t seed,
                           std::shared_ptr<const library::CellLibrary> lib) {
-  if (!lib) lib = default_library();
+  if (!lib) lib = frontend_library(cfg);
   netlist::Netlist nl = netlist::make_iscas85(name, *lib, seed);
   return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
 }
@@ -233,7 +293,7 @@ Module Module::from_iscas(std::string_view name, Config cfg, uint64_t seed,
 Module Module::from_random_dag(
     const netlist::RandomDagSpec& spec, Config cfg,
     std::shared_ptr<const library::CellLibrary> lib) {
-  if (!lib) lib = default_library();
+  if (!lib) lib = frontend_library(cfg);
   netlist::Netlist nl = netlist::make_random_dag(spec, *lib);
   return from_netlist(std::move(nl), std::move(cfg), std::move(lib));
 }

@@ -64,20 +64,42 @@ namespace hssta::flow {
 /// not given an explicit library.
 [[nodiscard]] std::shared_ptr<const library::CellLibrary> default_library();
 
+/// The cell library a config selects: cfg.frontend.liberty parsed through
+/// the Liberty-lite reader when set, default_library() otherwise. This is
+/// what every Module factory uses when no explicit library is passed.
+[[nodiscard]] std::shared_ptr<const library::CellLibrary> frontend_library(
+    const Config& cfg);
+
 class Module {
  public:
   /// --- factories ---------------------------------------------------------
-  /// `lib` defaults to default_library(). A netlist passed to from_netlist
-  /// must have been built against `lib` (its gates alias the library's
-  /// CellType storage).
+  /// `lib` defaults to frontend_library(cfg) — the built-in 90nm library,
+  /// or the Liberty-lite file named by cfg.frontend.liberty. A netlist
+  /// passed to from_netlist must have been built against `lib` (its gates
+  /// alias the library's CellType storage). Every factory refuses a
+  /// sequential netlist when cfg.frontend.sequential is false.
 
   [[nodiscard]] static Module from_netlist(
       netlist::Netlist nl, Config cfg = {},
+      std::shared_ptr<const library::CellLibrary> lib = nullptr);
+  /// Load a netlist file by *content* (detect.hpp): .bench and BLIF are
+  /// accepted; anything else throws an Error naming both the detected
+  /// format and the supported ones.
+  [[nodiscard]] static Module from_file(
+      const std::string& path, Config cfg = {},
       std::shared_ptr<const library::CellLibrary> lib = nullptr);
   [[nodiscard]] static Module from_bench_file(
       const std::string& path, Config cfg = {},
       std::shared_ptr<const library::CellLibrary> lib = nullptr);
   [[nodiscard]] static Module from_bench_string(
+      const std::string& text, Config cfg = {},
+      std::shared_ptr<const library::CellLibrary> lib = nullptr);
+  /// BLIF input; cfg.frontend.blif_model selects the top model of a
+  /// multi-model file (empty = first model).
+  [[nodiscard]] static Module from_blif_file(
+      const std::string& path, Config cfg = {},
+      std::shared_ptr<const library::CellLibrary> lib = nullptr);
+  [[nodiscard]] static Module from_blif_string(
       const std::string& text, Config cfg = {},
       std::shared_ptr<const library::CellLibrary> lib = nullptr);
   [[nodiscard]] static Module from_iscas(

@@ -1,0 +1,611 @@
+#include "hssta/frontend/blif.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "hssta/frontend/netlist_builder.hpp"
+#include "hssta/util/error.hpp"
+#include "hssta/util/strings.hpp"
+
+namespace hssta::frontend {
+
+namespace {
+
+using library::CellLibrary;
+using library::GateFunc;
+using netlist::Netlist;
+
+[[noreturn]] void fail_at(const std::string& origin, int line,
+                          const std::string& msg) {
+  std::ostringstream os;
+  os << "blif parse error at " << origin << ':' << line << ": " << msg;
+  throw Error(os.str());
+}
+
+[[noreturn]] void fail_at(const std::string& origin, int line, int col,
+                          const std::string& msg) {
+  std::ostringstream os;
+  os << "blif parse error at " << origin << ':' << line << ':' << col << ": "
+     << msg;
+  throw Error(os.str());
+}
+
+/// --- pass 1: logical lines -> per-model IR -----------------------------
+
+struct NamesDecl {
+  std::vector<std::string> signals;  ///< inputs then the output (last)
+  std::vector<std::string> rows;     ///< input plane of each cover row
+  char phase = '1';                  ///< output phase of every row
+  int line = 0;
+};
+
+struct LatchDecl {
+  std::string input;
+  std::string output;
+  std::string control;  ///< empty = unclocked ("NIL" or absent)
+  int init = 3;
+  int line = 0;
+};
+
+struct SubcktDecl {
+  std::string model;
+  std::vector<std::pair<std::string, std::string>> binds;  ///< formal=actual
+  int line = 0;
+};
+
+struct BlifModel {
+  std::string name;
+  int line = 0;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<NamesDecl> names;
+  std::vector<LatchDecl> latches;
+  std::vector<SubcktDecl> subckts;
+  bool ended = false;
+};
+
+struct LogicalLine {
+  std::string text;
+  int line = 0;  ///< first physical line number
+};
+
+/// Strip comments, join backslash continuations, drop blank lines.
+std::vector<LogicalLine> logical_lines(std::istream& in) {
+  std::vector<LogicalLine> out;
+  std::string physical;
+  int line_no = 0;
+  std::string pending;
+  int pending_line = 0;
+  while (std::getline(in, physical)) {
+    ++line_no;
+    const size_t hash = physical.find('#');
+    if (hash != std::string::npos) physical.resize(hash);
+    std::string piece{trim(physical)};
+    const bool continued = !piece.empty() && piece.back() == '\\';
+    if (continued) piece = std::string(trim(piece.substr(0, piece.size() - 1)));
+    if (pending.empty()) {
+      pending = piece;
+      pending_line = line_no;
+    } else if (!piece.empty()) {
+      pending += ' ';
+      pending += piece;
+    }
+    if (!continued && !pending.empty()) {
+      out.push_back({std::move(pending), pending_line});
+      pending.clear();
+    }
+  }
+  if (!pending.empty()) out.push_back({std::move(pending), pending_line});
+  return out;
+}
+
+int parse_latch_init(const std::string& origin, int line,
+                     const std::string& tok) {
+  if (tok.size() == 1 && tok[0] >= '0' && tok[0] <= '3') return tok[0] - '0';
+  fail_at(origin, line, "latch init value must be 0..3, got: " + tok);
+}
+
+std::vector<BlifModel> parse_models(std::istream& in,
+                                    const std::string& origin) {
+  std::vector<BlifModel> models;
+  BlifModel* cur = nullptr;
+  NamesDecl* open_names = nullptr;  ///< .names still accepting cover rows
+
+  for (LogicalLine& ll : logical_lines(in)) {
+    const std::string& text = ll.text;
+    const int line = ll.line;
+    std::vector<std::string> toks = split_ws(text);
+    HSSTA_ASSERT(!toks.empty(), "logical lines are non-blank");
+    const std::string& head = toks[0];
+
+    if (head[0] != '.') {
+      // A cover row for the open .names, e.g. "1-0 1".
+      if (!open_names)
+        fail_at(origin, line, "expected a directive, got: " + text);
+      const size_t n = open_names->signals.size() - 1;
+      std::string plane;
+      char out_char;
+      if (n == 0) {
+        fail_at(origin, open_names->line,
+                "constant .names (no inputs) is unsupported: " +
+                    open_names->signals.back());
+      }
+      if (toks.size() != 2)
+        fail_at(origin, line,
+                "cover row needs an input plane and an output value: " + text);
+      plane = toks[0];
+      if (toks[1].size() != 1)
+        fail_at(origin, line, "cover row output must be 0 or 1: " + toks[1]);
+      out_char = toks[1][0];
+      if (plane.size() != n)
+        fail_at(origin, line,
+                "cover row width " + std::to_string(plane.size()) +
+                    " does not match " + std::to_string(n) + " inputs");
+      for (size_t i = 0; i < plane.size(); ++i)
+        if (plane[i] != '0' && plane[i] != '1' && plane[i] != '-')
+          fail_at(origin, line, static_cast<int>(i + 1),
+                  std::string("cover row character must be 0, 1 or -: ") +
+                      plane[i]);
+      if (out_char != '0' && out_char != '1')
+        fail_at(origin, line, "cover row output must be 0 or 1: " + toks[1]);
+      if (open_names->rows.empty())
+        open_names->phase = out_char;
+      else if (open_names->phase != out_char)
+        fail_at(origin, line,
+                "mixed output phases in one .names cover (all rows must "
+                "share the output value)");
+      open_names->rows.push_back(std::move(plane));
+      continue;
+    }
+
+    // A directive. .names covers end at the next directive.
+    if (head != ".model" && cur == nullptr)
+      fail_at(origin, line, "expected .model before " + head);
+
+    if (head == ".model") {
+      if (cur && !cur->ended)
+        fail_at(origin, line,
+                "missing .end before new model (model " + cur->name +
+                    " is still open)");
+      if (toks.size() != 2)
+        fail_at(origin, line, ".model takes exactly one name");
+      for (const BlifModel& m : models)
+        if (m.name == toks[1])
+          fail_at(origin, line, "duplicate model name: " + toks[1]);
+      models.push_back(BlifModel{});
+      cur = &models.back();
+      cur->name = toks[1];
+      cur->line = line;
+      open_names = nullptr;
+      continue;
+    }
+    if (cur->ended)
+      fail_at(origin, line,
+              head + " after .end of model " + cur->name +
+                  " (start a new .model first)");
+    open_names = nullptr;
+
+    if (head == ".inputs" || head == ".outputs") {
+      auto& list = (head == ".inputs") ? cur->inputs : cur->outputs;
+      for (size_t i = 1; i < toks.size(); ++i)
+        list.push_back(std::move(toks[i]));
+      continue;
+    }
+    if (head == ".names") {
+      if (toks.size() < 2)
+        fail_at(origin, line, ".names needs at least an output signal");
+      NamesDecl d;
+      d.signals.assign(toks.begin() + 1, toks.end());
+      d.line = line;
+      cur->names.push_back(std::move(d));
+      open_names = &cur->names.back();
+      continue;
+    }
+    if (head == ".latch") {
+      // .latch <input> <output> [<type> <control>] [<init>]
+      LatchDecl d;
+      d.line = line;
+      if (toks.size() < 3 || toks.size() > 6)
+        fail_at(origin, line,
+                ".latch takes input, output, optional type+control and "
+                "optional init, got " +
+                    std::to_string(toks.size() - 1) + " operands");
+      d.input = toks[1];
+      d.output = toks[2];
+      size_t next = 3;
+      if (toks.size() >= 5) {
+        const std::string type = to_lower(toks[3]);
+        if (type != "fe" && type != "re" && type != "ah" && type != "al" &&
+            type != "as")
+          fail_at(origin, line,
+                  "unknown latch type (want fe/re/ah/al/as): " + toks[3]);
+        if (toks[4] != "NIL") d.control = toks[4];
+        next = 5;
+      }
+      if (next < toks.size())
+        d.init = parse_latch_init(origin, line, toks[next++]);
+      if (next != toks.size())
+        fail_at(origin, line, "trailing operands on .latch: " + toks[next]);
+      cur->latches.push_back(std::move(d));
+      continue;
+    }
+    if (head == ".subckt") {
+      if (toks.size() < 2)
+        fail_at(origin, line, ".subckt needs a model name");
+      SubcktDecl d;
+      d.line = line;
+      d.model = toks[1];
+      for (size_t i = 2; i < toks.size(); ++i) {
+        const size_t eq = toks[i].find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == toks[i].size())
+          fail_at(origin, line,
+                  ".subckt binding must be formal=actual: " + toks[i]);
+        std::string formal = toks[i].substr(0, eq);
+        for (const auto& [f, a] : d.binds)
+          if (f == formal)
+            fail_at(origin, line, "duplicate .subckt binding for pin " + f);
+        d.binds.emplace_back(std::move(formal), toks[i].substr(eq + 1));
+      }
+      cur->subckts.push_back(std::move(d));
+      continue;
+    }
+    if (head == ".end") {
+      if (toks.size() != 1)
+        fail_at(origin, line, "trailing operands on .end");
+      cur->ended = true;
+      continue;
+    }
+    fail_at(origin, line, 1, "unsupported BLIF construct: " + head);
+  }
+
+  if (models.empty()) fail_at(origin, 1, "file defines no .model");
+  if (!models.back().ended)
+    fail_at(origin, models.back().line,
+            "missing .end for model " + models.back().name);
+  return models;
+}
+
+/// --- cover -> gate function classification ------------------------------
+
+bool row_matches(const std::string& plane, unsigned combo) {
+  for (size_t i = 0; i < plane.size(); ++i) {
+    const bool bit = ((combo >> i) & 1u) != 0;
+    if (plane[i] == '1' && !bit) return false;
+    if (plane[i] == '0' && bit) return false;
+  }
+  return true;
+}
+
+/// Truth-table match for n <= 10 inputs: evaluate the cover on every input
+/// combination and compare against each library gate function.
+std::optional<GateFunc> classify_by_table(const NamesDecl& d, size_t n) {
+  std::vector<bool> table(size_t{1} << n);
+  for (unsigned combo = 0; combo < table.size(); ++combo) {
+    bool in_cover = false;
+    for (const std::string& row : d.rows)
+      if (row_matches(row, combo)) {
+        in_cover = true;
+        break;
+      }
+    table[combo] = in_cover == (d.phase == '1');
+  }
+  static constexpr GateFunc kAll[] = {
+      GateFunc::kBuf, GateFunc::kNot, GateFunc::kAnd, GateFunc::kNand,
+      GateFunc::kOr,  GateFunc::kNor, GateFunc::kXor, GateFunc::kXnor};
+  std::vector<bool> ins(n);
+  for (GateFunc f : kAll) {
+    if (n == 1 &&
+        !(f == GateFunc::kBuf || f == GateFunc::kNot))
+      continue;
+    if (n >= 2 && (f == GateFunc::kBuf || f == GateFunc::kNot)) continue;
+    bool all_match = true;
+    for (unsigned combo = 0; combo < table.size() && all_match; ++combo) {
+      for (size_t i = 0; i < n; ++i) ins[i] = ((combo >> i) & 1u) != 0;
+      // std::vector<bool> cannot back a span; copy into a small buffer.
+      bool buf[10];
+      for (size_t i = 0; i < n; ++i) buf[i] = ins[i];
+      if (library::eval_gate(f, std::span<const bool>(buf, n)) != table[combo])
+        all_match = false;
+    }
+    if (all_match) return f;
+  }
+  return std::nullopt;
+}
+
+/// Syntactic match for wide covers (n > 10): recognize the canonical SOP
+/// row shapes of AND/NAND/OR/NOR in either output phase.
+std::optional<GateFunc> classify_by_shape(const NamesDecl& d, size_t n) {
+  const bool on_set = d.phase == '1';
+  auto all_are = [&](char c) {
+    return d.rows.size() == 1 &&
+           std::all_of(d.rows[0].begin(), d.rows[0].end(),
+                       [&](char p) { return p == c; });
+  };
+  auto one_hot = [&](char c) {
+    // n rows, row i has `c` at position i and '-' elsewhere (any order).
+    if (d.rows.size() != n) return false;
+    std::vector<bool> seen(n, false);
+    for (const std::string& row : d.rows) {
+      size_t pos = std::string::npos;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (row[i] == c) {
+          if (pos != std::string::npos) return false;
+          pos = i;
+        } else if (row[i] != '-') {
+          return false;
+        }
+      }
+      if (pos == std::string::npos || seen[pos]) return false;
+      seen[pos] = true;
+    }
+    return true;
+  };
+  if (all_are('1')) return on_set ? GateFunc::kAnd : GateFunc::kNand;
+  if (all_are('0')) return on_set ? GateFunc::kNor : GateFunc::kOr;
+  if (one_hot('1')) return on_set ? GateFunc::kOr : GateFunc::kNor;
+  if (one_hot('0')) return on_set ? GateFunc::kNand : GateFunc::kAnd;
+  return std::nullopt;
+}
+
+GateFunc classify_cover(const std::string& origin, const NamesDecl& d) {
+  const size_t n = d.signals.size() - 1;
+  if (d.rows.empty())
+    fail_at(origin, d.line,
+            ".names cover for " + d.signals.back() +
+                " has no rows (constants are unsupported)");
+  std::optional<GateFunc> f =
+      n <= 10 ? classify_by_table(d, n) : classify_by_shape(d, n);
+  if (!f)
+    fail_at(origin, d.line,
+            ".names cover for " + d.signals.back() +
+                " does not match any library gate function");
+  return *f;
+}
+
+/// --- pass 2: elaboration ------------------------------------------------
+
+struct Elaborator {
+  const std::vector<BlifModel>& models;
+  const std::string& origin;
+  NetlistBuilder& b;
+  // det-ok: name -> index lookup only, never iterated.
+  std::unordered_map<std::string, size_t> by_name;
+  std::vector<std::string> stack;  ///< models being expanded (cycle check)
+  int instance_counter = 0;
+
+  Elaborator(const std::vector<BlifModel>& ms, const std::string& org,
+             NetlistBuilder& builder)
+      : models(ms), origin(org), b(builder) {
+    for (size_t i = 0; i < ms.size(); ++i) by_name.emplace(ms[i].name, i);
+  }
+
+  /// Expand one model body. `rename` maps the model's signal names to
+  /// parent-scope net names; unmapped signals are the model's internals
+  /// and get `prefix` prepended.
+  void expand(const BlifModel& m, const std::string& prefix,
+              // det-ok: rename is looked up per signal, never iterated.
+              const std::unordered_map<std::string, std::string>& rename) {
+    auto resolve = [&](const std::string& s) -> std::string {
+      const auto it = rename.find(s);
+      return it != rename.end() ? it->second : prefix + s;
+    };
+
+    for (const NamesDecl& d : m.names) {
+      const GateFunc func = classify_cover(origin, d);
+      std::vector<netlist::NetId> ins;
+      ins.reserve(d.signals.size() - 1);
+      for (size_t i = 0; i + 1 < d.signals.size(); ++i)
+        ins.push_back(b.net(resolve(d.signals[i])));
+      try {
+        b.add_logic(resolve(d.signals.back()), func, std::move(ins));
+      } catch (const Error& e) {
+        fail_at(origin, d.line, e.what());
+      }
+    }
+    for (const LatchDecl& d : m.latches) {
+      try {
+        b.add_register(resolve(d.input), resolve(d.output),
+                       d.control.empty() ? "" : resolve(d.control), d.init);
+      } catch (const Error& e) {
+        fail_at(origin, d.line, e.what());
+      }
+    }
+    for (const SubcktDecl& d : m.subckts) {
+      const auto it = by_name.find(d.model);
+      if (it == by_name.end())
+        fail_at(origin, d.line,
+                ".subckt references undefined model: " + d.model);
+      const BlifModel& child = models[it->second];
+      if (std::find(stack.begin(), stack.end(), child.name) != stack.end())
+        fail_at(origin, d.line,
+                "recursive .subckt instantiation of model " + child.name);
+
+      // Formal pins are the child's declared inputs and outputs.
+      // det-ok: membership checks only, never iterated.
+      std::unordered_map<std::string, std::string> child_rename;
+      for (const auto& [formal, actual] : d.binds) {
+        const bool is_in = std::find(child.inputs.begin(), child.inputs.end(),
+                                     formal) != child.inputs.end();
+        const bool is_out =
+            std::find(child.outputs.begin(), child.outputs.end(), formal) !=
+            child.outputs.end();
+        if (!is_in && !is_out)
+          fail_at(origin, d.line,
+                  "model " + child.name + " has no pin named " + formal);
+        child_rename.emplace(formal, resolve(actual));
+      }
+      for (const std::string& pin : child.inputs)
+        if (!child_rename.count(pin))
+          fail_at(origin, d.line,
+                  ".subckt leaves input pin " + pin + " of model " +
+                      child.name + " unbound");
+      // Unbound outputs become dangling prefixed internals (legal BLIF).
+      const std::string child_prefix =
+          child.name + "$" + std::to_string(instance_counter++) + ".";
+      stack.push_back(child.name);
+      expand(child, child_prefix, child_rename);
+      stack.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+Netlist read_blif(std::istream& in, const CellLibrary& lib,
+                  std::string origin, const BlifOptions& opts) {
+  const std::vector<BlifModel> models = parse_models(in, origin);
+
+  const BlifModel* top = &models.front();
+  if (!opts.model.empty()) {
+    top = nullptr;
+    for (const BlifModel& m : models)
+      if (m.name == opts.model) top = &m;
+    if (!top) {
+      std::ostringstream os;
+      os << "blif error: no model named " << opts.model << " in " << origin
+         << " (file defines:";
+      for (const BlifModel& m : models) os << ' ' << m.name;
+      os << ')';
+      throw Error(os.str());
+    }
+  }
+  if (top->outputs.empty())
+    fail_at(origin, top->line,
+            "model " + top->name + " declares no .outputs");
+
+  NetlistBuilder b(lib, top->name);
+  // PI declaration order = .inputs order; nets exist before the body so a
+  // gate driving a declared input reports "net already driven".
+  for (const std::string& s : top->inputs) {
+    try {
+      b.mark_input(s);
+    } catch (const Error& e) {
+      fail_at(origin, top->line, e.what());
+    }
+  }
+
+  Elaborator el(models, origin, b);
+  el.stack.push_back(top->name);
+  el.expand(*top, "", {});
+
+  for (const std::string& s : top->outputs) b.mark_output(s);
+
+  try {
+    return b.finish(opts.validate);
+  } catch (const Error& e) {
+    fail_at(origin, top->line, std::string("model ") + top->name +
+                                   " failed structural validation: " +
+                                   e.what());
+  }
+}
+
+Netlist read_blif_string(const std::string& text, const CellLibrary& lib,
+                         const BlifOptions& opts) {
+  std::istringstream in(text);
+  return read_blif(in, lib, "<blif>", opts);
+}
+
+Netlist read_blif_file(const std::string& path, const CellLibrary& lib,
+                       const BlifOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open blif file: " + path);
+  return read_blif(in, lib, path, opts);
+}
+
+std::vector<std::string> blif_model_names(std::istream& in) {
+  std::vector<std::string> names;
+  for (const LogicalLine& ll : logical_lines(in)) {
+    const std::vector<std::string> toks = split_ws(ll.text);
+    if (toks.size() == 2 && toks[0] == ".model") names.push_back(toks[1]);
+  }
+  return names;
+}
+
+namespace {
+
+/// Canonical SOP cover of a gate function, one row per line. XOR/XNOR
+/// enumerate parity minterms, so they are only emitted for library-sized
+/// arities (fine: gates always carry library arities).
+void write_cover(std::ostream& out, GateFunc func, size_t n) {
+  const std::string ones(n, '1');
+  const std::string zeros(n, '0');
+  switch (func) {
+    case GateFunc::kBuf:
+      out << "1 1\n";
+      return;
+    case GateFunc::kNot:
+      out << "0 1\n";
+      return;
+    case GateFunc::kAnd:
+      out << ones << " 1\n";
+      return;
+    case GateFunc::kNand:
+      out << ones << " 0\n";
+      return;
+    case GateFunc::kOr:
+      for (size_t i = 0; i < n; ++i) {
+        std::string row(n, '-');
+        row[i] = '1';
+        out << row << " 1\n";
+      }
+      return;
+    case GateFunc::kNor:
+      out << zeros << " 1\n";
+      return;
+    case GateFunc::kXor:
+    case GateFunc::kXnor: {
+      const bool want_odd = func == GateFunc::kXor;
+      for (unsigned combo = 0; combo < (1u << n); ++combo) {
+        const bool odd = (static_cast<unsigned>(__builtin_popcount(combo)) &
+                          1u) != 0;
+        if (odd != want_odd) continue;
+        std::string row(n, '0');
+        for (size_t i = 0; i < n; ++i)
+          if ((combo >> i) & 1u) row[i] = '1';
+        out << row << " 1\n";
+      }
+      return;
+    }
+  }
+  HSSTA_ASSERT(false, "unhandled gate function in write_cover");
+}
+
+}  // namespace
+
+void write_blif(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " — written by hssta\n";
+  out << ".model " << nl.name() << '\n';
+  out << ".inputs";
+  for (netlist::NetId n : nl.primary_inputs()) out << ' ' << nl.net_name(n);
+  out << '\n';
+  out << ".outputs";
+  for (netlist::NetId n : nl.primary_outputs()) out << ' ' << nl.net_name(n);
+  out << '\n';
+  for (const netlist::Register& r : nl.registers()) {
+    out << ".latch " << nl.net_name(r.data_in) << ' '
+        << nl.net_name(r.data_out);
+    if (r.clock != netlist::kNoNet) out << " re " << nl.net_name(r.clock);
+    out << ' ' << r.init << '\n';
+  }
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    const netlist::Gate& gate = nl.gate(g);
+    out << ".names";
+    for (netlist::NetId f : gate.fanins) out << ' ' << nl.net_name(f);
+    out << ' ' << nl.net_name(gate.output) << '\n';
+    write_cover(out, gate.type->func, gate.fanins.size());
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_blif(os, nl);
+  return os.str();
+}
+
+}  // namespace hssta::frontend

@@ -1,0 +1,76 @@
+/// \file blif.hpp
+/// Reader/writer for the Berkeley Logic Interchange Format (BLIF) subset
+/// used by logic-synthesis benchmark suites:
+///
+///   .model top
+///   .inputs a b
+///   .outputs f
+///   .names a b n1      # SOP cover follows, one row per product term
+///   11 1
+///   .latch n1 f re clk 0
+///   .subckt adder cin=n1 a=a s=f
+///   .end
+///
+/// Supported constructs: `.model` (multiple models per file), `.inputs`,
+/// `.outputs`, `.names` (single-output SOP covers, ON-set or OFF-set
+/// phase), `.latch` (with optional type/control and init value) and
+/// `.subckt` (inlined recursively; child-internal signals are prefixed
+/// "<model>$<k>."). `.names` covers are classified onto library gate
+/// functions — by truth table up to 10 inputs, by canonical-row shape
+/// above — and wide functions decompose through the shared
+/// frontend::NetlistBuilder exactly like the .bench reader.
+///
+/// Registers (`.latch`) become explicit netlist::Register records with
+/// their control net and BLIF init encoding preserved (0, 1, 2 = don't
+/// care, 3 = unknown; a "NIL" or absent control means unclocked).
+///
+/// All errors throw hssta::Error formatted "blif parse error at
+/// <origin>:<line>: ..." (with a column where one is meaningful).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hssta/library/cell_library.hpp"
+#include "hssta/netlist/netlist.hpp"
+
+namespace hssta::frontend {
+
+struct BlifOptions {
+  /// Run Netlist::validate() after elaboration. Off for the static
+  /// checker, which lints malformed-but-parseable netlists.
+  bool validate = true;
+  /// Top model to elaborate; empty selects the first model in the file.
+  std::string model;
+};
+
+/// Parse BLIF text; `origin` names the source in diagnostics.
+[[nodiscard]] netlist::Netlist read_blif(std::istream& in,
+                                         const library::CellLibrary& lib,
+                                         std::string origin = "<blif>",
+                                         const BlifOptions& opts = {});
+
+/// Parse from a string (convenience for tests).
+[[nodiscard]] netlist::Netlist read_blif_string(
+    const std::string& text, const library::CellLibrary& lib,
+    const BlifOptions& opts = {});
+
+/// Parse from a file path; errors name the path and line.
+[[nodiscard]] netlist::Netlist read_blif_file(const std::string& path,
+                                              const library::CellLibrary& lib,
+                                              const BlifOptions& opts = {});
+
+/// Names of the models defined in a BLIF file, in declaration order
+/// (cheap pre-scan; used by multi-model tooling and tests).
+[[nodiscard]] std::vector<std::string> blif_model_names(std::istream& in);
+
+/// Write a single-model BLIF file. Gates are emitted as canonical SOP
+/// covers of their library function; registers as `.latch` lines. The
+/// result re-reads into an equivalent netlist.
+void write_blif(std::ostream& out, const netlist::Netlist& nl);
+
+/// Write to a string (convenience for tests).
+[[nodiscard]] std::string write_blif_string(const netlist::Netlist& nl);
+
+}  // namespace hssta::frontend

@@ -1,0 +1,75 @@
+/// \file liberty.hpp
+/// Liberty-lite: a reader for the subset of the Liberty (.lib) cell
+/// library format that hssta's delay model consumes — cell names, pin
+/// directions and capacitances, per-arc nominal delays of the old-style
+/// CMOS model (intrinsic_rise/intrinsic_fall + rise/fall_resistance) and
+/// boolean `function` strings, plus a `sensitivity(PARAM){value: v;}`
+/// extension group carrying the paper's relative delay sensitivities:
+///
+///   library (my90nm) {
+///     cell (NAND2) {
+///       area : 2.0;
+///       pin (A) { direction : input; capacitance : 1.1; }
+///       pin (B) { direction : input; capacitance : 1.1; }
+///       pin (Y) {
+///         direction : output;
+///         function : "(A * B)'";
+///         timing () {
+///           related_pin : "A";
+///           intrinsic_rise : 0.035; intrinsic_fall : 0.031;
+///           rise_resistance : 0.012; fall_resistance : 0.011;
+///         }
+///         timing () { related_pin : "B"; intrinsic : 0.038;
+///                     rise_resistance : 0.012; }
+///       }
+///       sensitivity (Leff) { value : 0.55; }
+///     }
+///   }
+///
+/// Mapping onto library::CellType: function strings must be a single
+/// n-ary operator (AND/OR/XOR families, `'` or `!` negation) over the
+/// cell's input pins; per-pin intrinsic = max(rise, fall) of the arc with
+/// that related_pin; drive_res = max resistance over all arcs; input_cap
+/// = max declared pin capacitance; width = area. Unknown simple
+/// attributes and unknown groups are skipped; missing required data
+/// (directions, function, arcs, capacitances) is a hard error. All
+/// errors throw hssta::Error as "liberty parse error at
+/// <origin>:<line>:<col>: ...".
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hssta/library/cell_library.hpp"
+
+namespace hssta::frontend {
+
+/// A parsed Liberty-lite library: the library name plus the cells,
+/// ready for netlist readers. Move-only (CellLibrary pins cell
+/// addresses).
+struct LibertyLibrary {
+  std::string name;
+  library::CellLibrary cells;
+};
+
+/// Parse Liberty-lite text; `origin` names the source in diagnostics.
+[[nodiscard]] LibertyLibrary read_liberty(std::istream& in,
+                                          std::string origin = "<liberty>");
+
+/// Parse from a string (convenience for tests).
+[[nodiscard]] LibertyLibrary read_liberty_string(const std::string& text);
+
+/// Parse from a file path; errors name the path, line and column.
+[[nodiscard]] LibertyLibrary read_liberty_file(const std::string& path);
+
+/// Write a library as Liberty-lite. Input pins are named A, B, C, ... and
+/// the output Y; the result re-reads into an identical library.
+void write_liberty(std::ostream& out, const std::string& name,
+                   const library::CellLibrary& lib);
+
+/// Write to a string (convenience for tests).
+[[nodiscard]] std::string write_liberty_string(const std::string& name,
+                                               const library::CellLibrary& lib);
+
+}  // namespace hssta::frontend

@@ -1,0 +1,137 @@
+#include "hssta/frontend/netlist_builder.hpp"
+
+#include <algorithm>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::frontend {
+
+using library::CellType;
+using library::GateFunc;
+using netlist::NetId;
+using netlist::RegId;
+
+NetlistBuilder::NetlistBuilder(const library::CellLibrary& lib,
+                               std::string module_name)
+    : lib_(lib), nl_(std::move(module_name)) {}
+
+NetId NetlistBuilder::net(const std::string& name) {
+  auto it = nets_.find(name);
+  if (it != nets_.end()) return it->second;
+  const NetId id = nl_.add_net(name);
+  nets_.emplace(name, id);
+  return id;
+}
+
+NetId NetlistBuilder::find_net(const std::string& name) const {
+  const auto it = nets_.find(name);
+  return it == nets_.end() ? netlist::kNoNet : it->second;
+}
+
+void NetlistBuilder::mark_input(const std::string& name) {
+  nl_.mark_primary_input(net(name));
+}
+
+void NetlistBuilder::mark_output(const std::string& name) {
+  nl_.mark_primary_output(net(name));
+}
+
+NetId NetlistBuilder::fresh_net(const std::string& base) {
+  // Synthesized intermediate net for wide-gate decomposition.
+  std::string name = base + "$t" + std::to_string(synth_counter_++);
+  while (nets_.count(name))
+    name = base + "$t" + std::to_string(synth_counter_++);
+  return net(name);
+}
+
+const CellType* NetlistBuilder::exact_cell(GateFunc func, size_t arity) const {
+  const CellType* c = lib_.find_widest(func, arity);
+  return (c && c->num_inputs == arity) ? c : nullptr;
+}
+
+std::vector<NetId> NetlistBuilder::reduce_tree(const std::string& base,
+                                               GateFunc reduce_func,
+                                               std::vector<NetId> ins,
+                                               size_t final_width) {
+  while (ins.size() > final_width) {
+    const CellType* cell = lib_.find_widest(
+        reduce_func, std::min(ins.size() - final_width + 1, ins.size()));
+    if (!cell || cell->num_inputs < 2)
+      throw Error(std::string("library lacks a 2+ input ") +
+                  library::gate_func_name(reduce_func) +
+                  " cell for decomposition");
+    const size_t take = std::min(cell->num_inputs, ins.size());
+    const CellType* exact = exact_cell(reduce_func, take);
+    HSSTA_ASSERT(exact != nullptr || take == cell->num_inputs,
+                 "widest cell must match its own arity");
+    const CellType* use = exact ? exact : cell;
+    std::vector<NetId> group(ins.begin(), ins.begin() + take);
+    ins.erase(ins.begin(), ins.begin() + take);
+    const NetId out = fresh_net(base);
+    nl_.add_gate(nl_.net_name(out), use, std::move(group), out);
+    ins.push_back(out);
+  }
+  return ins;
+}
+
+void NetlistBuilder::add_logic(const std::string& out_name, GateFunc func,
+                               std::vector<NetId> ins) {
+  const NetId out = net(out_name);
+  if (ins.empty()) throw Error("gate with no inputs: " + out_name);
+
+  // Single-input wide functions degenerate to BUF/NOT.
+  if (ins.size() == 1 && func != GateFunc::kBuf && func != GateFunc::kNot) {
+    const bool inverting = (func == GateFunc::kNand ||
+                            func == GateFunc::kNor ||
+                            func == GateFunc::kXnor);
+    func = inverting ? GateFunc::kNot : GateFunc::kBuf;
+  }
+
+  if (const CellType* cell = exact_cell(func, ins.size())) {
+    nl_.add_gate(out_name, cell, std::move(ins), out);
+    return;
+  }
+
+  // Decompose. Inverting functions reduce with their non-inverting dual
+  // and invert only at the final stage, preserving logic exactly.
+  GateFunc reduce_func = func;
+  switch (func) {
+    case GateFunc::kNand: reduce_func = GateFunc::kAnd; break;
+    case GateFunc::kNor: reduce_func = GateFunc::kOr; break;
+    case GateFunc::kXnor: reduce_func = GateFunc::kXor; break;
+    default: break;
+  }
+  // Find the widest final cell of the requested function.
+  const CellType* final_cell = lib_.find_widest(func, ins.size());
+  if (!final_cell) {
+    // No cell of the function at all (e.g. XNOR absent): reduce fully with
+    // the dual and invert.
+    const CellType* inv = lib_.find_widest(GateFunc::kNot, 1);
+    if (!inv) throw Error("library lacks an inverter for decomposition");
+    std::vector<NetId> rest = reduce_tree(out_name, reduce_func,
+                                          std::move(ins), 1);
+    nl_.add_gate(out_name, inv, {rest[0]}, out);
+    return;
+  }
+  std::vector<NetId> rest = reduce_tree(out_name, reduce_func, std::move(ins),
+                                        final_cell->num_inputs);
+  const CellType* last = exact_cell(func, rest.size());
+  if (!last) throw Error("internal: no exact cell after reduction");
+  nl_.add_gate(out_name, last, std::move(rest), out);
+}
+
+RegId NetlistBuilder::add_register(const std::string& data_in,
+                                   const std::string& data_out,
+                                   const std::string& clock, int init) {
+  const NetId d = net(data_in);
+  const NetId q = net(data_out);
+  const NetId c = clock.empty() ? netlist::kNoNet : net(clock);
+  return nl_.add_register(data_out, d, q, c, init);
+}
+
+netlist::Netlist NetlistBuilder::finish(bool validate) {
+  if (validate) nl_.validate();
+  return std::move(nl_);
+}
+
+}  // namespace hssta::frontend

@@ -1,0 +1,77 @@
+/// \file netlist_builder.hpp
+/// frontend::NetlistBuilder — the shared construction core of every
+/// netlist front end (.bench, BLIF). It owns the netlist under
+/// construction, the name -> net map, register creation and the wide-gate
+/// decomposition machinery (library-sized reduction trees with synthesized
+/// "$t" intermediate nets), so each parser reduces to grammar handling.
+///
+/// Builder methods throw hssta::Error with a bare message; the calling
+/// parser wraps the message with its own origin:line (and column)
+/// location. That keeps diagnostics format-specific while the structural
+/// rules live in exactly one place.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hssta/library/cell_library.hpp"
+#include "hssta/netlist/netlist.hpp"
+
+namespace hssta::frontend {
+
+class NetlistBuilder {
+ public:
+  NetlistBuilder(const library::CellLibrary& lib, std::string module_name);
+
+  /// Net id by name, creating the net on first reference.
+  netlist::NetId net(const std::string& name);
+  /// Net id by name, or netlist::kNoNet when never referenced.
+  [[nodiscard]] netlist::NetId find_net(const std::string& name) const;
+
+  /// Declare a net (by name) a primary input / primary output.
+  void mark_input(const std::string& name);
+  void mark_output(const std::string& name);
+
+  /// Add logic computing `func` over `ins` onto the net named `out_name`,
+  /// decomposing wide functions into library-sized trees (inverting
+  /// functions reduce with their non-inverting dual and invert only at the
+  /// final stage). Single-input wide functions degenerate to BUF/NOT.
+  void add_logic(const std::string& out_name, library::GateFunc func,
+                 std::vector<netlist::NetId> ins);
+
+  /// Add a register capturing `data_in` and driving `data_out` (both by
+  /// name; nets are created on first reference). `clock` may be empty for
+  /// unclocked styles. The register is named after its output net.
+  netlist::RegId add_register(const std::string& data_in,
+                              const std::string& data_out,
+                              const std::string& clock, int init);
+
+  /// A fresh synthesized net ("base$tN") for decomposition intermediates.
+  netlist::NetId fresh_net(const std::string& base);
+
+  [[nodiscard]] const netlist::Netlist& netlist() const { return nl_; }
+  [[nodiscard]] const library::CellLibrary& library() const { return lib_; }
+
+  /// Finish construction: optionally run Netlist::validate() and release
+  /// the netlist. The builder is spent afterwards.
+  [[nodiscard]] netlist::Netlist finish(bool validate);
+
+ private:
+  [[nodiscard]] const library::CellType* exact_cell(library::GateFunc func,
+                                                    size_t arity) const;
+  std::vector<netlist::NetId> reduce_tree(const std::string& base,
+                                          library::GateFunc reduce_func,
+                                          std::vector<netlist::NetId> ins,
+                                          size_t final_width);
+
+  const library::CellLibrary& lib_;
+  netlist::Netlist nl_;
+  // det-ok: name -> id lookup only; the netlist is built in file order and
+  // this map is never iterated.
+  std::unordered_map<std::string, netlist::NetId> nets_;
+  int synth_counter_ = 0;
+};
+
+}  // namespace hssta::frontend

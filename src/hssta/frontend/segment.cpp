@@ -1,0 +1,112 @@
+#include "hssta/frontend/segment.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "hssta/util/error.hpp"
+
+namespace hssta::frontend {
+
+using netlist::GateId;
+using netlist::kNoGate;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+struct UnionFind {
+  std::vector<uint32_t> parent;
+
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+
+  uint32_t find(uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // path halving
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void unite(uint32_t a, uint32_t b) {
+    a = find(a);
+    b = find(b);
+    // Always attach the larger root under the smaller one, so every root
+    // is its component's smallest gate id (deterministic segment order).
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent[b] = a;
+  }
+};
+
+}  // namespace
+
+Segmentation segment_netlist(const Netlist& nl) {
+  const size_t num_gates = nl.num_gates();
+  UnionFind uf(num_gates);
+
+  // Connectivity: all gates touching a net (its driver and its sinks)
+  // share a segment. Registers never appear here — their data_in and
+  // data_out are distinct nets — so clock boundaries cut automatically.
+  const auto& sinks = nl.net_sinks();
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const GateId driver = nl.driver(n);
+    GateId anchor = driver;
+    for (GateId s : sinks[n]) {
+      if (anchor == kNoGate)
+        anchor = s;
+      else
+        uf.unite(anchor, s);
+    }
+  }
+
+  // Roots in ascending order are the segment ids.
+  Segmentation seg;
+  seg.gate_segment.assign(num_gates, 0);
+  std::vector<uint32_t> root_segment(num_gates, 0);
+  for (GateId g = 0; g < num_gates; ++g) {
+    if (uf.find(g) == g) {
+      root_segment[g] = static_cast<uint32_t>(seg.segments.size());
+      seg.segments.emplace_back();
+    }
+  }
+  for (GateId g = 0; g < num_gates; ++g) {
+    const uint32_t s = root_segment[uf.find(g)];
+    seg.gate_segment[g] = s;
+    seg.segments[s].gates.push_back(g);
+  }
+
+  // Boundary nets, deduplicated with a per-net "claimed by segment" mark.
+  std::vector<netlist::Register> const& regs = nl.registers();
+  std::vector<uint8_t> is_reg_data_in(nl.num_nets(), 0);
+  for (const netlist::Register& r : regs) is_reg_data_in[r.data_in] = 1;
+
+  constexpr uint32_t kUnclaimed = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> launch_claim(nl.num_nets(), kUnclaimed);
+  std::vector<uint32_t> capture_claim(nl.num_nets(), kUnclaimed);
+  for (uint32_t s = 0; s < seg.segments.size(); ++s) {
+    Segment& segment = seg.segments[s];
+    for (GateId g : segment.gates) {
+      const netlist::Gate& gate = nl.gate(g);
+      for (NetId f : gate.fanins) {
+        const bool external =
+            nl.is_primary_input(f) || nl.is_register_output(f);
+        if (external && launch_claim[f] != s) {
+          launch_claim[f] = s;
+          segment.launch_nets.push_back(f);
+        }
+      }
+      const NetId out = gate.output;
+      const bool boundary = nl.is_primary_output(out) || is_reg_data_in[out];
+      if (boundary && capture_claim[out] != s) {
+        capture_claim[out] = s;
+        segment.capture_nets.push_back(out);
+      }
+    }
+  }
+  return seg;
+}
+
+}  // namespace hssta::frontend

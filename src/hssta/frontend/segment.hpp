@@ -1,0 +1,50 @@
+/// \file segment.hpp
+/// Clock-boundary segmentation: split a sequential netlist into
+/// register-bounded combinational segments.
+///
+/// Two gates share a segment iff they are connected through nets without
+/// crossing a register — a register's data_in and data_out are distinct
+/// nets, so the flop cuts connectivity by construction. Each segment is a
+/// combinational DAG launched by primary inputs and/or register outputs
+/// and captured by primary outputs and/or register data inputs; the
+/// sequential model extractor analyzes one segment at a time and folds
+/// register-to-register segment delays into FF-to-FF constraints.
+///
+/// Everything is deterministic: segments are ordered by their smallest
+/// gate id, gates within a segment by gate id, and boundary nets by first
+/// use in (gate id, pin) order.
+
+#pragma once
+
+#include <vector>
+
+#include "hssta/netlist/netlist.hpp"
+
+namespace hssta::frontend {
+
+/// One register-bounded combinational segment.
+struct Segment {
+  /// Member gates, ascending id.
+  std::vector<netlist::GateId> gates;
+  /// Nets feeding the segment from outside: primary inputs and register
+  /// outputs consumed by a member gate. First-use order.
+  std::vector<netlist::NetId> launch_nets;
+  /// Nets the segment drives into a boundary: primary outputs and
+  /// register data inputs driven by a member gate. First-use order.
+  std::vector<netlist::NetId> capture_nets;
+};
+
+/// The segmentation of a netlist: a partition of its gates.
+struct Segmentation {
+  std::vector<Segment> segments;  ///< ordered by smallest member gate id
+  /// Segment index per gate (size = num_gates); every gate is in exactly
+  /// one segment.
+  std::vector<uint32_t> gate_segment;
+};
+
+/// Partition `nl` into register-bounded combinational segments. Works on
+/// combinational netlists too (every weakly-connected component becomes a
+/// segment with PI launches and PO captures).
+[[nodiscard]] Segmentation segment_netlist(const netlist::Netlist& nl);
+
+}  // namespace hssta::frontend

@@ -1,0 +1,85 @@
+#include "hssta/frontend/sequential.hpp"
+
+#include "hssta/frontend/segment.hpp"
+#include "hssta/timing/propagate.hpp"
+#include "hssta/util/error.hpp"
+
+namespace hssta::frontend {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::RegId;
+using timing::VertexId;
+
+SequentialExtraction extract_sequential(const Netlist& nl,
+                                        const timing::BuiltGraph& built) {
+  SequentialExtraction out;
+  if (!nl.is_sequential()) return out;
+  HSSTA_REQUIRE(
+      built.register_launch_vertices.size() == nl.num_registers(),
+      "built graph does not belong to this netlist (register mismatch)");
+
+  for (const netlist::Register& r : nl.registers()) {
+    model::ModelRegister mr;
+    mr.name = r.name;
+    mr.launch = nl.net_name(r.data_out);
+    mr.capture = nl.net_name(r.data_in);
+    mr.clock = r.clock == netlist::kNoNet ? "" : nl.net_name(r.clock);
+    mr.init = r.init;
+    out.registers.push_back(std::move(mr));
+  }
+
+  // Register launches/captures by net, for the segment boundary lists.
+  constexpr RegId kNone = netlist::kNoReg;
+  std::vector<RegId> launch_reg(nl.num_nets(), kNone);
+  std::vector<std::vector<RegId>> capture_regs(nl.num_nets());
+  for (RegId r = 0; r < nl.num_registers(); ++r) {
+    launch_reg[nl.reg(r).data_out] = r;
+    capture_regs[nl.reg(r).data_in].push_back(r);
+  }
+
+  const Segmentation seg = segment_netlist(nl);
+  for (size_t s = 0; s < seg.segments.size(); ++s) {
+    const Segment& segment = seg.segments[s];
+    // Launch vertices of the segment's register launches, register order
+    // within the segment's first-use net order (deterministic).
+    std::vector<VertexId> sources;
+    for (NetId n : segment.launch_nets)
+      if (launch_reg[n] != kNone)
+        sources.push_back(built.register_launch_vertices[launch_reg[n]]);
+    if (sources.empty()) continue;
+    bool has_ff_capture = false;
+    for (NetId n : segment.capture_nets)
+      if (!capture_regs[n].empty()) has_ff_capture = true;
+    if (!has_ff_capture) continue;
+
+    // One serial propagation per segment: flop launches inject arrival 0,
+    // the fold below observes at the flop captures. The launch nets of a
+    // segment fan out only into that segment (their sink gates all unify
+    // into it), so the sweep cannot leak into other segments.
+    const timing::PropagationResult arrivals =
+        timing::propagate_arrivals(built.graph, sources);
+
+    bool have = false;
+    timing::CanonicalForm worst(built.graph.dim());
+    timing::MaxDiagnostics diag;
+    for (NetId n : segment.capture_nets) {
+      for (RegId r : capture_regs[n]) {
+        const VertexId v = built.register_capture_vertices[r];
+        if (!arrivals.is_valid(v)) continue;  // only PI-fed, no FF path
+        if (!have) {
+          worst = arrivals.at(v);
+          have = true;
+        } else {
+          timing::statistical_max_accumulate(worst, arrivals.at(v), &diag);
+        }
+      }
+    }
+    if (!have) continue;
+    out.constraints.push_back(model::SequentialConstraint{
+        "seg" + std::to_string(s), std::move(worst)});
+  }
+  return out;
+}
+
+}  // namespace hssta::frontend

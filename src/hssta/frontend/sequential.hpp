@@ -1,0 +1,42 @@
+/// \file sequential.hpp
+/// Sequential model extraction: derive the register records and folded
+/// FF-to-FF internal constraints a sequential module contributes to its
+/// extended timing model ("hstm 2").
+///
+/// Constraints come from the clock-boundary segmentation (segment.hpp):
+/// for every register-bounded segment that is both launched and captured
+/// by flops, one forward propagation from the segment's register launch
+/// vertices (injected at arrival 0) is folded with the statistical max
+/// over the segment's register capture vertices — the distribution of the
+/// worst FF-to-FF path through that segment. Each propagation is a serial
+/// sweep in segment order, so results are bit-identical at any thread
+/// count by construction.
+///
+/// Direct register-to-register connections (a flop's data input net that
+/// is itself a register output, with no gates between) carry zero
+/// combinational delay and contribute no constraint.
+
+#pragma once
+
+#include <vector>
+
+#include "hssta/model/timing_model.hpp"
+#include "hssta/netlist/netlist.hpp"
+#include "hssta/timing/builder.hpp"
+
+namespace hssta::frontend {
+
+/// The sequential data of one module, ready for
+/// model::TimingModel::set_sequential.
+struct SequentialExtraction {
+  std::vector<model::ModelRegister> registers;
+  std::vector<model::SequentialConstraint> constraints;
+};
+
+/// Extract register records and per-segment FF-to-FF constraints from a
+/// sequential netlist and its built timing graph (`built` must come from
+/// the same netlist). Returns empty lists for combinational netlists.
+[[nodiscard]] SequentialExtraction extract_sequential(
+    const netlist::Netlist& nl, const timing::BuiltGraph& built);
+
+}  // namespace hssta::frontend

@@ -19,15 +19,45 @@ using timing::VertexId;
 BoundaryData compute_boundary(const netlist::Netlist& nl) {
   BoundaryData b;
   const auto& sinks = nl.net_sinks();
-  for (netlist::NetId n : nl.primary_inputs()) {
+  const auto fanin_cap = [&](netlist::NetId n) {
     double cap = 0.0;
     for (netlist::GateId gate : sinks[n]) cap += nl.gate(gate).type->input_cap;
-    b.input_cap.push_back(cap);
-  }
-  for (netlist::NetId n : nl.primary_outputs()) {
+    return cap;
+  };
+  const auto drive = [&](netlist::NetId n) {
     const netlist::GateId d = nl.driver(n);
-    b.output_drive_res.push_back(
-        d == netlist::kNoGate ? 0.0 : nl.gate(d).type->drive_res);
+    return d == netlist::kNoGate ? 0.0 : nl.gate(d).type->drive_res;
+  };
+
+  if (!nl.is_sequential()) {
+    for (netlist::NetId n : nl.primary_inputs())
+      b.input_cap.push_back(fanin_cap(n));
+    for (netlist::NetId n : nl.primary_outputs())
+      b.output_drive_res.push_back(drive(n));
+    return b;
+  }
+
+  // Sequential: mirror the timing-graph port order exactly (see
+  // timing::build_timing_graph) — sources are PIs then register launches,
+  // sinks follow vertex-creation order.
+  std::vector<uint8_t> captured(nl.num_nets(), 0);
+  for (const netlist::Register& r : nl.registers()) captured[r.data_in] = 1;
+  const auto is_sink = [&](netlist::NetId n) {
+    return nl.is_primary_output(n) || captured[n] != 0;
+  };
+  for (netlist::NetId n : nl.primary_inputs())
+    b.input_cap.push_back(fanin_cap(n));
+  for (const netlist::Register& r : nl.registers())
+    b.input_cap.push_back(fanin_cap(r.data_out));
+  // Ports that are also sources (feed-throughs, register launches) drive
+  // with zero resistance, like combinational feed-throughs.
+  for (netlist::NetId n : nl.primary_inputs())
+    if (is_sink(n)) b.output_drive_res.push_back(0.0);
+  for (const netlist::Register& r : nl.registers())
+    if (is_sink(r.data_out)) b.output_drive_res.push_back(0.0);
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    const netlist::NetId n = nl.gate(g).output;
+    if (is_sink(n)) b.output_drive_res.push_back(drive(n));
   }
   return b;
 }
@@ -59,6 +89,34 @@ std::vector<std::string> TimingModel::output_names() const {
 
 core::DelayMatrix TimingModel::io_delays() const {
   return core::all_pairs_io_delays(graph_);
+}
+
+void TimingModel::set_sequential(
+    std::vector<ModelRegister> registers,
+    std::vector<SequentialConstraint> constraints) {
+  const auto has_name = [this](const std::vector<VertexId>& ports,
+                               const std::string& name) {
+    for (VertexId v : ports)
+      if (graph_.vertex(v).name == name) return true;
+    return false;
+  };
+  for (const ModelRegister& r : registers) {
+    HSSTA_REQUIRE(has_name(graph_.inputs(), r.launch),
+                  "register " + r.name + ": launch '" + r.launch +
+                      "' is not an input port");
+    HSSTA_REQUIRE(has_name(graph_.outputs(), r.capture),
+                  "register " + r.name + ": capture '" + r.capture +
+                      "' is not an output port");
+    HSSTA_REQUIRE(r.init >= 0 && r.init <= 3,
+                  "register " + r.name + ": init must be 0..3");
+  }
+  const size_t dim = variation_.space->dim();
+  for (const SequentialConstraint& c : constraints)
+    HSSTA_REQUIRE(c.delay.dim() == dim,
+                  "constraint " + c.label +
+                      ": delay dimension does not match the model");
+  registers_ = std::move(registers);
+  constraints_ = std::move(constraints);
 }
 
 namespace {
@@ -107,7 +165,10 @@ void TimingModel::save(std::ostream& os) const {
       space.correlation_model().config();
   const variation::ParameterSet& params = space.parameters();
 
-  os << "hstm 1\n";
+  // Sequential data bumps the format version; purely combinational models
+  // keep writing version 1 byte-identically.
+  const bool sequential = !registers_.empty() || !constraints_.empty();
+  os << (sequential ? "hstm 2\n" : "hstm 1\n");
   os << "name " << name_ << '\n';
   os << "die " << hexf(part.die().width) << ' ' << hexf(part.die().height)
      << '\n';
@@ -161,6 +222,28 @@ void TimingModel::save(std::ostream& os) const {
     for (double c : te.delay.corr()) os << ' ' << hexf(c);
     os << '\n';
   }
+
+  if (sequential) {
+    const auto no_ws = [](const std::string& s) {
+      return !s.empty() && s.find_first_of(" \t\n") == std::string::npos;
+    };
+    os << "registers " << registers_.size() << '\n';
+    for (const ModelRegister& r : registers_) {
+      HSSTA_REQUIRE(no_ws(r.name) && no_ws(r.launch) && no_ws(r.capture),
+                    "register names with whitespace cannot be serialized");
+      os << "r " << r.name << ' ' << r.launch << ' ' << r.capture << ' '
+         << (r.clock.empty() ? "-" : r.clock) << ' ' << r.init << '\n';
+    }
+    os << "constraints " << constraints_.size() << '\n';
+    for (const SequentialConstraint& c : constraints_) {
+      HSSTA_REQUIRE(no_ws(c.label),
+                    "constraint labels with whitespace cannot be serialized");
+      os << "c " << c.label << ' ' << hexf(c.delay.nominal()) << ' '
+         << hexf(c.delay.random());
+      for (double k : c.delay.corr()) os << ' ' << hexf(k);
+      os << '\n';
+    }
+  }
   os << "end\n";
 
   // A full disk or closed sink fails silently on operator<<; flush and
@@ -182,7 +265,8 @@ void TimingModel::save_file(const std::string& path) const {
 TimingModel TimingModel::load(std::istream& is) {
   expect_keyword(is, "hstm");
   const std::string version = checked_token(is, "version");
-  HSSTA_REQUIRE(version == "1", "unsupported model format version " + version);
+  HSSTA_REQUIRE(version == "1" || version == "2",
+                "unsupported model format version " + version);
 
   expect_keyword(is, "name");
   const std::string name = checked_token(is, "name");
@@ -298,7 +382,44 @@ TimingModel TimingModel::load(std::istream& is) {
       d.corr()[c] = parse_double(checked_token(is, "edge coefficient"));
     graph.add_edge(dense_to_slot[from], dense_to_slot[to], std::move(d));
   }
-  expect_keyword(is, "end");
+
+  // Version 2 appends optional registers/constraints blocks before 'end'.
+  std::vector<ModelRegister> registers;
+  std::vector<SequentialConstraint> constraints;
+  std::string tok = checked_token(is, "end");
+  if (version == "2" && tok == "registers") {
+    const size_t nr = parse_size(is, "registers count");
+    for (size_t k = 0; k < nr; ++k) {
+      expect_keyword(is, "r");
+      ModelRegister r;
+      r.name = checked_token(is, "register name");
+      r.launch = checked_token(is, "register launch");
+      r.capture = checked_token(is, "register capture");
+      r.clock = checked_token(is, "register clock");
+      if (r.clock == "-") r.clock.clear();
+      r.init = static_cast<int>(parse_size(is, "register init"));
+      HSSTA_REQUIRE(r.init <= 3, "bad register init value");
+      registers.push_back(std::move(r));
+    }
+    tok = checked_token(is, "end");
+  }
+  if (version == "2" && tok == "constraints") {
+    const size_t nc = parse_size(is, "constraints count");
+    for (size_t k = 0; k < nc; ++k) {
+      expect_keyword(is, "c");
+      SequentialConstraint c{checked_token(is, "constraint label"),
+                             CanonicalForm(dim)};
+      c.delay.set_nominal(parse_double(checked_token(is, "constraint nominal")));
+      c.delay.set_random(parse_double(checked_token(is, "constraint random")));
+      for (size_t d = 0; d < dim; ++d)
+        c.delay.corr()[d] =
+            parse_double(checked_token(is, "constraint coefficient"));
+      constraints.push_back(std::move(c));
+    }
+    tok = checked_token(is, "end");
+  }
+  HSSTA_REQUIRE(tok == "end",
+                "model file: expected 'end', got '" + tok + "'");
   // A concatenated or corrupted file must not load "successfully" with its
   // tail silently ignored; 'end' is the final token.
   std::string extra;
@@ -306,8 +427,11 @@ TimingModel TimingModel::load(std::istream& is) {
     throw Error("model file: trailing content after 'end': '" + extra + "'");
 
   graph.validate();
-  return TimingModel(name, std::move(graph), std::move(mv),
-                     std::move(boundary));
+  TimingModel model(name, std::move(graph), std::move(mv),
+                    std::move(boundary));
+  if (!registers.empty() || !constraints.empty())
+    model.set_sequential(std::move(registers), std::move(constraints));
+  return model;
 }
 
 TimingModel TimingModel::load_file(const std::string& path) {

@@ -12,6 +12,15 @@
 /// written as hex-floats so a round-trip is bit-exact, which matters
 /// because the loader re-derives the PCA from the stored grid geometry and
 /// must reproduce the exact space the stored coefficients refer to.
+///
+/// Sequential modules extend the model with register records (which input
+/// port is a flop launch, which output port its capture) and folded
+/// FF-to-FF internal constraints — the statistical max of the
+/// register-to-register path delays of each clock-bounded segment, so a
+/// design-level user can check internal cycle limits without the module's
+/// gates. Files with that data carry version "hstm 2" and append optional
+/// `registers`/`constraints` blocks; "hstm 1" files (and models without
+/// sequential data, which still save as version 1) load unchanged.
 
 #pragma once
 
@@ -34,8 +43,32 @@ struct BoundaryData {
 
 /// Derive boundary data from the module netlist: an input port presents the
 /// sum of the pin caps it drives; an output port drives with its source
-/// gate's drive resistance (0 for an input feeding through).
+/// gate's drive resistance (0 for an input feeding through). For
+/// sequential netlists the ports follow the timing-graph order (primary
+/// inputs, then register launches; sinks in vertex-creation order);
+/// combinational netlists keep the original PI/PO declaration order.
 [[nodiscard]] BoundaryData compute_boundary(const netlist::Netlist& nl);
+
+/// Register record of a sequential model, referencing ports by name: the
+/// flop launches at input port `launch` (its data output net) and captures
+/// at output port `capture` (its data input net). `clock` is empty for
+/// unclocked styles; `init` uses the BLIF encoding (0, 1, 2 = don't care,
+/// 3 = unknown).
+struct ModelRegister {
+  std::string name;
+  std::string launch;
+  std::string capture;
+  std::string clock;
+  int init = 3;
+};
+
+/// One folded FF-to-FF internal constraint: the statistical max of the
+/// register-launch-to-register-capture path delays of one clock-bounded
+/// segment. The label identifies the segment ("seg3").
+struct SequentialConstraint {
+  std::string label;
+  timing::CanonicalForm delay;
+};
 
 class TimingModel {
  public:
@@ -62,6 +95,22 @@ class TimingModel {
   /// The model's IO delay matrix (its accuracy contract).
   [[nodiscard]] core::DelayMatrix io_delays() const;
 
+  /// --- sequential data ----------------------------------------------------
+
+  /// Attach register records and folded FF-to-FF constraints. Launch and
+  /// capture names must resolve to input/output ports; constraint delays
+  /// must match the model's variation dimension. Throws on violation.
+  void set_sequential(std::vector<ModelRegister> registers,
+                      std::vector<SequentialConstraint> constraints);
+
+  [[nodiscard]] bool is_sequential() const { return !registers_.empty(); }
+  [[nodiscard]] const std::vector<ModelRegister>& registers() const {
+    return registers_;
+  }
+  [[nodiscard]] const std::vector<SequentialConstraint>& constraints() const {
+    return constraints_;
+  }
+
   /// --- serialization ------------------------------------------------------
 
   void save(std::ostream& os) const;
@@ -74,6 +123,8 @@ class TimingModel {
   timing::TimingGraph graph_;
   variation::ModuleVariation variation_;
   BoundaryData boundary_;
+  std::vector<ModelRegister> registers_;
+  std::vector<SequentialConstraint> constraints_;
 };
 
 }  // namespace hssta::model

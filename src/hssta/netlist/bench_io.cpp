@@ -4,8 +4,8 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <unordered_map>
 
+#include "hssta/frontend/netlist_builder.hpp"
 #include "hssta/util/error.hpp"
 #include "hssta/util/strings.hpp"
 
@@ -14,24 +14,21 @@ namespace hssta::netlist {
 namespace {
 
 using library::CellLibrary;
-using library::CellType;
 using library::GateFunc;
 
+/// Grammar handling for the .bench format; the structural work (name map,
+/// wide-gate decomposition, register records) lives in the shared
+/// frontend::NetlistBuilder.
 struct Parser {
-  const CellLibrary& lib;
-  Netlist nl;
+  frontend::NetlistBuilder b;
   std::string origin;  ///< file path (or "<bench>") for error locations
-  // det-ok: name -> id lookup only; the netlist is built in file order and
-  // this map is never iterated.
-  std::unordered_map<std::string, NetId> nets;
   /// OUTPUT declarations with the line they appeared on, so finish() can
   /// locate a reference to a net that never materializes.
   std::vector<std::pair<std::string, int>> output_names;
   int line_no = 0;
-  int synth_counter = 0;
 
   Parser(const CellLibrary& l, std::string name, std::string org)
-      : lib(l), nl(std::move(name)), origin(std::move(org)) {}
+      : b(l, std::move(name)), origin(std::move(org)) {}
 
   [[noreturn]] void fail_at(int line, const std::string& msg) const {
     std::ostringstream os;
@@ -41,22 +38,6 @@ struct Parser {
 
   [[noreturn]] void fail(const std::string& msg) const {
     fail_at(line_no, msg);
-  }
-
-  NetId net(const std::string& name) {
-    auto it = nets.find(name);
-    if (it != nets.end()) return it->second;
-    const NetId id = nl.add_net(name);
-    nets.emplace(name, id);
-    return id;
-  }
-
-  NetId fresh_net(const std::string& base) {
-    // Synthesized intermediate net for wide-gate decomposition.
-    std::string name = base + "$t" + std::to_string(synth_counter++);
-    while (nets.count(name))
-      name = base + "$t" + std::to_string(synth_counter++);
-    return net(name);
   }
 
   GateFunc func_from_name(const std::string& lower) const {
@@ -69,86 +50,6 @@ struct Parser {
     if (lower == "not" || lower == "inv") return GateFunc::kNot;
     if (lower == "buf" || lower == "buff") return GateFunc::kBuf;
     fail("unsupported bench gate function: " + lower);
-  }
-
-  const CellType* exact_cell(GateFunc func, size_t arity) const {
-    const CellType* c = lib.find_widest(func, arity);
-    return (c && c->num_inputs == arity) ? c : nullptr;
-  }
-
-  void add_cell_gate(const std::string& name, const CellType* type,
-                     std::vector<NetId> fanins, NetId out) {
-    nl.add_gate(name, type, std::move(fanins), out);
-  }
-
-  /// Reduce `ins` with `reduce_func` cells until at most `final_width`
-  /// nets remain (tree construction for wide gates).
-  std::vector<NetId> reduce_tree(const std::string& base, GateFunc reduce_func,
-                                 std::vector<NetId> ins, size_t final_width) {
-    while (ins.size() > final_width) {
-      const CellType* cell = lib.find_widest(
-          reduce_func, std::min(ins.size() - final_width + 1, ins.size()));
-      if (!cell || cell->num_inputs < 2)
-        fail(std::string("library lacks a 2+ input ") +
-             library::gate_func_name(reduce_func) + " cell for decomposition");
-      const size_t take = std::min(cell->num_inputs, ins.size());
-      const CellType* exact = exact_cell(reduce_func, take);
-      HSSTA_ASSERT(exact != nullptr || take == cell->num_inputs,
-                   "widest cell must match its own arity");
-      const CellType* use = exact ? exact : cell;
-      std::vector<NetId> group(ins.begin(), ins.begin() + take);
-      ins.erase(ins.begin(), ins.begin() + take);
-      const NetId out = fresh_net(base);
-      add_cell_gate(nl.net_name(out), use, std::move(group), out);
-      ins.push_back(out);
-    }
-    return ins;
-  }
-
-  void add_logic(const std::string& out_name, GateFunc func,
-                 std::vector<NetId> ins) {
-    const NetId out = net(out_name);
-    if (ins.empty()) fail("gate with no inputs: " + out_name);
-
-    // Single-input wide functions degenerate to BUF/NOT.
-    if (ins.size() == 1 && func != GateFunc::kBuf && func != GateFunc::kNot) {
-      const bool inverting = (func == GateFunc::kNand ||
-                              func == GateFunc::kNor ||
-                              func == GateFunc::kXnor);
-      func = inverting ? GateFunc::kNot : GateFunc::kBuf;
-    }
-
-    if (const CellType* cell = exact_cell(func, ins.size())) {
-      add_cell_gate(out_name, cell, std::move(ins), out);
-      return;
-    }
-
-    // Decompose. Inverting functions reduce with their non-inverting dual
-    // and invert only at the final stage, preserving logic exactly.
-    GateFunc reduce_func = func;
-    switch (func) {
-      case GateFunc::kNand: reduce_func = GateFunc::kAnd; break;
-      case GateFunc::kNor: reduce_func = GateFunc::kOr; break;
-      case GateFunc::kXnor: reduce_func = GateFunc::kXor; break;
-      default: break;
-    }
-    // Find the widest final cell of the requested function.
-    const CellType* final_cell = lib.find_widest(func, ins.size());
-    if (!final_cell) {
-      // No cell of the function at all (e.g. XNOR absent): reduce fully with
-      // the dual and invert.
-      const CellType* inv = lib.find_widest(GateFunc::kNot, 1);
-      if (!inv) fail("library lacks an inverter for decomposition");
-      std::vector<NetId> rest = reduce_tree(out_name, reduce_func,
-                                            std::move(ins), 1);
-      add_cell_gate(out_name, inv, {rest[0]}, out);
-      return;
-    }
-    std::vector<NetId> rest = reduce_tree(out_name, reduce_func, std::move(ins),
-                                          final_cell->num_inputs);
-    const CellType* last = exact_cell(func, rest.size());
-    if (!last) fail("internal: no exact cell after reduction");
-    add_cell_gate(out_name, last, std::move(rest), out);
   }
 
   void parse_line(std::string_view raw) {
@@ -171,7 +72,11 @@ struct Parser {
     if (starts_with(lower, "input")) {
       // Route through the name map: the net may already have been (or may
       // later be) referenced by a gate line.
-      nl.mark_primary_input(net(paren_arg(line)));
+      try {
+        b.mark_input(paren_arg(line));
+      } catch (const Error& e) {
+        fail(e.what());
+      }
       return;
     }
     if (starts_with(lower, "output")) {
@@ -185,31 +90,52 @@ struct Parser {
     const std::string rhs{trim(std::string_view(line).substr(eq + 1))};
     const size_t open = rhs.find('(');
     if (open == std::string::npos) fail("expected FUNC(...): " + rhs);
-    const GateFunc func =
-        func_from_name(to_lower(trim(std::string_view(rhs).substr(0, open))));
+    const std::string func_name =
+        to_lower(trim(std::string_view(rhs).substr(0, open)));
 
     const size_t close = rhs.rfind(')');
     if (close == std::string::npos || close < open)
       fail("unbalanced parentheses: " + rhs);
-    std::vector<NetId> ins;
+    std::vector<std::string> in_names;
     for (const std::string& tok :
          split(rhs.substr(open + 1, close - open - 1), ',')) {
       const std::string name{trim(tok)};
       if (name.empty()) fail("empty operand in: " + rhs);
-      ins.push_back(net(name));
+      in_names.push_back(name);
     }
-    add_logic(out_name, func, std::move(ins));
+
+    // ISCAS89 registers: `Q = DFF(D)` becomes a register record, not a
+    // gate. The edge type/clock are implicit in the format (single global
+    // clock), so the record is unclocked.
+    if (func_name == "dff") {
+      if (in_names.size() != 1)
+        fail("DFF takes exactly one input: " + rhs);
+      try {
+        b.add_register(in_names[0], out_name, /*clock=*/"", /*init=*/3);
+      } catch (const Error& e) {
+        fail(e.what());
+      }
+      return;
+    }
+
+    const GateFunc func = func_from_name(func_name);
+    std::vector<NetId> ins;
+    ins.reserve(in_names.size());
+    for (const std::string& name : in_names) ins.push_back(b.net(name));
+    try {
+      b.add_logic(out_name, func, std::move(ins));
+    } catch (const Error& e) {
+      fail(e.what());
+    }
   }
 
   Netlist finish(bool validate) {
     for (const auto& [name, line] : output_names) {
-      auto it = nets.find(name);
-      if (it == nets.end())
+      if (b.find_net(name) == kNoNet)
         fail_at(line, "OUTPUT references unknown net: " + name);
-      nl.mark_primary_output(it->second);
+      b.mark_output(name);
     }
-    if (validate) nl.validate();
-    return std::move(nl);
+    return b.finish(validate);
   }
 };
 
@@ -251,6 +177,9 @@ void write_bench(std::ostream& out, const Netlist& nl) {
     out << "INPUT(" << nl.net_name(n) << ")\n";
   for (NetId n : nl.primary_outputs())
     out << "OUTPUT(" << nl.net_name(n) << ")\n";
+  for (const Register& r : nl.registers())
+    out << nl.net_name(r.data_out) << " = DFF(" << nl.net_name(r.data_in)
+        << ")\n";
   for (GateId g = 0; g < nl.num_gates(); ++g) {
     const Gate& gate = nl.gate(g);
     out << nl.net_name(gate.output) << " = "

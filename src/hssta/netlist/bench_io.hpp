@@ -1,15 +1,19 @@
 /// \file bench_io.hpp
-/// Reader/writer for the ISCAS85 `.bench` netlist format:
+/// Reader/writer for the ISCAS85/ISCAS89 `.bench` netlist format:
 ///
 ///   # comment
 ///   INPUT(G1)
 ///   OUTPUT(G17)
 ///   G10 = NAND(G1, G3)
+///   G23 = DFF(G10)        # ISCAS89 sequential extension
 ///
 /// The reader maps functions onto the cell library; gates wider than the
 /// widest library cell of that function are decomposed into logically
 /// equivalent trees (e.g. an 8-input NAND becomes an AND tree plus INV),
 /// so real ISCAS85 files load against the default 4-input-max library.
+/// `DFF(...)` lines become explicit Netlist register records (unclocked,
+/// init unknown — the format has a single implicit clock), so ISCAS89
+/// files like s27/s344/s1196 load as first-class sequential circuits.
 
 #pragma once
 

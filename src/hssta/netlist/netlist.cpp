@@ -12,6 +12,7 @@ NetId Netlist::add_net(std::string name) {
   const NetId id = static_cast<NetId>(net_names_.size());
   net_names_.push_back(std::move(name));
   net_driver_.push_back(kNoGate);
+  net_reg_driver_.push_back(kNoReg);
   net_is_pi_.push_back(0);
   net_is_po_.push_back(0);
   sinks_valid_ = false;
@@ -20,7 +21,7 @@ NetId Netlist::add_net(std::string name) {
 
 void Netlist::mark_primary_input(NetId net) {
   HSSTA_REQUIRE(net < num_nets(), "net id out of range");
-  HSSTA_REQUIRE(net_driver_[net] == kNoGate,
+  HSSTA_REQUIRE(net_driver_[net] == kNoGate && net_reg_driver_[net] == kNoReg,
                 "primary input must not have a driver: " + net_names_[net]);
   if (!net_is_pi_[net]) {
     net_is_pi_[net] = 1;
@@ -48,7 +49,8 @@ GateId Netlist::add_gate(std::string name, const library::CellType* type,
   HSSTA_REQUIRE(fanins.size() == type->num_inputs,
                 "gate fanin count must match cell arity: " + name);
   HSSTA_REQUIRE(output < num_nets(), "gate output net out of range");
-  HSSTA_REQUIRE(net_driver_[output] == kNoGate && !net_is_pi_[output],
+  HSSTA_REQUIRE(net_driver_[output] == kNoGate &&
+                    net_reg_driver_[output] == kNoReg && !net_is_pi_[output],
                 "net already driven: " + net_names_[output]);
   for (NetId f : fanins)
     HSSTA_REQUIRE(f < num_nets(), "gate fanin net out of range");
@@ -56,6 +58,26 @@ GateId Netlist::add_gate(std::string name, const library::CellType* type,
   gates_.push_back(Gate{std::move(name), type, std::move(fanins), output});
   net_driver_[output] = id;
   sinks_valid_ = false;
+  return id;
+}
+
+RegId Netlist::add_register(std::string name, NetId data_in, NetId data_out,
+                            NetId clock, int init) {
+  HSSTA_REQUIRE(!name.empty(), "register needs a name");
+  HSSTA_REQUIRE(data_in < num_nets(), "register data_in net out of range");
+  HSSTA_REQUIRE(data_out < num_nets(), "register data_out net out of range");
+  HSSTA_REQUIRE(clock == kNoNet || clock < num_nets(),
+                "register clock net out of range");
+  HSSTA_REQUIRE(net_driver_[data_out] == kNoGate &&
+                    net_reg_driver_[data_out] == kNoReg &&
+                    !net_is_pi_[data_out],
+                "net already driven: " + net_names_[data_out]);
+  HSSTA_REQUIRE(init >= 0 && init <= 3,
+                "register init value must be 0..3: " + name);
+  const RegId id = static_cast<RegId>(registers_.size());
+  registers_.push_back(Register{std::move(name), data_in, data_out, clock,
+                                init});
+  net_reg_driver_[data_out] = id;
   return id;
 }
 
@@ -137,7 +159,8 @@ size_t Netlist::depth() const {
 
 void Netlist::validate() const {
   for (NetId n = 0; n < num_nets(); ++n) {
-    HSSTA_REQUIRE(net_is_pi_[n] || net_driver_[n] != kNoGate,
+    HSSTA_REQUIRE(net_is_pi_[n] || net_driver_[n] != kNoGate ||
+                      net_reg_driver_[n] != kNoReg,
                   "undriven net: " + net_names_[n]);
   }
   for (const Gate& g : gates_) {
@@ -150,13 +173,25 @@ void Netlist::validate() const {
 }
 
 std::vector<bool> Netlist::simulate(const std::vector<bool>& pi_values) const {
+  HSSTA_REQUIRE(registers_.empty(),
+                "sequential netlist: simulate needs a register state");
+  return simulate(pi_values, {});
+}
+
+std::vector<bool> Netlist::simulate(
+    const std::vector<bool>& pi_values,
+    const std::vector<bool>& register_state) const {
   HSSTA_REQUIRE(pi_values.size() == primary_inputs_.size(),
                 "simulate needs one value per primary input");
+  HSSTA_REQUIRE(register_state.size() == registers_.size(),
+                "simulate needs one state bit per register");
   // std::vector<bool> is a bitset and cannot back a std::span<const bool>;
   // evaluate over plain bytes and convert at the end.
   std::vector<uint8_t> value(num_nets(), 0);
   for (size_t i = 0; i < primary_inputs_.size(); ++i)
     value[primary_inputs_[i]] = pi_values[i] ? 1 : 0;
+  for (size_t r = 0; r < registers_.size(); ++r)
+    value[registers_[r].data_out] = register_state[r] ? 1 : 0;
   constexpr size_t kMaxArity = 16;
   bool ins[kMaxArity];
   for (GateId g : topological_order()) {
@@ -201,6 +236,19 @@ uint64_t fingerprint(const Netlist& nl) {
     h.u64(gate.fanins.size());
     for (NetId f : gate.fanins) h.u64(f);
     h.u64(gate.output);
+  }
+  // Registers are hashed only when present, so combinational netlists keep
+  // their pre-sequential fingerprints (and cached models stay valid).
+  if (nl.num_registers() > 0) {
+    h.str("hssta.netlist.regs.v1");
+    h.u64(nl.num_registers());
+    for (const Register& r : nl.registers()) {
+      h.str(r.name);
+      h.u64(r.data_in);
+      h.u64(r.data_out);
+      h.u64(r.clock);
+      h.u64(static_cast<uint64_t>(r.init));
+    }
   }
   return h.value();
 }

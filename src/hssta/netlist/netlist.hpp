@@ -1,12 +1,19 @@
 /// \file netlist.hpp
-/// Gate-level combinational netlist: the input representation for timing
-/// graph construction, Monte Carlo reference simulation and functional
-/// (boolean) verification of generated circuits.
+/// Gate-level netlist: the input representation for timing graph
+/// construction, Monte Carlo reference simulation and functional (boolean)
+/// verification of generated circuits.
 ///
-/// Conventions: every net is driven either by a primary input or by exactly
-/// one gate output. Primary outputs are *marked nets* (they may also have
-/// internal fanout), matching the vertex accounting of the paper's Table I
-/// (Vo = #PI + #gates).
+/// Conventions: every net is driven either by a primary input, by exactly
+/// one gate output, or by exactly one register output. Primary outputs are
+/// *marked nets* (they may also have internal fanout), matching the vertex
+/// accounting of the paper's Table I (Vo = #PI + #gates).
+///
+/// Sequential circuits are first-class: registers (`.latch` in BLIF, `DFF`
+/// in ISCAS89 `.bench`) are explicit records, not gates. A register's
+/// output net behaves as a launch point (a source, like a primary input)
+/// and its data input net as a capture point; the combinational core
+/// between those boundaries stays a DAG, so topological_order(), depth()
+/// and validate() need no cycle-breaking special cases.
 
 #pragma once
 
@@ -22,7 +29,10 @@ namespace hssta::netlist {
 
 using NetId = uint32_t;
 using GateId = uint32_t;
+using RegId = uint32_t;
 inline constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
+inline constexpr RegId kNoReg = std::numeric_limits<RegId>::max();
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
 
 /// One gate instance. Fanins are nets in pin order; the output is a net
 /// driven exclusively by this gate.
@@ -31,6 +41,19 @@ struct Gate {
   const library::CellType* type = nullptr;
   std::vector<NetId> fanins;
   NetId output = 0;
+};
+
+/// One register (BLIF `.latch`, ISCAS89 `DFF`). The register drives
+/// `data_out` exclusively (a launch point) and captures `data_in` at the
+/// clock boundary. `clock` is kNoNet for unclocked styles (.bench DFFs, a
+/// .latch without a control net); `init` uses the BLIF encoding — 0, 1,
+/// 2 (don't care) or 3 (unknown, the default).
+struct Register {
+  std::string name;
+  NetId data_in = 0;
+  NetId data_out = 0;
+  NetId clock = kNoNet;
+  int init = 3;
 };
 
 class Netlist {
@@ -58,6 +81,12 @@ class Netlist {
   GateId add_gate(std::string name, const library::CellType* type,
                   std::vector<NetId> fanins, NetId output);
 
+  /// Add a register driving `data_out` (which must be undriven and not a
+  /// primary input). `clock` is kNoNet for unclocked registers; `init`
+  /// must be 0..3 (BLIF encoding).
+  RegId add_register(std::string name, NetId data_in, NetId data_out,
+                     NetId clock = kNoNet, int init = 3);
+
   /// --- access -----------------------------------------------------------
 
   [[nodiscard]] size_t num_nets() const { return net_names_.size(); }
@@ -67,8 +96,22 @@ class Netlist {
   [[nodiscard]] const std::string& net_name(NetId n) const {
     return net_names_.at(n);
   }
-  /// Driving gate of a net, or kNoGate for primary inputs.
+  /// Driving gate of a net, or kNoGate for primary inputs and register
+  /// outputs.
   [[nodiscard]] GateId driver(NetId n) const { return net_driver_.at(n); }
+  [[nodiscard]] size_t num_registers() const { return registers_.size(); }
+  [[nodiscard]] const std::vector<Register>& registers() const {
+    return registers_;
+  }
+  [[nodiscard]] const Register& reg(RegId r) const { return registers_.at(r); }
+  /// Driving register of a net, or kNoReg.
+  [[nodiscard]] RegId register_driver(NetId n) const {
+    return net_reg_driver_.at(n);
+  }
+  [[nodiscard]] bool is_register_output(NetId n) const {
+    return net_reg_driver_.at(n) != kNoReg;
+  }
+  [[nodiscard]] bool is_sequential() const { return !registers_.empty(); }
   [[nodiscard]] const std::vector<NetId>& primary_inputs() const {
     return primary_inputs_;
   }
@@ -101,29 +144,41 @@ class Netlist {
   void validate() const;
 
   /// Boolean simulation: values for all nets given primary input values
-  /// (in primary_inputs() order).
+  /// (in primary_inputs() order). Combinational netlists only; sequential
+  /// netlists must use the register-state overload.
   [[nodiscard]] std::vector<bool> simulate(
       const std::vector<bool>& pi_values) const;
+
+  /// One-cycle simulation of a sequential netlist: register outputs take
+  /// `register_state` (in registers() order), then the combinational core
+  /// evaluates. The next state is readable at each register's data_in net.
+  [[nodiscard]] std::vector<bool> simulate(
+      const std::vector<bool>& pi_values,
+      const std::vector<bool>& register_state) const;
 
  private:
   std::string name_;
   std::vector<std::string> net_names_;
   std::vector<GateId> net_driver_;
+  std::vector<RegId> net_reg_driver_;
   std::vector<uint8_t> net_is_pi_;
   std::vector<uint8_t> net_is_po_;
   std::vector<NetId> primary_inputs_;
   std::vector<NetId> primary_outputs_;
   std::vector<Gate> gates_;
+  std::vector<Register> registers_;
   mutable std::vector<std::vector<GateId>> sinks_cache_;
   mutable bool sinks_valid_ = false;
 };
 
 /// Stable 64-bit content fingerprint of a netlist: name, every net (name,
 /// PI/PO marks), every gate (name, cell type name, fanins, output) and the
-/// PI/PO declaration orders. Two netlists fingerprint equal iff they are
-/// structurally identical against same-named cell types — the netlist half
-/// of the model cache key (cell parameters are covered separately by
-/// library::fingerprint).
+/// PI/PO declaration orders. Register records are appended only when
+/// present, so combinational netlists fingerprint exactly as before the
+/// sequential extension (existing model-cache entries stay valid). Two
+/// netlists fingerprint equal iff they are structurally identical against
+/// same-named cell types — the netlist half of the model cache key (cell
+/// parameters are covered separately by library::fingerprint).
 [[nodiscard]] uint64_t fingerprint(const Netlist& nl);
 
 }  // namespace hssta::netlist

@@ -11,6 +11,57 @@ using netlist::GateId;
 using netlist::NetId;
 using netlist::Netlist;
 
+namespace {
+
+/// Per-net "captured by a register data pin" counts (a net may feed
+/// several flops).
+std::vector<uint32_t> capture_counts(const Netlist& nl) {
+  std::vector<uint32_t> counts(nl.num_nets(), 0);
+  for (const netlist::Register& r : nl.registers()) ++counts[r.data_in];
+  return counts;
+}
+
+/// Create the canonical vertex set shared by both builders: primary
+/// inputs, then register outputs (launch points, register order), then
+/// gate outputs — each marked as a sink when it is a primary output or
+/// feeds a register data pin. Returns the net -> vertex map.
+std::vector<VertexId> make_vertices(const Netlist& nl, TimingGraph& g,
+                                    const std::vector<uint32_t>& captured) {
+  std::vector<VertexId> net_vertex(nl.num_nets(), kNoVertex);
+  const auto is_sink = [&](NetId n) {
+    return nl.is_primary_output(n) || captured[n] > 0;
+  };
+  for (NetId n : nl.primary_inputs())
+    net_vertex[n] = g.add_vertex(nl.net_name(n), /*is_input=*/true,
+                                 is_sink(n));
+  for (const netlist::Register& r : nl.registers())
+    net_vertex[r.data_out] = g.add_vertex(nl.net_name(r.data_out),
+                                          /*is_input=*/true,
+                                          is_sink(r.data_out));
+  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
+    const NetId n = nl.gate(gate).output;
+    net_vertex[n] =
+        g.add_vertex(nl.net_name(n), /*is_input=*/false, is_sink(n));
+  }
+  return net_vertex;
+}
+
+/// Fill the port-order vertex lists of a BuiltGraph.
+void fill_port_lists(const Netlist& nl,
+                     const std::vector<VertexId>& net_vertex,
+                     BuiltGraph& out) {
+  for (NetId n : nl.primary_inputs())
+    out.input_vertices.push_back(net_vertex[n]);
+  for (NetId n : nl.primary_outputs())
+    out.output_vertices.push_back(net_vertex[n]);
+  for (const netlist::Register& r : nl.registers()) {
+    out.register_launch_vertices.push_back(net_vertex[r.data_out]);
+    out.register_capture_vertices.push_back(net_vertex[r.data_in]);
+  }
+}
+
+}  // namespace
+
 BuiltGraph build_timing_graph(const Netlist& nl,
                               const placement::Placement& pl,
                               const variation::ModuleVariation& variation,
@@ -19,29 +70,22 @@ BuiltGraph build_timing_graph(const Netlist& nl,
                 "placement does not cover the netlist");
   const variation::VariationSpace& space = *variation.space;
 
-  BuiltGraph out{TimingGraph(variation.space), {}, {}, {}};
+  BuiltGraph out{TimingGraph(variation.space), {}, {}, {}, {}, {}};
   TimingGraph& g = out.graph;
 
-  // Vertices: primary inputs, then gate outputs (netlist order). A net that
-  // is a primary output marks its vertex as an output port.
-  std::vector<VertexId> net_vertex(nl.num_nets(), kNoVertex);
-  for (NetId n : nl.primary_inputs())
-    net_vertex[n] = g.add_vertex(nl.net_name(n), /*is_input=*/true,
-                                 nl.is_primary_output(n));
-  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
-    const NetId n = nl.gate(gate).output;
-    net_vertex[n] =
-        g.add_vertex(nl.net_name(n), /*is_input=*/false,
-                     nl.is_primary_output(n));
-  }
+  const std::vector<uint32_t> captured = capture_counts(nl);
+  const std::vector<VertexId> net_vertex = make_vertices(nl, g, captured);
 
-  // Loads: sum of sink pin capacitances plus the port cap on POs.
+  // Loads: sum of sink pin capacitances plus the port cap on POs and the
+  // data-pin cap per capturing register.
   std::vector<double> net_load(nl.num_nets(), 0.0);
   for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
     const netlist::Gate& gt = nl.gate(gate);
     for (NetId f : gt.fanins) net_load[f] += gt.type->input_cap;
   }
   for (NetId n : nl.primary_outputs()) net_load[n] += opts.output_port_cap;
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    net_load[n] += captured[n] * opts.register_pin_cap;
 
   // Edges: one per gate input pin.
   const size_t dim = space.dim();
@@ -79,28 +123,18 @@ BuiltGraph build_timing_graph(const Netlist& nl,
     }
   }
 
-  for (NetId n : nl.primary_inputs())
-    out.input_vertices.push_back(net_vertex[n]);
-  for (NetId n : nl.primary_outputs())
-    out.output_vertices.push_back(net_vertex[n]);
+  fill_port_lists(nl, net_vertex, out);
   return out;
 }
 
 BuiltGraph synthetic_delay_graph(const netlist::Netlist& nl, size_t dim,
                                  uint64_t seed) {
   stats::Rng rng(seed);
-  BuiltGraph out{TimingGraph(dim), {}, {}, {}};
+  BuiltGraph out{TimingGraph(dim), {}, {}, {}, {}, {}};
   TimingGraph& g = out.graph;
 
-  std::vector<VertexId> net_vertex(nl.num_nets(), kNoVertex);
-  for (NetId n : nl.primary_inputs())
-    net_vertex[n] = g.add_vertex(nl.net_name(n), /*is_input=*/true,
-                                 nl.is_primary_output(n));
-  for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
-    const NetId n = nl.gate(gate).output;
-    net_vertex[n] = g.add_vertex(nl.net_name(n), /*is_input=*/false,
-                                 nl.is_primary_output(n));
-  }
+  const std::vector<uint32_t> captured = capture_counts(nl);
+  const std::vector<VertexId> net_vertex = make_vertices(nl, g, captured);
 
   CanonicalForm delay(dim);
   for (GateId gate = 0; gate < nl.num_gates(); ++gate) {
@@ -116,10 +150,7 @@ BuiltGraph synthetic_delay_graph(const netlist::Netlist& nl, size_t dim,
     }
   }
 
-  for (NetId n : nl.primary_inputs())
-    out.input_vertices.push_back(net_vertex[n]);
-  for (NetId n : nl.primary_outputs())
-    out.output_vertices.push_back(net_vertex[n]);
+  fill_port_lists(nl, net_vertex, out);
   return out;
 }
 

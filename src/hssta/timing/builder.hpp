@@ -4,6 +4,13 @@
 /// delay assembled from the cell's nominal timing, its parameter
 /// sensitivities and the variation space of the module's grid partition
 /// (paper Sections II and VI).
+///
+/// Sequential netlists: every register output net becomes an extra source
+/// vertex (after the primary inputs, in register order) and every net
+/// captured by a register data pin is marked as a sink, so arrival
+/// propagation launches from flops and observes at flops without any
+/// special-casing downstream. Register data pins also charge
+/// BuildOptions::register_pin_cap onto their net's load.
 
 #pragma once
 
@@ -20,6 +27,8 @@ struct BuildOptions {
   /// Capacitive load charged to nets that are primary outputs (output port
   /// plus downstream wire), fF.
   double output_port_cap = 3.0;
+  /// Capacitive load charged per register data pin a net drives, fF.
+  double register_pin_cap = 1.0;
 };
 
 /// Physical annotation of one timing edge, kept alongside the graph so the
@@ -34,11 +43,17 @@ struct EdgeSite {
 
 /// A constructed timing graph plus its per-edge physical annotations
 /// (indexed by EdgeId) and the IO vertex lists in netlist port order.
+/// For sequential netlists the register launch/capture vertex lists are
+/// filled in register order (empty for combinational netlists).
 struct BuiltGraph {
   TimingGraph graph;
   std::vector<EdgeSite> sites;
   std::vector<VertexId> input_vertices;   ///< netlist PI order
   std::vector<VertexId> output_vertices;  ///< netlist PO order
+  /// Register data_out vertices (launch points), netlist register order.
+  std::vector<VertexId> register_launch_vertices;
+  /// Register data_in vertices (capture points), netlist register order.
+  std::vector<VertexId> register_capture_vertices;
 };
 
 /// Build the canonical timing graph of a placed module.

@@ -112,7 +112,7 @@ TEST(CheckCatalog, IdsAreSortedUniqueAndResolvable) {
     EXPECT_FALSE(r.meaning.empty());
     EXPECT_FALSE(r.hint.empty());
     EXPECT_TRUE(r.family == "structural" || r.family == "numeric" ||
-                r.family == "hierarchy")
+                r.family == "hierarchy" || r.family == "sequential")
         << r.id;
     if (i > 0) EXPECT_LT(catalog[i - 1].id, r.id);
   }
@@ -318,6 +318,96 @@ TEST(CheckNetlist, UnusedPrimaryInputIsHSC010) {
   expect_within(rep, "HSC010", {});
   EXPECT_EQ(rep.worst(), Severity::kInfo);
   EXPECT_EQ(check::exit_code(rep), 0);
+}
+
+/// A minimal clean sequential netlist: a register loop (q -> g_d -> d -> q)
+/// whose state is observed at a primary output through g_y.
+netlist::Netlist tiny_sequential_netlist() {
+  netlist::Netlist nl("seqtiny");
+  const netlist::NetId a = nl.add_primary_input("a");
+  const netlist::NetId q = nl.add_net("q");
+  const netlist::NetId d = nl.add_net("d");
+  const netlist::NetId y = nl.add_net("y");
+  nl.add_gate("g_d", &cell("NAND2"), {a, q}, d);
+  nl.add_gate("g_y", &cell("INV"), {q}, y);
+  nl.add_register("q", d, q);
+  nl.mark_primary_output(y);
+  return nl;
+}
+
+TEST(CheckNetlist, CleanSequentialNetlistIsClean) {
+  const netlist::Netlist nl = tiny_sequential_netlist();
+  nl.validate();
+  const Report rep = check::run_checks(nl);
+  EXPECT_TRUE(rep.clean()) << rep.summary();
+}
+
+TEST(CheckNetlist, RegisterUndrivenDataIsHSC048) {
+  netlist::Netlist nl("seq048d");
+  const netlist::NetId a = nl.add_primary_input("a");
+  const netlist::NetId dangling = nl.add_net("dangling");
+  const netlist::NetId q = nl.add_net("q");
+  const netlist::NetId y = nl.add_net("y");
+  nl.add_gate("g_y", &cell("NAND2"), {a, q}, y);
+  nl.add_register("q", dangling, q);
+  nl.mark_primary_output(y);
+  const Report rep = check::run_checks(nl);
+  // The dangling data net is also an undriven net (HSC002).
+  expect_within(rep, "HSC048", {"HSC002"});
+  EXPECT_TRUE(rep.has("HSC002"));
+  EXPECT_NE(rep.summary().find("data net 'dangling' is undriven"),
+            std::string::npos)
+      << rep.summary();
+}
+
+TEST(CheckNetlist, RegisterUndrivenClockIsHSC048Alone) {
+  netlist::Netlist nl("seq048c");
+  const netlist::NetId a = nl.add_primary_input("a");
+  const netlist::NetId q = nl.add_net("q");
+  const netlist::NetId d = nl.add_net("d");
+  const netlist::NetId clk = nl.add_net("clk");  // never driven
+  nl.add_gate("g_d", &cell("NAND2"), {a, q}, d);
+  nl.add_register("q", d, q, clk);
+  nl.mark_primary_output(q);
+  const Report rep = check::run_checks(nl);
+  // A clock-only undriven net is HSC048's finding, not a duplicate HSC002.
+  expect_within(rep, "HSC048", {});
+  EXPECT_NE(rep.summary().find("clock net 'clk' is undriven"),
+            std::string::npos)
+      << rep.summary();
+}
+
+TEST(CheckNetlist, LatchFreeCycleInSequentialNetlistIsHSC049) {
+  netlist::Netlist nl = tiny_sequential_netlist();
+  const netlist::NetId u = nl.add_net("u");
+  const netlist::NetId v = nl.add_net("v");
+  nl.add_gate("c1", &cell("INV"), {v}, u);
+  nl.add_gate("c2", &cell("INV"), {u}, v);
+  const Report rep = check::run_checks(nl);
+  expect_within(rep, "HSC049", {"HSC005", "HSC006"});
+  EXPECT_NE(
+      rep.summary().find("combinational cycle through a latch-free path"),
+      std::string::npos)
+      << rep.summary();
+  // The register-broken loop of the base fixture must NOT be reported:
+  // only the latch-free c1/c2 loop is a finding.
+  EXPECT_FALSE(rep.has("HSC001"));
+}
+
+TEST(CheckNetlist, UnobservedRegisterIsHSC050) {
+  netlist::Netlist nl = tiny_sequential_netlist();
+  const netlist::NetId q2 = nl.add_net("q2");
+  const netlist::NetId d2 = nl.add_net("d2");
+  nl.add_gate("g_d2", &cell("INV"), {q2}, d2);
+  nl.add_register("q2", d2, q2);
+  const Report rep = check::run_checks(nl);
+  // g_d2 also has no path to a PO (HSC006).
+  expect_within(rep, "HSC050", {"HSC006"});
+  EXPECT_NE(rep.summary().find("output net 'q2' never reaches a primary"),
+            std::string::npos)
+      << rep.summary();
+  // The observed register of the base fixture is not flagged.
+  EXPECT_EQ(rep.summary().find("'q' "), std::string::npos) << rep.summary();
 }
 
 TEST(CheckNetlist, FiftySeededRandomDagsAreClean) {

@@ -205,6 +205,49 @@ out = AND(t1, t2)
   }
 }
 
+TEST(BenchIo, DffLinesBecomeRegisterRecords) {
+  const char* text =
+      "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = NAND(a, q)\ny = NOT(q)\n";
+  const Netlist nl = read_bench_string(text, lib(), "seq");
+  EXPECT_TRUE(nl.is_sequential());
+  ASSERT_EQ(nl.num_registers(), 1u);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  const Register& r = nl.reg(0);
+  EXPECT_EQ(r.name, "q");
+  EXPECT_EQ(nl.net_name(r.data_in), "d");
+  EXPECT_EQ(nl.net_name(r.data_out), "q");
+  // .bench has a single implicit clock: records are unclocked, init
+  // unknown.
+  EXPECT_EQ(r.clock, kNoNet);
+  EXPECT_EQ(r.init, 3);
+  EXPECT_TRUE(nl.is_register_output(r.data_out));
+  EXPECT_EQ(nl.register_driver(r.data_out), 0u);
+  // The register cuts the q -> d loop: the combinational core stays a DAG.
+  EXPECT_NO_THROW((void)nl.topological_order());
+
+  // write_bench emits DFF lines and the result re-reads identically.
+  const std::string written = write_bench_string(nl);
+  EXPECT_NE(written.find("q = DFF(d)"), std::string::npos) << written;
+  const Netlist again = read_bench_string(written, lib(), "seq");
+  EXPECT_EQ(fingerprint(again), fingerprint(nl));
+}
+
+TEST(BenchIo, CombinationalParseIsUntouchedBySequentialSupport) {
+  // A DFF-free file must parse exactly as before the sequential
+  // extension: no register records, identical fingerprint and bytes
+  // through the writer.
+  const char* text =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = NAND(a, b)\ny = NOT(t)\n";
+  const Netlist nl = read_bench_string(text, lib(), "comb");
+  EXPECT_FALSE(nl.is_sequential());
+  EXPECT_EQ(nl.num_registers(), 0u);
+  const std::string once = write_bench_string(nl);
+  EXPECT_EQ(once.find("DFF"), std::string::npos);
+  const Netlist again = read_bench_string(once, lib(), "comb");
+  EXPECT_EQ(fingerprint(again), fingerprint(nl));
+  EXPECT_EQ(write_bench_string(again), once);
+}
+
 TEST(BenchIo, ErrorsCarryLineNumbers) {
   try {
     (void)read_bench_string("INPUT(a)\nz = FROB(a)\n", lib(), "bad");

@@ -1,13 +1,15 @@
 // hssta_cli — command-line front end for the flow:: pipeline API.
 //
-//   hssta_cli report  <in.bench>              module SSTA report
-//   hssta_cli extract <in.bench> <out.hstm>   gray-box model extraction
-//   hssta_cli mc      <in.bench>              module Monte Carlo
+//   hssta_cli report  <in.bench|.blif>        module SSTA report
+//   hssta_cli extract <in.bench|.blif> <out.hstm>  gray-box model extraction
+//   hssta_cli mc      <in.bench|.blif>        module Monte Carlo
 //   hssta_cli hier    <m1> <m2> [...]         design-level analysis of a
 //                                             pipeline of modules; each <m>
-//                                             is a .bench netlist (model
-//                                             extracted on the fly) or a
-//                                             pre-extracted .hstm model
+//                                             is a netlist (.bench or
+//                                             BLIF, detected by content;
+//                                             model extracted on the fly)
+//                                             or a pre-extracted .hstm
+//                                             model
 //   hssta_cli eco     <m1> <m2> [...]         one ECO (module swap, move,
 //                                             rewire, sigma scaling) on the
 //                                             chained design: full vs
@@ -17,9 +19,10 @@
 //                                             the incremental engine
 //   hssta_cli check   <m1> [...]              static design lint
 //                                             (hssta::check): structural /
-//                                             numeric / hierarchy rules,
-//                                             no timing run; exit code =
-//                                             worst severity
+//                                             numeric / sequential /
+//                                             hierarchy rules, no timing
+//                                             run; exit code = worst
+//                                             severity
 //
 // hier/eco/sweep accept --json for machine-readable output (schema pinned
 // by tests/report_test.cpp). All commands accept --config <file>
@@ -47,8 +50,10 @@
 #include "hssta/check/check.hpp"
 #include "hssta/exec/executor.hpp"
 #include "hssta/flow/chain.hpp"
+#include "hssta/flow/detect.hpp"
 #include "hssta/flow/flow.hpp"
 #include "hssta/flow/report.hpp"
+#include "hssta/frontend/blif.hpp"
 #include "hssta/incr/design_state.hpp"
 #include "hssta/incr/scenario.hpp"
 #include "hssta/model/timing_model.hpp"
@@ -110,12 +115,12 @@ int cmd_report(int argc, const char* const* argv) {
   uint64_t paths = 5;
   std::string in;
   util::ArgParser p("hssta_cli report", "module-level SSTA report");
-  p.positional("in.bench", &in, "input netlist");
+  p.positional("in.bench|.blif", &in, "input netlist (.bench or BLIF, by content)");
   p.option("--paths", &paths, "K", "critical paths to report (default 5)");
   common.register_flags(p);
   if (!p.parse(argc, argv, 2)) return 0;
 
-  const flow::Module m = flow::Module::from_bench_file(in, common.load());
+  const flow::Module m = flow::Module::from_file(in, common.load());
   std::printf("%s: %zu gates, %zu inputs, %zu outputs, depth %zu\n",
               m.name().c_str(), m.netlist().num_gates(),
               m.netlist().primary_inputs().size(),
@@ -142,7 +147,7 @@ int cmd_extract(int argc, const char* const* argv) {
   double delta = -1.0;
   std::string in, out;
   util::ArgParser p("hssta_cli extract", "gray-box timing model extraction");
-  p.positional("in.bench", &in, "input netlist");
+  p.positional("in.bench|.blif", &in, "input netlist (.bench or BLIF, by content)");
   p.positional("out.hstm", &out, "output model file");
   p.option("--delta", &delta, "X",
            "criticality threshold (default: config, 0.05)");
@@ -151,7 +156,7 @@ int cmd_extract(int argc, const char* const* argv) {
 
   flow::Config cfg = common.load();
   if (delta >= 0.0) cfg.extract.criticality_threshold = delta;
-  const flow::Module m = flow::Module::from_bench_file(in, cfg);
+  const flow::Module m = flow::Module::from_file(in, cfg);
   const model::Extraction& ex = m.extract_model();
   ex.model.save_file(out);
   if (ex.stats.from_cache)
@@ -175,7 +180,7 @@ int cmd_mc(int argc, const char* const* argv) {
   uint64_t samples = 0, seed = 0;
   std::string in;
   util::ArgParser p("hssta_cli mc", "module Monte Carlo reference");
-  p.positional("in.bench", &in, "input netlist");
+  p.positional("in.bench|.blif", &in, "input netlist (.bench or BLIF, by content)");
   p.option("--samples", &samples, "N", "sample count (default: config)");
   p.option("--seed", &seed, "S", "RNG seed (default: config)");
   common.register_flags(p);
@@ -184,7 +189,7 @@ int cmd_mc(int argc, const char* const* argv) {
   flow::Config cfg = common.load();
   if (samples) cfg.mc.samples = samples;
   if (seed) cfg.mc.seed = seed;
-  const flow::Module m = flow::Module::from_bench_file(in, cfg);
+  const flow::Module m = flow::Module::from_file(in, cfg);
   WallTimer timer;
   const stats::EmpiricalDistribution& d = m.monte_carlo();
   std::printf(
@@ -226,7 +231,7 @@ int cmd_hier(int argc, const char* const* argv) {
   std::vector<std::string> files;
   util::ArgParser p("hssta_cli hier",
                     "design-level hierarchical SSTA of chained modules");
-  p.positional_rest("module.bench|.hstm", &files,
+  p.positional_rest("module.bench|.blif|.hstm", &files,
                     "module netlists or model files (>= 2)", 2);
   p.flag("--mc", &run_mc,
          "cross-check with flattened Monte Carlo (.bench modules only)");
@@ -327,7 +332,7 @@ int cmd_eco(int argc, const char* const* argv) {
   std::vector<std::string> files;
   util::ArgParser p("hssta_cli eco",
                     "incremental ECO re-analysis of a chained design");
-  p.positional_rest("module.bench|.hstm", &files,
+  p.positional_rest("module.bench|.blif|.hstm", &files,
                     "module netlists or model files (>= 2)", 2);
   p.option("--swap", &swap, "I=FILE",
            "swap instance I's model for FILE (.bench or .hstm)");
@@ -456,7 +461,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   std::vector<std::string> files;
   util::ArgParser p("hssta_cli sweep",
                     "batched what-if scenario sweep of a chained design");
-  p.positional_rest("module.bench|.hstm", &files,
+  p.positional_rest("module.bench|.blif|.hstm", &files,
                     "module netlists or model files (>= 2)", 2);
   p.option("--swap-each", &swap_each, "FILE",
            "one scenario per instance: swap it for FILE's model");
@@ -696,8 +701,8 @@ int cmd_check(int argc, const char* const* argv) {
                     "static design diagnostics (hssta::check, no timing "
                     "run); exit code is the worst severity found: 0 clean "
                     "or info, 1 warning, 2 error");
-  p.positional_rest("module.bench|.hstm|iscas-name", &files,
-                    "netlists, model files or ISCAS85 circuit names (>= 1)",
+  p.positional_rest("module.bench|.blif|.hstm|iscas-name", &files,
+                    "netlists (.bench/BLIF), model files or ISCAS85 circuit names (>= 1)",
                     1);
   p.flag("--json", &json, "machine-readable JSON report on stdout");
   common.register_flags(p);
@@ -717,12 +722,9 @@ int cmd_check(int argc, const char* const* argv) {
   merged.subject = files.size() == 1 ? files[0] : "check";
   bool chainable = files.size() >= 2;
 
+  const std::shared_ptr<const library::CellLibrary> lib =
+      flow::frontend_library(cfg);
   for (const std::string& f : files) {
-    if (f.ends_with(".hstm")) {
-      const model::TimingModel m = model::TimingModel::load_file(f);
-      check::merge(merged, check::run_checks(m, opts));
-      continue;
-    }
     if (is_iscas(f)) {
       chainable = false;  // the chain builder resolves file paths only
       const flow::Module m = flow::Module::from_iscas(f, cfg);
@@ -730,10 +732,28 @@ int cmd_check(int argc, const char* const* argv) {
       check::merge(merged, check::run_checks(m.graph(), m.name(), opts));
       continue;
     }
-    // .bench: parse without the throwing structural validation — linting
+    const flow::FileFormat fmt = flow::detect_file_format(f);
+    if (fmt == flow::FileFormat::kHstm) {
+      const model::TimingModel m = model::TimingModel::load_file(f);
+      check::merge(merged, check::run_checks(m, opts));
+      continue;
+    }
+    // Netlists parse without the throwing structural validation — linting
     // malformed netlists is the point of this subcommand.
-    netlist::Netlist nl = netlist::read_bench_file(
-        f, *flow::default_library(), /*validate=*/false);
+    netlist::Netlist nl = [&] {
+      if (fmt == flow::FileFormat::kBlif) {
+        frontend::BlifOptions bopts;
+        bopts.validate = false;
+        bopts.model = cfg.frontend.blif_model;
+        return frontend::read_blif_file(f, *lib, bopts);
+      }
+      if (fmt == flow::FileFormat::kBench)
+        return netlist::read_bench_file(f, *lib, /*validate=*/false);
+      throw Error("cannot check " + f + ": content detected as " +
+                  flow::format_name(fmt) +
+                  "; supported inputs are ISCAS .bench, BLIF, .hstm models "
+                  "and ISCAS85 circuit names");
+    }();
     check::Report r = check::run_checks(nl, opts);
     // Gate graph building on the *default* severities: a config override
     // can downgrade how a structural defect is reported, but an unsound
@@ -745,7 +765,7 @@ int cmd_check(int argc, const char* const* argv) {
       chainable = false;  // placement/levelization need a sound netlist
       continue;
     }
-    const flow::Module m = flow::Module::from_netlist(std::move(nl), cfg);
+    const flow::Module m = flow::Module::from_netlist(std::move(nl), cfg, lib);
     check::merge(merged, check::run_checks(m.graph(), m.name(), opts));
   }
 
@@ -780,17 +800,17 @@ int print_version() {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  hssta_cli report  <in.bench> [flags]\n"
-               "  hssta_cli extract <in.bench> <out.hstm> [flags]\n"
-               "  hssta_cli mc      <in.bench> [flags]\n"
-               "  hssta_cli hier    <m1.bench|.hstm> <m2...> [flags]\n"
-               "  hssta_cli eco     <m1.bench|.hstm> <m2...> --swap I=FILE |"
+               "  hssta_cli report  <in.bench|.blif> [flags]\n"
+               "  hssta_cli extract <in.bench|.blif> <out.hstm> [flags]\n"
+               "  hssta_cli mc      <in.bench|.blif> [flags]\n"
+               "  hssta_cli hier    <m1.bench|.blif|.hstm> <m2...> [flags]\n"
+               "  hssta_cli eco     <m1.bench|.blif|.hstm> <m2...> --swap I=FILE |"
                " --move I=X,Y | --rewire C=A.B:C.D | --sigma P=S\n"
-               "  hssta_cli sweep   <m1.bench|.hstm> <m2...> --swap-each F |"
+               "  hssta_cli sweep   <m1.bench|.blif|.hstm> <m2...> --swap-each F |"
                " --move-each DX,DY | --sigma-each S | --rewire ...\n"
                "  hssta_cli campaign run|status|merge <spec.json> --out DIR "
                "[--workers N] [--limit K]\n"
-               "  hssta_cli check   <m.bench|.hstm|iscas-name> [...] "
+               "  hssta_cli check   <m.bench|.blif|.hstm|iscas-name> [...] "
                "[--json]   static design lint\n"
                "  hssta_cli serve-client <socket> [--script FILE] [--check]\n"
                "  hssta_cli --version\n"
